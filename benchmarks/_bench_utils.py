@@ -1,0 +1,31 @@
+"""Helpers shared by the benchmark modules."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+
+def print_rows(
+    title: str,
+    rows: Sequence[Dict[str, object]],
+    columns: Optional[List[str]] = None,
+) -> None:
+    """Render one regenerated table/figure as an aligned text table."""
+    print(f"\n===== {title} =====")
+    if not rows:
+        print("(no rows)")
+        return
+    if columns is None:
+        columns = list(rows[0].keys())
+    header = " | ".join(f"{column:>22}" for column in columns)
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        cells = []
+        for column in columns:
+            value = row.get(column, "")
+            if isinstance(value, float):
+                cells.append(f"{value:>22.4g}")
+            else:
+                cells.append(f"{str(value):>22}")
+        print(" | ".join(cells))

@@ -1,0 +1,86 @@
+"""Design-choice ablation: single-stage vs multi-stage filtering (Section 4.6).
+
+Not a numbered figure, but a design decision DESIGN.md calls out: the
+multi-stage filter ejects clear non-targets after a short prefix and defers
+only low-confidence reads, trading a little accuracy bookkeeping for less
+wasted sequencing. This bench quantifies the effect on the scaled lambda
+dataset with the analytical runtime model.
+"""
+
+from _bench_utils import print_rows
+from conftest import PREFIX_LENGTHS
+
+from repro.core.filter import MultiStageSquiggleFilter, SquiggleFilter
+from repro.core.thresholds import choose_threshold
+from repro.pipeline.runtime_model import ReadUntilModelConfig, runtime_from_decisions
+
+
+def test_single_vs_multistage_filtering(benchmark, lambda_bench, lambda_reference):
+    reads = lambda_bench.reads
+    truths = [read.is_target for read in reads]
+    target_signals = lambda_bench.target_signals()
+    background_signals = lambda_bench.nontarget_signals()
+    config = ReadUntilModelConfig(
+        genome_length_bases=len(lambda_bench.target_genome),
+        mean_target_read_bases=400.0,
+        mean_background_read_bases=1200.0,
+        decision_latency_s=4.3e-5,
+    )
+
+    def evaluate():
+        rows = []
+        # Single-stage filters, one per prefix length.
+        for prefix in PREFIX_LENGTHS:
+            squiggle_filter = SquiggleFilter(lambda_reference, prefix_samples=prefix)
+            target_costs = [squiggle_filter.cost(s, prefix) for s in target_signals]
+            background_costs = [squiggle_filter.cost(s, prefix) for s in background_signals]
+            threshold = choose_threshold(target_costs, background_costs)
+            squiggle_filter.threshold = threshold
+            decisions = [squiggle_filter.classify(read.signal_pa) for read in reads]
+            runtime = runtime_from_decisions(
+                decisions, truths, config.with_(decision_prefix_samples=prefix)
+            )
+            ejected_early = sum(1 for d in decisions if not d.accept)
+            rows.append(
+                {
+                    "filter": f"single-stage@{prefix}",
+                    "runtime_minutes": runtime / 60.0,
+                    "reads_ejected": ejected_early,
+                    "mean_samples_to_eject": (
+                        sum(d.samples_used for d in decisions if not d.accept) / max(ejected_early, 1)
+                    ),
+                }
+            )
+        # Multi-stage filter over the same prefix ladder.
+        multistage = MultiStageSquiggleFilter.calibrated(
+            lambda_reference, target_signals, background_signals, prefix_lengths=PREFIX_LENGTHS
+        )
+        decisions = multistage.classify_batch([read.signal_pa for read in reads])
+        runtime = runtime_from_decisions(
+            decisions, truths, config.with_(decision_prefix_samples=max(PREFIX_LENGTHS))
+        )
+        ejected = [d for d in decisions if not d.accept]
+        rows.append(
+            {
+                "filter": "multi-stage",
+                "runtime_minutes": runtime / 60.0,
+                "reads_ejected": len(ejected),
+                "mean_samples_to_eject": (
+                    sum(d.samples_used for d in ejected) / max(len(ejected), 1)
+                ),
+            }
+        )
+        return rows
+
+    rows = benchmark.pedantic(evaluate, rounds=1, iterations=1)
+    print_rows("Section 4.6 ablation: single-stage vs multi-stage filtering", rows)
+    benchmark.extra_info["rows"] = rows
+
+    multistage_row = rows[-1]
+    longest_single = next(row for row in rows if row["filter"] == f"single-stage@{PREFIX_LENGTHS[-1]}")
+    # The multi-stage filter ejects non-targets after less signal on average
+    # than the longest single-stage filter, and its runtime is competitive
+    # with the best single-stage configuration.
+    assert multistage_row["mean_samples_to_eject"] <= longest_single["mean_samples_to_eject"]
+    best_single_runtime = min(row["runtime_minutes"] for row in rows[:-1])
+    assert multistage_row["runtime_minutes"] <= best_single_runtime * 1.3

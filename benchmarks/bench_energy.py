@@ -1,0 +1,32 @@
+"""Supplementary benchmark: energy per Read Until decision.
+
+The paper compares power (14.3 W ASIC vs a 30 W edge GPU vs a 250 W server
+GPU); for a portable battery-powered detector the decisive metric is energy
+per classified read, which also folds in the huge throughput gap. This bench
+regenerates that comparison from the power and performance models.
+"""
+
+from _bench_utils import print_rows
+
+from repro.hardware.energy import energy_advantage_over, energy_comparison
+
+
+def test_energy_per_decision(benchmark):
+    rows = benchmark(energy_comparison, 29_903)
+    print_rows("Energy per Read Until decision (SARS-CoV-2 reference)", rows)
+    by_name = {row["classifier"]: row for row in rows}
+    advantage_edge = energy_advantage_over("guppy_lite@jetson_xavier")
+    advantage_server = energy_advantage_over("guppy_lite@titan_xp")
+    print(f"energy advantage vs edge GPU  : {advantage_edge:,.0f}x")
+    print(f"energy advantage vs server GPU: {advantage_server:,.0f}x")
+    benchmark.extra_info["advantage_vs_edge_gpu"] = advantage_edge
+    benchmark.extra_info["advantage_vs_server_gpu"] = advantage_server
+
+    squigglefilter = by_name["squigglefilter"]
+    edge = by_name["guppy_lite@jetson_xavier"]
+    # The ASIC draws less than half the edge GPU's board power...
+    assert squigglefilter["power_w"] < 0.5 * edge["power_w"]
+    # ...and classifies each read with orders of magnitude less energy.
+    assert advantage_edge > 100
+    assert advantage_server > 100
+    assert squigglefilter["energy_per_decision_mj"] < 0.1

@@ -1,0 +1,20 @@
+"""Figure 2 — progression of US COVID-19 testing capacity during 2020."""
+
+from _bench_utils import print_rows
+
+# `testing_history_table` is imported under an alias so pytest does not collect
+# the library function (its name matches the test-discovery pattern).
+from repro.data.testing_history import months_to_reach
+from repro.data.testing_history import testing_history_table as us_testing_history_table
+
+
+def test_fig02_testing_progression(benchmark):
+    rows = benchmark(us_testing_history_table)
+    print_rows("Figure 2: US daily COVID-19 tests per month (2020)", rows)
+    ramp_months = months_to_reach(1_000_000)
+    print(f"months from genome publication to 1M daily tests: {ramp_months}")
+    benchmark.extra_info["months_to_1M_daily_tests"] = ramp_months
+    assert rows[0]["daily_tests"] == 0
+    assert rows[-1]["daily_tests"] > 1_000_000
+    # The paper's motivation: mass testing took the better part of a year.
+    assert ramp_months >= 9

@@ -1,0 +1,24 @@
+"""Figure 5 — basecalling dominates compute in the Read Until assembly pipeline."""
+
+from _bench_utils import print_rows
+
+from repro.pipeline.profiling import profile_both_specimens
+
+
+def test_fig05_pipeline_compute_breakdown(benchmark):
+    profiles = benchmark(profile_both_specimens)
+    rows = []
+    for fraction, profile in sorted(profiles.items(), reverse=True):
+        rows.extend(profile.as_rows())
+    print_rows(
+        "Figure 5: compute-time breakdown (1% and 0.1% viral specimens)",
+        rows,
+        columns=["viral_fraction", "stage", "seconds", "fraction"],
+    )
+    for fraction, profile in profiles.items():
+        benchmark.extra_info[f"basecall_fraction_{fraction}"] = profile.basecall_fraction
+    # Paper: ~96% of compute goes to basecalling, and the share grows as the
+    # viral fraction shrinks (alignment/variant calling touch fewer reads).
+    assert profiles[0.01].basecall_fraction > 0.9
+    assert profiles[0.001].basecall_fraction > profiles[0.01].basecall_fraction
+    assert profiles[0.001].variant_call_s < profiles[0.001].basecall_s / 10

@@ -1,0 +1,16 @@
+"""Figure 6 — nanopore sequencing throughput is growing exponentially."""
+
+from _bench_utils import print_rows
+
+from repro.data.throughput_history import exponential_growth_rate, throughput_history_table
+
+
+def test_fig06_sequencing_throughput_growth(benchmark):
+    rows = benchmark(throughput_history_table)
+    print_rows("Figure 6: sequencer throughput by release", rows)
+    growth = exponential_growth_rate()
+    print(f"fitted yearly throughput growth factor: {growth:.2f}x")
+    benchmark.extra_info["yearly_growth_factor"] = growth
+    values = [row["bases_per_second"] for row in rows]
+    assert values[-1] > 50 * values[0]
+    assert growth > 1.5

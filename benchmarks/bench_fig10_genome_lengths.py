@@ -1,0 +1,19 @@
+"""Figure 10 — epidemic virus genome lengths and the filter's provisioning."""
+
+from _bench_utils import print_rows
+
+from repro.genomes.catalog import genome_length_table, supported_fraction
+
+
+def test_fig10_epidemic_genome_lengths(benchmark):
+    rows = benchmark(genome_length_table)
+    print_rows("Figure 10: epidemic virus genome lengths", rows)
+    fraction = supported_fraction()
+    print(f"fraction of catalog viruses supported by the 100 KB reference buffer: {fraction:.1%}")
+    benchmark.extra_info["supported_fraction"] = fraction
+    unsupported = [row["virus"] for row in rows if not row["fits_filter"]]
+    print(f"unsupported (large dsDNA) viruses: {unsupported}")
+    # Paper: nearly every epidemic virus fits; smallpox/herpes are the exceptions.
+    assert fraction > 0.85
+    assert any("Smallpox" in name for name in unsupported)
+    assert all(row["genome_length"] <= 100_000 for row in rows if row["fits_filter"])

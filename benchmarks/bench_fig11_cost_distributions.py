@@ -1,0 +1,44 @@
+"""Figure 11 — sDTW cost distributions for target vs non-target reads."""
+
+from _bench_utils import print_rows
+from conftest import PREFIX_LENGTHS
+
+from repro.analysis.distributions import cost_distributions_by_prefix
+
+
+def test_fig11_cost_distributions(benchmark, lambda_bench, lambda_filter):
+    target_signals = lambda_bench.target_signals()
+    nontarget_signals = lambda_bench.nontarget_signals()
+
+    def regenerate():
+        return cost_distributions_by_prefix(
+            lambda_filter.cost,
+            target_signals,
+            nontarget_signals,
+            prefix_lengths=PREFIX_LENGTHS,
+        )
+
+    distributions = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    rows = []
+    for entry in distributions:
+        rows.append(
+            {
+                "prefix_samples": entry.prefix_samples,
+                "target_mean": entry.target.mean,
+                "target_p95": entry.target.quantile(0.95),
+                "nontarget_mean": entry.nontarget.mean,
+                "nontarget_p05": entry.nontarget.quantile(0.05),
+                "overlap": entry.overlap,
+                "separation": entry.separation,
+            }
+        )
+    print_rows("Figure 11: sDTW cost distributions by prefix length (lambda vs human)", rows)
+    benchmark.extra_info["separations"] = {row["prefix_samples"]: row["separation"] for row in rows}
+
+    # Shape checks mirroring the paper's observations:
+    # target costs sit below non-target costs at every prefix length,
+    for row in rows:
+        assert row["target_mean"] < row["nontarget_mean"]
+    # and the class separation improves (overlap shrinks) with longer prefixes.
+    assert rows[-1].get("separation") >= rows[0].get("separation")
+    assert rows[-1]["overlap"] <= rows[0]["overlap"] + 0.05

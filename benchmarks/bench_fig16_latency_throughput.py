@@ -1,0 +1,42 @@
+"""Figure 16 — classification latency and throughput: Guppy, Guppy-lite, SquiggleFilter."""
+
+from _bench_utils import print_rows
+
+from repro.basecall.performance import MINION_MAX_SAMPLES_PER_S
+from repro.hardware.performance import (
+    latency_comparison,
+    speedup_over_baseline,
+    throughput_comparison,
+)
+
+SARS_COV_2_BASES = 29_903
+LAMBDA_BASES = 48_502
+
+
+def test_fig16a_classification_latency(benchmark):
+    rows = benchmark(latency_comparison, SARS_COV_2_BASES)
+    print_rows("Figure 16a: Read Until classification latency", rows)
+    by_name = {row["classifier"]: row for row in rows}
+    benchmark.extra_info["squigglefilter_latency_ms"] = by_name["squigglefilter"]["latency_ms"]
+    # Paper: Guppy > 1 s (>400 wasted bases), Guppy-lite 149 ms (~60 bases),
+    # SquiggleFilter ~0.03 ms (not even one base).
+    assert by_name["guppy@titan_xp"]["latency_ms"] > 1000
+    assert by_name["guppy_lite@titan_xp"]["extra_bases_sequenced"] > 40
+    assert by_name["squigglefilter"]["latency_ms"] < 0.05
+    assert by_name["squigglefilter"]["extra_bases_sequenced"] < 1.0
+
+
+def test_fig16b_classification_throughput(benchmark):
+    rows = benchmark(throughput_comparison, LAMBDA_BASES)
+    print_rows("Figure 16b: Read Until classification throughput", rows)
+    by_name = {row["classifier"]: row for row in rows}
+    speedup = speedup_over_baseline(LAMBDA_BASES)
+    print(f"SquiggleFilter throughput vs edge-GPU Guppy-lite pipeline: {speedup:.0f}x "
+          "(paper reports 274x)")
+    benchmark.extra_info["speedup_vs_edge_gpu"] = speedup
+    # Paper: the edge GPU covers only ~41.5% of a MinION; SquiggleFilter far
+    # exceeds the sequencer's output.
+    assert not by_name["guppy_lite@jetson_xavier"]["keeps_up_with_minion"]
+    assert by_name["squigglefilter"]["keeps_up_with_minion"]
+    assert by_name["squigglefilter"]["throughput_samples_per_s"] > 50 * MINION_MAX_SAMPLES_PER_S
+    assert speedup > 100

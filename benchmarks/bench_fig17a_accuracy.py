@@ -1,0 +1,64 @@
+"""Figure 17a — Read Until classification accuracy across thresholds and prefixes."""
+
+from _bench_utils import print_rows
+from conftest import PREFIX_LENGTHS
+
+from repro.analysis.sweeps import accuracy_sweep
+from repro.baselines.basecall_align import BasecallAlignClassifier
+from repro.core.thresholds import sweep_thresholds
+
+
+def test_fig17a_accuracy_sweep(benchmark, lambda_bench, lambda_filter):
+    target_signals = lambda_bench.target_signals()
+    nontarget_signals = lambda_bench.nontarget_signals()
+
+    def regenerate():
+        return accuracy_sweep(
+            lambda_filter,
+            target_signals,
+            nontarget_signals,
+            prefix_lengths=PREFIX_LENGTHS,
+            n_thresholds=61,
+        )
+
+    sweep = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+
+    rows = [
+        {
+            "prefix_samples": entry.prefix_samples,
+            "max_f1": entry.max_f1,
+            "best_threshold": entry.best_threshold,
+            "recall_at_best": entry.sweep.best_by_f1().recall,
+            "fpr_at_best": entry.sweep.best_by_f1().false_positive_rate,
+        }
+        for entry in sweep
+    ]
+
+    # Baseline comparison: basecall + align on the same reads (the paper notes
+    # it is slightly more accurate, which is expected from a mature aligner).
+    baseline = BasecallAlignClassifier(lambda_bench.target_genome, prefix_samples=max(PREFIX_LENGTHS), seed=3)
+    baseline_sweep = sweep_thresholds(
+        baseline.accuracy_costs(lambda_bench.target_reads),
+        baseline.accuracy_costs(lambda_bench.nontarget_reads),
+        n_thresholds=61,
+    )
+    rows.append(
+        {
+            "prefix_samples": max(PREFIX_LENGTHS),
+            "max_f1": baseline_sweep.max_f1(),
+            "best_threshold": baseline_sweep.best_by_f1().threshold,
+            "recall_at_best": baseline_sweep.best_by_f1().recall,
+            "fpr_at_best": baseline_sweep.best_by_f1().false_positive_rate,
+        }
+    )
+    rows[-1]["prefix_samples"] = f"{rows[-1]['prefix_samples']} (basecall+align)"
+    print_rows("Figure 17a: accuracy by prefix length and classifier", rows)
+    f1_by_prefix = sweep.max_f1_by_prefix()
+    benchmark.extra_info["sdtw_max_f1"] = f1_by_prefix
+    benchmark.extra_info["baseline_max_f1"] = baseline_sweep.max_f1()
+
+    # Shape: accuracy is high and does not degrade with longer prefixes.
+    assert f1_by_prefix[PREFIX_LENGTHS[-1]] >= 0.9
+    assert f1_by_prefix[PREFIX_LENGTHS[-1]] >= f1_by_prefix[PREFIX_LENGTHS[0]] - 0.05
+    # The basecall+align baseline is allowed to be at most marginally better.
+    assert baseline_sweep.max_f1() <= f1_by_prefix[PREFIX_LENGTHS[-1]] + 0.1

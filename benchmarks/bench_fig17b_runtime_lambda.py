@@ -1,0 +1,82 @@
+"""Figure 17b — Read Until runtime on the lambda phage dataset."""
+
+from _bench_utils import print_rows
+from conftest import PREFIX_LENGTHS
+
+from repro.analysis.sweeps import accuracy_sweep
+from repro.core.filter import MultiStageSquiggleFilter
+from repro.pipeline.runtime_model import (
+    ReadUntilModelConfig,
+    best_runtime,
+    runtime_from_decisions,
+    runtime_vs_threshold,
+    sequencing_runtime_s,
+)
+
+
+def _runtime_config(genome_length: int) -> ReadUntilModelConfig:
+    return ReadUntilModelConfig(
+        genome_length_bases=genome_length,
+        coverage=30.0,
+        viral_fraction=0.01,
+        mean_target_read_bases=400.0,
+        mean_background_read_bases=1200.0,
+        decision_latency_s=4.3e-5,
+    )
+
+
+def test_fig17b_read_until_runtime_lambda(benchmark, lambda_bench, lambda_filter, lambda_reference):
+    target_signals = lambda_bench.target_signals()
+    nontarget_signals = lambda_bench.nontarget_signals()
+    config = _runtime_config(len(lambda_bench.target_genome))
+    control = sequencing_runtime_s(config, use_read_until=False)
+
+    def regenerate():
+        sweep = accuracy_sweep(
+            lambda_filter, target_signals, nontarget_signals, PREFIX_LENGTHS, n_thresholds=61
+        )
+        rows = []
+        for prefix_sweep in sweep:
+            prefix_config = config.with_(decision_prefix_samples=prefix_sweep.prefix_samples)
+            curve = runtime_vs_threshold(prefix_sweep.sweep, prefix_config)
+            best = best_runtime(curve)
+            rows.append(
+                {
+                    "prefix_samples": prefix_sweep.prefix_samples,
+                    "best_threshold": best["threshold"],
+                    "recall": best["recall"],
+                    "false_positive_rate": best["false_positive_rate"],
+                    "runtime_minutes": best["runtime_s"] / 60.0,
+                    "speedup_vs_control": control / best["runtime_s"],
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    print_rows("Figure 17b: Read Until runtime vs threshold/prefix (lambda)", rows)
+    print(f"runtime without Read Until: {control / 60:.1f} minutes")
+
+    best_single = min(rows, key=lambda row: row["runtime_minutes"])
+    benchmark.extra_info["control_minutes"] = control / 60.0
+    benchmark.extra_info["best_single_minutes"] = best_single["runtime_minutes"]
+
+    # Multi-stage filtering (Section 4.6) on the same reads.
+    multistage = MultiStageSquiggleFilter.calibrated(
+        lambda_reference, target_signals, nontarget_signals, prefix_lengths=PREFIX_LENGTHS
+    )
+    decisions = multistage.classify_batch([read.signal_pa for read in lambda_bench.reads])
+    multistage_runtime = runtime_from_decisions(
+        decisions,
+        [read.is_target for read in lambda_bench.reads],
+        config.with_(decision_prefix_samples=max(PREFIX_LENGTHS)),
+    )
+    print(f"multi-stage runtime: {multistage_runtime / 60:.1f} minutes")
+    benchmark.extra_info["multistage_minutes"] = multistage_runtime / 60.0
+
+    # Shape checks: Read Until beats the control at every prefix length, and
+    # the multi-stage filter is competitive with the best single threshold.
+    for row in rows:
+        assert row["runtime_minutes"] < control / 60.0
+        assert row["speedup_vs_control"] > 1.2
+    assert multistage_runtime / 60.0 < control / 60.0
+    assert multistage_runtime <= best_single["runtime_minutes"] * 60.0 * 1.3

@@ -1,0 +1,75 @@
+"""Figure 17c — Read Until runtime on the SARS-CoV-2 dataset."""
+
+from _bench_utils import print_rows
+from conftest import PREFIX_LENGTHS
+
+from repro.analysis.sweeps import accuracy_sweep
+from repro.pipeline.runtime_model import (
+    ReadUntilModelConfig,
+    best_runtime,
+    runtime_vs_threshold,
+    sequencing_runtime_s,
+)
+
+
+def test_fig17c_read_until_runtime_covid(benchmark, covid_bench, covid_filter, lambda_bench, lambda_filter):
+    target_signals = covid_bench.target_signals()
+    nontarget_signals = covid_bench.nontarget_signals()
+    config = ReadUntilModelConfig(
+        genome_length_bases=len(covid_bench.target_genome),
+        coverage=30.0,
+        viral_fraction=0.01,
+        mean_target_read_bases=400.0,
+        mean_background_read_bases=1200.0,
+        decision_latency_s=2.7e-5,
+    )
+    control = sequencing_runtime_s(config, use_read_until=False)
+
+    # The paper transfers the optimal thresholds found on the lambda dataset
+    # (Figure 17b) to the SARS-CoV-2 dataset; do the same here by picking the
+    # per-prefix thresholds from the lambda sweep and evaluating them on the
+    # covid reads.
+    lambda_sweep = accuracy_sweep(
+        lambda_filter,
+        lambda_bench.target_signals(),
+        lambda_bench.nontarget_signals(),
+        PREFIX_LENGTHS,
+        n_thresholds=61,
+    )
+
+    def regenerate():
+        covid_sweep = accuracy_sweep(
+            covid_filter, target_signals, nontarget_signals, PREFIX_LENGTHS, n_thresholds=61
+        )
+        rows = []
+        for prefix_sweep in covid_sweep:
+            prefix_config = config.with_(decision_prefix_samples=prefix_sweep.prefix_samples)
+            curve = runtime_vs_threshold(prefix_sweep.sweep, prefix_config)
+            best = best_runtime(curve)
+            rows.append(
+                {
+                    "prefix_samples": prefix_sweep.prefix_samples,
+                    "max_f1": prefix_sweep.max_f1,
+                    "runtime_minutes": best["runtime_s"] / 60.0,
+                    "recall": best["recall"],
+                    "false_positive_rate": best["false_positive_rate"],
+                    "speedup_vs_control": control / best["runtime_s"],
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    print_rows("Figure 17c: Read Until runtime vs threshold/prefix (SARS-CoV-2)", rows)
+    print(f"runtime without Read Until: {control / 60:.1f} minutes")
+    print(
+        "lambda-derived optimal thresholds per prefix: "
+        + ", ".join(
+            f"{entry.prefix_samples}->{entry.best_threshold:,.0f}" for entry in lambda_sweep
+        )
+    )
+    benchmark.extra_info["control_minutes"] = control / 60.0
+    benchmark.extra_info["best_minutes"] = min(row["runtime_minutes"] for row in rows)
+
+    for row in rows:
+        assert row["runtime_minutes"] < control / 60.0
+        assert row["max_f1"] >= 0.85

@@ -1,0 +1,49 @@
+"""Figure 18 — accuracy ablation of the sDTW algorithm modifications."""
+
+from _bench_utils import print_rows
+from conftest import PREFIX_LENGTHS
+
+from repro.analysis.sweeps import ablation_sweep
+from repro.core.variants import ABLATION_VARIANTS, describe_variant
+
+
+def test_fig18_sdtw_modification_ablation(benchmark, lambda_bench, lambda_reference):
+    target_signals = lambda_bench.target_signals()
+    nontarget_signals = lambda_bench.nontarget_signals()
+    # Two prefix lengths keep the six-variant ablation affordable in pure Python.
+    prefix_lengths = PREFIX_LENGTHS[:2]
+
+    def regenerate():
+        return ablation_sweep(
+            lambda_reference,
+            target_signals,
+            nontarget_signals,
+            prefix_lengths=prefix_lengths,
+            variants=ABLATION_VARIANTS,
+            n_thresholds=61,
+        )
+
+    results = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    rows = []
+    for name, scores in results.items():
+        row = {"variant": name, "configuration": describe_variant(name)}
+        for prefix, score in scores.items():
+            row[f"max_f1@{prefix}"] = score
+        rows.append(row)
+    print_rows("Figure 18: maximal F1 per sDTW variant", rows)
+    benchmark.extra_info["results"] = {
+        name: {str(k): v for k, v in scores.items()} for name, scores in results.items()
+    }
+
+    longest = prefix_lengths[-1]
+    vanilla = results["vanilla"][longest]
+    squigglefilter = results["squigglefilter"][longest]
+    all_approx = results["all_approximations"][longest]
+
+    # Shape checks mirroring the paper's findings:
+    # every variant is a usable classifier at the longer prefix,
+    assert all(scores[longest] > 0.8 for scores in results.values())
+    # the match bonus recovers the accuracy lost to the approximations,
+    assert squigglefilter >= all_approx - 0.02
+    # and the final configuration is competitive with vanilla sDTW.
+    assert squigglefilter >= vanilla - 0.1

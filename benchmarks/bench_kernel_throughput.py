@@ -1,0 +1,66 @@
+"""Supplementary benchmark: raw sDTW kernel cost and the accelerator's cycle model.
+
+Not a paper table/figure by itself, but the quantity everything else builds
+on: how expensive one 2000-sample classification is in software (the paper's
+Section 4.8 motivation for an accelerator: ~1,400 M operations per read), and
+how many cycles the hardware model charges for the same work.
+"""
+
+import numpy as np
+import pytest
+from _bench_utils import print_rows
+
+from repro.core.config import SDTWConfig
+from repro.core.sdtw import sdtw_cost
+from repro.hardware.performance import accelerator_performance, classification_cycles
+
+QUERY_SAMPLES = 1000
+
+
+@pytest.mark.parametrize(
+    "variant",
+    ["hardware", "no_bonus", "vanilla"],
+)
+def test_software_kernel_cost(benchmark, lambda_reference, lambda_bench, variant):
+    configs = {
+        "hardware": SDTWConfig.hardware(),
+        "no_bonus": SDTWConfig(
+            distance="absolute", allow_reference_deletions=False, quantize=True, match_bonus=0.0
+        ),
+        "vanilla": SDTWConfig.vanilla(),
+    }
+    config = configs[variant]
+    signal = lambda_bench.target_signals()[0][:QUERY_SAMPLES]
+    reference = lambda_reference.values(quantized=config.quantize)
+    query = np.asarray(signal)
+
+    result = benchmark(sdtw_cost, query, reference, config)
+    cells = QUERY_SAMPLES * reference.size
+    benchmark.extra_info["dp_cells"] = cells
+    benchmark.extra_info["variant"] = variant
+    assert np.isfinite(result.cost)
+
+
+def test_accelerator_cycle_model(benchmark):
+    rows = []
+
+    def regenerate():
+        rows.clear()
+        for genome, bases in (("SARS-CoV-2", 29_903), ("lambda", 48_502), ("largest supported", 50_000)):
+            performance = accelerator_performance(bases)
+            rows.append(
+                {
+                    "genome": genome,
+                    "reference_samples": performance.reference_samples,
+                    "cycles": performance.cycles,
+                    "latency_ms": performance.latency_ms,
+                    "tile_Msamples_per_s": performance.tile_throughput_samples_per_s / 1e6,
+                }
+            )
+        return rows
+
+    benchmark(regenerate)
+    print_rows("Accelerator cycle model (Section 7.1)", rows)
+    covid = rows[0]
+    assert covid["cycles"] == classification_cycles(2 * 29_903)
+    assert covid["latency_ms"] == pytest.approx(0.027, abs=0.002)

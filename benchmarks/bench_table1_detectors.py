@@ -1,0 +1,19 @@
+"""Table 1 — comparison of commercial and sequencing-based virus detectors."""
+
+from _bench_utils import print_rows
+
+# `tests_table` is imported under an alias so pytest does not collect the
+# library function (its name matches the test-discovery pattern).
+from repro.data.tests_catalog import programmable_tests
+from repro.data.tests_catalog import tests_table as detector_tests_table
+
+
+def test_table1_detector_comparison(benchmark):
+    rows = benchmark(detector_tests_table)
+    print_rows("Table 1: virus detector comparison", rows)
+    programmable = programmable_tests()
+    print(f"programmable (reference-driven) tests: {len(programmable)} of {len(rows)}")
+    benchmark.extra_info["n_tests"] = len(rows)
+    benchmark.extra_info["n_programmable"] = len(programmable)
+    assert len(rows) == 9
+    assert all(test.diagnostic_output == "whole genome" for test in programmable)

@@ -1,0 +1,24 @@
+"""Table 2 — mutations between SARS-CoV-2 strains and the Wuhan reference."""
+
+from _bench_utils import print_rows
+
+from repro.genomes.references import build_reference_panel
+from repro.genomes.strains import SARS_COV_2_CLADES, simulate_strain_panel, strain_mutation_table
+
+
+def test_table2_strain_mutations(benchmark):
+    panel = build_reference_panel(target="sars_cov_2", seed=7)
+    reference = panel["sars_cov_2"]
+
+    def regenerate():
+        strains = simulate_strain_panel(reference, seed=11)
+        return strain_mutation_table(reference, strains)
+
+    rows = benchmark(regenerate)
+    print_rows("Table 2: strain mutation counts vs reference", rows)
+    benchmark.extra_info["max_mutations"] = max(row["mutations"] for row in rows)
+    assert len(rows) == len(SARS_COV_2_CLADES)
+    for row in rows:
+        assert row["mutations"] == row["expected_mutations"]
+    # The paper's takeaway: strains differ by only ~17-23 substitutions.
+    assert max(row["mutations"] for row in rows) <= 23

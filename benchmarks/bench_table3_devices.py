@@ -1,0 +1,17 @@
+"""Table 3 — architectural specifications of the evaluated devices."""
+
+from _bench_utils import print_rows
+
+from repro.hardware.devices import DEVICES, device_table
+
+
+def test_table3_device_specs(benchmark):
+    rows = benchmark(device_table)
+    print_rows("Table 3: evaluated device specifications", rows)
+    names = {row["device"] for row in rows}
+    benchmark.extra_info["devices"] = sorted(names)
+    assert {"jetson_xavier", "arm_v8_2", "titan_xp", "xeon_e5_2697v3"} <= names
+    assert len(rows) == len(DEVICES)
+    titan = next(row for row in rows if row["device"] == "titan_xp")
+    jetson = next(row for row in rows if row["device"] == "jetson_xavier")
+    assert titan["cores"] == 3840 and jetson["cores"] == 512

@@ -1,0 +1,20 @@
+"""Table 4 — SquiggleFilter ASIC synthesis results (area and power)."""
+
+import pytest
+from _bench_utils import print_rows
+
+from repro.hardware.asic import AsicModel, synthesis_table
+
+
+def test_table4_asic_synthesis(benchmark):
+    model = AsicModel(n_pes_per_tile=2000, n_tiles=5)
+    rows = benchmark(synthesis_table, model)
+    print_rows("Table 4: ASIC synthesis results", rows)
+    by_element = {row["element"]: row for row in rows}
+    benchmark.extra_info["total_area_mm2"] = by_element["Complete 5-Tile ASIC"]["area_mm2"]
+    benchmark.extra_info["total_power_w"] = by_element["Complete 5-Tile ASIC"]["power_w"]
+    # Paper headline: 13.25 mm^2 and 14.31 W for the 5-tile design.
+    assert by_element["Complete 5-Tile ASIC"]["area_mm2"] == pytest.approx(13.25, abs=0.05)
+    assert by_element["Complete 5-Tile ASIC"]["power_w"] == pytest.approx(14.31, abs=0.05)
+    assert by_element["Tile (1x2000 PEs)"]["area_mm2"] == pytest.approx(2.423, abs=0.01)
+    assert by_element["Complete 1-Tile ASIC"]["power_w"] == pytest.approx(2.86, abs=0.01)

@@ -1,0 +1,106 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper. The expensive
+experiments (cost distributions, accuracy sweeps, the ablation) share two
+scaled datasets built once per session:
+
+* ``lambda_bench`` — a lambda-phage-scale target (the paper's wet-lab
+  dataset) against a human-like background,
+* ``covid_bench``  — a SARS-CoV-2-scale target against the same background.
+
+Genome lengths and read counts are scaled down so the whole harness runs in a
+few minutes of pure Python; the EXPERIMENTS.md file records how the scaled
+results compare with the paper's.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.filter import SquiggleFilter
+from repro.core.reference import ReferenceSquiggle
+from repro.sequencer.datasets import build_dataset
+from repro.sequencer.reads import ReadLengthModel
+
+# Prefix lengths mirroring the paper's 1000/2000/4000-sample analysis, scaled
+# to the smaller genomes used here.
+PREFIX_LENGTHS = (500, 1000, 2000)
+N_READS_PER_CLASS = 30
+
+GENOME_LENGTHS = {"lambda": 2_400, "sars_cov_2": 1_500, "human": 12_000}
+READ_LENGTHS = ReadLengthModel(mean_bases=400, sigma=0.2, min_bases=260, max_bases=800)
+
+
+@pytest.fixture(scope="session")
+def lambda_bench():
+    """Lambda-phage-scale dataset with balanced labelled reads."""
+    return build_dataset(
+        target="lambda",
+        background="human",
+        viral_fraction=0.01,
+        n_balanced_reads=N_READS_PER_CLASS,
+        genome_lengths=GENOME_LENGTHS,
+        read_length=READ_LENGTHS,
+        seed=20211018,
+    )
+
+
+@pytest.fixture(scope="session")
+def covid_bench():
+    """SARS-CoV-2-scale dataset with balanced labelled reads."""
+    return build_dataset(
+        target="sars_cov_2",
+        background="human",
+        viral_fraction=0.01,
+        n_balanced_reads=N_READS_PER_CLASS,
+        genome_lengths=GENOME_LENGTHS,
+        read_length=READ_LENGTHS,
+        seed=20211019,
+    )
+
+
+@pytest.fixture(scope="session")
+def lambda_reference(lambda_bench) -> ReferenceSquiggle:
+    return ReferenceSquiggle.from_genome(
+        lambda_bench.target_genome, kmer_model=lambda_bench.kmer_model
+    )
+
+
+@pytest.fixture(scope="session")
+def covid_reference(covid_bench) -> ReferenceSquiggle:
+    return ReferenceSquiggle.from_genome(
+        covid_bench.target_genome, kmer_model=covid_bench.kmer_model
+    )
+
+
+@pytest.fixture(scope="session")
+def lambda_filter(lambda_reference) -> SquiggleFilter:
+    return SquiggleFilter(lambda_reference, prefix_samples=max(PREFIX_LENGTHS))
+
+
+@pytest.fixture(scope="session")
+def covid_filter(covid_reference) -> SquiggleFilter:
+    return SquiggleFilter(covid_reference, prefix_samples=max(PREFIX_LENGTHS))
+
+
+def print_rows(title, rows, columns=None):
+    """Small helper to render a table/figure's rows in the bench output."""
+    print(f"\n===== {title} =====")
+    if not rows:
+        print("(no rows)")
+        return
+    if columns is None:
+        columns = list(rows[0].keys())
+    header = " | ".join(f"{column:>22}" for column in columns)
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        cells = []
+        for column in columns:
+            value = row.get(column, "")
+            if isinstance(value, float):
+                cells.append(f"{value:>22.4g}")
+            else:
+                cells.append(f"{str(value):>22}")
+        print(" | ".join(cells))

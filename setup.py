@@ -1,0 +1,10 @@
+"""Setuptools shim so `pip install -e .` works without the `wheel` package.
+
+All project metadata lives in pyproject.toml; this file only enables the
+legacy editable-install path on environments whose setuptools cannot build
+PEP 517 editable wheels.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,52 @@
+"""SquiggleFilter reproduction library.
+
+This package reproduces the system described in *SquiggleFilter: An
+Accelerator for Portable Virus Detection* (MICRO 2021): a squiggle-level
+subsequence dynamic time warping (sDTW) filter for nanopore Read Until,
+together with every substrate the paper's evaluation depends on:
+
+* a 6-mer pore model and squiggle synthesizer (``repro.pore_model``),
+* synthetic genomes, viral catalogs and strain models (``repro.genomes``),
+* a nanopore sequencer / flow cell / Read Until simulator (``repro.sequencer``),
+* the baseline basecall + align pipeline and an UNCALLED-like baseline
+  (``repro.basecall``, ``repro.align``, ``repro.baselines``),
+* reference-guided assembly (``repro.assembly``),
+* the SquiggleFilter hardware model: systolic array, normalizer, ASIC
+  area/power and latency/throughput models (``repro.hardware``),
+* the analytical Read Until runtime model and scalability analysis
+  (``repro.pipeline``).
+
+The most common entry points are re-exported here.
+"""
+
+from repro.core.config import SDTWConfig
+from repro.core.filter import FilterDecision, MultiStageSquiggleFilter, SquiggleFilter
+from repro.core.normalization import NormalizationConfig, SignalNormalizer
+from repro.core.reference import ReferenceSquiggle
+from repro.core.sdtw import sdtw_cost, sdtw_cost_matrix
+from repro.genomes.sequences import random_genome, reverse_complement
+from repro.pore_model.kmer_model import KmerModel
+from repro.pore_model.synthesis import SquiggleSimulator, SquiggleSynthesisConfig
+from repro.sequencer.reads import Read, ReadGenerator, SpecimenMixture
+
+__all__ = [
+    "FilterDecision",
+    "KmerModel",
+    "MultiStageSquiggleFilter",
+    "NormalizationConfig",
+    "Read",
+    "ReadGenerator",
+    "ReferenceSquiggle",
+    "SDTWConfig",
+    "SignalNormalizer",
+    "SpecimenMixture",
+    "SquiggleFilter",
+    "SquiggleSimulator",
+    "SquiggleSynthesisConfig",
+    "random_genome",
+    "reverse_complement",
+    "sdtw_cost",
+    "sdtw_cost_matrix",
+]
+
+__version__ = "1.0.0"

@@ -1,0 +1,19 @@
+"""Alignment substrate: minimizer seeding, chaining, banded extension, FM-index."""
+
+from repro.align.aligner import Alignment, ReferenceAligner
+from repro.align.chain import Anchor, Chain, chain_anchors
+from repro.align.extend import banded_alignment
+from repro.align.fm_index import FMIndex
+from repro.align.minimizer import MinimizerIndex, minimizer_sketch
+
+__all__ = [
+    "Alignment",
+    "Anchor",
+    "Chain",
+    "FMIndex",
+    "MinimizerIndex",
+    "ReferenceAligner",
+    "banded_alignment",
+    "chain_anchors",
+    "minimizer_sketch",
+]

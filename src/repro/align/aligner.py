@@ -1,0 +1,130 @@
+"""MiniMap2-like reference aligner: seed, chain, extend.
+
+The baseline Read Until pipeline classifies a read as target when its
+basecalled prefix aligns to the viral reference. :class:`ReferenceAligner`
+provides that decision plus the placement information the assembly stage
+needs (reference start, strand, identity, per-base aligned pairs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.align.chain import Anchor, Chain, chain_anchors
+from repro.align.extend import BandedAlignmentResult, banded_alignment
+from repro.align.minimizer import MinimizerIndex
+from repro.genomes.sequences import reverse_complement, validate_sequence
+
+
+@dataclass
+class Alignment:
+    """A read-to-reference mapping."""
+
+    query_length: int
+    reference_start: int
+    reference_end: int
+    strand: str
+    chain_score: float
+    n_anchors: int
+    identity: float
+    aligned_pairs: List[Tuple[int, int]]
+    mapping_quality: float
+
+    @property
+    def reference_span(self) -> int:
+        return self.reference_end - self.reference_start
+
+    @property
+    def is_confident(self) -> bool:
+        """A conservative "good alignment" call used for Read Until decisions."""
+        return self.mapping_quality >= 20.0
+
+
+class ReferenceAligner:
+    """Seed-chain-extend aligner against one reference genome."""
+
+    def __init__(
+        self,
+        reference: str,
+        k: int = 11,
+        w: int = 5,
+        min_chain_anchors: int = 3,
+        band: int = 32,
+    ) -> None:
+        if min_chain_anchors < 1:
+            raise ValueError("min_chain_anchors must be at least 1")
+        self.reference = validate_sequence(reference)
+        self.index = MinimizerIndex(self.reference, k=k, w=w)
+        self.min_chain_anchors = min_chain_anchors
+        self.band = band
+
+    def map(self, query: str, refine: bool = True) -> Optional[Alignment]:
+        """Map ``query`` to the reference; returns ``None`` when unmapped."""
+        query = validate_sequence(query)
+        if len(query) < self.index.k:
+            return None
+        hits = self.index.hits(query)
+        if not hits:
+            return None
+        anchors = [
+            Anchor(query_position=q, reference_position=r, strand=strand) for q, r, strand in hits
+        ]
+        chain = chain_anchors(anchors)
+        if chain is None or chain.n_anchors < self.min_chain_anchors:
+            return None
+        return self._build_alignment(query, chain, refine)
+
+    def classify(self, query: str, min_mapping_quality: float = 20.0) -> bool:
+        """Read Until decision: does the basecalled prefix align to the target?"""
+        alignment = self.map(query, refine=False)
+        if alignment is None:
+            return False
+        return alignment.mapping_quality >= min_mapping_quality
+
+    # ------------------------------------------------------------------ internals
+    def _build_alignment(self, query: str, chain: Chain, refine: bool) -> Alignment:
+        reference_length = self.index.reference_length
+        ref_lo, ref_hi = chain.reference_span
+        query_lo, query_hi = chain.query_span
+
+        if chain.strand == "-":
+            # Anchor positions on the minus strand are positions in the
+            # reverse-complemented reference; convert to forward coordinates.
+            forward_hi = reference_length - ref_lo
+            forward_lo = reference_length - (ref_hi + self.index.k)
+            ref_lo, ref_hi = max(forward_lo, 0), min(forward_hi, reference_length)
+
+        # Pad the window by the unanchored flanks of the query.
+        left_pad = query_lo + self.band
+        right_pad = (len(query) - query_hi) + self.band
+        window_start = max(ref_lo - left_pad, 0)
+        window_end = min(ref_hi + self.index.k + right_pad, reference_length)
+
+        identity = 0.0
+        aligned_pairs: List[Tuple[int, int]] = []
+        if refine and window_end - window_start >= self.index.k:
+            window = self.reference[window_start:window_end]
+            oriented_query = query if chain.strand == "+" else reverse_complement(query)
+            result: BandedAlignmentResult = banded_alignment(oriented_query, window, band=self.band)
+            identity = result.identity
+            aligned_pairs = [
+                (query_index, reference_index + window_start)
+                for query_index, reference_index in result.aligned_pairs
+            ]
+
+        # Mapping quality heuristic: grows with chain size and the fraction of
+        # the query covered by the chain span.
+        query_coverage = (query_hi - query_lo + self.index.k) / max(len(query), 1)
+        mapping_quality = min(60.0, 10.0 * chain.n_anchors * max(query_coverage, 0.1))
+        return Alignment(
+            query_length=len(query),
+            reference_start=int(window_start if aligned_pairs else ref_lo),
+            reference_end=int(window_end if aligned_pairs else ref_hi + self.index.k),
+            strand=chain.strand,
+            chain_score=chain.score,
+            n_anchors=chain.n_anchors,
+            identity=identity,
+            aligned_pairs=aligned_pairs,
+            mapping_quality=mapping_quality,
+        )

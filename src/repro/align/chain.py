@@ -1,0 +1,108 @@
+"""Colinear chaining of minimizer anchors.
+
+Chaining scores groups of anchors that lie on a consistent diagonal
+(reference position minus query position roughly constant and increasing in
+both coordinates). The best chain localizes the read on the reference and
+its score drives the aligned/unaligned classification decision.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class Anchor:
+    """One seed match between query and reference."""
+
+    query_position: int
+    reference_position: int
+    strand: str = "+"
+
+    @property
+    def diagonal(self) -> int:
+        return self.reference_position - self.query_position
+
+
+@dataclass
+class Chain:
+    """A colinear group of anchors."""
+
+    anchors: List[Anchor]
+    strand: str
+    score: float
+
+    @property
+    def n_anchors(self) -> int:
+        return len(self.anchors)
+
+    @property
+    def query_span(self) -> Tuple[int, int]:
+        positions = [anchor.query_position for anchor in self.anchors]
+        return min(positions), max(positions)
+
+    @property
+    def reference_span(self) -> Tuple[int, int]:
+        positions = [anchor.reference_position for anchor in self.anchors]
+        return min(positions), max(positions)
+
+    @property
+    def reference_start(self) -> int:
+        return self.reference_span[0]
+
+
+def chain_anchors(
+    anchors: Sequence[Anchor],
+    max_gap: int = 150,
+    max_diagonal_drift: int = 50,
+    anchor_score: float = 1.0,
+) -> Optional[Chain]:
+    """Find the best colinear chain among ``anchors``.
+
+    A simple O(n^2) dynamic program (n is small after minimizer filtering):
+    anchor ``j`` can extend anchor ``i`` when both coordinates advance, the
+    gap is bounded, and the diagonals agree within ``max_diagonal_drift``.
+    Chains are built per strand and the best-scoring one is returned, or
+    ``None`` when there are no anchors.
+    """
+    if not anchors:
+        return None
+    best_chain: Optional[Chain] = None
+    for strand in ("+", "-"):
+        strand_anchors = sorted(
+            (anchor for anchor in anchors if anchor.strand == strand),
+            key=lambda anchor: (anchor.query_position, anchor.reference_position),
+        )
+        if not strand_anchors:
+            continue
+        n = len(strand_anchors)
+        scores = [anchor_score] * n
+        parents: List[Optional[int]] = [None] * n
+        for j in range(n):
+            current = strand_anchors[j]
+            for i in range(j):
+                previous = strand_anchors[i]
+                query_gap = current.query_position - previous.query_position
+                reference_gap = current.reference_position - previous.reference_position
+                if query_gap <= 0 or reference_gap <= 0:
+                    continue
+                if query_gap > max_gap or reference_gap > max_gap:
+                    continue
+                if abs(current.diagonal - previous.diagonal) > max_diagonal_drift:
+                    continue
+                candidate = scores[i] + anchor_score
+                if candidate > scores[j]:
+                    scores[j] = candidate
+                    parents[j] = i
+        best_index = max(range(n), key=lambda idx: scores[idx])
+        chain_members: List[Anchor] = []
+        cursor: Optional[int] = best_index
+        while cursor is not None:
+            chain_members.append(strand_anchors[cursor])
+            cursor = parents[cursor]
+        chain_members.reverse()
+        chain = Chain(anchors=chain_members, strand=strand, score=scores[best_index])
+        if best_chain is None or chain.score > best_chain.score:
+            best_chain = chain
+    return best_chain

@@ -1,0 +1,112 @@
+"""FM-index over a DNA reference (substrate for the UNCALLED-like baseline).
+
+UNCALLED (Kovaka et al. 2020) classifies raw reads by segmenting events,
+converting them to candidate k-mers, and matching those k-mers against the
+reference with an FM-index. This module implements the index: suffix array,
+Burrows-Wheeler transform, occurrence table, and backward search.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.genomes.sequences import validate_sequence
+
+_TERMINATOR = "$"
+
+
+def build_suffix_array(text: str) -> List[int]:
+    """Suffix array by prefix-doubling (O(n log^2 n)), adequate for <1 Mb genomes."""
+    n = len(text)
+    if n == 0:
+        raise ValueError("cannot build a suffix array of an empty string")
+    ranks = np.array([ord(c) for c in text], dtype=np.int64)
+    suffix_array = np.arange(n, dtype=np.int64)
+    temp = np.zeros(n, dtype=np.int64)
+    k = 1
+    while True:
+        paired_rank = np.full(n, -1, dtype=np.int64)
+        paired_rank[: n - k] = ranks[k:]
+        order = np.lexsort((paired_rank, ranks))
+        suffix_array = order
+        temp[order[0]] = 0
+        for i in range(1, n):
+            previous, current = order[i - 1], order[i]
+            same = ranks[previous] == ranks[current] and paired_rank[previous] == paired_rank[current]
+            temp[current] = temp[previous] + (0 if same else 1)
+        ranks = temp.copy()
+        if ranks[suffix_array[-1]] == n - 1:
+            break
+        k *= 2
+    return suffix_array.tolist()
+
+
+class FMIndex:
+    """FM-index supporting backward search (count and locate)."""
+
+    def __init__(self, reference: str) -> None:
+        sequence = validate_sequence(reference)
+        if _TERMINATOR in sequence:
+            raise ValueError("reference must not contain the terminator character")
+        self.text = sequence + _TERMINATOR
+        self.suffix_array = build_suffix_array(self.text)
+        self.bwt = "".join(
+            self.text[position - 1] if position > 0 else _TERMINATOR
+            for position in self.suffix_array
+        )
+        self._build_tables()
+
+    def _build_tables(self) -> None:
+        alphabet = sorted(set(self.text))
+        counts: Dict[str, int] = {symbol: 0 for symbol in alphabet}
+        for symbol in self.text:
+            counts[symbol] += 1
+        # C[c]: number of characters strictly smaller than c.
+        self.smaller_than: Dict[str, int] = {}
+        running = 0
+        for symbol in alphabet:
+            self.smaller_than[symbol] = running
+            running += counts[symbol]
+        # Occurrence table sampled every position (genomes here are small).
+        self.occurrences: Dict[str, np.ndarray] = {}
+        bwt_array = np.frombuffer(self.bwt.encode("ascii"), dtype=np.uint8)
+        for symbol in alphabet:
+            matches = (bwt_array == ord(symbol)).astype(np.int64)
+            self.occurrences[symbol] = np.concatenate([[0], np.cumsum(matches)])
+
+    def __len__(self) -> int:
+        return len(self.text) - 1
+
+    def _occ(self, symbol: str, position: int) -> int:
+        if symbol not in self.occurrences:
+            return 0
+        return int(self.occurrences[symbol][position])
+
+    def backward_search(self, pattern: str) -> Tuple[int, int]:
+        """Suffix-array interval [start, end) of suffixes prefixed by ``pattern``."""
+        pattern = validate_sequence(pattern)
+        start, end = 0, len(self.text)
+        for symbol in reversed(pattern):
+            if symbol not in self.smaller_than:
+                return 0, 0
+            start = self.smaller_than[symbol] + self._occ(symbol, start)
+            end = self.smaller_than[symbol] + self._occ(symbol, end)
+            if start >= end:
+                return 0, 0
+        return start, end
+
+    def count(self, pattern: str) -> int:
+        """Number of occurrences of ``pattern`` in the reference."""
+        start, end = self.backward_search(pattern)
+        return max(end - start, 0)
+
+    def locate(self, pattern: str, limit: int = 100) -> List[int]:
+        """Reference positions (0-based) where ``pattern`` occurs."""
+        start, end = self.backward_search(pattern)
+        positions = [self.suffix_array[i] for i in range(start, min(end, start + limit))]
+        return sorted(positions)
+
+    def contains(self, pattern: str) -> bool:
+        return self.count(pattern) > 0

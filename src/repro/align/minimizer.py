@@ -1,0 +1,127 @@
+"""Minimizer sketching and indexing (the seeding stage of a MiniMap2-like aligner).
+
+A (k, w) minimizer sketch keeps, for every window of ``w`` consecutive
+k-mers, the one with the smallest hash. Matching minimizers between a read
+and the reference are the anchors that seed chaining. This is the same
+seeding strategy MiniMap2 uses; the hash is an invertible integer mix so
+that minimizer selection is pseudo-random rather than biased toward
+low-complexity sequence.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.genomes.sequences import reverse_complement, validate_sequence
+
+_BASE_CODES = {"A": 0, "C": 1, "G": 2, "T": 3}
+_MASK64 = (1 << 64) - 1
+
+
+def _mix_hash(value: int) -> int:
+    """64-bit invertible integer hash (same construction MiniMap2 uses)."""
+    value = (~value + (value << 21)) & _MASK64
+    value = value ^ (value >> 24)
+    value = (value + (value << 3) + (value << 8)) & _MASK64
+    value = value ^ (value >> 14)
+    value = (value + (value << 2) + (value << 4)) & _MASK64
+    value = value ^ (value >> 28)
+    value = (value + (value << 31)) & _MASK64
+    return value
+
+
+def encode_kmers(sequence: str, k: int) -> List[int]:
+    """Rolling 2-bit encoding of every k-mer; ``-1`` marks k-mers containing N."""
+    if k <= 0 or k > 28:
+        raise ValueError(f"k must be in [1, 28], got {k}")
+    upper = validate_sequence(sequence)
+    if len(upper) < k:
+        return []
+    codes: List[int] = []
+    value = 0
+    valid = 0
+    mask = (1 << (2 * k)) - 1
+    for index, base in enumerate(upper):
+        if base == "N":
+            value = 0
+            valid = 0
+        else:
+            value = ((value << 2) | _BASE_CODES[base]) & mask
+            valid += 1
+        if index >= k - 1:
+            codes.append(value if valid >= k else -1)
+    return codes
+
+
+@dataclass(frozen=True)
+class Minimizer:
+    """One selected minimizer: its hash and the k-mer start position."""
+
+    position: int
+    hash_value: int
+
+
+def minimizer_sketch(sequence: str, k: int = 11, w: int = 5) -> List[Minimizer]:
+    """The (k, w) minimizer sketch of ``sequence``."""
+    if w <= 0:
+        raise ValueError(f"w must be positive, got {w}")
+    codes = encode_kmers(sequence, k)
+    if not codes:
+        return []
+    hashes = [_mix_hash(code) if code >= 0 else None for code in codes]
+    sketch: List[Minimizer] = []
+    last_added = -1
+    for window_start in range(0, max(len(hashes) - w + 1, 1)):
+        window = [
+            (hashes[position], position)
+            for position in range(window_start, min(window_start + w, len(hashes)))
+            if hashes[position] is not None
+        ]
+        if not window:
+            continue
+        best_hash, best_position = min(window)
+        if best_position != last_added:
+            sketch.append(Minimizer(position=best_position, hash_value=best_hash))
+            last_added = best_position
+    return sketch
+
+
+class MinimizerIndex:
+    """Minimizer index over a reference genome (both strands)."""
+
+    def __init__(self, reference: str, k: int = 11, w: int = 5) -> None:
+        self.reference = validate_sequence(reference)
+        self.k = k
+        self.w = w
+        self._index: Dict[int, List[Tuple[int, str]]] = defaultdict(list)
+        for strand, sequence in (("+", self.reference), ("-", reverse_complement(self.reference))):
+            for minimizer in minimizer_sketch(sequence, k=k, w=w):
+                self._index[minimizer.hash_value].append((minimizer.position, strand))
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    @property
+    def reference_length(self) -> int:
+        return len(self.reference)
+
+    def lookup(self, hash_value: int) -> List[Tuple[int, str]]:
+        """All (reference position, strand) occurrences of one minimizer hash."""
+        return self._index.get(hash_value, [])
+
+    def hits(self, query: str, max_occurrences: int = 64) -> List[Tuple[int, int, str]]:
+        """Anchor hits for a query: (query position, reference position, strand).
+
+        Minimizers occurring more than ``max_occurrences`` times in the
+        reference are skipped (repeat masking, as in MiniMap2).
+        """
+        anchors: List[Tuple[int, int, str]] = []
+        for minimizer in minimizer_sketch(query, k=self.k, w=self.w):
+            occurrences = self.lookup(minimizer.hash_value)
+            if not occurrences or len(occurrences) > max_occurrences:
+                continue
+            for reference_position, strand in occurrences:
+                anchors.append((minimizer.position, reference_position, strand))
+        return anchors

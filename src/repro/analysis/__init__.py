@@ -1,0 +1,45 @@
+"""Analysis helpers: classification metrics, cost distributions, experiment sweeps.
+
+``repro.analysis.sweeps`` is imported lazily: it depends on
+``repro.core.filter`` which in turn uses :mod:`repro.analysis.metrics`, so an
+eager import here would create a cycle when the core package loads first.
+"""
+
+from repro.analysis.distributions import CostDistribution, cost_distributions_by_prefix
+from repro.analysis.report import ExperimentReport, format_markdown_table, format_table
+from repro.analysis.metrics import (
+    ClassificationCounts,
+    accuracy,
+    confusion_from_labels,
+    f_score,
+    precision,
+    recall,
+)
+
+__all__ = [
+    "AccuracySweep",
+    "ClassificationCounts",
+    "CostDistribution",
+    "ExperimentReport",
+    "ablation_sweep",
+    "accuracy",
+    "accuracy_sweep",
+    "confusion_from_labels",
+    "cost_distributions_by_prefix",
+    "f_score",
+    "format_markdown_table",
+    "format_table",
+    "precision",
+    "recall",
+    "roc_points",
+]
+
+_LAZY_SWEEP_EXPORTS = {"AccuracySweep", "accuracy_sweep", "ablation_sweep", "roc_points"}
+
+
+def __getattr__(name: str):
+    if name in _LAZY_SWEEP_EXPORTS:
+        from repro.analysis import sweeps
+
+        return getattr(sweeps, name)
+    raise AttributeError(f"module 'repro.analysis' has no attribute {name!r}")

@@ -1,0 +1,126 @@
+"""Binary classification metrics for Read Until filters.
+
+Convention used throughout the repository: the *positive* class is a target
+(viral) read that the filter should keep sequencing; the *negative* class is
+a background (host) read that should be ejected. A false negative therefore
+wastes a target read, and a false positive wastes sequencing time on a host
+read.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class ClassificationCounts:
+    """A confusion matrix for one operating point."""
+
+    true_positive: int
+    false_positive: int
+    true_negative: int
+    false_negative: int
+
+    def __post_init__(self) -> None:
+        for name in ("true_positive", "false_positive", "true_negative", "false_negative"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+
+    @property
+    def total(self) -> int:
+        return self.true_positive + self.false_positive + self.true_negative + self.false_negative
+
+    @property
+    def positives(self) -> int:
+        return self.true_positive + self.false_negative
+
+    @property
+    def negatives(self) -> int:
+        return self.true_negative + self.false_positive
+
+    @property
+    def precision(self) -> float:
+        predicted_positive = self.true_positive + self.false_positive
+        if predicted_positive == 0:
+            return 0.0
+        return self.true_positive / predicted_positive
+
+    @property
+    def recall(self) -> float:
+        if self.positives == 0:
+            return 0.0
+        return self.true_positive / self.positives
+
+    @property
+    def specificity(self) -> float:
+        if self.negatives == 0:
+            return 0.0
+        return self.true_negative / self.negatives
+
+    @property
+    def false_positive_rate(self) -> float:
+        if self.negatives == 0:
+            return 0.0
+        return self.false_positive / self.negatives
+
+    @property
+    def accuracy(self) -> float:
+        if self.total == 0:
+            return 0.0
+        return (self.true_positive + self.true_negative) / self.total
+
+    @property
+    def f1(self) -> float:
+        return f_score(self, beta=1.0)
+
+
+def precision(counts: ClassificationCounts) -> float:
+    return counts.precision
+
+
+def recall(counts: ClassificationCounts) -> float:
+    return counts.recall
+
+
+def accuracy(counts: ClassificationCounts) -> float:
+    return counts.accuracy
+
+
+def f_score(counts: ClassificationCounts, beta: float = 1.0) -> float:
+    """F-beta score; beta=1 reproduces the F1 used in Figure 18."""
+    if beta <= 0:
+        raise ValueError(f"beta must be positive, got {beta}")
+    p = counts.precision
+    r = counts.recall
+    if p == 0.0 and r == 0.0:
+        return 0.0
+    beta_squared = beta * beta
+    return (1 + beta_squared) * p * r / (beta_squared * p + r)
+
+
+def confusion_from_labels(
+    truths: Sequence[bool],
+    predictions: Sequence[bool],
+) -> ClassificationCounts:
+    """Build a confusion matrix from parallel truth/prediction sequences.
+
+    ``True`` means "target read" in both sequences.
+    """
+    if len(truths) != len(predictions):
+        raise ValueError(
+            f"truths and predictions must have equal length, got {len(truths)} and {len(predictions)}"
+        )
+    tp = fp = tn = fn = 0
+    for truth, prediction in zip(truths, predictions):
+        if truth and prediction:
+            tp += 1
+        elif truth and not prediction:
+            fn += 1
+        elif not truth and prediction:
+            fp += 1
+        else:
+            tn += 1
+    return ClassificationCounts(
+        true_positive=tp, false_positive=fp, true_negative=tn, false_negative=fn
+    )

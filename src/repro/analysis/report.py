@@ -1,0 +1,125 @@
+"""Experiment report generation.
+
+Benches and examples produce dictionaries/rows; this module renders them as
+aligned text tables or Markdown so results can be pasted into EXPERIMENTS.md
+or a lab notebook without extra tooling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+
+def _format_value(value: object, precision: int = 4) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == float("inf"):
+            return "inf"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        return f"{value:.{precision}g}"
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Dict[str, object]],
+    columns: Optional[List[str]] = None,
+    precision: int = 4,
+) -> str:
+    """Render rows as an aligned plain-text table."""
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    rendered = [
+        {column: _format_value(row.get(column, ""), precision) for column in columns}
+        for row in rows
+    ]
+    widths = {
+        column: max(len(column), *(len(row[column]) for row in rendered)) for column in columns
+    }
+    lines = [
+        "  ".join(column.rjust(widths[column]) for column in columns),
+        "  ".join("-" * widths[column] for column in columns),
+    ]
+    for row in rendered:
+        lines.append("  ".join(row[column].rjust(widths[column]) for column in columns))
+    return "\n".join(lines)
+
+
+def format_markdown_table(
+    rows: Sequence[Dict[str, object]],
+    columns: Optional[List[str]] = None,
+    precision: int = 4,
+) -> str:
+    """Render rows as a GitHub-flavoured Markdown table."""
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    header = "| " + " | ".join(columns) + " |"
+    divider = "|" + "|".join(["---"] * len(columns)) + "|"
+    body = [
+        "| " + " | ".join(_format_value(row.get(column, ""), precision) for column in columns) + " |"
+        for row in rows
+    ]
+    return "\n".join([header, divider] + body)
+
+
+@dataclass
+class ExperimentSection:
+    """One experiment's results: a title, free-text notes and result rows."""
+
+    title: str
+    rows: List[Dict[str, object]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+    columns: Optional[List[str]] = None
+
+    def add_row(self, **values: object) -> None:
+        self.rows.append(dict(values))
+
+    def add_note(self, note: str) -> None:
+        self.notes.append(note)
+
+
+class ExperimentReport:
+    """Collect experiment sections and render them as text or Markdown."""
+
+    def __init__(self, title: str) -> None:
+        if not title:
+            raise ValueError("report title must be non-empty")
+        self.title = title
+        self.sections: List[ExperimentSection] = []
+
+    def section(self, title: str, columns: Optional[List[str]] = None) -> ExperimentSection:
+        section = ExperimentSection(title=title, columns=columns)
+        self.sections.append(section)
+        return section
+
+    def to_text(self) -> str:
+        parts = [f"== {self.title} =="]
+        for section in self.sections:
+            parts.append("")
+            parts.append(f"-- {section.title} --")
+            for note in section.notes:
+                parts.append(f"  {note}")
+            parts.append(format_table(section.rows, section.columns))
+        return "\n".join(parts)
+
+    def to_markdown(self) -> str:
+        parts = [f"# {self.title}"]
+        for section in self.sections:
+            parts.append("")
+            parts.append(f"## {section.title}")
+            for note in section.notes:
+                parts.append(f"*{note}*")
+                parts.append("")
+            parts.append(format_markdown_table(section.rows, section.columns))
+        return "\n".join(parts)
+
+    def save(self, path, markdown: bool = True) -> None:
+        content = self.to_markdown() if markdown else self.to_text()
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(content + "\n")

@@ -1,0 +1,118 @@
+"""Experiment sweeps: accuracy-vs-threshold curves and the algorithm ablation.
+
+These helpers turn a classifier and a labelled read set into the data behind
+Figure 17a (accuracy for every reasonable threshold, one curve per prefix
+length) and Figure 18 (maximal F-score for each sDTW variant).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.config import SDTWConfig
+from repro.core.filter import SquiggleFilter
+from repro.core.reference import ReferenceSquiggle
+from repro.core.thresholds import ThresholdSweepResult, sweep_thresholds
+from repro.core.variants import ABLATION_VARIANTS
+
+
+@dataclass
+class PrefixSweep:
+    """Threshold sweep plus the raw costs for one prefix length."""
+
+    prefix_samples: int
+    target_costs: List[float]
+    nontarget_costs: List[float]
+    sweep: ThresholdSweepResult
+
+    @property
+    def max_f1(self) -> float:
+        return self.sweep.max_f1()
+
+    @property
+    def best_threshold(self) -> float:
+        return self.sweep.best_by_f1().threshold
+
+
+@dataclass
+class AccuracySweep:
+    """Figure 17a: one threshold sweep per prefix length."""
+
+    prefixes: List[PrefixSweep] = field(default_factory=list)
+
+    def __iter__(self):
+        return iter(self.prefixes)
+
+    def __len__(self) -> int:
+        return len(self.prefixes)
+
+    def by_prefix(self, prefix_samples: int) -> PrefixSweep:
+        for entry in self.prefixes:
+            if entry.prefix_samples == prefix_samples:
+                return entry
+        raise KeyError(f"no sweep for prefix length {prefix_samples}")
+
+    def max_f1_by_prefix(self) -> Dict[int, float]:
+        return {entry.prefix_samples: entry.max_f1 for entry in self.prefixes}
+
+
+def accuracy_sweep(
+    squiggle_filter: SquiggleFilter,
+    target_signals: Sequence[np.ndarray],
+    nontarget_signals: Sequence[np.ndarray],
+    prefix_lengths: Sequence[int],
+    n_thresholds: int = 101,
+) -> AccuracySweep:
+    """Compute Figure 17a-style accuracy curves for each prefix length."""
+    result = AccuracySweep()
+    for prefix in prefix_lengths:
+        target_costs = [squiggle_filter.cost(signal, prefix) for signal in target_signals]
+        nontarget_costs = [squiggle_filter.cost(signal, prefix) for signal in nontarget_signals]
+        sweep = sweep_thresholds(target_costs, nontarget_costs, n_thresholds=n_thresholds)
+        result.prefixes.append(
+            PrefixSweep(
+                prefix_samples=prefix,
+                target_costs=target_costs,
+                nontarget_costs=nontarget_costs,
+                sweep=sweep,
+            )
+        )
+    return result
+
+
+def ablation_sweep(
+    reference: ReferenceSquiggle,
+    target_signals: Sequence[np.ndarray],
+    nontarget_signals: Sequence[np.ndarray],
+    prefix_lengths: Sequence[int],
+    variants: Optional[Dict[str, SDTWConfig]] = None,
+    n_thresholds: int = 101,
+) -> Dict[str, Dict[int, float]]:
+    """Figure 18: maximal F1 per sDTW variant per prefix length.
+
+    Returns ``{variant_name: {prefix_samples: max_f1}}``.
+    """
+    chosen = variants if variants is not None else ABLATION_VARIANTS
+    results: Dict[str, Dict[int, float]] = {}
+    for name, config in chosen.items():
+        squiggle_filter = SquiggleFilter(reference, config=config)
+        sweep = accuracy_sweep(
+            squiggle_filter,
+            target_signals,
+            nontarget_signals,
+            prefix_lengths,
+            n_thresholds=n_thresholds,
+        )
+        results[name] = sweep.max_f1_by_prefix()
+    return results
+
+
+def roc_points(sweep: ThresholdSweepResult) -> List[Dict[str, float]]:
+    """(false positive rate, recall) pairs for plotting one ROC-style curve."""
+    return [
+        {"false_positive_rate": point.false_positive_rate, "recall": point.recall}
+        for point in sweep
+    ]

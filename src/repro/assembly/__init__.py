@@ -1,0 +1,14 @@
+"""Reference-guided assembly substrate: pileup, consensus and variant calling."""
+
+from repro.assembly.pileup import Pileup, PileupColumn
+from repro.assembly.variant_caller import Variant, VariantCaller
+from repro.assembly.consensus import AssemblyResult, ReferenceGuidedAssembler
+
+__all__ = [
+    "AssemblyResult",
+    "Pileup",
+    "PileupColumn",
+    "ReferenceGuidedAssembler",
+    "Variant",
+    "VariantCaller",
+]

@@ -1,0 +1,116 @@
+"""Reference-guided assembly of the target virus genome.
+
+This is the tail of the paper's pipeline (Figure 4): reads that survive the
+Read Until filter are fully sequenced, basecalled, aligned to the target
+reference and piled up; the variant caller then produces the consensus
+("whole genome") and the strain-specific mutations. It runs off the Read
+Until critical path on the SoC's CPU/GPU.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.align.aligner import Alignment, ReferenceAligner
+from repro.assembly.pileup import Pileup
+from repro.assembly.variant_caller import Variant, VariantCaller
+from repro.basecall.basecaller import GUPPY, BasecallerProfile, SimulatedBasecaller
+from repro.genomes.sequences import reverse_complement, validate_sequence
+from repro.sequencer.reads import Read
+
+
+@dataclass
+class AssemblyResult:
+    """Outcome of one reference-guided assembly."""
+
+    consensus: str
+    variants: List[Variant]
+    mean_depth: float
+    breadth_of_coverage: float
+    n_reads_used: int
+    n_reads_unaligned: int
+    basecall_operations: int = 0
+
+    @property
+    def n_variants(self) -> int:
+        return len(self.variants)
+
+    def reached_coverage(self, target_depth: float = 30.0) -> bool:
+        """Whether the assembly met the paper's 30x coverage goal on average."""
+        return self.mean_depth >= target_depth
+
+
+class ReferenceGuidedAssembler:
+    """Basecall, align, pile up and call the consensus for accepted reads."""
+
+    def __init__(
+        self,
+        reference: str,
+        basecaller_profile: BasecallerProfile = GUPPY,
+        variant_caller: Optional[VariantCaller] = None,
+        min_mapping_quality: float = 20.0,
+        aligner_k: int = 11,
+        aligner_w: int = 5,
+        seed: Optional[int] = None,
+    ) -> None:
+        self.reference = validate_sequence(reference)
+        self.basecaller = SimulatedBasecaller(basecaller_profile, seed=seed)
+        self.aligner = ReferenceAligner(self.reference, k=aligner_k, w=aligner_w)
+        self.variant_caller = variant_caller if variant_caller is not None else VariantCaller()
+        self.min_mapping_quality = min_mapping_quality
+
+    def assemble(self, reads: Sequence[Read]) -> AssemblyResult:
+        """Assemble the consensus genome from fully sequenced reads.
+
+        Unaligned reads (false positives of the Read Until filter, or reads
+        whose basecalls are too poor) are counted and discarded — exactly the
+        behaviour the paper relies on to keep filter false positives from
+        affecting assembly accuracy.
+        """
+        pileup = Pileup(self.reference)
+        n_used = 0
+        n_unaligned = 0
+        total_operations = 0
+        for read in reads:
+            basecall = self.basecaller.basecall(read)
+            total_operations += basecall.n_operations
+            alignment = self.aligner.map(basecall.sequence, refine=True)
+            if alignment is None or alignment.mapping_quality < self.min_mapping_quality:
+                n_unaligned += 1
+                continue
+            oriented = (
+                basecall.sequence
+                if alignment.strand == "+"
+                else reverse_complement(basecall.sequence)
+            )
+            pileup.add_alignment(oriented, alignment)
+            n_used += 1
+        variants = self.variant_caller.call_variants(pileup)
+        consensus = self.variant_caller.consensus_sequence(pileup)
+        return AssemblyResult(
+            consensus=consensus,
+            variants=variants,
+            mean_depth=pileup.mean_depth(),
+            breadth_of_coverage=pileup.breadth_of_coverage(
+                min_depth=self.variant_caller.min_depth
+            ),
+            n_reads_used=n_used,
+            n_reads_unaligned=n_unaligned,
+            basecall_operations=total_operations,
+        )
+
+    def compare_to_truth(self, result: AssemblyResult, true_genome: str) -> dict:
+        """Accuracy of the assembled consensus against the true sequenced strain."""
+        truth = validate_sequence(true_genome)
+        length = min(len(result.consensus), len(truth))
+        if length == 0:
+            return {"identity": 0.0, "mismatches": 0, "compared_positions": 0}
+        mismatches = sum(
+            1 for a, b in zip(result.consensus[:length], truth[:length]) if a != b
+        )
+        return {
+            "identity": 1.0 - mismatches / length,
+            "mismatches": mismatches,
+            "compared_positions": length,
+        }

@@ -1,0 +1,123 @@
+"""Read pileup over a reference genome.
+
+The variant caller (the Racon + Medaka stage of the paper's pipeline) works
+from the bases piled up at each reference position by the aligned target
+reads. :class:`Pileup` accumulates those observations from alignments
+produced by :class:`repro.align.aligner.ReferenceAligner`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.align.aligner import Alignment
+from repro.genomes.sequences import BASES, validate_sequence
+
+_BASE_INDEX = {base: index for index, base in enumerate(BASES)}
+
+
+@dataclass
+class PileupColumn:
+    """Base observations at one reference position."""
+
+    position: int
+    counts: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def depth(self) -> int:
+        return sum(self.counts.values())
+
+    def consensus_base(self) -> Optional[str]:
+        """Most frequently observed base, or None with no coverage."""
+        if not self.counts:
+            return None
+        return max(sorted(self.counts), key=lambda base: self.counts[base])
+
+    def allele_fraction(self, base: str) -> float:
+        if self.depth == 0:
+            return 0.0
+        return self.counts.get(base, 0) / self.depth
+
+
+class Pileup:
+    """Column-wise base counts across a reference genome."""
+
+    def __init__(self, reference: str) -> None:
+        self.reference = validate_sequence(reference)
+        # Dense count matrix: positions x 4 bases.
+        self._counts = np.zeros((len(self.reference), len(BASES)), dtype=np.int64)
+
+    def __len__(self) -> int:
+        return len(self.reference)
+
+    def add_alignment(self, query: str, alignment: Alignment) -> int:
+        """Add one aligned read; returns the number of positions updated.
+
+        ``alignment.aligned_pairs`` holds (query index, reference index)
+        pairs; the query must be in the orientation that was aligned (the
+        aligner aligns the reverse complement for minus-strand reads, so
+        callers should pass the oriented sequence).
+        """
+        updated = 0
+        for query_index, reference_index in alignment.aligned_pairs:
+            if not 0 <= reference_index < len(self.reference):
+                continue
+            base = query[query_index]
+            if base not in _BASE_INDEX:
+                continue
+            self._counts[reference_index, _BASE_INDEX[base]] += 1
+            updated += 1
+        return updated
+
+    def add_observation(self, position: int, base: str, count: int = 1) -> None:
+        """Record ``count`` observations of ``base`` at ``position`` directly."""
+        if not 0 <= position < len(self.reference):
+            raise IndexError(f"position {position} outside reference of length {len(self.reference)}")
+        if base not in _BASE_INDEX:
+            raise ValueError(f"base must be one of {BASES}, got {base!r}")
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        self._counts[position, _BASE_INDEX[base]] += count
+
+    def column(self, position: int) -> PileupColumn:
+        counts = {
+            base: int(self._counts[position, index])
+            for base, index in _BASE_INDEX.items()
+            if self._counts[position, index] > 0
+        }
+        return PileupColumn(position=position, counts=counts)
+
+    def columns(self) -> Iterable[PileupColumn]:
+        for position in range(len(self.reference)):
+            yield self.column(position)
+
+    def depth_array(self) -> np.ndarray:
+        """Per-position coverage depth."""
+        return self._counts.sum(axis=1)
+
+    def mean_depth(self) -> float:
+        return float(self.depth_array().mean()) if len(self.reference) else 0.0
+
+    def breadth_of_coverage(self, min_depth: int = 1) -> float:
+        """Fraction of positions covered by at least ``min_depth`` reads."""
+        if len(self.reference) == 0:
+            return 0.0
+        return float(np.count_nonzero(self.depth_array() >= min_depth) / len(self.reference))
+
+    def covered_intervals(self, min_depth: int = 1) -> List[Tuple[int, int]]:
+        """Half-open intervals of positions with depth >= ``min_depth``."""
+        mask = self.depth_array() >= min_depth
+        intervals: List[Tuple[int, int]] = []
+        start: Optional[int] = None
+        for position, covered in enumerate(mask):
+            if covered and start is None:
+                start = position
+            elif not covered and start is not None:
+                intervals.append((start, position))
+                start = None
+        if start is not None:
+            intervals.append((start, len(mask)))
+        return intervals

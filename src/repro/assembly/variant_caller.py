@@ -1,0 +1,85 @@
+"""Pileup-based variant calling.
+
+Plays the role of the Racon + Medaka stage of the paper's pipeline: given the
+pileup of aligned target reads it produces the consensus genome and the list
+of differences ("variants") relative to the reference. The paper's point is
+that this stage is cheap and off the Read Until critical path, which a
+majority-vote caller reproduces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.assembly.pileup import Pileup
+
+
+@dataclass(frozen=True)
+class Variant:
+    """One called substitution relative to the reference."""
+
+    position: int
+    reference_base: str
+    alternate_base: str
+    depth: int
+    allele_fraction: float
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.reference_base}{self.position + 1}{self.alternate_base}"
+
+
+class VariantCaller:
+    """Majority-vote consensus and substitution calling from a pileup."""
+
+    def __init__(self, min_depth: int = 5, min_allele_fraction: float = 0.6) -> None:
+        if min_depth < 1:
+            raise ValueError("min_depth must be at least 1")
+        if not 0.0 < min_allele_fraction <= 1.0:
+            raise ValueError("min_allele_fraction must be in (0, 1]")
+        self.min_depth = min_depth
+        self.min_allele_fraction = min_allele_fraction
+
+    def call_variants(self, pileup: Pileup) -> List[Variant]:
+        """Positions where the confident consensus differs from the reference."""
+        variants: List[Variant] = []
+        for column in pileup.columns():
+            if column.depth < self.min_depth:
+                continue
+            consensus = column.consensus_base()
+            if consensus is None:
+                continue
+            fraction = column.allele_fraction(consensus)
+            if fraction < self.min_allele_fraction:
+                continue
+            reference_base = pileup.reference[column.position]
+            if consensus != reference_base:
+                variants.append(
+                    Variant(
+                        position=column.position,
+                        reference_base=reference_base,
+                        alternate_base=consensus,
+                        depth=column.depth,
+                        allele_fraction=fraction,
+                    )
+                )
+        return variants
+
+    def consensus_sequence(self, pileup: Pileup, uncovered_char: Optional[str] = None) -> str:
+        """Consensus genome: confident calls override the reference base.
+
+        Positions below ``min_depth`` fall back to the reference base (or to
+        ``uncovered_char`` when provided, which makes coverage gaps visible).
+        """
+        bases: List[str] = []
+        for column in pileup.columns():
+            reference_base = pileup.reference[column.position]
+            if column.depth < self.min_depth:
+                bases.append(uncovered_char if uncovered_char is not None else reference_base)
+                continue
+            consensus = column.consensus_base()
+            if consensus is None or column.allele_fraction(consensus) < self.min_allele_fraction:
+                bases.append(reference_base)
+            else:
+                bases.append(consensus)
+        return "".join(bases)

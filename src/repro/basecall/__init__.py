@@ -1,0 +1,27 @@
+"""Basecalling substrate: simulated Guppy/Guppy-lite and event segmentation."""
+
+from repro.basecall.basecaller import BasecallerProfile, BasecallResult, SimulatedBasecaller
+from repro.basecall.events import Event, segment_events
+from repro.basecall.viterbi import EventViterbiBasecaller, ViterbiBasecall
+from repro.basecall.performance import (
+    BASECALLER_PERFORMANCE,
+    BasecallerPerformance,
+    basecaller_performance,
+    read_until_latency_ms,
+    read_until_throughput_samples_per_s,
+)
+
+__all__ = [
+    "BASECALLER_PERFORMANCE",
+    "BasecallResult",
+    "BasecallerPerformance",
+    "BasecallerProfile",
+    "Event",
+    "EventViterbiBasecaller",
+    "SimulatedBasecaller",
+    "ViterbiBasecall",
+    "basecaller_performance",
+    "read_until_latency_ms",
+    "read_until_throughput_samples_per_s",
+    "segment_events",
+]

@@ -1,0 +1,145 @@
+"""Simulated DNN basecallers (Guppy and Guppy-lite stand-ins).
+
+The real Guppy basecaller is a proprietary LSTM+CTC network; it is not
+available offline and reimplementing it would not change any conclusion the
+paper draws (the paper treats it as a black box with a measured accuracy,
+latency and throughput). The substitution used here:
+
+* **accuracy behaviour** — :class:`SimulatedBasecaller` produces base calls by
+  corrupting the read's ground-truth sequence with substitution/indel errors
+  at the profile's rate. Downstream alignment then behaves like alignment of
+  real basecalls of that accuracy (MiniMap2 tolerates basecall errors, which
+  is why Guppy-lite suffices for Read Until classification).
+* **compute behaviour** — each call reports the number of arithmetic
+  operations a Guppy-class network of that profile would spend on the chunk,
+  using the per-chunk operation counts the paper quotes (141 M operations for
+  Guppy-lite, 2 412 M for Guppy per 2000-sample chunk), so the profiling and
+  scalability models can budget compute without a GPU.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.genomes.sequences import transcribe_errors
+from repro.sequencer.reads import Read
+
+
+@dataclass(frozen=True)
+class BasecallerProfile:
+    """Accuracy/compute profile of one basecaller configuration."""
+
+    name: str
+    substitution_rate: float
+    insertion_rate: float
+    deletion_rate: float
+    operations_per_chunk: int
+    chunk_samples: int = 2000
+    model_weights: int = 0
+
+    def __post_init__(self) -> None:
+        for field_name in ("substitution_rate", "insertion_rate", "deletion_rate"):
+            rate = getattr(self, field_name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{field_name} must be within [0, 1], got {rate}")
+        if self.substitution_rate + self.insertion_rate + self.deletion_rate >= 1.0:
+            raise ValueError("combined error rate must be below 1")
+        if self.operations_per_chunk <= 0:
+            raise ValueError("operations_per_chunk must be positive")
+        if self.chunk_samples <= 0:
+            raise ValueError("chunk_samples must be positive")
+
+    @property
+    def error_rate(self) -> float:
+        """Total per-base error probability."""
+        return self.substitution_rate + self.insertion_rate + self.deletion_rate
+
+    @property
+    def operations_per_sample(self) -> float:
+        return self.operations_per_chunk / self.chunk_samples
+
+
+# Paper Section 4.8: Guppy-lite evaluates 141 M operations per 2000-sample
+# chunk with 284 k weights; Guppy evaluates 2 412 M. Accuracy figures follow
+# published Guppy fast/hac read accuracies (~92 % / ~95 %).
+GUPPY = BasecallerProfile(
+    name="guppy",
+    substitution_rate=0.03,
+    insertion_rate=0.01,
+    deletion_rate=0.01,
+    operations_per_chunk=2_412_000_000,
+    model_weights=5_600_000,
+)
+
+GUPPY_LITE = BasecallerProfile(
+    name="guppy_lite",
+    substitution_rate=0.05,
+    insertion_rate=0.015,
+    deletion_rate=0.015,
+    operations_per_chunk=141_000_000,
+    model_weights=284_000,
+)
+
+
+@dataclass
+class BasecallResult:
+    """Output of basecalling one read prefix."""
+
+    read_id: str
+    sequence: str
+    n_samples: int
+    n_operations: int
+    profile_name: str
+
+    @property
+    def n_bases(self) -> int:
+        return len(self.sequence)
+
+
+class SimulatedBasecaller:
+    """Oracle-with-errors basecaller used by the baseline Read Until pipeline."""
+
+    def __init__(self, profile: BasecallerProfile = GUPPY_LITE, seed: Optional[int] = None) -> None:
+        self.profile = profile
+        self._rng = np.random.default_rng(seed)
+
+    def basecall(self, read: Read, n_samples: Optional[int] = None) -> BasecallResult:
+        """Basecall (a prefix of) one read.
+
+        ``n_samples`` limits the signal examined, as in Read Until where only
+        the first chunk(s) are basecalled before the classification decision.
+        The number of bases returned is proportional to the prefix examined.
+        """
+        total_samples = read.n_samples
+        used_samples = total_samples if n_samples is None else min(n_samples, total_samples)
+        if used_samples <= 0:
+            raise ValueError("cannot basecall zero samples")
+        fraction = used_samples / total_samples if total_samples else 0.0
+        n_bases = max(int(round(read.n_bases * fraction)), 1)
+        true_prefix = read.sequence[:n_bases]
+        called = transcribe_errors(
+            true_prefix,
+            substitution_rate=self.profile.substitution_rate,
+            insertion_rate=self.profile.insertion_rate,
+            deletion_rate=self.profile.deletion_rate,
+            rng=self._rng,
+        )
+        n_chunks = int(np.ceil(used_samples / self.profile.chunk_samples))
+        return BasecallResult(
+            read_id=read.read_id,
+            sequence=called,
+            n_samples=used_samples,
+            n_operations=n_chunks * self.profile.operations_per_chunk,
+            profile_name=self.profile.name,
+        )
+
+    def basecall_batch(self, reads: Sequence[Read], n_samples: Optional[int] = None) -> list:
+        """Basecall a batch of reads (convenience for the assembly pipeline)."""
+        return [self.basecall(read, n_samples) for read in reads]
+
+    def identity_estimate(self) -> float:
+        """Approximate per-base identity of this basecaller's output."""
+        return max(0.0, 1.0 - self.profile.error_rate)

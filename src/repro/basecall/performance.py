@@ -1,0 +1,143 @@
+"""Basecaller performance models (paper Section 6 and Figure 16).
+
+The paper measures Guppy and Guppy-lite latency/throughput on a server-class
+Titan XP and estimates the edge-class Jetson AGX Xavier from the devices'
+relative peak throughput (ONT does not ship fine-grained Read Until bindings
+for ARM). Those measurements cannot be re-run offline, so this module encodes
+them as a performance model: per (basecaller, device) we record the offline
+batch throughput, the Read Until (small-batch) throughput penalty and the
+per-decision latency, all taken from the numbers the paper reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+# MinION aggregate output used as the comparison point throughout the paper.
+MINION_MAX_BASES_PER_S = 230_400.0
+MINION_MAX_SAMPLES_PER_S = 2_050_000.0
+GRIDION_THROUGHPUT_MULTIPLIER = 5.0
+
+# Read Until (small batch) processing slows basecalling relative to offline
+# batch mode: 4.05x for Guppy-lite, 2.85x for Guppy (Section 6).
+READ_UNTIL_SLOWDOWN = {"guppy_lite": 4.05, "guppy": 2.85}
+
+# Relative peak throughput of the Titan XP versus the Jetson AGX Xavier used
+# to extrapolate edge performance (Section 6): the Jetson reaches ~95,700
+# bases/s of Read Until Guppy-lite versus ~240,000 on the Titan.
+TITAN_TO_JETSON_SCALE = 0.399
+
+
+@dataclass(frozen=True)
+class BasecallerPerformance:
+    """Measured/estimated performance of one basecaller on one device."""
+
+    basecaller: str
+    device: str
+    offline_bases_per_s: float
+    read_until_bases_per_s: float
+    read_until_latency_ms: float
+    power_w: float
+
+    def __post_init__(self) -> None:
+        if self.offline_bases_per_s <= 0 or self.read_until_bases_per_s <= 0:
+            raise ValueError("throughputs must be positive")
+        if self.read_until_latency_ms <= 0:
+            raise ValueError("latency must be positive")
+        if self.power_w <= 0:
+            raise ValueError("power must be positive")
+
+    @property
+    def read_until_samples_per_s(self) -> float:
+        """Throughput in raw samples/s assuming ~10 samples per base."""
+        return self.read_until_bases_per_s * 10.0
+
+    @property
+    def minion_fraction(self) -> float:
+        """Fraction of a MinION's maximum output this configuration keeps up with."""
+        return self.read_until_bases_per_s / MINION_MAX_BASES_PER_S
+
+    def supports_full_read_until(self) -> bool:
+        """Whether every pore of a MinION can use Read Until with this basecaller."""
+        return self.minion_fraction >= 1.0
+
+
+def _titan(basecaller: str, offline: float, latency_ms: float) -> BasecallerPerformance:
+    return BasecallerPerformance(
+        basecaller=basecaller,
+        device="titan_xp",
+        offline_bases_per_s=offline,
+        read_until_bases_per_s=offline / READ_UNTIL_SLOWDOWN[basecaller],
+        read_until_latency_ms=latency_ms,
+        power_w=250.0,
+    )
+
+
+def _jetson(basecaller: str, titan: BasecallerPerformance) -> BasecallerPerformance:
+    return BasecallerPerformance(
+        basecaller=basecaller,
+        device="jetson_xavier",
+        offline_bases_per_s=titan.offline_bases_per_s * TITAN_TO_JETSON_SCALE,
+        read_until_bases_per_s=titan.read_until_bases_per_s * TITAN_TO_JETSON_SCALE,
+        read_until_latency_ms=titan.read_until_latency_ms / TITAN_TO_JETSON_SCALE,
+        power_w=30.0,
+    )
+
+
+_TITAN_GUPPY_LITE = _titan("guppy_lite", offline=971_000.0, latency_ms=149.0)
+_TITAN_GUPPY = _titan("guppy", offline=256_000.0, latency_ms=1_060.0)
+
+BASECALLER_PERFORMANCE: Tuple[BasecallerPerformance, ...] = (
+    _TITAN_GUPPY_LITE,
+    _TITAN_GUPPY,
+    _jetson("guppy_lite", _TITAN_GUPPY_LITE),
+    _jetson("guppy", _TITAN_GUPPY),
+)
+
+
+def basecaller_performance(basecaller: str, device: str) -> BasecallerPerformance:
+    """Look up the performance record for one (basecaller, device) pair."""
+    for record in BASECALLER_PERFORMANCE:
+        if record.basecaller == basecaller and record.device == device:
+            return record
+    available = sorted({(r.basecaller, r.device) for r in BASECALLER_PERFORMANCE})
+    raise KeyError(f"no performance record for ({basecaller!r}, {device!r}); available: {available}")
+
+
+def read_until_latency_ms(basecaller: str, device: str) -> float:
+    """Per-decision classification latency (Figure 16a)."""
+    return basecaller_performance(basecaller, device).read_until_latency_ms
+
+
+def read_until_throughput_samples_per_s(basecaller: str, device: str) -> float:
+    """Sustained Read Until classification throughput in samples/s (Figure 16b)."""
+    return basecaller_performance(basecaller, device).read_until_samples_per_s
+
+
+def extra_bases_sequenced(latency_ms: float, bases_per_second: float = 450.0) -> float:
+    """Bases unnecessarily sequenced while a classification decision is pending.
+
+    The paper notes Guppy-lite's 149 ms latency costs ~60 extra bases per read
+    and Guppy's >1 s latency costs >400 bases, whereas SquiggleFilter's
+    0.04 ms costs none.
+    """
+    if latency_ms < 0:
+        raise ValueError("latency_ms must be non-negative")
+    return latency_ms / 1000.0 * bases_per_second
+
+
+def performance_table() -> List[Dict[str, object]]:
+    """All records as rows (used by the Figure 16 bench)."""
+    return [
+        {
+            "basecaller": record.basecaller,
+            "device": record.device,
+            "offline_bases_per_s": record.offline_bases_per_s,
+            "read_until_bases_per_s": record.read_until_bases_per_s,
+            "read_until_latency_ms": record.read_until_latency_ms,
+            "minion_fraction": record.minion_fraction,
+            "power_w": record.power_w,
+        }
+        for record in BASECALLER_PERFORMANCE
+    ]

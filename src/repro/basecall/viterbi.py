@@ -1,0 +1,179 @@
+"""Signal-space Viterbi basecaller.
+
+:class:`SimulatedBasecaller` models Guppy as an oracle-with-errors because
+the real DNN is unavailable. This module provides the complementary,
+fully-from-signal substrate: a classic pore-model basecaller in the style of
+the earliest nanopore basecallers (and of the event-alignment step in Loose
+et al.'s original Read Until work). It segments the raw signal into events,
+then decodes the most likely k-mer path through the pore model with the
+Viterbi algorithm, where consecutive k-mers must overlap by k-1 bases.
+
+It is far less accurate than a modern DNN basecaller — which is precisely
+the point the paper makes about why basecalling became a heavy DNN workload —
+but it closes the loop: every stage of the pipeline can run with no access to
+ground-truth sequence at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.basecall.events import Event, segment_events
+from repro.core.normalization import NormalizationConfig, SignalNormalizer
+from repro.genomes.sequences import BASES
+from repro.pore_model.kmer_model import KmerModel
+
+
+@dataclass
+class ViterbiBasecall:
+    """Result of decoding one signal."""
+
+    sequence: str
+    kmer_path: List[int]
+    n_events: int
+    log_likelihood: float
+
+    @property
+    def n_bases(self) -> int:
+        return len(self.sequence)
+
+
+class EventViterbiBasecaller:
+    """Decode raw current into bases using events + a pore-model HMM.
+
+    The hidden state after event ``t`` is the k-mer occupying the pore. From
+    one event to the next the strand either *stays* (the event detector
+    over-segmented; same k-mer) or *steps* by one base (the k-mer shifts left
+    and one of four new bases enters). Emission likelihood is Gaussian around
+    the pore model's expected current for the k-mer, computed on the same
+    normalized scale used by the filter.
+    """
+
+    def __init__(
+        self,
+        kmer_model: Optional[KmerModel] = None,
+        stay_probability: float = 0.35,
+        emission_sigma: float = 0.35,
+        normalization: NormalizationConfig = NormalizationConfig(),
+        event_window: int = 5,
+        event_threshold: float = 3.5,
+    ) -> None:
+        if not 0.0 < stay_probability < 1.0:
+            raise ValueError("stay_probability must be strictly between 0 and 1")
+        if emission_sigma <= 0:
+            raise ValueError("emission_sigma must be positive")
+        self.kmer_model = kmer_model if kmer_model is not None else KmerModel()
+        self.stay_probability = stay_probability
+        self.emission_sigma = emission_sigma
+        self.normalizer = SignalNormalizer(normalization)
+        self.event_window = event_window
+        self.event_threshold = event_threshold
+
+        # Normalize the level table once so emissions and query events live on
+        # the same scale regardless of per-read gain/offset.
+        levels = self.kmer_model.levels()
+        center = levels.mean()
+        spread = np.abs(levels - center).mean()
+        self._normalized_levels = (levels - center) / max(spread, 1e-9)
+        self._n_states = self.kmer_model.table_size
+        self._k = self.kmer_model.k
+
+    # ------------------------------------------------------------------ events
+    def events_from_signal(self, signal_pa: np.ndarray) -> List[Event]:
+        return segment_events(
+            np.asarray(signal_pa, dtype=np.float64),
+            window=self.event_window,
+            threshold=self.event_threshold,
+        )
+
+    def normalized_event_means(self, signal_pa: np.ndarray) -> np.ndarray:
+        events = self.events_from_signal(signal_pa)
+        if not events:
+            return np.array([])
+        means = np.array([event.mean for event in events], dtype=np.float64)
+        return self.normalizer.normalize(means)
+
+    # ------------------------------------------------------------------ decode
+    def basecall_signal(self, signal_pa: np.ndarray) -> ViterbiBasecall:
+        """Decode one raw signal into a base sequence."""
+        observations = self.normalized_event_means(signal_pa)
+        if observations.size == 0:
+            return ViterbiBasecall(sequence="", kmer_path=[], n_events=0, log_likelihood=0.0)
+        return self._viterbi(observations)
+
+    def basecall_batch(self, signals: Sequence[np.ndarray]) -> List[ViterbiBasecall]:
+        return [self.basecall_signal(signal) for signal in signals]
+
+    def _emission_log_probabilities(self, observation: float) -> np.ndarray:
+        difference = observation - self._normalized_levels
+        return -0.5 * (difference / self.emission_sigma) ** 2
+
+    def _viterbi(self, observations: np.ndarray) -> ViterbiBasecall:
+        n_states = self._n_states
+        n_observations = observations.size
+        log_stay = np.log(self.stay_probability)
+        log_step = np.log((1.0 - self.stay_probability) / 4.0)
+
+        scores = self._emission_log_probabilities(observations[0])
+        # backpointers[t, s]: predecessor state of s at observation t.
+        backpointers = np.zeros((n_observations, n_states), dtype=np.int64)
+        backpointers[0] = np.arange(n_states)
+
+        for t in range(1, n_observations):
+            stay_scores = scores + log_stay
+            # Step move: the k-mer shifts by one base, so a destination state s
+            # (whose first k-1 bases are the predecessor's last k-1 bases) has
+            # four possible predecessors: (s >> 2) + b << 2(k-1) for b in 0..3.
+            step_candidates = np.empty((4, n_states), dtype=np.float64)
+            predecessor_index = np.empty((4, n_states), dtype=np.int64)
+            suffix = np.arange(n_states, dtype=np.int64) >> 2
+            for leading_base in range(4):
+                predecessors = suffix + (leading_base << (2 * (self._k - 1)))
+                step_candidates[leading_base] = scores[predecessors] + log_step
+                predecessor_index[leading_base] = predecessors
+            best_step_choice = np.argmax(step_candidates, axis=0)
+            best_step_score = step_candidates[best_step_choice, np.arange(n_states)]
+            best_step_predecessor = predecessor_index[best_step_choice, np.arange(n_states)]
+
+            take_stay = stay_scores >= best_step_score
+            merged = np.where(take_stay, stay_scores, best_step_score)
+            backpointers[t] = np.where(take_stay, np.arange(n_states), best_step_predecessor)
+            scores = merged + self._emission_log_probabilities(observations[t])
+
+        # Traceback.
+        state = int(np.argmax(scores))
+        path = [state]
+        for t in range(n_observations - 1, 0, -1):
+            state = int(backpointers[t, state])
+            path.append(state)
+        path.reverse()
+
+        sequence = self._path_to_sequence(path)
+        return ViterbiBasecall(
+            sequence=sequence,
+            kmer_path=path,
+            n_events=n_observations,
+            log_likelihood=float(scores.max()),
+        )
+
+    def _path_to_sequence(self, path: List[int]) -> str:
+        if not path:
+            return ""
+        bases = list(self._kmer_string(path[0]))
+        previous = path[0]
+        for state in path[1:]:
+            if state == previous:
+                continue  # stay: no new base
+            bases.append(BASES[state % 4])
+            previous = state
+        return "".join(bases)
+
+    def _kmer_string(self, state: int) -> str:
+        characters = []
+        for _ in range(self._k):
+            characters.append(BASES[state % 4])
+            state //= 4
+        return "".join(reversed(characters))

@@ -1,0 +1,9 @@
+"""Baseline Read Until classifiers: basecall+align (Guppy/MiniMap2-style) and UNCALLED-like."""
+
+from repro.baselines.basecall_align import BasecallAlignClassifier
+from repro.baselines.uncalled import UncalledLikeClassifier
+
+__all__ = [
+    "BasecallAlignClassifier",
+    "UncalledLikeClassifier",
+]

@@ -1,0 +1,102 @@
+"""The conventional Read Until classifier: basecall the prefix, then align it.
+
+This is the pipeline the paper profiles in Section 3 (Guppy/Guppy-lite
+followed by MiniMap2): accurate but dominated by basecalling compute, with a
+per-decision latency that costs tens to hundreds of unnecessarily sequenced
+bases. It acts as the accuracy and performance baseline that SquiggleFilter
+is compared against (Figures 16, 17, 21).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.align.aligner import ReferenceAligner
+from repro.basecall.basecaller import GUPPY_LITE, BasecallerProfile, SimulatedBasecaller
+from repro.basecall.performance import basecaller_performance
+from repro.core.filter import FilterDecision
+from repro.sequencer.reads import Read
+
+
+@dataclass
+class BasecallAlignDecision:
+    """Decision plus the compute accounting of the basecall+align pipeline."""
+
+    accept: bool
+    samples_used: int
+    bases_called: int
+    basecall_operations: int
+    mapping_quality: float
+
+    def as_filter_decision(self, latency_extra_samples: int = 0) -> FilterDecision:
+        """Adapt to the common :class:`FilterDecision` shape used by sessions."""
+        return FilterDecision(
+            accept=self.accept,
+            cost=-self.mapping_quality,
+            per_sample_cost=-self.mapping_quality / max(self.samples_used, 1),
+            samples_used=self.samples_used + latency_extra_samples,
+            threshold=0.0,
+            end_position=0,
+        )
+
+
+class BasecallAlignClassifier:
+    """Classify reads by basecalling a prefix and aligning it to the target."""
+
+    def __init__(
+        self,
+        target_genome: str,
+        basecaller_profile: BasecallerProfile = GUPPY_LITE,
+        min_mapping_quality: float = 20.0,
+        prefix_samples: int = 2000,
+        aligner_k: int = 11,
+        aligner_w: int = 5,
+        device: str = "jetson_xavier",
+        seed: Optional[int] = None,
+    ) -> None:
+        if prefix_samples <= 0:
+            raise ValueError("prefix_samples must be positive")
+        self.basecaller = SimulatedBasecaller(basecaller_profile, seed=seed)
+        self.aligner = ReferenceAligner(target_genome, k=aligner_k, w=aligner_w)
+        self.min_mapping_quality = min_mapping_quality
+        self.prefix_samples = prefix_samples
+        self.device = device
+
+    @property
+    def decision_latency_s(self) -> float:
+        """Per-decision latency of this basecaller on the configured device."""
+        record = basecaller_performance(self.basecaller.profile.name, self.device)
+        return record.read_until_latency_ms / 1000.0
+
+    def classify_read(self, read: Read, prefix_samples: Optional[int] = None) -> BasecallAlignDecision:
+        """Basecall a prefix of ``read`` and decide whether it maps to the target."""
+        used = prefix_samples if prefix_samples is not None else self.prefix_samples
+        basecall = self.basecaller.basecall(read, n_samples=used)
+        alignment = self.aligner.map(basecall.sequence, refine=False)
+        mapping_quality = alignment.mapping_quality if alignment is not None else 0.0
+        return BasecallAlignDecision(
+            accept=mapping_quality >= self.min_mapping_quality,
+            samples_used=basecall.n_samples,
+            bases_called=basecall.n_bases,
+            basecall_operations=basecall.n_operations,
+            mapping_quality=mapping_quality,
+        )
+
+    def classify_batch(
+        self,
+        reads: Sequence[Read],
+        prefix_samples: Optional[int] = None,
+    ) -> list:
+        return [self.classify_read(read, prefix_samples) for read in reads]
+
+    def accuracy_costs(self, reads: Sequence[Read], prefix_samples: Optional[int] = None) -> list:
+        """Negative mapping quality per read, usable as a 'cost' for threshold sweeps.
+
+        Lower cost means a more confident target call, mirroring how sDTW
+        alignment cost behaves, so the same sweep machinery (Figure 17a)
+        applies to the baseline.
+        """
+        return [
+            -self.classify_read(read, prefix_samples).mapping_quality for read in reads
+        ]

@@ -1,0 +1,228 @@
+"""Command-line interface for the SquiggleFilter reproduction.
+
+Four subcommands cover the library's main workflows without writing Python:
+
+* ``simulate-specimen`` — synthesize a target + background specimen and save
+  the genomes (FASTA) and raw reads (FAST5-like ``.npz``).
+* ``build-reference``   — print reference-squiggle statistics for a genome
+  (buffer footprint, whether it fits the accelerator).
+* ``classify``          — calibrate a SquiggleFilter on a simulated specimen
+  and report classification metrics for held-out reads.
+* ``runtime-model``     — evaluate the analytical Read Until runtime model at
+  a given operating point.
+
+The CLI is intentionally thin: it parses arguments, calls the same public API
+the examples use, and prints human-readable reports via
+:mod:`repro.analysis.report`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.analysis.metrics import confusion_from_labels
+from repro.analysis.report import format_table
+from repro.core.filter import SquiggleFilter
+from repro.core.reference import ReferenceSquiggle
+from repro.genomes.sequences import random_genome
+from repro.io.fast5 import Fast5Read, Fast5Store
+from repro.io.fasta import FastaRecord, read_fasta, write_fasta
+from repro.pipeline.runtime_model import ReadUntilModelConfig, sequencing_runtime_s
+from repro.pore_model.kmer_model import KmerModel
+from repro.sequencer.reads import ReadGenerator, ReadLengthModel, SpecimenMixture
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="squigglefilter-repro",
+        description="SquiggleFilter reproduction command-line tools",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    simulate = subparsers.add_parser(
+        "simulate-specimen", help="synthesize genomes and raw reads for a specimen"
+    )
+    simulate.add_argument("--target-length", type=int, default=3000)
+    simulate.add_argument("--background-length", type=int, default=20000)
+    simulate.add_argument("--viral-fraction", type=float, default=0.01)
+    simulate.add_argument("--n-reads", type=int, default=50)
+    simulate.add_argument("--mean-read-bases", type=int, default=400)
+    simulate.add_argument("--seed", type=int, default=7)
+    simulate.add_argument("--fasta-out", default=None, help="write genomes to this FASTA file")
+    simulate.add_argument("--reads-out", default=None, help="write raw reads to this .npz store")
+
+    reference = subparsers.add_parser(
+        "build-reference", help="report reference-squiggle statistics for a genome"
+    )
+    reference.add_argument("--fasta", default=None, help="FASTA file with the target genome")
+    reference.add_argument("--length", type=int, default=30000, help="synthesize a genome instead")
+    reference.add_argument("--seed", type=int, default=1)
+    reference.add_argument("--single-strand", action="store_true")
+
+    classify = subparsers.add_parser(
+        "classify", help="calibrate a filter on a simulated specimen and report accuracy"
+    )
+    classify.add_argument("--target-length", type=int, default=2400)
+    classify.add_argument("--background-length", type=int, default=16000)
+    classify.add_argument("--reads-per-class", type=int, default=20)
+    classify.add_argument("--prefix-samples", type=int, default=1000)
+    classify.add_argument("--seed", type=int, default=11)
+
+    runtime = subparsers.add_parser(
+        "runtime-model", help="evaluate the analytical Read Until runtime model"
+    )
+    runtime.add_argument("--genome-length", type=int, default=30000)
+    runtime.add_argument("--coverage", type=float, default=30.0)
+    runtime.add_argument("--viral-fraction", type=float, default=0.01)
+    runtime.add_argument("--recall", type=float, default=0.95)
+    runtime.add_argument("--false-positive-rate", type=float, default=0.02)
+    runtime.add_argument("--decision-latency-ms", type=float, default=0.043)
+    runtime.add_argument("--mean-target-read-bases", type=float, default=4000.0)
+    runtime.add_argument("--mean-background-read-bases", type=float, default=8000.0)
+    return parser
+
+
+# ------------------------------------------------------------------ commands
+def _command_simulate(args: argparse.Namespace) -> int:
+    kmer_model = KmerModel()
+    target = random_genome(args.target_length, seed=args.seed)
+    background = random_genome(args.background_length, seed=args.seed + 1)
+    mixture = SpecimenMixture.two_component(
+        "target", target, "background", background, args.viral_fraction
+    )
+    generator = ReadGenerator(
+        mixture,
+        kmer_model=kmer_model,
+        length_model=ReadLengthModel(mean_bases=args.mean_read_bases),
+        seed=args.seed + 2,
+    )
+    reads = generator.generate(args.n_reads)
+    n_target = sum(1 for read in reads if read.is_target)
+    print(
+        f"simulated {len(reads)} reads ({n_target} target, {len(reads) - n_target} background) "
+        f"from a {args.viral_fraction:.2%} specimen"
+    )
+    if args.fasta_out:
+        write_fasta(
+            args.fasta_out,
+            [
+                FastaRecord(name="target", sequence=target),
+                FastaRecord(name="background", sequence=background),
+            ],
+        )
+        print(f"wrote genomes to {args.fasta_out}")
+    if args.reads_out:
+        store = Fast5Store()
+        for read in reads:
+            store.add(
+                Fast5Read.from_picoamps(
+                    read.read_id,
+                    read.signal_pa,
+                    channel=read.channel,
+                    metadata={"source": read.source, "is_target": str(read.is_target)},
+                )
+            )
+        store.save(args.reads_out)
+        print(f"wrote {len(store)} raw reads to {args.reads_out}")
+    return 0
+
+
+def _command_build_reference(args: argparse.Namespace) -> int:
+    if args.fasta:
+        records = read_fasta(args.fasta)
+        if not records:
+            print("FASTA file contains no records", file=sys.stderr)
+            return 1
+        genome = records[0].sequence
+        name = records[0].name
+    else:
+        genome = random_genome(args.length, seed=args.seed)
+        name = f"synthetic_{args.length}bp"
+    reference = ReferenceSquiggle.from_genome(
+        genome, include_reverse_complement=not args.single_strand
+    )
+    rows = [
+        {"property": "genome", "value": name},
+        {"property": "genome_length_bases", "value": len(genome)},
+        {"property": "reference_positions", "value": reference.n_positions},
+        {"property": "buffer_kb", "value": reference.buffer_bytes() / 1024},
+        {"property": "fits_100kb_buffer", "value": reference.fits_buffer()},
+        {"property": "strands", "value": 1 if args.single_strand else 2},
+    ]
+    print(format_table(rows))
+    return 0
+
+
+def _command_classify(args: argparse.Namespace) -> int:
+    kmer_model = KmerModel()
+    target = random_genome(args.target_length, seed=args.seed)
+    background = random_genome(args.background_length, seed=args.seed + 1)
+    mixture = SpecimenMixture.two_component("target", target, "background", background, 0.5)
+    generator = ReadGenerator(mixture, kmer_model=kmer_model, seed=args.seed + 2)
+    calibration = generator.generate_balanced(args.reads_per_class)
+    evaluation = generator.generate_balanced(args.reads_per_class)
+
+    reference = ReferenceSquiggle.from_genome(target, kmer_model=kmer_model)
+    squiggle_filter = SquiggleFilter(reference, prefix_samples=args.prefix_samples)
+    threshold = squiggle_filter.calibrate(
+        [read.signal_pa for read in calibration if read.is_target],
+        [read.signal_pa for read in calibration if not read.is_target],
+    )
+    predictions = [squiggle_filter.classify(read.signal_pa).accept for read in evaluation]
+    confusion = confusion_from_labels([read.is_target for read in evaluation], predictions)
+    rows = [
+        {"metric": "threshold", "value": threshold},
+        {"metric": "recall", "value": confusion.recall},
+        {"metric": "precision", "value": confusion.precision},
+        {"metric": "f1", "value": confusion.f1},
+        {"metric": "false_positive_rate", "value": confusion.false_positive_rate},
+        {"metric": "evaluated_reads", "value": confusion.total},
+    ]
+    print(format_table(rows))
+    return 0
+
+
+def _command_runtime(args: argparse.Namespace) -> int:
+    config = ReadUntilModelConfig(
+        genome_length_bases=args.genome_length,
+        coverage=args.coverage,
+        viral_fraction=args.viral_fraction,
+        mean_target_read_bases=args.mean_target_read_bases,
+        mean_background_read_bases=args.mean_background_read_bases,
+        decision_latency_s=args.decision_latency_ms / 1e3,
+    )
+    with_read_until = sequencing_runtime_s(
+        config, recall=args.recall, false_positive_rate=args.false_positive_rate
+    )
+    control = sequencing_runtime_s(config, use_read_until=False)
+    rows = [
+        {"quantity": "control_runtime_minutes", "value": control / 60.0},
+        {"quantity": "read_until_runtime_minutes", "value": with_read_until / 60.0},
+        {"quantity": "speedup", "value": control / with_read_until if with_read_until else float("inf")},
+        {"quantity": "recall", "value": args.recall},
+        {"quantity": "false_positive_rate", "value": args.false_positive_rate},
+    ]
+    print(format_table(rows))
+    return 0
+
+
+_COMMANDS = {
+    "simulate-specimen": _command_simulate,
+    "build-reference": _command_build_reference,
+    "classify": _command_classify,
+    "runtime-model": _command_runtime,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(list(argv) if argv is not None else None)
+    handler = _COMMANDS[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,43 @@
+"""Core SquiggleFilter algorithm: normalization, reference squiggles and sDTW."""
+
+from repro.core.config import SDTWConfig
+from repro.core.dtw import dtw_cost, dtw_path
+from repro.core.filter import (
+    FilterDecision,
+    FilterStage,
+    MultiStageSquiggleFilter,
+    SquiggleFilter,
+    build_default_filter,
+)
+from repro.core.normalization import NormalizationConfig, SignalNormalizer
+from repro.core.panel import PanelDecision, ReferencePanelFilter
+from repro.core.reference import ReferenceSquiggle
+from repro.core.sdtw import SDTWState, sdtw_cost, sdtw_cost_matrix, sdtw_last_row, sdtw_resume
+from repro.core.thresholds import ThresholdSweepResult, choose_threshold, sweep_thresholds
+from repro.core.variants import ABLATION_VARIANTS, variant_config
+
+__all__ = [
+    "ABLATION_VARIANTS",
+    "FilterDecision",
+    "FilterStage",
+    "MultiStageSquiggleFilter",
+    "NormalizationConfig",
+    "PanelDecision",
+    "ReferencePanelFilter",
+    "ReferenceSquiggle",
+    "SDTWConfig",
+    "SDTWState",
+    "SignalNormalizer",
+    "SquiggleFilter",
+    "ThresholdSweepResult",
+    "build_default_filter",
+    "choose_threshold",
+    "dtw_cost",
+    "dtw_path",
+    "sdtw_cost",
+    "sdtw_cost_matrix",
+    "sdtw_last_row",
+    "sdtw_resume",
+    "sweep_thresholds",
+    "variant_config",
+]

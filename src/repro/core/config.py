@@ -1,0 +1,95 @@
+"""Configuration of the subsequence-DTW kernel.
+
+The paper starts from vanilla sDTW (squared distance, floating point, all
+three DP moves) and applies four modifications to make the hardware efficient
+and accurate (Section 4.7):
+
+* **absolute difference** instead of squared difference (no multipliers),
+* **integer normalization** — 8-bit fixed-point signals,
+* **no reference deletions** — drop the horizontal DP move, valid because the
+  pore produces ~10 samples per base so a single sample never needs to span
+  multiple reference positions,
+* **match bonus** — reward aligning to a new reference base, scaled by the
+  dwell on the previous base (capped), to decouple cost from translocation
+  rate.
+
+:class:`SDTWConfig` selects any combination so the Figure 18 ablation can be
+run from a single kernel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class SDTWConfig:
+    """Knobs of the sDTW kernel.
+
+    Parameters
+    ----------
+    distance:
+        ``"squared"`` (vanilla) or ``"absolute"`` (hardware variant).
+    allow_reference_deletions:
+        When True the DP includes the horizontal move ``S[i, j-1]`` (vanilla);
+        when False it is removed (hardware variant).
+    quantize:
+        When True the kernel consumes 8-bit integer normalized signals and
+        accumulates in integers; when False it runs in floating point.
+    match_bonus:
+        Bonus subtracted from the running cost each time the alignment path
+        advances to a new reference position. The bonus for one transition is
+        ``match_bonus * min(dwell_on_previous_base, match_bonus_cap)``.
+        0 disables the bonus. Only supported with
+        ``allow_reference_deletions=False`` (the hardware recurrence).
+    match_bonus_cap:
+        Dwell cap in the bonus formula (the paper thresholds at 10 samples).
+    """
+
+    distance: str = "absolute"
+    allow_reference_deletions: bool = False
+    quantize: bool = True
+    match_bonus: float = 10.0
+    match_bonus_cap: int = 10
+
+    def __post_init__(self) -> None:
+        if self.distance not in ("squared", "absolute"):
+            raise ValueError(f"distance must be 'squared' or 'absolute', got {self.distance!r}")
+        if self.match_bonus < 0:
+            raise ValueError(f"match_bonus must be non-negative, got {self.match_bonus}")
+        if self.match_bonus_cap < 1:
+            raise ValueError(f"match_bonus_cap must be >= 1, got {self.match_bonus_cap}")
+        if self.match_bonus > 0 and self.allow_reference_deletions:
+            raise ValueError(
+                "match_bonus requires allow_reference_deletions=False "
+                "(it is defined on the hardware recurrence)"
+            )
+
+    @classmethod
+    def vanilla(cls) -> "SDTWConfig":
+        """The textbook sDTW configuration the paper starts from."""
+        return cls(
+            distance="squared",
+            allow_reference_deletions=True,
+            quantize=False,
+            match_bonus=0.0,
+        )
+
+    @classmethod
+    def hardware(cls) -> "SDTWConfig":
+        """The full SquiggleFilter configuration (all four modifications)."""
+        return cls(
+            distance="absolute",
+            allow_reference_deletions=False,
+            quantize=True,
+            match_bonus=10.0,
+            match_bonus_cap=10,
+        )
+
+    def with_(self, **changes) -> "SDTWConfig":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **changes)
+
+    @property
+    def uses_bonus(self) -> bool:
+        return self.match_bonus > 0

@@ -1,0 +1,81 @@
+"""Classic (end-to-end) dynamic time warping.
+
+Subsequence DTW (``repro.core.sdtw``) is the algorithm the filter uses; the
+classic end-to-end variant here serves as a well-understood reference point
+for tests (sDTW of a query against a reference of equal length degenerates to
+classic DTW when the best alignment spans the whole reference) and for the
+background exposition in the examples.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+
+def _distance_matrix(query: np.ndarray, reference: np.ndarray, distance: str) -> np.ndarray:
+    diff = query[:, None].astype(np.float64) - reference[None, :].astype(np.float64)
+    if distance == "squared":
+        return diff * diff
+    if distance == "absolute":
+        return np.abs(diff)
+    raise ValueError(f"distance must be 'squared' or 'absolute', got {distance!r}")
+
+
+def dtw_cost_matrix(
+    query: np.ndarray,
+    reference: np.ndarray,
+    distance: str = "squared",
+) -> np.ndarray:
+    """Full end-to-end DTW cost matrix (query rows, reference columns)."""
+    query = np.asarray(query, dtype=np.float64)
+    reference = np.asarray(reference, dtype=np.float64)
+    if query.size == 0 or reference.size == 0:
+        raise ValueError("query and reference must be non-empty")
+    local = _distance_matrix(query, reference, distance)
+    n, m = local.shape
+    cost = np.full((n, m), np.inf, dtype=np.float64)
+    cost[0, 0] = local[0, 0]
+    for j in range(1, m):
+        cost[0, j] = cost[0, j - 1] + local[0, j]
+    for i in range(1, n):
+        cost[i, 0] = cost[i - 1, 0] + local[i, 0]
+        for j in range(1, m):
+            cost[i, j] = local[i, j] + min(cost[i - 1, j - 1], cost[i - 1, j], cost[i, j - 1])
+    return cost
+
+
+def dtw_cost(query: np.ndarray, reference: np.ndarray, distance: str = "squared") -> float:
+    """End-to-end DTW alignment cost between two signals."""
+    return float(dtw_cost_matrix(query, reference, distance)[-1, -1])
+
+
+def dtw_path(
+    query: np.ndarray,
+    reference: np.ndarray,
+    distance: str = "squared",
+) -> Tuple[float, List[Tuple[int, int]]]:
+    """End-to-end DTW cost plus the optimal warping path.
+
+    The path is a list of ``(query_index, reference_index)`` pairs from
+    ``(0, 0)`` to ``(N-1, M-1)``.
+    """
+    cost = dtw_cost_matrix(query, reference, distance)
+    i, j = cost.shape[0] - 1, cost.shape[1] - 1
+    path = [(i, j)]
+    while i > 0 or j > 0:
+        if i == 0:
+            j -= 1
+        elif j == 0:
+            i -= 1
+        else:
+            candidates = (
+                (cost[i - 1, j - 1], i - 1, j - 1),
+                (cost[i - 1, j], i - 1, j),
+                (cost[i, j - 1], i, j - 1),
+            )
+            _, i, j = min(candidates, key=lambda item: item[0])
+        path.append((i, j))
+    path.reverse()
+    return float(cost[-1, -1]), path

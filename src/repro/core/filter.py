@@ -1,0 +1,291 @@
+"""The SquiggleFilter classifier (paper Sections 4.5 and 4.6).
+
+:class:`SquiggleFilter` is the single-stage classifier: normalize a read
+prefix, align it against the precomputed reference squiggle with sDTW, and
+accept (keep sequencing) or reject (eject via Read Until) by comparing the
+alignment cost to a constant threshold.
+
+:class:`MultiStageSquiggleFilter` implements the optional multi-stage scheme
+of Section 4.6: an early, permissive stage examines a short prefix and ejects
+only clear non-targets, and later stages re-examine longer prefixes with more
+aggressive thresholds, so most non-target reads are ejected after very little
+sequencing while low-confidence reads get more signal before the decision.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.config import SDTWConfig
+from repro.core.normalization import NormalizationConfig, SignalNormalizer
+from repro.core.reference import ReferenceSquiggle
+from repro.core.sdtw import SDTWResult, sdtw_cost
+from repro.core.thresholds import choose_threshold
+from repro.pore_model.kmer_model import KmerModel
+
+# The paper's default operating point: one stage examining 2000 samples.
+DEFAULT_PREFIX_SAMPLES = 2000
+
+
+@dataclass(frozen=True)
+class FilterDecision:
+    """Outcome of classifying one read prefix.
+
+    ``accept`` is True when the read is kept (classified as target).
+    ``samples_used`` is how much signal was examined before the decision,
+    which drives the Read Until runtime model. ``stage`` is the index of the
+    multi-stage filter stage that made the decision (0 for a single-stage
+    filter).
+    """
+
+    accept: bool
+    cost: float
+    per_sample_cost: float
+    samples_used: int
+    threshold: float
+    end_position: int
+    stage: int = 0
+
+
+@dataclass(frozen=True)
+class FilterStage:
+    """One stage of the multi-stage filter: a prefix length and a threshold."""
+
+    prefix_samples: int
+    threshold: float
+
+    def __post_init__(self) -> None:
+        if self.prefix_samples <= 0:
+            raise ValueError(f"prefix_samples must be positive, got {self.prefix_samples}")
+
+
+class SquiggleFilter:
+    """Single-stage squiggle-level Read Until classifier."""
+
+    def __init__(
+        self,
+        reference: ReferenceSquiggle,
+        config: Optional[SDTWConfig] = None,
+        normalization: Optional[NormalizationConfig] = None,
+        threshold: Optional[float] = None,
+        prefix_samples: int = DEFAULT_PREFIX_SAMPLES,
+    ) -> None:
+        if prefix_samples <= 0:
+            raise ValueError(f"prefix_samples must be positive, got {prefix_samples}")
+        self.reference = reference
+        self.config = config if config is not None else SDTWConfig.hardware()
+        self.normalization = (
+            normalization if normalization is not None else reference.normalization
+        )
+        self.normalizer = SignalNormalizer(self.normalization)
+        self.threshold = threshold
+        self.prefix_samples = prefix_samples
+
+    # ------------------------------------------------------------------ costs
+    def prepare_query(self, raw_signal: np.ndarray, prefix_samples: Optional[int] = None) -> np.ndarray:
+        """Trim to the prefix, normalize, and quantize if the config asks for it."""
+        signal = np.asarray(raw_signal, dtype=np.float64)
+        if signal.size == 0:
+            raise ValueError("cannot classify an empty signal")
+        limit = prefix_samples if prefix_samples is not None else self.prefix_samples
+        prefix = signal[:limit]
+        normalized = self.normalizer.normalize(prefix)
+        if self.config.quantize:
+            return self.normalizer.quantize(normalized)
+        return normalized
+
+    def alignment(self, raw_signal: np.ndarray, prefix_samples: Optional[int] = None) -> SDTWResult:
+        """Align a read prefix against the reference squiggle."""
+        query = self.prepare_query(raw_signal, prefix_samples)
+        reference = self.reference.values(quantized=self.config.quantize)
+        return sdtw_cost(query, reference, self.config)
+
+    def cost(self, raw_signal: np.ndarray, prefix_samples: Optional[int] = None) -> float:
+        """Alignment cost only (convenience for sweeps and distributions)."""
+        return self.alignment(raw_signal, prefix_samples).cost
+
+    def per_sample_cost(self, raw_signal: np.ndarray, prefix_samples: Optional[int] = None) -> float:
+        """Alignment cost divided by the number of samples examined."""
+        return self.alignment(raw_signal, prefix_samples).per_sample_cost
+
+    # --------------------------------------------------------------- decisions
+    def classify(
+        self,
+        raw_signal: np.ndarray,
+        threshold: Optional[float] = None,
+        prefix_samples: Optional[int] = None,
+    ) -> FilterDecision:
+        """Accept or reject one read prefix.
+
+        A threshold must either be passed here, set on the filter, or
+        calibrated beforehand with :meth:`calibrate`.
+        """
+        effective_threshold = threshold if threshold is not None else self.threshold
+        if effective_threshold is None:
+            raise ValueError(
+                "no threshold configured; call calibrate() or pass threshold explicitly"
+            )
+        used = prefix_samples if prefix_samples is not None else self.prefix_samples
+        result = self.alignment(raw_signal, used)
+        samples_used = min(int(np.asarray(raw_signal).size), used)
+        return FilterDecision(
+            accept=result.cost <= effective_threshold,
+            cost=result.cost,
+            per_sample_cost=result.per_sample_cost,
+            samples_used=samples_used,
+            threshold=float(effective_threshold),
+            end_position=result.end_position,
+        )
+
+    def classify_batch(
+        self,
+        raw_signals: Sequence[np.ndarray],
+        threshold: Optional[float] = None,
+        prefix_samples: Optional[int] = None,
+    ) -> List[FilterDecision]:
+        """Classify a batch of reads (convenience for experiments)."""
+        return [self.classify(signal, threshold, prefix_samples) for signal in raw_signals]
+
+    # -------------------------------------------------------------- calibration
+    def calibrate(
+        self,
+        target_signals: Sequence[np.ndarray],
+        nontarget_signals: Sequence[np.ndarray],
+        objective: str = "f1",
+        target_recall: float = 0.95,
+        prefix_samples: Optional[int] = None,
+    ) -> float:
+        """Choose and store a threshold from labelled calibration reads."""
+        target_costs = [self.cost(signal, prefix_samples) for signal in target_signals]
+        nontarget_costs = [self.cost(signal, prefix_samples) for signal in nontarget_signals]
+        self.threshold = choose_threshold(
+            target_costs,
+            nontarget_costs,
+            objective=objective,
+            target_recall=target_recall,
+        )
+        return self.threshold
+
+
+class MultiStageSquiggleFilter:
+    """Multi-stage Read Until filter (paper Section 4.6)."""
+
+    def __init__(
+        self,
+        reference: ReferenceSquiggle,
+        stages: Sequence[FilterStage],
+        config: Optional[SDTWConfig] = None,
+        normalization: Optional[NormalizationConfig] = None,
+    ) -> None:
+        if not stages:
+            raise ValueError("at least one stage is required")
+        ordered = sorted(stages, key=lambda stage: stage.prefix_samples)
+        if [stage.prefix_samples for stage in ordered] != [stage.prefix_samples for stage in stages]:
+            raise ValueError("stages must be ordered by increasing prefix_samples")
+        if len({stage.prefix_samples for stage in stages}) != len(stages):
+            raise ValueError("stage prefix lengths must be distinct")
+        self.stages = list(stages)
+        self._filter = SquiggleFilter(
+            reference,
+            config=config,
+            normalization=normalization,
+            prefix_samples=self.stages[-1].prefix_samples,
+        )
+
+    @property
+    def reference(self) -> ReferenceSquiggle:
+        return self._filter.reference
+
+    @property
+    def config(self) -> SDTWConfig:
+        return self._filter.config
+
+    def classify(self, raw_signal: np.ndarray) -> FilterDecision:
+        """Run the read through stages until one rejects it or all accept.
+
+        A read rejected at stage *s* only consumed that stage's prefix; a read
+        accepted by every stage consumed the final stage's prefix, exactly the
+        accounting the Read Until runtime model needs.
+        """
+        signal = np.asarray(raw_signal, dtype=np.float64)
+        last_decision: Optional[FilterDecision] = None
+        for index, stage in enumerate(self.stages):
+            decision = self._filter.classify(
+                signal, threshold=stage.threshold, prefix_samples=stage.prefix_samples
+            )
+            decision = FilterDecision(
+                accept=decision.accept,
+                cost=decision.cost,
+                per_sample_cost=decision.per_sample_cost,
+                samples_used=decision.samples_used,
+                threshold=decision.threshold,
+                end_position=decision.end_position,
+                stage=index,
+            )
+            if not decision.accept:
+                return decision
+            last_decision = decision
+        assert last_decision is not None
+        return last_decision
+
+    def classify_batch(self, raw_signals: Sequence[np.ndarray]) -> List[FilterDecision]:
+        return [self.classify(signal) for signal in raw_signals]
+
+    @classmethod
+    def calibrated(
+        cls,
+        reference: ReferenceSquiggle,
+        target_signals: Sequence[np.ndarray],
+        nontarget_signals: Sequence[np.ndarray],
+        prefix_lengths: Sequence[int] = (1000, 2000, 4000),
+        early_stage_recall: float = 0.995,
+        config: Optional[SDTWConfig] = None,
+        normalization: Optional[NormalizationConfig] = None,
+    ) -> "MultiStageSquiggleFilter":
+        """Build a multi-stage filter with thresholds calibrated per stage.
+
+        Early stages use a permissive recall-targeting threshold so that
+        almost no target read is lost; the final stage uses the F1-optimal
+        threshold.
+        """
+        prefix_lengths = sorted(prefix_lengths)
+        helper = SquiggleFilter(reference, config=config, normalization=normalization)
+        stages: List[FilterStage] = []
+        for index, prefix in enumerate(prefix_lengths):
+            target_costs = [helper.cost(signal, prefix) for signal in target_signals]
+            nontarget_costs = [helper.cost(signal, prefix) for signal in nontarget_signals]
+            is_last = index == len(prefix_lengths) - 1
+            threshold = choose_threshold(
+                target_costs,
+                nontarget_costs,
+                objective="f1" if is_last else "recall",
+                target_recall=early_stage_recall,
+            )
+            stages.append(FilterStage(prefix_samples=prefix, threshold=threshold))
+        return cls(reference, stages, config=config, normalization=normalization)
+
+
+def build_default_filter(
+    genome: str,
+    kmer_model: Optional[KmerModel] = None,
+    config: Optional[SDTWConfig] = None,
+    prefix_samples: int = DEFAULT_PREFIX_SAMPLES,
+    include_reverse_complement: bool = True,
+) -> SquiggleFilter:
+    """Convenience constructor: build a reference squiggle and wrap it in a filter."""
+    normalization = NormalizationConfig()
+    reference = ReferenceSquiggle.from_genome(
+        genome,
+        kmer_model=kmer_model,
+        include_reverse_complement=include_reverse_complement,
+        normalization=normalization,
+    )
+    return SquiggleFilter(
+        reference,
+        config=config,
+        normalization=normalization,
+        prefix_samples=prefix_samples,
+    )

@@ -1,0 +1,90 @@
+"""Signal normalization (paper Sections 4.2 and 5.3).
+
+Per-pore bias voltage differences shift and scale the measured current, so
+every read is normalized before sDTW. The hardware normalizer computes the
+mean and Mean Absolute Deviation (MAD) of each 2000-sample chunk, applies
+mean-MAD normalization, clips outliers to ``[-4, 4]`` and rescales to an
+8-bit fixed-point integer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class NormalizationConfig:
+    """Parameters of mean-MAD normalization and fixed-point quantization."""
+
+    method: str = "mean_mad"
+    clip: float = 4.0
+    quantize_bits: int = 8
+
+    def __post_init__(self) -> None:
+        if self.method not in ("mean_mad", "zscore"):
+            raise ValueError(f"method must be 'mean_mad' or 'zscore', got {self.method!r}")
+        if self.clip <= 0:
+            raise ValueError(f"clip must be positive, got {self.clip}")
+        if not 2 <= self.quantize_bits <= 16:
+            raise ValueError(f"quantize_bits must be in [2, 16], got {self.quantize_bits}")
+
+    @property
+    def quantize_max(self) -> int:
+        """Largest representable magnitude of the signed fixed-point value."""
+        return 2 ** (self.quantize_bits - 1) - 1
+
+    @property
+    def quantize_scale(self) -> float:
+        """Multiplier mapping the clipped float range to the integer range."""
+        return self.quantize_max / self.clip
+
+
+class SignalNormalizer:
+    """Normalize raw current traces for sDTW.
+
+    The same normalizer is applied to query squiggles and to the precomputed
+    reference squiggle so that the two live on the same scale.
+    """
+
+    def __init__(self, config: NormalizationConfig = NormalizationConfig()) -> None:
+        self.config = config
+
+    def statistics(self, signal: np.ndarray) -> Tuple[float, float]:
+        """Return (center, spread) for ``signal`` under the configured method."""
+        values = np.asarray(signal, dtype=np.float64)
+        if values.size == 0:
+            raise ValueError("cannot normalize an empty signal")
+        center = float(values.mean())
+        if self.config.method == "mean_mad":
+            spread = float(np.abs(values - center).mean())
+        else:
+            spread = float(values.std())
+        if spread <= 0:
+            # A constant signal carries no information; avoid division by zero
+            # and return it centered at 0.
+            spread = 1.0
+        return center, spread
+
+    def normalize(self, signal: np.ndarray) -> np.ndarray:
+        """Mean-MAD (or z-score) normalize and clip to ``[-clip, clip]``."""
+        values = np.asarray(signal, dtype=np.float64)
+        center, spread = self.statistics(values)
+        normalized = (values - center) / spread
+        return np.clip(normalized, -self.config.clip, self.config.clip)
+
+    def quantize(self, normalized: np.ndarray) -> np.ndarray:
+        """Rescale a normalized signal to signed fixed-point integers."""
+        scaled = np.rint(np.asarray(normalized, dtype=np.float64) * self.config.quantize_scale)
+        limit = self.config.quantize_max
+        return np.clip(scaled, -limit, limit).astype(np.int32)
+
+    def normalize_quantized(self, signal: np.ndarray) -> np.ndarray:
+        """Normalize and quantize in one step (the hardware data path)."""
+        return self.quantize(self.normalize(signal))
+
+    def dequantize(self, quantized: np.ndarray) -> np.ndarray:
+        """Map fixed-point integers back to the normalized float scale."""
+        return np.asarray(quantized, dtype=np.float64) / self.config.quantize_scale

@@ -1,0 +1,160 @@
+"""Multi-target reference panels.
+
+The paper's detector is programmed with a single virus, but nothing in the
+design restricts it to one: the reference buffer simply holds whatever
+expected-signal profile is loaded, and several small genomes fit in the same
+100 KB budget that one SARS-CoV-2 genome occupies. :class:`ReferencePanelFilter`
+aligns each read prefix against a panel of reference squiggles (e.g. a
+respiratory panel of SARS-CoV-2 + influenza + RSV) and reports the best
+match, enabling the "programmable detector" deployment scenario the paper's
+introduction describes with several candidate viruses loaded at once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.config import SDTWConfig
+from repro.core.filter import SquiggleFilter
+from repro.core.normalization import NormalizationConfig
+from repro.core.reference import ReferenceSquiggle
+from repro.pore_model.kmer_model import KmerModel
+
+
+@dataclass
+class PanelDecision:
+    """Outcome of classifying one read against the whole panel."""
+
+    accept: bool
+    best_target: Optional[str]
+    best_cost: float
+    costs: Dict[str, float]
+    samples_used: int
+
+    def cost_margin(self) -> float:
+        """Gap between the best and second-best target costs (confidence proxy)."""
+        if len(self.costs) < 2:
+            return float("inf")
+        ordered = sorted(self.costs.values())
+        return ordered[1] - ordered[0]
+
+
+class ReferencePanelFilter:
+    """Classify reads against several target genomes at once."""
+
+    def __init__(
+        self,
+        genomes: Dict[str, str],
+        kmer_model: Optional[KmerModel] = None,
+        config: Optional[SDTWConfig] = None,
+        normalization: NormalizationConfig = NormalizationConfig(),
+        prefix_samples: int = 2000,
+        reference_buffer_kb: float = 100.0,
+    ) -> None:
+        if not genomes:
+            raise ValueError("panel requires at least one target genome")
+        self.kmer_model = kmer_model if kmer_model is not None else KmerModel()
+        self.config = config if config is not None else SDTWConfig.hardware()
+        self.prefix_samples = prefix_samples
+        self.thresholds: Dict[str, float] = {}
+        self._filters: Dict[str, SquiggleFilter] = {}
+        total_buffer_bytes = 0
+        for name, genome in genomes.items():
+            reference = ReferenceSquiggle.from_genome(
+                genome, kmer_model=self.kmer_model, normalization=normalization
+            )
+            total_buffer_bytes += reference.buffer_bytes()
+            self._filters[name] = SquiggleFilter(
+                reference,
+                config=self.config,
+                normalization=normalization,
+                prefix_samples=prefix_samples,
+            )
+        if total_buffer_bytes > reference_buffer_kb * 1024:
+            raise ValueError(
+                f"panel needs {total_buffer_bytes / 1024:.1f} KB of reference buffer, "
+                f"more than the provisioned {reference_buffer_kb:.0f} KB"
+            )
+
+    @property
+    def target_names(self) -> List[str]:
+        return list(self._filters.keys())
+
+    def filter_for(self, name: str) -> SquiggleFilter:
+        return self._filters[name]
+
+    # -------------------------------------------------------------- calibration
+    def calibrate(
+        self,
+        target_signals: Dict[str, Sequence[np.ndarray]],
+        background_signals: Sequence[np.ndarray],
+        objective: str = "f1",
+    ) -> Dict[str, float]:
+        """Calibrate one ejection threshold per panel member.
+
+        ``target_signals`` maps panel member names to reads known to come from
+        that virus; every member is calibrated against the shared background.
+        """
+        for name, signals in target_signals.items():
+            if name not in self._filters:
+                raise KeyError(f"unknown panel member {name!r}")
+            threshold = self._filters[name].calibrate(
+                signals, background_signals, objective=objective
+            )
+            self.thresholds[name] = threshold
+        return dict(self.thresholds)
+
+    # -------------------------------------------------------------- classification
+    def classify(self, raw_signal: np.ndarray, prefix_samples: Optional[int] = None) -> PanelDecision:
+        """Align one read prefix against every panel member.
+
+        The read is accepted when its best-matching member's cost is at or
+        below that member's threshold (all members must be calibrated first).
+        """
+        if not self.thresholds or set(self.thresholds) != set(self._filters):
+            raise ValueError("panel is not fully calibrated; call calibrate() first")
+        used = prefix_samples if prefix_samples is not None else self.prefix_samples
+        costs: Dict[str, float] = {}
+        for name, squiggle_filter in self._filters.items():
+            costs[name] = squiggle_filter.cost(raw_signal, used)
+        best_target = min(costs, key=costs.get)
+        best_cost = costs[best_target]
+        accept = best_cost <= self.thresholds[best_target]
+        samples_used = min(int(np.asarray(raw_signal).size), used)
+        return PanelDecision(
+            accept=accept,
+            best_target=best_target if accept else None,
+            best_cost=best_cost,
+            costs=costs,
+            samples_used=samples_used,
+        )
+
+    def classify_batch(
+        self, signals: Sequence[np.ndarray], prefix_samples: Optional[int] = None
+    ) -> List[PanelDecision]:
+        return [self.classify(signal, prefix_samples) for signal in signals]
+
+    def identification_accuracy(
+        self,
+        labelled_signals: Sequence[tuple],
+        prefix_samples: Optional[int] = None,
+    ) -> float:
+        """Fraction of reads attributed to their true panel member.
+
+        ``labelled_signals`` holds (true_member_name_or_None, signal) pairs;
+        ``None`` marks background reads, which are counted correct when the
+        panel rejects them.
+        """
+        if not labelled_signals:
+            return 0.0
+        correct = 0
+        for truth, signal in labelled_signals:
+            decision = self.classify(signal, prefix_samples)
+            if truth is None:
+                correct += 0 if decision.accept else 1
+            else:
+                correct += 1 if decision.accept and decision.best_target == truth else 0
+        return correct / len(labelled_signals)

@@ -1,0 +1,115 @@
+"""Reference squiggle construction (paper Section 4.1, Figure 7).
+
+The target virus's known genome is converted, base by base, to the expected
+nanopore current using the k-mer pore model, then normalized. The filter
+holds this "reference squiggle" in the accelerator's reference buffer and
+aligns every incoming read prefix against it.
+
+Because reads are sequenced from either strand, the reference squiggle covers
+both the forward genome and its reverse complement (the paper's "~2R cycles,
+forward and backward of reference strand").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.core.normalization import NormalizationConfig, SignalNormalizer
+from repro.genomes.sequences import reverse_complement, validate_sequence
+from repro.pore_model.kmer_model import KmerModel
+
+
+@dataclass
+class ReferenceSquiggle:
+    """Precomputed expected-signal profile of a target genome.
+
+    Attributes
+    ----------
+    genome:
+        The target genome the squiggle was built from.
+    expected_pa:
+        Raw expected current (pA), one value per k-mer position, forward
+        strand followed by reverse-complement strand when enabled.
+    normalized:
+        Mean-MAD normalized float profile.
+    quantized:
+        8-bit fixed point profile (the form stored in the hardware reference
+        buffer).
+    forward_length:
+        Number of positions contributed by the forward strand (the reverse
+        strand occupies the remainder).
+    """
+
+    genome: str
+    expected_pa: np.ndarray
+    normalized: np.ndarray
+    quantized: np.ndarray
+    forward_length: int
+    include_reverse_complement: bool
+    kmer_model: KmerModel = field(repr=False)
+    normalization: NormalizationConfig = field(default_factory=NormalizationConfig)
+
+    def __len__(self) -> int:
+        return int(self.expected_pa.size)
+
+    @property
+    def n_positions(self) -> int:
+        """Total reference positions the filter compares against."""
+        return len(self)
+
+    def values(self, quantized: bool) -> np.ndarray:
+        """Return the profile in the representation the kernel expects."""
+        return self.quantized if quantized else self.normalized
+
+    @classmethod
+    def from_genome(
+        cls,
+        genome: str,
+        kmer_model: Optional[KmerModel] = None,
+        include_reverse_complement: bool = True,
+        normalization: NormalizationConfig = NormalizationConfig(),
+    ) -> "ReferenceSquiggle":
+        """Build the reference squiggle for ``genome``.
+
+        The forward and reverse-complement expected signals are concatenated
+        and normalized together so a single threshold applies to alignments on
+        either strand.
+        """
+        sequence = validate_sequence(genome)
+        model = kmer_model if kmer_model is not None else KmerModel()
+        forward = model.expected_signal(sequence)
+        if include_reverse_complement:
+            reverse = model.expected_signal(reverse_complement(sequence))
+            expected = np.concatenate([forward, reverse])
+        else:
+            expected = forward
+        normalizer = SignalNormalizer(normalization)
+        normalized = normalizer.normalize(expected)
+        quantized = normalizer.quantize(normalized)
+        return cls(
+            genome=sequence,
+            expected_pa=expected,
+            normalized=normalized,
+            quantized=quantized,
+            forward_length=int(forward.size),
+            include_reverse_complement=include_reverse_complement,
+            kmer_model=model,
+            normalization=normalization,
+        )
+
+    def buffer_bytes(self, bytes_per_sample: int = 2) -> int:
+        """Size of the on-chip reference buffer needed to hold this profile.
+
+        The paper provisions a 100 KB buffer per tile; with 10-bit raw /
+        8-bit normalized samples stored in 2-byte words, a 50 kb genome fits.
+        """
+        if bytes_per_sample <= 0:
+            raise ValueError("bytes_per_sample must be positive")
+        return self.n_positions * bytes_per_sample
+
+    def fits_buffer(self, buffer_kb: float = 100.0, bytes_per_sample: int = 2) -> bool:
+        """Whether this reference fits the provisioned per-tile buffer."""
+        return self.buffer_bytes(bytes_per_sample) <= buffer_kb * 1024

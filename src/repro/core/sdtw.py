@@ -1,0 +1,394 @@
+"""Subsequence dynamic time warping kernels (paper Sections 4.3 and 4.7).
+
+Subsequence DTW (sDTW) aligns the whole query (a read prefix) against *any*
+contiguous region of the reference squiggle: the first query sample may start
+at any reference position for free, and the answer is the minimum value of
+the last DP row.
+
+Three kernels are provided, all computing identical costs for their
+configuration:
+
+* :func:`sdtw_cost_matrix` — a direct, loop-based implementation returning
+  the full DP matrix (and optionally the alignment path). Used for tests and
+  for visualizing small alignments; quadratic memory.
+* :func:`sdtw_last_row` / :func:`sdtw_cost` — row-vectorized NumPy kernels
+  holding only two rows. The vanilla recurrence's in-row dependency
+  (``S[i, j-1]``) is resolved exactly with a prefix-minimum transformation,
+  so both the vanilla and the hardware ("no reference deletions") recurrences
+  are O(N) NumPy operations per query sample.
+
+The hardware accelerator model in :mod:`repro.hardware` reuses the integer
+kernel so the systolic array is bit-compatible with the software filter.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.config import SDTWConfig
+
+__all__ = [
+    "SDTWResult",
+    "SDTWState",
+    "sdtw_cost",
+    "sdtw_cost_matrix",
+    "sdtw_last_row",
+    "sdtw_resume",
+]
+
+
+def _as_kernel_arrays(
+    query: np.ndarray,
+    reference: np.ndarray,
+    config: SDTWConfig,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Cast inputs to the dtype the configured kernel accumulates in."""
+    dtype = np.int64 if config.quantize else np.float64
+    query_values = np.asarray(query, dtype=dtype)
+    reference_values = np.asarray(reference, dtype=dtype)
+    if query_values.ndim != 1 or reference_values.ndim != 1:
+        raise ValueError("query and reference must be 1-D arrays")
+    if query_values.size == 0 or reference_values.size == 0:
+        raise ValueError("query and reference must be non-empty")
+    return query_values, reference_values
+
+
+def _local_distance(value, reference: np.ndarray, config: SDTWConfig) -> np.ndarray:
+    diff = value - reference
+    if config.distance == "squared":
+        return diff * diff
+    return np.abs(diff)
+
+
+class SDTWResult:
+    """Outcome of one sDTW alignment: the optimal cost and where it ends."""
+
+    __slots__ = ("cost", "end_position", "per_sample_cost", "query_length", "reference_length")
+
+    def __init__(
+        self,
+        cost: float,
+        end_position: int,
+        query_length: int,
+        reference_length: int,
+    ) -> None:
+        self.cost = float(cost)
+        self.end_position = int(end_position)
+        self.query_length = int(query_length)
+        self.reference_length = int(reference_length)
+        self.per_sample_cost = self.cost / self.query_length if self.query_length else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"SDTWResult(cost={self.cost:.2f}, end_position={self.end_position}, "
+            f"per_sample_cost={self.per_sample_cost:.3f})"
+        )
+
+
+def sdtw_last_row(
+    query: np.ndarray,
+    reference: np.ndarray,
+    config: Optional[SDTWConfig] = None,
+) -> np.ndarray:
+    """Return the final DP row ``S[N-1, :]`` of the configured sDTW recurrence.
+
+    The minimum of this row is the subsequence alignment cost; its argmin is
+    the reference position where the best alignment ends.
+    """
+    cfg = config if config is not None else SDTWConfig()
+    query_values, reference_values = _as_kernel_arrays(query, reference, cfg)
+    if cfg.allow_reference_deletions:
+        return _last_row_with_deletions(query_values, reference_values, cfg)
+    if cfg.uses_bonus:
+        return _last_row_no_deletions_bonus(query_values, reference_values, cfg)
+    return _last_row_no_deletions(query_values, reference_values, cfg)
+
+
+class SDTWState:
+    """Resumable kernel state after processing a query prefix.
+
+    The hardware's multi-stage filtering (paper Section 5.1, "Variable Query
+    Length") stores the last PE's costs to DRAM so that alignment can continue
+    when a longer prefix is requested. ``row`` is the last DP row and ``run``
+    the per-column dwell counters the match bonus needs.
+    """
+
+    __slots__ = ("row", "run", "samples_processed")
+
+    def __init__(self, row: np.ndarray, run: Optional[np.ndarray], samples_processed: int) -> None:
+        self.row = np.asarray(row, dtype=np.float64)
+        self.run = None if run is None else np.asarray(run, dtype=np.int64)
+        self.samples_processed = int(samples_processed)
+
+    @property
+    def cost(self) -> float:
+        return float(self.row.min())
+
+    @property
+    def end_position(self) -> int:
+        return int(np.argmin(self.row))
+
+
+def sdtw_resume(
+    query: np.ndarray,
+    reference: np.ndarray,
+    config: Optional[SDTWConfig] = None,
+    state: Optional[SDTWState] = None,
+) -> SDTWState:
+    """Process (more of) a query through the no-reference-deletion recurrence.
+
+    Called without ``state`` this is equivalent to :func:`sdtw_last_row` but
+    additionally returns a resumable :class:`SDTWState`; called with a state
+    it continues the alignment as if the new samples had been part of the
+    original query. Only the hardware recurrences (no reference deletions)
+    are resumable, mirroring the accelerator.
+    """
+    cfg = config if config is not None else SDTWConfig()
+    if cfg.allow_reference_deletions:
+        raise ValueError("sdtw_resume requires allow_reference_deletions=False")
+    query_values, reference_values = _as_kernel_arrays(query, reference, cfg)
+    if query_values.size == 0:
+        raise ValueError("query must be non-empty")
+
+    bonus = float(cfg.match_bonus)
+    cap = cfg.match_bonus_cap
+    big = np.inf
+
+    if state is None:
+        previous = _local_distance(query_values[0], reference_values, cfg).astype(np.float64)
+        run = np.ones(reference_values.size, dtype=np.int64)
+        start_index = 1
+        processed = 1
+    else:
+        if state.row.size != reference_values.size:
+            raise ValueError(
+                f"state row length {state.row.size} does not match reference length {reference_values.size}"
+            )
+        previous = state.row.astype(np.float64).copy()
+        run = (
+            state.run.copy()
+            if state.run is not None
+            else np.ones(reference_values.size, dtype=np.int64)
+        )
+        start_index = 0
+        processed = state.samples_processed
+
+    cost_shift = np.empty_like(previous)
+    run_shift = np.empty_like(run)
+    for i in range(start_index, query_values.size):
+        local = _local_distance(query_values[i], reference_values, cfg).astype(np.float64)
+        cost_shift[0] = big
+        cost_shift[1:] = previous[:-1]
+        run_shift[0] = 0
+        run_shift[1:] = run[:-1]
+        diagonal = cost_shift - bonus * np.minimum(run_shift, cap) if bonus else cost_shift
+        take_diagonal = diagonal < previous
+        previous = local + np.where(take_diagonal, diagonal, previous)
+        run = np.where(take_diagonal, 1, run + 1)
+        processed += 1
+
+    row = np.rint(previous) if cfg.quantize and bonus else previous
+    return SDTWState(row=row, run=run, samples_processed=processed)
+
+
+def sdtw_cost(
+    query: np.ndarray,
+    reference: np.ndarray,
+    config: Optional[SDTWConfig] = None,
+) -> SDTWResult:
+    """Optimal subsequence alignment cost of ``query`` against ``reference``."""
+    cfg = config if config is not None else SDTWConfig()
+    last_row = sdtw_last_row(query, reference, cfg)
+    end_position = int(np.argmin(last_row))
+    return SDTWResult(
+        cost=float(last_row[end_position]),
+        end_position=end_position,
+        query_length=int(np.asarray(query).size),
+        reference_length=int(np.asarray(reference).size),
+    )
+
+
+def _last_row_no_deletions(
+    query: np.ndarray,
+    reference: np.ndarray,
+    config: SDTWConfig,
+) -> np.ndarray:
+    """Hardware recurrence: ``S[i,j] = d + min(S[i-1,j-1], S[i-1,j])``."""
+    big = _infinity_for(query, config)
+    previous = _local_distance(query[0], reference, config).astype(previous_dtype(config))
+    shifted = np.empty_like(previous)
+    for i in range(1, query.size):
+        local = _local_distance(query[i], reference, config)
+        shifted[0] = big
+        shifted[1:] = previous[:-1]
+        previous = local + np.minimum(shifted, previous)
+    return previous
+
+
+def _last_row_no_deletions_bonus(
+    query: np.ndarray,
+    reference: np.ndarray,
+    config: SDTWConfig,
+) -> np.ndarray:
+    """Hardware recurrence with the translocation-rate match bonus.
+
+    Alongside the cost row we carry ``run[j]``: the number of query samples
+    the best path ending at ``(i, j)`` has aligned to reference position
+    ``j``. Taking the diagonal move to a new reference base earns a bonus of
+    ``match_bonus * min(run_on_previous_base, match_bonus_cap)``.
+    """
+    big = np.inf
+    bonus = float(config.match_bonus)
+    cap = config.match_bonus_cap
+
+    # The bonus subtraction mixes the integer costs with a (possibly
+    # fractional) reward, so this kernel accumulates in float64 and rounds at
+    # the end when the quantized data path is selected. With an integer bonus
+    # the intermediate values stay exactly integral.
+    previous = _local_distance(query[0], reference, config).astype(np.float64)
+    run = np.ones(reference.size, dtype=np.int64)
+
+    cost_shift = np.empty_like(previous)
+    run_shift = np.empty_like(run)
+    for i in range(1, query.size):
+        local = _local_distance(query[i], reference, config).astype(np.float64)
+
+        cost_shift[0] = big
+        cost_shift[1:] = previous[:-1]
+        run_shift[0] = 0
+        run_shift[1:] = run[:-1]
+
+        diagonal = cost_shift - bonus * np.minimum(run_shift, cap)
+        vertical = previous
+
+        take_diagonal = diagonal < vertical
+        best = np.where(take_diagonal, diagonal, vertical)
+        previous = local + best
+        run = np.where(take_diagonal, 1, run + 1)
+    if config.quantize:
+        return np.rint(previous)
+    return previous
+
+
+def _last_row_with_deletions(
+    query: np.ndarray,
+    reference: np.ndarray,
+    config: SDTWConfig,
+) -> np.ndarray:
+    """Vanilla recurrence: ``S[i,j] = d + min(S[i-1,j-1], S[i-1,j], S[i,j-1])``.
+
+    The in-row dependency ``S[i, j-1]`` is eliminated exactly: with
+    ``m[j] = min(S[i-1, j-1], S[i-1, j])`` the recurrence expands to
+    ``S[i, j] = D[j] + min_{l <= j} (m[l] - D[l-1])`` where ``D`` is the
+    prefix sum of the local distances along the row, so one cumulative
+    minimum per row reproduces the loop result.
+    """
+    previous = _local_distance(query[0], reference, config).astype(np.float64)
+    reference_float = reference.astype(np.float64)
+    query_float = query.astype(np.float64)
+    big = np.inf
+    for i in range(1, query_float.size):
+        local = _local_distance(query_float[i], reference_float, config)
+        shifted = np.empty_like(previous)
+        shifted[0] = big
+        shifted[1:] = previous[:-1]
+        m = np.minimum(shifted, previous)
+        prefix = np.cumsum(local)
+        offset = np.empty_like(prefix)
+        offset[0] = 0.0
+        offset[1:] = prefix[:-1]
+        previous = prefix + np.minimum.accumulate(m - offset)
+    if config.quantize:
+        return np.rint(previous)
+    return previous
+
+
+def previous_dtype(config: SDTWConfig):
+    """Accumulator dtype for the configured kernel."""
+    return np.int64 if config.quantize else np.float64
+
+
+def _infinity_for(query: np.ndarray, config: SDTWConfig):
+    if config.quantize:
+        # Large enough to never be selected, small enough to avoid overflow
+        # after a full query of additions.
+        return np.int64(2**40)
+    return np.inf
+
+
+def sdtw_cost_matrix(
+    query: np.ndarray,
+    reference: np.ndarray,
+    config: Optional[SDTWConfig] = None,
+    return_path: bool = False,
+) -> Tuple[np.ndarray, Optional[List[Tuple[int, int]]]]:
+    """Direct (loop-based) sDTW returning the full DP matrix.
+
+    Intended for small inputs: tests use it to validate the vectorized
+    kernels, and examples use it to visualize alignment paths. When
+    ``return_path`` is True the optimal subsequence alignment path is traced
+    back from the best cell of the last row.
+    """
+    cfg = config if config is not None else SDTWConfig()
+    query_values, reference_values = _as_kernel_arrays(query, reference, cfg)
+    n, m = query_values.size, reference_values.size
+    matrix = np.zeros((n, m), dtype=np.float64)
+    run = np.ones((n, m), dtype=np.int64)
+    matrix[0, :] = _local_distance(query_values[0], reference_values, cfg)
+
+    use_bonus = cfg.uses_bonus
+    for i in range(1, n):
+        for j in range(m):
+            local = float(_local_distance(query_values[i], reference_values[j : j + 1], cfg)[0])
+            # Candidate order matters only for ties; vertical is listed first so
+            # tie-breaking matches the vectorized kernels (which prefer the
+            # vertical move when the bonus-adjusted diagonal is not strictly
+            # smaller).
+            candidates = [(matrix[i - 1, j], "vertical")]
+            if j > 0:
+                diagonal = matrix[i - 1, j - 1]
+                if use_bonus:
+                    diagonal = diagonal - cfg.match_bonus * min(run[i - 1, j - 1], cfg.match_bonus_cap)
+                candidates.append((diagonal, "diagonal"))
+            if cfg.allow_reference_deletions and j > 0:
+                candidates.append((matrix[i, j - 1], "horizontal"))
+            best_value, best_move = min(candidates, key=lambda item: item[0])
+            matrix[i, j] = local + best_value
+            if use_bonus:
+                run[i, j] = 1 if best_move == "diagonal" else run[i - 1, j] + 1
+
+    path: Optional[List[Tuple[int, int]]] = None
+    if return_path:
+        path = _traceback(matrix, query_values, reference_values, cfg, run)
+    return matrix, path
+
+
+def _traceback(
+    matrix: np.ndarray,
+    query: np.ndarray,
+    reference: np.ndarray,
+    config: SDTWConfig,
+    run: np.ndarray,
+) -> List[Tuple[int, int]]:
+    n, m = matrix.shape
+    i = n - 1
+    j = int(np.argmin(matrix[-1]))
+    path = [(i, j)]
+    while i > 0:
+        local = float(_local_distance(query[i], reference[j : j + 1], config)[0])
+        remaining = matrix[i, j] - local
+        candidates = []
+        if j > 0:
+            diagonal = matrix[i - 1, j - 1]
+            if config.uses_bonus:
+                diagonal = diagonal - config.match_bonus * min(run[i - 1, j - 1], config.match_bonus_cap)
+            candidates.append((abs(diagonal - remaining), i - 1, j - 1))
+        candidates.append((abs(matrix[i - 1, j] - remaining), i - 1, j))
+        if config.allow_reference_deletions and j > 0:
+            candidates.append((abs(matrix[i, j - 1] - remaining), i, j - 1))
+        _, i, j = min(candidates, key=lambda item: item[0])
+        path.append((i, j))
+    path.reverse()
+    return path

@@ -1,0 +1,165 @@
+"""Threshold selection for the sDTW classifier.
+
+The filter ejects a read when its alignment cost exceeds a constant
+threshold. The paper sweeps the threshold over its full range to produce the
+accuracy curves of Figure 17a and then picks, per prefix length, the
+threshold minimizing the modelled Read Until runtime (Figure 17b/c). This
+module provides the sweep, the F-score-optimal choice and a simple
+quantile-based heuristic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.analysis.metrics import ClassificationCounts, f_score
+
+
+@dataclass
+class ThresholdPoint:
+    """Metrics obtained at one candidate threshold."""
+
+    threshold: float
+    true_positive: int
+    false_positive: int
+    true_negative: int
+    false_negative: int
+
+    @property
+    def counts(self) -> ClassificationCounts:
+        return ClassificationCounts(
+            true_positive=self.true_positive,
+            false_positive=self.false_positive,
+            true_negative=self.true_negative,
+            false_negative=self.false_negative,
+        )
+
+    @property
+    def recall(self) -> float:
+        return self.counts.recall
+
+    @property
+    def precision(self) -> float:
+        return self.counts.precision
+
+    @property
+    def f1(self) -> float:
+        return self.counts.f1
+
+    @property
+    def accuracy(self) -> float:
+        return self.counts.accuracy
+
+    @property
+    def false_positive_rate(self) -> float:
+        return self.counts.false_positive_rate
+
+
+@dataclass
+class ThresholdSweepResult:
+    """All points of one threshold sweep (one curve of Figure 17a)."""
+
+    points: List[ThresholdPoint] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def __iter__(self):
+        return iter(self.points)
+
+    def best_by_f1(self, beta: float = 1.0) -> ThresholdPoint:
+        """The point maximizing the F-beta score (Figure 18 reports F1)."""
+        if not self.points:
+            raise ValueError("empty threshold sweep")
+        return max(
+            self.points,
+            key=lambda point: f_score(point.counts, beta=beta),
+        )
+
+    def max_f1(self, beta: float = 1.0) -> float:
+        return f_score(self.best_by_f1(beta).counts, beta=beta)
+
+    def as_rows(self) -> List[dict]:
+        return [
+            {
+                "threshold": point.threshold,
+                "recall": point.recall,
+                "precision": point.precision,
+                "f1": point.f1,
+                "accuracy": point.accuracy,
+                "false_positive_rate": point.false_positive_rate,
+            }
+            for point in self.points
+        ]
+
+
+def sweep_thresholds(
+    target_costs: Sequence[float],
+    nontarget_costs: Sequence[float],
+    thresholds: Optional[Sequence[float]] = None,
+    n_thresholds: int = 101,
+) -> ThresholdSweepResult:
+    """Evaluate classification at a range of alignment-cost thresholds.
+
+    A read is *accepted* (classified as target) when its cost is at or below
+    the threshold. ``target_costs`` are the costs of true target reads,
+    ``nontarget_costs`` those of background reads.
+    """
+    target = np.asarray(target_costs, dtype=np.float64)
+    nontarget = np.asarray(nontarget_costs, dtype=np.float64)
+    if target.size == 0 or nontarget.size == 0:
+        raise ValueError("both target and non-target cost sets must be non-empty")
+    if thresholds is None:
+        combined = np.concatenate([target, nontarget])
+        low, high = float(combined.min()), float(combined.max())
+        if low == high:
+            thresholds = [low]
+        else:
+            thresholds = np.linspace(low, high, n_thresholds)
+    result = ThresholdSweepResult()
+    for threshold in thresholds:
+        value = float(threshold)
+        result.points.append(
+            ThresholdPoint(
+                threshold=value,
+                true_positive=int(np.count_nonzero(target <= value)),
+                false_negative=int(np.count_nonzero(target > value)),
+                false_positive=int(np.count_nonzero(nontarget <= value)),
+                true_negative=int(np.count_nonzero(nontarget > value)),
+            )
+        )
+    return result
+
+
+def choose_threshold(
+    target_costs: Sequence[float],
+    nontarget_costs: Sequence[float],
+    objective: str = "f1",
+    beta: float = 1.0,
+    target_recall: float = 0.95,
+) -> float:
+    """Pick a single operating threshold.
+
+    ``objective`` is one of:
+
+    * ``"f1"`` — maximize the F-beta score over a sweep (default),
+    * ``"recall"`` — the smallest threshold achieving ``target_recall`` on
+      target reads (used by the permissive first stage of the multi-stage
+      filter),
+    * ``"midpoint"`` — halfway between the target and non-target cost means.
+    """
+    target = np.asarray(target_costs, dtype=np.float64)
+    nontarget = np.asarray(nontarget_costs, dtype=np.float64)
+    if objective == "f1":
+        sweep = sweep_thresholds(target, nontarget)
+        return sweep.best_by_f1(beta=beta).threshold
+    if objective == "recall":
+        if not 0.0 < target_recall <= 1.0:
+            raise ValueError(f"target_recall must be in (0, 1], got {target_recall}")
+        return float(np.quantile(target, target_recall))
+    if objective == "midpoint":
+        return float((target.mean() + nontarget.mean()) / 2.0)
+    raise ValueError(f"unknown objective {objective!r}")

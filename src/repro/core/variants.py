@@ -1,0 +1,57 @@
+"""Named sDTW algorithm variants for the Figure 18 ablation.
+
+Figure 18 of the paper reports the maximal F-score achieved by standard sDTW
+and by each hardware-motivated modification, individually and combined. The
+variants defined here map one-to-one to the bars in that figure.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.core.config import SDTWConfig
+
+# Ordered as presented in the paper: the software baseline first, each
+# individual modification, the combination, and the final configuration with
+# the match bonus recovering the lost accuracy.
+ABLATION_VARIANTS: Dict[str, SDTWConfig] = {
+    "vanilla": SDTWConfig.vanilla(),
+    "absolute_difference": SDTWConfig.vanilla().with_(distance="absolute"),
+    "integer_normalization": SDTWConfig.vanilla().with_(quantize=True),
+    "no_reference_deletions": SDTWConfig.vanilla().with_(allow_reference_deletions=False),
+    "all_approximations": SDTWConfig(
+        distance="absolute",
+        allow_reference_deletions=False,
+        quantize=True,
+        match_bonus=0.0,
+    ),
+    "squigglefilter": SDTWConfig.hardware(),
+}
+
+
+def variant_config(name: str) -> SDTWConfig:
+    """Look up one ablation variant by name."""
+    try:
+        return ABLATION_VARIANTS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown variant {name!r}; available: {', '.join(ABLATION_VARIANTS)}"
+        ) from None
+
+
+def variant_names() -> List[str]:
+    """All ablation variant names in presentation order."""
+    return list(ABLATION_VARIANTS.keys())
+
+
+def describe_variant(name: str) -> str:
+    """Human-readable description of one variant (used by the bench output)."""
+    config = variant_config(name)
+    parts = [
+        f"distance={config.distance}",
+        "ref-deletions" if config.allow_reference_deletions else "no-ref-deletions",
+        "int8" if config.quantize else "float",
+    ]
+    if config.uses_bonus:
+        parts.append(f"bonus={config.match_bonus:g}(cap {config.match_bonus_cap})")
+    return ", ".join(parts)

@@ -1,0 +1,15 @@
+"""Static catalogs backing the paper's context tables and figures."""
+
+from repro.data.tests_catalog import DIAGNOSTIC_TESTS, DiagnosticTest, tests_table
+from repro.data.testing_history import US_TESTING_HISTORY, testing_history_table
+from repro.data.throughput_history import SEQUENCER_RELEASES, throughput_history_table
+
+__all__ = [
+    "DIAGNOSTIC_TESTS",
+    "DiagnosticTest",
+    "SEQUENCER_RELEASES",
+    "US_TESTING_HISTORY",
+    "testing_history_table",
+    "tests_table",
+    "throughput_history_table",
+]

@@ -1,0 +1,61 @@
+"""US COVID-19 testing progression (paper Figure 2).
+
+Figure 2 shows daily COVID-19 tests performed in the United States ramping up
+over months in 2020 — the motivation for a virus detector that can be
+deployed and reprogrammed ahead of an outbreak. The monthly series here is a
+coarse digitization of the public Our-World-in-Data series the paper cites.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+
+@dataclass(frozen=True)
+class TestingMonth:
+    """Approximate daily tests performed during one month of 2020."""
+
+    month: str
+    daily_tests: int
+
+    def __post_init__(self) -> None:
+        if self.daily_tests < 0:
+            raise ValueError("daily_tests must be non-negative")
+
+
+US_TESTING_HISTORY: Tuple[TestingMonth, ...] = (
+    TestingMonth("2020-01", 0),
+    TestingMonth("2020-02", 1_000),
+    TestingMonth("2020-03", 65_000),
+    TestingMonth("2020-04", 220_000),
+    TestingMonth("2020-05", 400_000),
+    TestingMonth("2020-06", 550_000),
+    TestingMonth("2020-07", 780_000),
+    TestingMonth("2020-08", 730_000),
+    TestingMonth("2020-09", 900_000),
+    TestingMonth("2020-10", 1_100_000),
+    TestingMonth("2020-11", 1_500_000),
+    TestingMonth("2020-12", 1_900_000),
+)
+
+
+def testing_history_table() -> List[Dict[str, object]]:
+    """Figure 2 as rows."""
+    return [
+        {"month": entry.month, "daily_tests": entry.daily_tests} for entry in US_TESTING_HISTORY
+    ]
+
+
+def months_to_reach(daily_tests: int) -> int:
+    """Months from the genome's publication until the given daily test volume.
+
+    Quantifies the deployment lag the paper argues a programmable detector
+    would remove.
+    """
+    if daily_tests <= 0:
+        return 0
+    for index, entry in enumerate(US_TESTING_HISTORY):
+        if entry.daily_tests >= daily_tests:
+            return index
+    return len(US_TESTING_HISTORY)

@@ -1,0 +1,68 @@
+"""Catalog of SARS-CoV-2 diagnostic tests (paper Table 1).
+
+Table 1 compares antigen tests, non-sequencing molecular tests and
+ONT-sequencing-based tests on what they diagnose, programmability, time and
+cost. The rows are recorded verbatim so the Table 1 bench regenerates the
+comparison and the examples can explain where the proposed detector sits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class DiagnosticTest:
+    """One diagnostic-test row of Table 1."""
+
+    name: str
+    category: str
+    diagnostic_output: str
+    programmable: bool
+    time_minutes: Optional[float]
+    cost_usd: Optional[float]
+
+    def __post_init__(self) -> None:
+        if self.time_minutes is not None and self.time_minutes <= 0:
+            raise ValueError("time_minutes must be positive when provided")
+        if self.cost_usd is not None and self.cost_usd < 0:
+            raise ValueError("cost_usd must be non-negative when provided")
+
+
+DIAGNOSTIC_TESTS: Tuple[DiagnosticTest, ...] = (
+    DiagnosticTest("Antigen paper test", "antigen", "presence", False, 15, 5),
+    DiagnosticTest("RT-LAMP", "molecular", "presence", False, 60, 15),
+    DiagnosticTest("RT-PCR", "molecular", "presence", False, 180, 10),
+    DiagnosticTest("ARTIC amplicon sequencing", "sequencing", "98 targets", False, 305, 100),
+    DiagnosticTest("LamPORE", "sequencing", "3 targets", False, 65, None),
+    DiagnosticTest("Direct RNA sequencing (1% virus)", "sequencing", "whole genome", True, 240, 110),
+    DiagnosticTest("Direct RNA sequencing (0.1% virus)", "sequencing", "whole genome", True, 1206, 190),
+    DiagnosticTest("Direct DNA sequencing (1% virus)", "sequencing", "whole genome", True, 320, 105),
+    DiagnosticTest("Direct DNA sequencing (0.1% virus)", "sequencing", "whole genome", True, 470, 120),
+)
+
+
+def tests_table() -> List[Dict[str, object]]:
+    """Table 1 as printable rows."""
+    return [
+        {
+            "test": test.name,
+            "category": test.category,
+            "diagnostic": test.diagnostic_output,
+            "programmable": test.programmable,
+            "time_minutes": test.time_minutes,
+            "cost_usd": test.cost_usd,
+        }
+        for test in DIAGNOSTIC_TESTS
+    ]
+
+
+def programmable_tests() -> List[DiagnosticTest]:
+    """Only the tests that can be retargeted to a novel virus without new reagents."""
+    return [test for test in DIAGNOSTIC_TESTS if test.programmable]
+
+
+def whole_genome_tests() -> List[DiagnosticTest]:
+    """Tests that recover the whole viral genome (needed for strain surveillance)."""
+    return [test for test in DIAGNOSTIC_TESTS if test.diagnostic_output == "whole genome"]

@@ -1,0 +1,68 @@
+"""Nanopore sequencing throughput growth (paper Figure 6).
+
+Figure 6 motivates the accelerator: per-device sequencing throughput has
+grown exponentially (MinION flow cell improvements, GridION, PromethION, and
+ONT's announced 16x/100x prototypes), so a Read Until classifier must have
+large throughput headroom to stay useful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class SequencerRelease:
+    """One device/chemistry release and its approximate aggregate throughput."""
+
+    name: str
+    year: float
+    bases_per_second: float
+
+    def __post_init__(self) -> None:
+        if self.bases_per_second <= 0:
+            raise ValueError("bases_per_second must be positive")
+
+
+SEQUENCER_RELEASES: Tuple[SequencerRelease, ...] = (
+    SequencerRelease("MinION R6", 2014.5, 7_000),
+    SequencerRelease("MinION R7", 2015.0, 20_000),
+    SequencerRelease("MinION R9", 2016.0, 86_000),
+    SequencerRelease("MinION R9.4", 2017.0, 160_000),
+    SequencerRelease("MinION R9.4.1", 2018.0, 230_400),
+    SequencerRelease("GridION", 2018.5, 1_152_000),
+    SequencerRelease("PromethION 24", 2019.5, 5_500_000),
+    SequencerRelease("Announced 16x MinION prototype", 2021.0, 3_686_400),
+    SequencerRelease("Planned 100x flowcell", 2023.0, 23_040_000),
+)
+
+
+def throughput_history_table() -> List[Dict[str, object]]:
+    """Figure 6 as rows sorted by year."""
+    return [
+        {"device": release.name, "year": release.year, "bases_per_second": release.bases_per_second}
+        for release in sorted(SEQUENCER_RELEASES, key=lambda item: item.year)
+    ]
+
+
+def exponential_growth_rate() -> float:
+    """Fitted yearly growth factor of sequencing throughput.
+
+    A least-squares fit of log-throughput against year; the paper's point is
+    that the factor is well above 1 (exponential growth).
+    """
+    years = np.array([release.year for release in SEQUENCER_RELEASES])
+    log_throughput = np.log([release.bases_per_second for release in SEQUENCER_RELEASES])
+    slope, _ = np.polyfit(years, log_throughput, deg=1)
+    return float(np.exp(slope))
+
+
+def projected_throughput(year: float) -> float:
+    """Throughput projected from the exponential fit (bases/s)."""
+    years = np.array([release.year for release in SEQUENCER_RELEASES])
+    log_throughput = np.log([release.bases_per_second for release in SEQUENCER_RELEASES])
+    slope, intercept = np.polyfit(years, log_throughput, deg=1)
+    return float(np.exp(slope * year + intercept))

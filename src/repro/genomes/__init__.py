@@ -1,0 +1,34 @@
+"""Genome substrate: synthetic sequences, viral catalogs, strains and mutation models."""
+
+from repro.genomes.catalog import EPIDEMIC_VIRUSES, VirusRecord, genome_length_table
+from repro.genomes.mutate import MutationSet, apply_mutations, random_mutations
+from repro.genomes.references import ReferencePanel, build_reference_panel
+from repro.genomes.sequences import (
+    gc_content,
+    kmer_counts,
+    random_genome,
+    reverse_complement,
+    transcribe_errors,
+    validate_sequence,
+)
+from repro.genomes.strains import SARS_COV_2_CLADES, StrainRecord, simulate_strain_panel
+
+__all__ = [
+    "EPIDEMIC_VIRUSES",
+    "MutationSet",
+    "ReferencePanel",
+    "SARS_COV_2_CLADES",
+    "StrainRecord",
+    "VirusRecord",
+    "apply_mutations",
+    "build_reference_panel",
+    "gc_content",
+    "genome_length_table",
+    "kmer_counts",
+    "random_genome",
+    "random_mutations",
+    "reverse_complement",
+    "simulate_strain_panel",
+    "transcribe_errors",
+    "validate_sequence",
+]

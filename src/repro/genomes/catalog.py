@@ -1,0 +1,114 @@
+"""Catalog of epidemic virus genomes (paper Figure 10).
+
+The paper motivates the accelerator's fixed reference buffer size by noting
+that nearly all epidemic viruses have genomes shorter than 100 kb
+(single-stranded) or 50 kb (double-stranded), the two exceptions being
+smallpox and herpes simplex. This module records that catalog so Figure 10
+and the reference-buffer sizing analysis can be regenerated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+
+@dataclass(frozen=True)
+class VirusRecord:
+    """One epidemic virus: genome length, strandedness and nucleic acid type."""
+
+    name: str
+    genome_length: int
+    nucleic_acid: str  # "RNA" or "DNA"
+    stranded: str  # "single" or "double"
+
+    def __post_init__(self) -> None:
+        if self.genome_length <= 0:
+            raise ValueError(f"genome_length must be positive, got {self.genome_length}")
+        if self.nucleic_acid not in ("RNA", "DNA"):
+            raise ValueError(f"nucleic_acid must be RNA or DNA, got {self.nucleic_acid!r}")
+        if self.stranded not in ("single", "double"):
+            raise ValueError(f"stranded must be single or double, got {self.stranded!r}")
+
+    @property
+    def effective_reference_length(self) -> int:
+        """Reference bases the filter must hold (both strands for dsDNA)."""
+        if self.stranded == "double":
+            return 2 * self.genome_length
+        return self.genome_length
+
+
+# Approximate genome lengths (bases) for the epidemic viruses shown in the
+# paper's Figure 10, drawn from public genome size references.
+EPIDEMIC_VIRUSES: Tuple[VirusRecord, ...] = (
+    VirusRecord("Hepatitis B", 3_200, "DNA", "double"),
+    VirusRecord("Rhinovirus", 7_200, "RNA", "single"),
+    VirusRecord("Hepatitis A", 7_500, "RNA", "single"),
+    VirusRecord("Poliovirus", 7_500, "RNA", "single"),
+    VirusRecord("Norovirus", 7_600, "RNA", "single"),
+    VirusRecord("West Nile virus", 11_000, "RNA", "single"),
+    VirusRecord("Dengue virus", 10_700, "RNA", "single"),
+    VirusRecord("Zika virus", 10_800, "RNA", "single"),
+    VirusRecord("Yellow fever virus", 11_000, "RNA", "single"),
+    VirusRecord("Rabies virus", 12_000, "RNA", "single"),
+    VirusRecord("Hepatitis C", 9_600, "RNA", "single"),
+    VirusRecord("Influenza A", 13_500, "RNA", "single"),
+    VirusRecord("Measles virus", 15_900, "RNA", "single"),
+    VirusRecord("Mumps virus", 15_300, "RNA", "single"),
+    VirusRecord("Ebola virus", 19_000, "RNA", "single"),
+    VirusRecord("Marburg virus", 19_100, "RNA", "single"),
+    VirusRecord("Lassa virus", 10_700, "RNA", "single"),
+    VirusRecord("MERS-CoV", 30_100, "RNA", "single"),
+    VirusRecord("SARS-CoV", 29_700, "RNA", "single"),
+    VirusRecord("SARS-CoV-2", 29_903, "RNA", "single"),
+    VirusRecord("HIV-1", 9_700, "RNA", "single"),
+    VirusRecord("Mpox virus", 197_000, "DNA", "double"),
+    VirusRecord("Smallpox (Variola)", 186_000, "DNA", "double"),
+    VirusRecord("Herpes simplex 1", 152_000, "DNA", "double"),
+    VirusRecord("Lambda phage", 48_502, "DNA", "double"),
+)
+
+# The paper's provisioned limits (Section 4.4): single-stranded genomes up to
+# 100 kb, equivalently double-stranded genomes up to 50 kb.
+MAX_SINGLE_STRANDED_LENGTH = 100_000
+MAX_DOUBLE_STRANDED_LENGTH = 50_000
+
+
+def genome_length_table(records: Tuple[VirusRecord, ...] = EPIDEMIC_VIRUSES) -> List[Dict[str, object]]:
+    """Return Figure 10 as rows sorted by genome length."""
+    rows = [
+        {
+            "virus": record.name,
+            "genome_length": record.genome_length,
+            "nucleic_acid": record.nucleic_acid,
+            "stranded": record.stranded,
+            "fits_filter": supported_by_filter(record),
+        }
+        for record in records
+    ]
+    rows.sort(key=lambda row: row["genome_length"])
+    return rows
+
+
+def supported_by_filter(record: VirusRecord) -> bool:
+    """Whether the accelerator's reference buffer can hold this virus."""
+    if record.stranded == "single":
+        return record.genome_length <= MAX_SINGLE_STRANDED_LENGTH
+    return record.genome_length <= MAX_DOUBLE_STRANDED_LENGTH
+
+
+def supported_fraction(records: Tuple[VirusRecord, ...] = EPIDEMIC_VIRUSES) -> float:
+    """Fraction of catalog viruses the provisioned filter supports."""
+    if not records:
+        return 0.0
+    supported = sum(1 for record in records if supported_by_filter(record))
+    return supported / len(records)
+
+
+def lookup(name: str, records: Tuple[VirusRecord, ...] = EPIDEMIC_VIRUSES) -> VirusRecord:
+    """Find a catalog record by (case-insensitive) name."""
+    wanted = name.strip().lower()
+    for record in records:
+        if record.name.lower() == wanted:
+            return record
+    raise KeyError(f"virus {name!r} not present in catalog")

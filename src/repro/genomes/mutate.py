@@ -1,0 +1,185 @@
+"""Mutation models applied to reference genomes.
+
+Used for two experiments in the paper:
+
+* Table 2 — strain panels with a known number of single-base substitutions
+  relative to the Wuhan reference.
+* Figure 19 — robustness of the filter when the sequenced strain differs from
+  the on-device reference by a growing number of random mutations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.genomes.sequences import BASES, validate_sequence
+
+
+@dataclass(frozen=True)
+class Mutation:
+    """A single point mutation.
+
+    ``kind`` is one of ``"substitution"``, ``"insertion"`` or ``"deletion"``.
+    ``position`` indexes the reference genome; ``base`` is the substituted or
+    inserted base (empty for deletions).
+    """
+
+    position: int
+    kind: str
+    base: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("substitution", "insertion", "deletion"):
+            raise ValueError(f"unknown mutation kind: {self.kind!r}")
+        if self.position < 0:
+            raise ValueError(f"mutation position must be non-negative, got {self.position}")
+        if self.kind in ("substitution", "insertion") and (
+            len(self.base) != 1 or self.base not in BASES
+        ):
+            raise ValueError(f"mutation base must be one of {BASES}, got {self.base!r}")
+
+
+@dataclass
+class MutationSet:
+    """An ordered collection of mutations relative to one reference."""
+
+    reference_name: str
+    mutations: List[Mutation] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.mutations)
+
+    def __iter__(self):
+        return iter(self.mutations)
+
+    @property
+    def substitution_count(self) -> int:
+        return sum(1 for mutation in self.mutations if mutation.kind == "substitution")
+
+    @property
+    def indel_count(self) -> int:
+        return sum(1 for mutation in self.mutations if mutation.kind != "substitution")
+
+    def positions(self) -> List[int]:
+        return [mutation.position for mutation in self.mutations]
+
+
+def random_mutations(
+    reference: str,
+    substitutions: int,
+    insertions: int = 0,
+    deletions: int = 0,
+    seed: Optional[int] = None,
+    rng: Optional[np.random.Generator] = None,
+    reference_name: str = "reference",
+) -> MutationSet:
+    """Draw a random set of mutations against ``reference``.
+
+    Substitution positions are sampled without replacement so the requested
+    count is exact, matching how Table 2 reports distinct mutated sites.
+    """
+    sequence = validate_sequence(reference)
+    total_subs = substitutions
+    if total_subs < 0 or insertions < 0 or deletions < 0:
+        raise ValueError("mutation counts must be non-negative")
+    if total_subs + deletions > len(sequence):
+        raise ValueError(
+            "requested more substitutions and deletions than reference positions "
+            f"({total_subs + deletions} > {len(sequence)})"
+        )
+    generator = rng if rng is not None else np.random.default_rng(seed)
+    mutations: List[Mutation] = []
+
+    taken = generator.choice(len(sequence), size=total_subs + deletions, replace=False)
+    substitution_positions = taken[:total_subs]
+    deletion_positions = taken[total_subs:]
+
+    for position in sorted(int(p) for p in substitution_positions):
+        original = sequence[position]
+        alternatives = [base for base in BASES if base != original]
+        base = alternatives[int(generator.integers(len(alternatives)))]
+        mutations.append(Mutation(position=position, kind="substitution", base=base))
+
+    for position in sorted(int(p) for p in deletion_positions):
+        mutations.append(Mutation(position=position, kind="deletion"))
+
+    for _ in range(insertions):
+        position = int(generator.integers(len(sequence) + 1))
+        base = BASES[int(generator.integers(4))]
+        mutations.append(Mutation(position=position, kind="insertion", base=base))
+
+    mutations.sort(key=lambda mutation: (mutation.position, mutation.kind))
+    return MutationSet(reference_name=reference_name, mutations=mutations)
+
+
+def apply_mutations(reference: str, mutation_set: MutationSet) -> str:
+    """Apply ``mutation_set`` to ``reference`` and return the mutated genome."""
+    sequence = list(validate_sequence(reference))
+    substituted = set()
+    deleted = set()
+    insertions: List[Tuple[int, str]] = []
+
+    for mutation in mutation_set:
+        if mutation.kind == "substitution":
+            if mutation.position >= len(sequence):
+                raise ValueError(
+                    f"substitution at {mutation.position} beyond reference length {len(sequence)}"
+                )
+            if mutation.position in substituted:
+                raise ValueError(f"duplicate substitution at position {mutation.position}")
+            sequence[mutation.position] = mutation.base
+            substituted.add(mutation.position)
+        elif mutation.kind == "deletion":
+            if mutation.position >= len(sequence):
+                raise ValueError(
+                    f"deletion at {mutation.position} beyond reference length {len(sequence)}"
+                )
+            deleted.add(mutation.position)
+        else:
+            insertions.append((mutation.position, mutation.base))
+
+    result: List[str] = []
+    insertion_map: dict = {}
+    for position, base in insertions:
+        insertion_map.setdefault(position, []).append(base)
+
+    for index, base in enumerate(sequence):
+        if index in insertion_map:
+            result.extend(insertion_map[index])
+        if index not in deleted:
+            result.append(base)
+    if len(sequence) in insertion_map:
+        result.extend(insertion_map[len(sequence)])
+    return "".join(result)
+
+
+def mutation_distance(reference: str, mutated: str) -> int:
+    """Count mismatching positions between two equal-length genomes.
+
+    Convenience used when verifying that a synthetic strain carries exactly
+    the requested number of substitutions (Table 2 genomes carry no indels).
+    """
+    if len(reference) != len(mutated):
+        raise ValueError("mutation_distance only supports substitution-only genomes")
+    return sum(1 for a, b in zip(reference, mutated) if a != b)
+
+
+def mutated_reference_series(
+    reference: str,
+    mutation_counts: Sequence[int],
+    seed: Optional[int] = None,
+) -> List[Tuple[int, str]]:
+    """Produce genomes carrying increasing numbers of random substitutions.
+
+    Drives Figure 19: the filter keeps its reference fixed while the sequenced
+    strain drifts away by ``mutation_counts`` substitutions.
+    """
+    generator = np.random.default_rng(seed)
+    series: List[Tuple[int, str]] = []
+    for count in mutation_counts:
+        mutation_set = random_mutations(reference, substitutions=count, rng=generator)
+        series.append((count, apply_mutations(reference, mutation_set)))
+    return series

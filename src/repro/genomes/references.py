@@ -1,0 +1,106 @@
+"""Reference genome panels used throughout the experiments.
+
+The paper evaluates on three datasets: lambda phage (sequenced in the
+authors' lab), SARS-CoV-2 (CADDE Centre), and human background reads
+(ONT open datasets). We synthesize scaled equivalents. Genome lengths are
+configurable; the defaults are scaled down from the real organisms so that
+the pure-Python sDTW experiments complete quickly, while the scaling keeps
+the target/background ratio of k-mer novelty intact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.genomes.sequences import random_genome, validate_sequence
+
+# Real genome lengths, for reference and for full-scale runs.
+REAL_GENOME_LENGTHS = {
+    "lambda": 48_502,
+    "sars_cov_2": 29_903,
+    "human": 3_100_000_000,
+}
+
+# Scaled defaults: long enough for minimizer seeding and realistic sDTW cost
+# separation, short enough that a 2000-sample query aligns in milliseconds.
+DEFAULT_SCALED_LENGTHS = {
+    "lambda": 4_800,
+    "sars_cov_2": 3_000,
+    "human": 24_000,
+}
+
+
+@dataclass
+class ReferencePanel:
+    """A named collection of reference genomes for one experiment.
+
+    ``target_name`` identifies the genome loaded onto the filter;
+    ``background_name`` identifies the non-target (host) genome.
+    """
+
+    genomes: Dict[str, str] = field(default_factory=dict)
+    target_name: str = "sars_cov_2"
+    background_name: str = "human"
+
+    def __post_init__(self) -> None:
+        for name, sequence in self.genomes.items():
+            self.genomes[name] = validate_sequence(sequence)
+
+    def add(self, name: str, sequence: str) -> None:
+        self.genomes[name] = validate_sequence(sequence)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.genomes
+
+    def __getitem__(self, name: str) -> str:
+        return self.genomes[name]
+
+    @property
+    def target(self) -> str:
+        return self.genomes[self.target_name]
+
+    @property
+    def background(self) -> str:
+        return self.genomes[self.background_name]
+
+    def lengths(self) -> Dict[str, int]:
+        return {name: len(sequence) for name, sequence in self.genomes.items()}
+
+
+def build_reference_panel(
+    target: str = "sars_cov_2",
+    background: str = "human",
+    lengths: Optional[Dict[str, int]] = None,
+    seed: int = 20211018,
+    gc: float = 0.42,
+) -> ReferencePanel:
+    """Build the standard synthetic panel (target virus + human background).
+
+    Each genome draws from an independent seed derived from ``seed`` so that
+    target and background share no structure beyond chance k-mer overlap,
+    mirroring the real situation of viral versus host DNA.
+    """
+    sizes = dict(DEFAULT_SCALED_LENGTHS)
+    if lengths:
+        sizes.update(lengths)
+    panel = ReferencePanel(target_name=target, background_name=background)
+    wanted = {target, background}
+    # Always include the three canonical genomes so experiments can mix them.
+    wanted.update(("lambda", "sars_cov_2", "human"))
+    for offset, name in enumerate(sorted(wanted)):
+        if name not in sizes:
+            raise KeyError(
+                f"no length configured for genome {name!r}; pass it via `lengths`"
+            )
+        panel.add(name, random_genome(sizes[name], gc=gc, seed=seed + 1009 * offset))
+    return panel
+
+
+def scaled_length(name: str, scale: float = 0.1) -> int:
+    """Scale a real genome length down by ``scale`` (at least 1000 bases)."""
+    if name not in REAL_GENOME_LENGTHS:
+        raise KeyError(f"unknown genome {name!r}")
+    if scale <= 0:
+        raise ValueError(f"scale must be positive, got {scale}")
+    return max(1000, int(REAL_GENOME_LENGTHS[name] * scale))

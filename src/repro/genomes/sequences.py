@@ -1,0 +1,163 @@
+"""Primitive DNA sequence operations and synthetic genome generation.
+
+The paper's experiments run on real lambda phage, SARS-CoV-2 and human reads.
+Offline we synthesize genomes with controllable length and base composition;
+the filter only depends on the genome's k-mer structure, which random
+sequences exercise faithfully.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterable, Optional
+
+import numpy as np
+
+BASES = "ACGT"
+_COMPLEMENT = {"A": "T", "C": "G", "G": "C", "T": "A", "N": "N"}
+
+
+def validate_sequence(sequence: str) -> str:
+    """Return ``sequence`` upper-cased, raising ``ValueError`` on invalid bases.
+
+    Only ``A``, ``C``, ``G``, ``T`` and the ambiguity code ``N`` are accepted.
+    """
+    if not isinstance(sequence, str):
+        raise TypeError(f"sequence must be a str, got {type(sequence).__name__}")
+    upper = sequence.upper()
+    invalid = set(upper) - set("ACGTN")
+    if invalid:
+        raise ValueError(f"sequence contains invalid bases: {sorted(invalid)}")
+    return upper
+
+
+def random_genome(
+    length: int,
+    gc: float = 0.5,
+    seed: Optional[int] = None,
+    rng: Optional[np.random.Generator] = None,
+) -> str:
+    """Generate a random genome of ``length`` bases with the given GC content.
+
+    Parameters
+    ----------
+    length:
+        Number of bases to generate. Must be positive.
+    gc:
+        Target GC fraction in ``[0, 1]``. G and C are drawn with equal
+        probability ``gc / 2`` each.
+    seed:
+        Seed used to build a dedicated random generator. Ignored when ``rng``
+        is provided.
+    rng:
+        Existing generator to draw from (takes precedence over ``seed``).
+    """
+    if length <= 0:
+        raise ValueError(f"genome length must be positive, got {length}")
+    if not 0.0 <= gc <= 1.0:
+        raise ValueError(f"gc content must be within [0, 1], got {gc}")
+    generator = rng if rng is not None else np.random.default_rng(seed)
+    at = 1.0 - gc
+    probabilities = [at / 2.0, gc / 2.0, gc / 2.0, at / 2.0]
+    indices = generator.choice(4, size=length, p=probabilities)
+    lookup = np.frombuffer(BASES.encode("ascii"), dtype=np.uint8)
+    return lookup[indices].tobytes().decode("ascii")
+
+
+def reverse_complement(sequence: str) -> str:
+    """Return the reverse complement of a DNA sequence."""
+    upper = validate_sequence(sequence)
+    return "".join(_COMPLEMENT[base] for base in reversed(upper))
+
+
+def gc_content(sequence: str) -> float:
+    """Return the fraction of G/C bases in ``sequence`` (N bases are ignored)."""
+    upper = validate_sequence(sequence)
+    counted = [base for base in upper if base != "N"]
+    if not counted:
+        return 0.0
+    gc = sum(1 for base in counted if base in "GC")
+    return gc / len(counted)
+
+
+def kmer_counts(sequence: str, k: int) -> Dict[str, int]:
+    """Count occurrences of every k-mer in ``sequence``.
+
+    K-mers containing ``N`` are skipped, mirroring how real pipelines discard
+    ambiguous positions.
+    """
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    upper = validate_sequence(sequence)
+    counts: Counter = Counter()
+    for start in range(len(upper) - k + 1):
+        kmer = upper[start : start + k]
+        if "N" not in kmer:
+            counts[kmer] += 1
+    return dict(counts)
+
+
+def transcribe_errors(
+    sequence: str,
+    substitution_rate: float = 0.0,
+    insertion_rate: float = 0.0,
+    deletion_rate: float = 0.0,
+    rng: Optional[np.random.Generator] = None,
+    seed: Optional[int] = None,
+) -> str:
+    """Copy ``sequence`` while injecting random sequencing-style errors.
+
+    Used by the simulated basecaller to model imperfect base calls: each base
+    is independently substituted, preceded by an insertion, or deleted.
+    """
+    for name, rate in (
+        ("substitution_rate", substitution_rate),
+        ("insertion_rate", insertion_rate),
+        ("deletion_rate", deletion_rate),
+    ):
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"{name} must be within [0, 1], got {rate}")
+    upper = validate_sequence(sequence)
+    generator = rng if rng is not None else np.random.default_rng(seed)
+    output = []
+    for base in upper:
+        if insertion_rate and generator.random() < insertion_rate:
+            output.append(BASES[generator.integers(4)])
+        if deletion_rate and generator.random() < deletion_rate:
+            continue
+        if substitution_rate and generator.random() < substitution_rate:
+            choices = [candidate for candidate in BASES if candidate != base]
+            output.append(choices[generator.integers(3)])
+        else:
+            output.append(base)
+    return "".join(output)
+
+
+def hamming_distance(first: str, second: str) -> int:
+    """Return the number of mismatching positions between equal-length strings."""
+    if len(first) != len(second):
+        raise ValueError(
+            f"hamming_distance requires equal lengths, got {len(first)} and {len(second)}"
+        )
+    return sum(1 for a, b in zip(first, second) if a != b)
+
+
+def sequence_identity(first: str, second: str) -> float:
+    """Fraction of matching positions over the shorter of the two sequences."""
+    if not first or not second:
+        return 0.0
+    length = min(len(first), len(second))
+    matches = sum(1 for a, b in zip(first[:length], second[:length]) if a == b)
+    return matches / length
+
+
+def tile_sequence(sequence: str, window: int, stride: Optional[int] = None) -> Iterable[str]:
+    """Yield windows of ``sequence`` of size ``window`` advancing by ``stride``."""
+    if window <= 0:
+        raise ValueError(f"window must be positive, got {window}")
+    step = stride if stride is not None else window
+    if step <= 0:
+        raise ValueError(f"stride must be positive, got {step}")
+    upper = validate_sequence(sequence)
+    for start in range(0, max(len(upper) - window + 1, 1), step):
+        yield upper[start : start + window]

@@ -1,0 +1,105 @@
+"""SARS-CoV-2 strain panel (paper Table 2).
+
+Table 2 of the paper reports, for five NextStrain clades, the number of
+single-base mutations each assembled genome carries relative to the original
+Wuhan reference (no insertions or deletions were observed). We regenerate the
+panel by applying exactly that many random substitutions to a synthetic
+reference, which is all the downstream robustness analysis (Fig. 19) depends
+on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.genomes.mutate import MutationSet, apply_mutations, mutation_distance, random_mutations
+
+
+@dataclass(frozen=True)
+class CladeRecord:
+    """One row of Table 2: clade name, mutation count and provenance."""
+
+    clade: str
+    mutations: int
+    gisaid_id: str
+    lab: str
+    country: str
+
+
+# Table 2 of the paper, verbatim.
+SARS_COV_2_CLADES: Sequence[CladeRecord] = (
+    CladeRecord("19A", 23, "593737", "SE Area Lab Services", "Australia"),
+    CladeRecord("19B", 18, "614393", "Bouake CHU Lab", "Ivory Coast"),
+    CladeRecord("20A", 22, "644615", "Dept. Clinical Microbiology", "Belgium"),
+    CladeRecord("20B", 17, "602902", "NHLS-IALCH", "South Africa"),
+    CladeRecord("20C", 17, "582807", "Public Health Agency", "Sweden"),
+)
+
+
+@dataclass
+class StrainRecord:
+    """A synthetic strain genome plus the mutations applied to produce it."""
+
+    clade: str
+    genome: str
+    mutation_set: MutationSet
+
+    @property
+    def mutation_count(self) -> int:
+        return len(self.mutation_set)
+
+
+def simulate_strain_panel(
+    reference: str,
+    clades: Sequence[CladeRecord] = SARS_COV_2_CLADES,
+    seed: Optional[int] = 7,
+) -> List[StrainRecord]:
+    """Apply each clade's reported mutation count to ``reference``.
+
+    The panel only contains substitutions (Table 2 observed no indels), so the
+    resulting genomes keep the reference length.
+    """
+    generator = np.random.default_rng(seed)
+    panel: List[StrainRecord] = []
+    for record in clades:
+        mutation_set = random_mutations(
+            reference,
+            substitutions=record.mutations,
+            rng=generator,
+            reference_name=record.clade,
+        )
+        genome = apply_mutations(reference, mutation_set)
+        panel.append(StrainRecord(clade=record.clade, genome=genome, mutation_set=mutation_set))
+    return panel
+
+
+def strain_mutation_table(
+    reference: str,
+    panel: Sequence[StrainRecord],
+) -> List[Dict[str, object]]:
+    """Regenerate Table 2 rows from a simulated panel, verifying the counts."""
+    rows: List[Dict[str, object]] = []
+    by_clade = {record.clade: record for record in SARS_COV_2_CLADES}
+    for strain in panel:
+        observed = mutation_distance(reference, strain.genome)
+        expected = by_clade[strain.clade].mutations if strain.clade in by_clade else None
+        rows.append(
+            {
+                "clade": strain.clade,
+                "mutations": observed,
+                "expected_mutations": expected,
+                "gisaid_id": by_clade[strain.clade].gisaid_id if strain.clade in by_clade else "",
+                "country": by_clade[strain.clade].country if strain.clade in by_clade else "",
+            }
+        )
+    return rows
+
+
+def max_strain_divergence(panel: Sequence[StrainRecord]) -> int:
+    """Largest mutation count in the panel (used for the robustness argument)."""
+    if not panel:
+        return 0
+    return max(strain.mutation_count for strain in panel)

@@ -1,0 +1,45 @@
+"""SquiggleFilter hardware model: PEs, tiles, normalizer, ASIC and performance."""
+
+from repro.hardware.accelerator import AcceleratorConfig, SquiggleFilterAccelerator
+from repro.hardware.asic import AsicModel, TechnologyConstants, synthesis_table
+from repro.hardware.devices import DEVICES, DeviceSpec, device_table
+from repro.hardware.energy import accelerator_energy, energy_comparison
+from repro.hardware.normalizer import HardwareNormalizer
+from repro.hardware.pe import PEState, ProcessingElement
+from repro.hardware.scheduler import TileScheduler, request_rate_for_sequencer, required_tiles
+from repro.hardware.verification import HardwareEquivalenceChecker
+from repro.hardware.performance import (
+    AcceleratorPerformance,
+    accelerator_performance,
+    classification_cycles,
+    latency_comparison,
+    throughput_comparison,
+)
+from repro.hardware.systolic import SystolicTile, TileResult
+
+__all__ = [
+    "AcceleratorConfig",
+    "AcceleratorPerformance",
+    "AsicModel",
+    "DEVICES",
+    "DeviceSpec",
+    "HardwareEquivalenceChecker",
+    "HardwareNormalizer",
+    "PEState",
+    "ProcessingElement",
+    "SquiggleFilterAccelerator",
+    "SystolicTile",
+    "TileScheduler",
+    "TechnologyConstants",
+    "TileResult",
+    "accelerator_energy",
+    "accelerator_performance",
+    "classification_cycles",
+    "device_table",
+    "energy_comparison",
+    "latency_comparison",
+    "request_rate_for_sequencer",
+    "required_tiles",
+    "synthesis_table",
+    "throughput_comparison",
+]

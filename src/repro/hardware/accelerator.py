@@ -1,0 +1,191 @@
+"""Top-level SquiggleFilter accelerator: five tiles behind a read dispatcher.
+
+Ties together the reference squiggle, the hardware normalizer, the systolic
+tiles and the ASIC model: reads are assigned to free tiles, classified
+against the on-chip reference, and accounted for in cycles so aggregate
+latency/throughput match the performance model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.filter import FilterDecision
+from repro.core.reference import ReferenceSquiggle
+from repro.hardware.asic import AsicModel
+from repro.hardware.normalizer import HardwareNormalizer
+from repro.hardware.performance import classification_cycles
+from repro.hardware.systolic import SystolicTile
+
+
+@dataclass
+class AcceleratorConfig:
+    """Provisioning of the accelerator."""
+
+    n_tiles: int = 5
+    n_pes_per_tile: int = 2000
+    match_bonus: int = 10
+    match_bonus_cap: int = 10
+    clock_ghz: float = 2.5
+
+    def __post_init__(self) -> None:
+        if self.n_tiles <= 0:
+            raise ValueError("n_tiles must be positive")
+        if self.n_pes_per_tile <= 0:
+            raise ValueError("n_pes_per_tile must be positive")
+        if self.clock_ghz <= 0:
+            raise ValueError("clock_ghz must be positive")
+
+
+@dataclass
+class AcceleratorStats:
+    """Aggregate activity counters for one batch of classifications."""
+
+    reads_classified: int = 0
+    reads_ejected: int = 0
+    total_cycles: int = 0
+    per_tile_reads: Dict[int, int] = field(default_factory=dict)
+
+    def record(self, tile_index: int, cycles: int, ejected: bool) -> None:
+        self.reads_classified += 1
+        self.total_cycles += cycles
+        if ejected:
+            self.reads_ejected += 1
+        self.per_tile_reads[tile_index] = self.per_tile_reads.get(tile_index, 0) + 1
+
+    def busy_seconds(self, clock_ghz: float, n_tiles: int) -> float:
+        """Wall-clock compute time assuming reads spread across tiles."""
+        if self.total_cycles == 0:
+            return 0.0
+        return self.total_cycles / (clock_ghz * 1e9) / max(n_tiles, 1)
+
+
+class SquiggleFilterAccelerator:
+    """Functional model of the full accelerator."""
+
+    def __init__(
+        self,
+        reference: ReferenceSquiggle,
+        threshold: Optional[float] = None,
+        config: Optional[AcceleratorConfig] = None,
+        asic: Optional[AsicModel] = None,
+    ) -> None:
+        self.reference = reference
+        self.threshold = threshold
+        self.config = config if config is not None else AcceleratorConfig()
+        self.asic = asic if asic is not None else AsicModel(
+            n_pes_per_tile=self.config.n_pes_per_tile, n_tiles=self.config.n_tiles
+        )
+        self.tiles = [
+            SystolicTile(
+                n_pes=self.config.n_pes_per_tile,
+                match_bonus=self.config.match_bonus,
+                match_bonus_cap=self.config.match_bonus_cap,
+            )
+            for _ in range(self.config.n_tiles)
+        ]
+        self.normalizer = HardwareNormalizer(chunk_samples=self.config.n_pes_per_tile)
+        self.stats = AcceleratorStats()
+        self._next_tile = 0
+        if not self.tiles[0].reference_fits(reference.n_positions):
+            raise ValueError(
+                f"reference of {reference.n_positions} samples does not fit the "
+                f"{self.tiles[0].reference_buffer_kb:.0f} KB per-tile reference buffer"
+            )
+
+    @property
+    def n_tiles(self) -> int:
+        return self.config.n_tiles
+
+    def program_threshold(self, threshold: float) -> None:
+        """Reprogram the ejection threshold (software-controlled, Section 5.2)."""
+        self.threshold = float(threshold)
+
+    def classify(self, raw_signal_pa: np.ndarray, prefix_samples: Optional[int] = None) -> FilterDecision:
+        """Classify one read prefix, dispatching it to the next free tile."""
+        if self.threshold is None:
+            raise ValueError("no ejection threshold programmed; call program_threshold()")
+        limit = prefix_samples if prefix_samples is not None else self.config.n_pes_per_tile
+        prefix = np.asarray(raw_signal_pa, dtype=np.float64)[:limit]
+        if prefix.size == 0:
+            raise ValueError("cannot classify an empty signal")
+        adc = self.normalizer.quantize_adc(prefix)
+        quantized = self.normalizer.normalize_signal(adc)
+
+        tile_index = self._next_tile
+        self._next_tile = (self._next_tile + 1) % self.n_tiles
+        tile = self.tiles[tile_index]
+        result = tile.align(quantized, self.reference.quantized, threshold=self.threshold)
+        cycles = classification_cycles(self.reference.n_positions, int(prefix.size))
+        ejected = not bool(result.accept)
+        self.stats.record(tile_index, cycles, ejected)
+        return FilterDecision(
+            accept=bool(result.accept),
+            cost=result.cost,
+            per_sample_cost=result.cost / max(int(prefix.size), 1),
+            samples_used=int(prefix.size),
+            threshold=float(self.threshold),
+            end_position=result.end_position,
+            stage=0,
+        )
+
+    def classify_batch(
+        self, signals: Sequence[np.ndarray], prefix_samples: Optional[int] = None
+    ) -> List[FilterDecision]:
+        return [self.classify(signal, prefix_samples) for signal in signals]
+
+    def calibrate_threshold(
+        self,
+        target_signals: Sequence[np.ndarray],
+        nontarget_signals: Sequence[np.ndarray],
+        prefix_samples: Optional[int] = None,
+        quantile: float = 0.95,
+    ) -> float:
+        """Pick a threshold between the target and non-target cost distributions.
+
+        The threshold is halfway between the ``quantile`` of the target costs
+        and the ``1 - quantile`` of the non-target costs, computed on the
+        hardware data path so it is directly programmable on the device.
+        """
+        if not 0.5 <= quantile < 1.0:
+            raise ValueError("quantile must be in [0.5, 1)")
+        previous_threshold = self.threshold
+        self.threshold = float("inf")
+        try:
+            target_costs = [
+                self.classify(signal, prefix_samples).cost for signal in target_signals
+            ]
+            nontarget_costs = [
+                self.classify(signal, prefix_samples).cost for signal in nontarget_signals
+            ]
+        finally:
+            self.threshold = previous_threshold
+        high_target = float(np.quantile(target_costs, quantile))
+        low_nontarget = float(np.quantile(nontarget_costs, 1.0 - quantile))
+        threshold = (high_target + low_nontarget) / 2.0
+        self.program_threshold(threshold)
+        return threshold
+
+    # ------------------------------------------------------------------ reporting
+    def latency_ms(self, prefix_samples: Optional[int] = None) -> float:
+        """Classification latency for the programmed reference."""
+        query = prefix_samples if prefix_samples is not None else self.config.n_pes_per_tile
+        cycles = classification_cycles(self.reference.n_positions, query)
+        return cycles / (self.config.clock_ghz * 1e9) * 1e3
+
+    def throughput_samples_per_s(self, prefix_samples: Optional[int] = None) -> float:
+        """Aggregate classification throughput across all tiles."""
+        query = prefix_samples if prefix_samples is not None else self.config.n_pes_per_tile
+        latency_s = self.latency_ms(query) / 1e3
+        return self.n_tiles * query / latency_s
+
+    def area_mm2(self) -> float:
+        return self.asic.total_area_mm2
+
+    def power_w(self, active_tiles: Optional[int] = None) -> float:
+        if active_tiles is None:
+            return self.asic.total_power_w
+        return self.asic.power_gated_power_w(active_tiles)

@@ -1,0 +1,143 @@
+"""ASIC area/power model (paper Table 4).
+
+The paper synthesizes SquiggleFilter for 28 nm TSMC HPC at 2.5 GHz and
+reports per-element area and power. Re-synthesis is impossible offline, so
+this module encodes the per-element constants and the composition rules
+(2000 PEs + normalizer + query buffers + reference buffer per tile; five
+tiles per chip) so that Table 4 can be regenerated and the model can answer
+"what if" questions (different PE counts, tile counts or buffer sizes) for
+the design-space example.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass(frozen=True)
+class TechnologyConstants:
+    """Per-element synthesis results at 28 nm TSMC HPC, 2.5 GHz."""
+
+    clock_ghz: float = 2.5
+    pe_area_mm2: float = 0.001203
+    pe_power_w: float = 0.00192
+    # Synthesized tile power is below n_pes * pe_power because not every PE
+    # toggles every cycle; the utilization factor calibrates the tile power to
+    # the reported 2.78 W.
+    pe_power_utilization: float = 0.7234
+    tile_wiring_overhead_mm2: float = 0.017
+    normalizer_area_mm2: float = 0.014
+    normalizer_power_w: float = 0.045
+    query_buffer_area_mm2: float = 0.023
+    query_buffer_power_w: float = 0.009
+    reference_buffer_area_mm2: float = 0.185
+    reference_buffer_power_w: float = 0.028
+    reference_buffer_kb: float = 100.0
+    query_buffer_kb: float = 2.5
+
+    def __post_init__(self) -> None:
+        if self.clock_ghz <= 0:
+            raise ValueError("clock_ghz must be positive")
+        for name in (
+            "pe_area_mm2",
+            "pe_power_w",
+            "pe_power_utilization",
+            "normalizer_area_mm2",
+            "normalizer_power_w",
+            "query_buffer_area_mm2",
+            "query_buffer_power_w",
+            "reference_buffer_area_mm2",
+            "reference_buffer_power_w",
+        ):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+
+
+@dataclass
+class AsicModel:
+    """Composable area/power model of the SquiggleFilter ASIC."""
+
+    n_pes_per_tile: int = 2000
+    n_tiles: int = 5
+    technology: TechnologyConstants = field(default_factory=TechnologyConstants)
+
+    def __post_init__(self) -> None:
+        if self.n_pes_per_tile <= 0:
+            raise ValueError("n_pes_per_tile must be positive")
+        if self.n_tiles <= 0:
+            raise ValueError("n_tiles must be positive")
+
+    # ----------------------------------------------------------------- per tile
+    @property
+    def pe_array_area_mm2(self) -> float:
+        return self.n_pes_per_tile * self.technology.pe_area_mm2
+
+    @property
+    def tile_area_mm2(self) -> float:
+        """PE array plus intra-tile wiring (the paper's "Tile (1x2000 PEs)" row)."""
+        return self.pe_array_area_mm2 + self.technology.tile_wiring_overhead_mm2
+
+    @property
+    def tile_power_w(self) -> float:
+        return (
+            self.n_pes_per_tile
+            * self.technology.pe_power_w
+            * self.technology.pe_power_utilization
+        )
+
+    @property
+    def single_tile_asic_area_mm2(self) -> float:
+        """One complete tile with its normalizer and buffers."""
+        tech = self.technology
+        return (
+            self.tile_area_mm2
+            + tech.normalizer_area_mm2
+            + tech.query_buffer_area_mm2
+            + tech.reference_buffer_area_mm2
+        )
+
+    @property
+    def single_tile_asic_power_w(self) -> float:
+        tech = self.technology
+        return (
+            self.tile_power_w
+            + tech.normalizer_power_w
+            + tech.query_buffer_power_w
+            + tech.reference_buffer_power_w
+        )
+
+    # ------------------------------------------------------------------- chip
+    @property
+    def total_area_mm2(self) -> float:
+        return self.n_tiles * self.single_tile_asic_area_mm2
+
+    @property
+    def total_power_w(self) -> float:
+        return self.n_tiles * self.single_tile_asic_power_w
+
+    def power_gated_power_w(self, active_tiles: int) -> float:
+        """Chip power with only ``active_tiles`` tiles powered (Section 5.1)."""
+        if not 0 <= active_tiles <= self.n_tiles:
+            raise ValueError(f"active_tiles must be within [0, {self.n_tiles}]")
+        return active_tiles * self.single_tile_asic_power_w
+
+    def max_reference_samples(self, bytes_per_sample: int = 2) -> int:
+        """Largest reference squiggle the per-tile buffer can hold."""
+        if bytes_per_sample <= 0:
+            raise ValueError("bytes_per_sample must be positive")
+        return int(self.technology.reference_buffer_kb * 1024 // bytes_per_sample)
+
+
+def synthesis_table(model: AsicModel = AsicModel()) -> List[Dict[str, object]]:
+    """Regenerate Table 4 rows from the model."""
+    tech = model.technology
+    return [
+        {"element": "Normalizer", "area_mm2": tech.normalizer_area_mm2, "power_w": tech.normalizer_power_w},
+        {"element": "Processing Element", "area_mm2": tech.pe_area_mm2, "power_w": tech.pe_power_w},
+        {"element": f"Tile (1x{model.n_pes_per_tile} PEs)", "area_mm2": model.tile_area_mm2, "power_w": model.tile_power_w},
+        {"element": "Query buffer", "area_mm2": tech.query_buffer_area_mm2, "power_w": tech.query_buffer_power_w},
+        {"element": "Reference buffer", "area_mm2": tech.reference_buffer_area_mm2, "power_w": tech.reference_buffer_power_w},
+        {"element": "Complete 1-Tile ASIC", "area_mm2": model.single_tile_asic_area_mm2, "power_w": model.single_tile_asic_power_w},
+        {"element": f"Complete {model.n_tiles}-Tile ASIC", "area_mm2": model.total_area_mm2, "power_w": model.total_power_w},
+    ]

@@ -1,0 +1,99 @@
+"""Device catalog (paper Table 3) and the edge System-on-Chip composition.
+
+Table 3 lists the GPUs/CPUs the paper profiles basecalling on; Section 5
+describes the proposed SoC (SquiggleFilter ASIC + edge GPU + 8-core ARM CPU
++ LPDDR4x + eMMC flash). These are encoded as data so the performance and
+profiling models can reason about them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """One compute device used in the evaluation."""
+
+    name: str
+    device_class: str  # "edge_gpu", "gpu", "edge_cpu", "cpu", "asic"
+    cores: int
+    clock_mhz: float
+    power_w: float
+    memory_bandwidth_gb_s: float
+
+    def __post_init__(self) -> None:
+        if self.cores <= 0:
+            raise ValueError("cores must be positive")
+        if self.clock_mhz <= 0:
+            raise ValueError("clock_mhz must be positive")
+        if self.power_w <= 0:
+            raise ValueError("power_w must be positive")
+        if self.memory_bandwidth_gb_s <= 0:
+            raise ValueError("memory_bandwidth_gb_s must be positive")
+
+
+# Table 3 of the paper, plus the SquiggleFilter ASIC itself for comparisons.
+DEVICES: Tuple[DeviceSpec, ...] = (
+    DeviceSpec("jetson_xavier", "edge_gpu", cores=512, clock_mhz=1377.0, power_w=30.0, memory_bandwidth_gb_s=137.0),
+    DeviceSpec("arm_v8_2", "edge_cpu", cores=8, clock_mhz=2265.0, power_w=15.0, memory_bandwidth_gb_s=137.0),
+    DeviceSpec("titan_xp", "gpu", cores=3840, clock_mhz=1582.0, power_w=250.0, memory_bandwidth_gb_s=547.0),
+    DeviceSpec("xeon_e5_2697v3", "cpu", cores=56, clock_mhz=2600.0, power_w=290.0, memory_bandwidth_gb_s=136.0),
+    DeviceSpec("squigglefilter_asic", "asic", cores=10000, clock_mhz=2500.0, power_w=14.31, memory_bandwidth_gb_s=137.0),
+)
+
+
+def device(name: str) -> DeviceSpec:
+    """Look up one device by name."""
+    for spec in DEVICES:
+        if spec.name == name:
+            return spec
+    raise KeyError(f"unknown device {name!r}; available: {[spec.name for spec in DEVICES]}")
+
+
+def device_table() -> List[Dict[str, object]]:
+    """Table 3 as rows."""
+    return [
+        {
+            "device": spec.name,
+            "class": spec.device_class,
+            "cores": spec.cores,
+            "clock_mhz": spec.clock_mhz,
+            "power_w": spec.power_w,
+            "memory_bandwidth_gb_s": spec.memory_bandwidth_gb_s,
+        }
+        for spec in DEVICES
+    ]
+
+
+@dataclass(frozen=True)
+class EdgeSoC:
+    """The proposed edge System-on-Chip (paper Figure 12)."""
+
+    gpu: DeviceSpec = DEVICES[0]
+    cpu: DeviceSpec = DEVICES[1]
+    accelerator_power_w: float = 14.31
+    accelerator_area_mm2: float = 13.25
+    dram_gb: int = 32
+    flash_gb: int = 32
+    dram_bandwidth_gb_s: float = 137.0
+
+    @property
+    def total_power_w(self) -> float:
+        """SoC power budget with all engines active."""
+        return self.gpu.power_w + self.cpu.power_w + self.accelerator_power_w
+
+    def supports_multistage_bandwidth(
+        self, n_tiles: int = 5, per_tile_gb_s: float = 10.0
+    ) -> bool:
+        """Whether DRAM bandwidth covers multi-stage intermediate-cost traffic.
+
+        The paper: each tile writing intermediate costs consumes ~10 GB/s; the
+        Jetson-class memory system provides 137 GB/s, so five tiles fit.
+        """
+        return n_tiles * per_tile_gb_s <= self.dram_bandwidth_gb_s
+
+    def flash_stores_one_day(self, daily_output_gb: float = 20.0) -> bool:
+        """Whether on-board flash holds a day's sequencing output (Section 5)."""
+        return daily_output_gb <= self.flash_gb

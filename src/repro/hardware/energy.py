@@ -1,0 +1,127 @@
+"""Energy-per-decision model.
+
+The paper's headline efficiency claim is stated in power ("14.3 W ... while
+consuming half the power" of the edge GPU) but the quantity a battery-powered
+portable detector cares about is energy per classified read: power multiplied
+by the time each decision occupies the engine. This module combines the ASIC
+power model with the latency/throughput models to compare Joules per decision
+across SquiggleFilter and the GPU basecalling options.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.basecall.performance import BASECALLER_PERFORMANCE, BasecallerPerformance
+from repro.hardware.asic import AsicModel
+from repro.hardware.performance import SAMPLES_PER_BASE, accelerator_performance
+
+
+@dataclass(frozen=True)
+class EnergyEstimate:
+    """Energy accounting for one classifier option."""
+
+    classifier: str
+    power_w: float
+    decisions_per_second: float
+    energy_per_decision_mj: float
+
+    def __post_init__(self) -> None:
+        if self.power_w <= 0:
+            raise ValueError("power_w must be positive")
+        if self.decisions_per_second <= 0:
+            raise ValueError("decisions_per_second must be positive")
+
+
+def accelerator_energy(
+    genome_length_bases: int = 30_000,
+    query_samples: int = 2000,
+    model: Optional[AsicModel] = None,
+    active_tiles: Optional[int] = None,
+) -> EnergyEstimate:
+    """Energy per classification on the SquiggleFilter ASIC.
+
+    Throughput-based accounting: with all tiles busy, the chip classifies
+    ``n_tiles`` reads every ``latency`` seconds at its (optionally
+    power-gated) total power.
+    """
+    asic = model if model is not None else AsicModel()
+    performance = accelerator_performance(
+        genome_length_bases, query_samples=query_samples, model=asic
+    )
+    tiles = asic.n_tiles if active_tiles is None else active_tiles
+    power = asic.power_gated_power_w(tiles)
+    decisions_per_second = tiles / performance.latency_s
+    return EnergyEstimate(
+        classifier="squigglefilter",
+        power_w=power,
+        decisions_per_second=decisions_per_second,
+        energy_per_decision_mj=power / decisions_per_second * 1e3,
+    )
+
+
+def basecaller_energy(
+    record: BasecallerPerformance,
+    decision_prefix_samples: int = 2000,
+) -> EnergyEstimate:
+    """Energy per Read Until decision for a GPU basecalling configuration.
+
+    The GPU processes ``read_until_bases_per_s`` worth of decisions; each
+    decision consumes ``decision_prefix_samples`` of signal (~200 bases), so
+    decisions/s = bases/s / bases-per-decision, at the device's board power.
+    """
+    if decision_prefix_samples <= 0:
+        raise ValueError("decision_prefix_samples must be positive")
+    bases_per_decision = decision_prefix_samples / SAMPLES_PER_BASE
+    decisions_per_second = record.read_until_bases_per_s / bases_per_decision
+    return EnergyEstimate(
+        classifier=f"{record.basecaller}@{record.device}",
+        power_w=record.power_w,
+        decisions_per_second=decisions_per_second,
+        energy_per_decision_mj=record.power_w / decisions_per_second * 1e3,
+    )
+
+
+def energy_comparison(
+    genome_length_bases: int = 30_000,
+    decision_prefix_samples: int = 2000,
+) -> List[Dict[str, object]]:
+    """Energy-per-decision rows for every classifier option."""
+    rows: List[Dict[str, object]] = []
+    for record in BASECALLER_PERFORMANCE:
+        estimate = basecaller_energy(record, decision_prefix_samples)
+        rows.append(
+            {
+                "classifier": estimate.classifier,
+                "power_w": estimate.power_w,
+                "decisions_per_s": estimate.decisions_per_second,
+                "energy_per_decision_mj": estimate.energy_per_decision_mj,
+            }
+        )
+    accelerator = accelerator_energy(
+        genome_length_bases, query_samples=decision_prefix_samples
+    )
+    rows.append(
+        {
+            "classifier": accelerator.classifier,
+            "power_w": accelerator.power_w,
+            "decisions_per_s": accelerator.decisions_per_second,
+            "energy_per_decision_mj": accelerator.energy_per_decision_mj,
+        }
+    )
+    return rows
+
+
+def energy_advantage_over(
+    device_classifier: str = "guppy_lite@jetson_xavier",
+    genome_length_bases: int = 30_000,
+) -> float:
+    """Ratio of a GPU option's energy/decision to SquiggleFilter's."""
+    rows = {row["classifier"]: row for row in energy_comparison(genome_length_bases)}
+    if device_classifier not in rows:
+        raise KeyError(f"unknown classifier {device_classifier!r}; available: {sorted(rows)}")
+    return (
+        rows[device_classifier]["energy_per_decision_mj"]
+        / rows["squigglefilter"]["energy_per_decision_mj"]
+    )

@@ -1,0 +1,106 @@
+"""Hardware normalizer model (paper Section 5.3, Figure 15).
+
+The normalizer is a streaming query pre-processor: it accumulates each
+2000-sample chunk from the query buffer, computes the chunk's mean and Mean
+Absolute Deviation with fixed-point arithmetic, then re-streams the samples
+through mean-MAD normalization, outlier clipping to ``[-4, 4]`` and 8-bit
+fixed-point rescaling before they are loaded into the PEs.
+
+The model mirrors that two-pass structure (accumulate, then transform) and
+uses the same fixed-point widths, so its output can be compared against the
+floating-point :class:`repro.core.normalization.SignalNormalizer` in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.core.normalization import NormalizationConfig
+
+
+@dataclass
+class NormalizerStats:
+    """Fixed-point statistics computed for one chunk."""
+
+    mean: float
+    mad: float
+    n_samples: int
+
+
+class HardwareNormalizer:
+    """Streaming mean-MAD normalizer with 10-bit inputs and 8-bit outputs."""
+
+    def __init__(
+        self,
+        chunk_samples: int = 2000,
+        adc_bits: int = 10,
+        config: NormalizationConfig = NormalizationConfig(),
+    ) -> None:
+        if chunk_samples <= 0:
+            raise ValueError("chunk_samples must be positive")
+        if not 6 <= adc_bits <= 16:
+            raise ValueError("adc_bits must be within [6, 16]")
+        self.chunk_samples = chunk_samples
+        self.adc_bits = adc_bits
+        self.config = config
+        self._buffer: List[int] = []
+        self._outputs: List[int] = []
+        self.last_stats: NormalizerStats = NormalizerStats(mean=0.0, mad=1.0, n_samples=0)
+
+    @property
+    def adc_max(self) -> int:
+        return 2**self.adc_bits - 1
+
+    def quantize_adc(self, current_pa: np.ndarray, pa_range: float = 200.0) -> np.ndarray:
+        """Model the sequencer ADC: map picoamps onto the 10-bit input range."""
+        scaled = np.asarray(current_pa, dtype=np.float64) / pa_range * self.adc_max
+        return np.clip(np.rint(scaled), 0, self.adc_max).astype(np.int64)
+
+    def push(self, sample: int) -> List[int]:
+        """Stream in one ADC sample; returns normalized outputs when a chunk completes."""
+        self._buffer.append(int(sample))
+        if len(self._buffer) < self.chunk_samples:
+            return []
+        chunk = np.array(self._buffer, dtype=np.int64)
+        self._buffer = []
+        outputs = self._normalize_chunk(chunk)
+        self._outputs.extend(outputs.tolist())
+        return outputs.tolist()
+
+    def flush(self) -> List[int]:
+        """Normalize whatever partial chunk remains (end of a short read)."""
+        if not self._buffer:
+            return []
+        chunk = np.array(self._buffer, dtype=np.int64)
+        self._buffer = []
+        outputs = self._normalize_chunk(chunk)
+        self._outputs.extend(outputs.tolist())
+        return outputs.tolist()
+
+    def normalize_signal(self, adc_samples: np.ndarray) -> np.ndarray:
+        """Normalize a whole signal chunk-by-chunk (the accelerator data path)."""
+        self._buffer = []
+        self._outputs = []
+        for sample in np.asarray(adc_samples).tolist():
+            self.push(int(sample))
+        self.flush()
+        return np.array(self._outputs, dtype=np.int64)
+
+    # ----------------------------------------------------------------- internals
+    def _normalize_chunk(self, chunk: np.ndarray) -> np.ndarray:
+        n = chunk.size
+        # Fixed-point mean and MAD: integer sums, then a single division each,
+        # as the accumulate-and-divide datapath of Figure 15.
+        mean = float(chunk.sum()) / n
+        mad = float(np.abs(chunk - mean).sum()) / n
+        if mad <= 0:
+            mad = 1.0
+        self.last_stats = NormalizerStats(mean=mean, mad=mad, n_samples=int(n))
+        normalized = (chunk - mean) / mad
+        clipped = np.clip(normalized, -self.config.clip, self.config.clip)
+        quantized = np.rint(clipped * self.config.quantize_scale)
+        limit = self.config.quantize_max
+        return np.clip(quantized, -limit, limit).astype(np.int64)

@@ -1,0 +1,121 @@
+"""Processing element of the sDTW systolic array (paper Section 5.2, Figure 14).
+
+Each PE owns one query sample (one row of the sDTW matrix) and computes one
+cell per cycle as the reference streams past: at cycle ``c`` PE ``i``
+processes reference column ``j = c - i``. The DP dependencies map onto the
+left neighbour's outputs:
+
+* vertical move ``S[i-1, j]`` — the left neighbour's output from cycle
+  ``c-1``,
+* diagonal move ``S[i-1, j-1]`` — the left neighbour's output from cycle
+  ``c-2`` (minus the match bonus).
+
+The horizontal move (a reference deletion) does not exist in the hardware
+recurrence, which is what makes the one-PE-per-query-sample schedule work.
+The last PE compares its cost to the ejection threshold every cycle.
+
+This is a functional, cycle-by-cycle model used to verify that the systolic
+schedule computes exactly the same costs as the software kernel
+(:mod:`repro.core.sdtw`); the area/power of a synthesized PE are recorded in
+:mod:`repro.hardware.asic`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+# Sentinel for "no valid cost yet" (pipeline not filled); any real cost is
+# far smaller.
+INFINITE_COST = 1 << 40
+
+
+@dataclass
+class PEState:
+    """Values a PE forwards to its right neighbour after one cycle."""
+
+    cost: int = INFINITE_COST
+    run_length: int = 0
+    valid: bool = False
+
+
+@dataclass
+class ProcessingElement:
+    """One PE: holds a query sample and its last two outputs."""
+
+    index: int
+    query_value: int = 0
+    match_bonus: int = 10
+    match_bonus_cap: int = 10
+    # Outputs of this PE's previous two cycles, consumed by the right neighbour.
+    previous: PEState = field(default_factory=PEState)
+    before_previous: PEState = field(default_factory=PEState)
+
+    def reset(self, query_value: int) -> None:
+        """Load a new query sample and clear pipeline state."""
+        self.query_value = int(query_value)
+        self.previous = PEState()
+        self.before_previous = PEState()
+
+    def step(
+        self,
+        reference_value: int,
+        left_previous: PEState,
+        left_before_previous: PEState,
+    ) -> PEState:
+        """Advance one cycle and return the newly computed cell.
+
+        ``left_previous`` / ``left_before_previous`` are the left neighbour's
+        outputs from cycles ``c-1`` and ``c-2``. PE 0 has no left neighbour
+        and implements the subsequence boundary condition
+        ``S[0, j] = |Q[0] - R[j]|`` (a free alignment start at any reference
+        position).
+        """
+        local = abs(self.query_value - int(reference_value))
+        if self.index == 0:
+            new_state = PEState(cost=int(local), run_length=1, valid=True)
+        else:
+            diagonal = INFINITE_COST
+            if left_before_previous.valid:
+                bonus = self.match_bonus * min(
+                    left_before_previous.run_length, self.match_bonus_cap
+                )
+                diagonal = left_before_previous.cost - bonus
+            vertical = left_previous.cost if left_previous.valid else INFINITE_COST
+            if diagonal >= INFINITE_COST and vertical >= INFINITE_COST:
+                new_state = PEState()
+            elif diagonal < vertical:
+                new_state = PEState(cost=int(local + diagonal), run_length=1, valid=True)
+            else:
+                new_state = PEState(
+                    cost=int(local + vertical),
+                    run_length=int(left_previous.run_length) + 1,
+                    valid=True,
+                )
+        self.before_previous = self.previous
+        self.previous = new_state
+        return new_state
+
+
+@dataclass
+class ThresholdComparator:
+    """Logic attached to the last PE: track the minimum cost and the decision."""
+
+    threshold: Optional[int] = None
+    minimum_cost: int = INFINITE_COST
+
+    def observe(self, state: PEState) -> None:
+        if state.valid and state.cost < self.minimum_cost:
+            self.minimum_cost = int(state.cost)
+
+    @property
+    def has_observation(self) -> bool:
+        return self.minimum_cost < INFINITE_COST
+
+    def decision(self) -> bool:
+        """True = accept (cost at or below threshold)."""
+        if self.threshold is None:
+            raise ValueError("no ejection threshold configured")
+        if not self.has_observation:
+            return False
+        return self.minimum_cost <= self.threshold

@@ -1,0 +1,163 @@
+"""Accelerator latency/throughput model (paper Section 7.1/7.2, Figure 16).
+
+The accelerator classifies a read prefix in ``reference_length + 3 x
+query_length`` cycles: the query chunk is loaded and normalized, the systolic
+pipeline fills, the reference streams through, and the array drains. At
+2.5 GHz this gives the paper's 0.027 ms (SARS-CoV-2) and 0.043 ms (lambda
+phage) classification latencies and the corresponding per-tile throughputs.
+This module provides those calculations plus the comparisons against the
+GPU basecalling pipeline used in Figure 16 and the scalability analysis of
+Figure 21.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.basecall.performance import (
+    BASECALLER_PERFORMANCE,
+    MINION_MAX_BASES_PER_S,
+    MINION_MAX_SAMPLES_PER_S,
+    BasecallerPerformance,
+)
+from repro.hardware.asic import AsicModel
+
+# Samples the MinION records per translocated base (paper Section 3.1).
+SAMPLES_PER_BASE = 10.0
+
+
+def classification_cycles(reference_samples: int, query_samples: int = 2000) -> int:
+    """Cycles to classify one read prefix.
+
+    ``reference_samples`` covers both strands of the target genome (the
+    filter aligns against forward + reverse complement).
+    """
+    if reference_samples <= 0 or query_samples <= 0:
+        raise ValueError("reference_samples and query_samples must be positive")
+    return int(reference_samples + 3 * query_samples)
+
+
+@dataclass
+class AcceleratorPerformance:
+    """Latency/throughput of the accelerator for one target genome."""
+
+    reference_samples: int
+    query_samples: int
+    clock_ghz: float
+    n_tiles: int
+
+    @property
+    def cycles(self) -> int:
+        return classification_cycles(self.reference_samples, self.query_samples)
+
+    @property
+    def latency_s(self) -> float:
+        return self.cycles / (self.clock_ghz * 1e9)
+
+    @property
+    def latency_ms(self) -> float:
+        return self.latency_s * 1e3
+
+    @property
+    def tile_throughput_samples_per_s(self) -> float:
+        """Query samples classified per second by one tile."""
+        return self.query_samples / self.latency_s
+
+    @property
+    def total_throughput_samples_per_s(self) -> float:
+        return self.n_tiles * self.tile_throughput_samples_per_s
+
+    @property
+    def total_throughput_bases_per_s(self) -> float:
+        return self.total_throughput_samples_per_s / SAMPLES_PER_BASE
+
+    @property
+    def minion_headroom(self) -> float:
+        """How many times the MinION's maximum output the accelerator absorbs."""
+        return self.total_throughput_samples_per_s / MINION_MAX_SAMPLES_PER_S
+
+
+def accelerator_performance(
+    genome_length_bases: int,
+    both_strands: bool = True,
+    query_samples: int = 2000,
+    model: Optional[AsicModel] = None,
+) -> AcceleratorPerformance:
+    """Performance of the provisioned accelerator for one target genome."""
+    if genome_length_bases <= 0:
+        raise ValueError("genome_length_bases must be positive")
+    asic = model if model is not None else AsicModel()
+    reference_samples = genome_length_bases * (2 if both_strands else 1)
+    return AcceleratorPerformance(
+        reference_samples=reference_samples,
+        query_samples=query_samples,
+        clock_ghz=asic.technology.clock_ghz,
+        n_tiles=asic.n_tiles,
+    )
+
+
+def latency_comparison(
+    genome_length_bases: int = 30_000,
+    query_samples: int = 2000,
+) -> List[Dict[str, object]]:
+    """Figure 16a: per-decision latency of each classifier option."""
+    accelerator = accelerator_performance(genome_length_bases, query_samples=query_samples)
+    rows: List[Dict[str, object]] = [
+        {
+            "classifier": f"{record.basecaller}@{record.device}",
+            "latency_ms": record.read_until_latency_ms,
+            "extra_bases_sequenced": record.read_until_latency_ms / 1000.0 * 450.0,
+        }
+        for record in BASECALLER_PERFORMANCE
+    ]
+    rows.append(
+        {
+            "classifier": "squigglefilter",
+            "latency_ms": accelerator.latency_ms,
+            "extra_bases_sequenced": accelerator.latency_ms / 1000.0 * 450.0,
+        }
+    )
+    return rows
+
+
+def throughput_comparison(
+    genome_length_bases: int = 30_000,
+    query_samples: int = 2000,
+) -> List[Dict[str, object]]:
+    """Figure 16b: sustained classification throughput versus sequencer output."""
+    accelerator = accelerator_performance(genome_length_bases, query_samples=query_samples)
+    rows: List[Dict[str, object]] = []
+    for record in BASECALLER_PERFORMANCE:
+        rows.append(
+            {
+                "classifier": f"{record.basecaller}@{record.device}",
+                "throughput_samples_per_s": record.read_until_samples_per_s,
+                "minion_fraction": record.minion_fraction,
+                "keeps_up_with_minion": record.supports_full_read_until(),
+            }
+        )
+    rows.append(
+        {
+            "classifier": "squigglefilter",
+            "throughput_samples_per_s": accelerator.total_throughput_samples_per_s,
+            "minion_fraction": accelerator.total_throughput_bases_per_s / MINION_MAX_BASES_PER_S,
+            "keeps_up_with_minion": True,
+        }
+    )
+    return rows
+
+
+def speedup_over_baseline(
+    genome_length_bases: int = 30_000,
+    baseline: Optional[BasecallerPerformance] = None,
+) -> float:
+    """Headline throughput ratio (paper abstract: 274x over the edge GPU pipeline)."""
+    accelerator = accelerator_performance(genome_length_bases)
+    if baseline is None:
+        baseline = next(
+            record
+            for record in BASECALLER_PERFORMANCE
+            if record.basecaller == "guppy_lite" and record.device == "jetson_xavier"
+        )
+    return accelerator.total_throughput_samples_per_s / baseline.read_until_samples_per_s

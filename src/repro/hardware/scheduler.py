@@ -1,0 +1,157 @@
+"""Read-to-tile dispatch and occupancy modelling.
+
+Section 5.1: "Each read is assigned to an available tile for classification",
+and the tile count (5) is chosen so the accelerator keeps up with a future
+100x-throughput sequencer. This module models that dispatch as a simple
+queueing simulation: classification requests arrive as reads reach the
+decision prefix on the sequencer, each occupies a tile for the classification
+latency, and we measure tile utilization, queueing delay and the maximum
+sequencer scale a given tile count sustains.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.basecall.performance import MINION_MAX_SAMPLES_PER_S
+from repro.hardware.performance import accelerator_performance
+
+
+@dataclass
+class DispatchStats:
+    """Outcome of one dispatch simulation."""
+
+    n_requests: int
+    simulated_seconds: float
+    tile_busy_seconds: np.ndarray
+    waiting_times_s: List[float] = field(default_factory=list)
+
+    @property
+    def mean_waiting_ms(self) -> float:
+        if not self.waiting_times_s:
+            return 0.0
+        return float(np.mean(self.waiting_times_s) * 1e3)
+
+    @property
+    def max_waiting_ms(self) -> float:
+        if not self.waiting_times_s:
+            return 0.0
+        return float(np.max(self.waiting_times_s) * 1e3)
+
+    @property
+    def utilization(self) -> np.ndarray:
+        """Per-tile busy fraction."""
+        if self.simulated_seconds <= 0:
+            return np.zeros_like(self.tile_busy_seconds)
+        return self.tile_busy_seconds / self.simulated_seconds
+
+    @property
+    def mean_utilization(self) -> float:
+        return float(self.utilization.mean()) if self.tile_busy_seconds.size else 0.0
+
+
+class TileScheduler:
+    """Event-driven simulation of read classification requests over N tiles."""
+
+    def __init__(
+        self,
+        n_tiles: int = 5,
+        classification_latency_s: float = 2.7e-5,
+        seed: Optional[int] = None,
+    ) -> None:
+        if n_tiles <= 0:
+            raise ValueError("n_tiles must be positive")
+        if classification_latency_s <= 0:
+            raise ValueError("classification_latency_s must be positive")
+        self.n_tiles = n_tiles
+        self.classification_latency_s = classification_latency_s
+        self._rng = np.random.default_rng(seed)
+
+    def simulate(
+        self,
+        request_rate_per_s: float,
+        duration_s: float = 10.0,
+        poisson: bool = True,
+    ) -> DispatchStats:
+        """Simulate ``duration_s`` of classification requests at the given rate.
+
+        Requests are served FIFO by the first free tile; a request that finds
+        all tiles busy waits (in reality the squiggles simply sit in DRAM a
+        little longer).
+        """
+        if request_rate_per_s <= 0:
+            raise ValueError("request_rate_per_s must be positive")
+        if duration_s <= 0:
+            raise ValueError("duration_s must be positive")
+
+        if poisson:
+            inter_arrival = self._rng.exponential(
+                1.0 / request_rate_per_s, size=int(request_rate_per_s * duration_s * 1.2) + 1
+            )
+            arrivals = np.cumsum(inter_arrival)
+        else:
+            arrivals = np.arange(0.0, duration_s, 1.0 / request_rate_per_s)
+        arrivals = arrivals[arrivals < duration_s]
+
+        tile_free_at = [0.0] * self.n_tiles
+        busy = np.zeros(self.n_tiles)
+        waiting: List[float] = []
+        heap = [(0.0, tile) for tile in range(self.n_tiles)]
+        heapq.heapify(heap)
+        for arrival in arrivals:
+            free_at, tile = heapq.heappop(heap)
+            start = max(arrival, free_at)
+            waiting.append(start - arrival)
+            end = start + self.classification_latency_s
+            busy[tile] += self.classification_latency_s
+            tile_free_at[tile] = end
+            heapq.heappush(heap, (end, tile))
+        return DispatchStats(
+            n_requests=int(arrivals.size),
+            simulated_seconds=float(duration_s),
+            tile_busy_seconds=busy,
+            waiting_times_s=waiting,
+        )
+
+    def max_sustainable_request_rate(self) -> float:
+        """Requests per second the tiles can absorb at 100 % utilization."""
+        return self.n_tiles / self.classification_latency_s
+
+
+def request_rate_for_sequencer(
+    sequencer_scale: float = 1.0,
+    decision_prefix_samples: int = 2000,
+    sequencer_samples_per_s: float = MINION_MAX_SAMPLES_PER_S,
+) -> float:
+    """Classification requests per second produced by a (scaled) sequencer.
+
+    Every pore produces one decision request per ``decision_prefix_samples``
+    of signal, so the aggregate request rate is the aggregate sample rate
+    divided by the prefix length — pessimistically assuming every read is
+    ejected right after its decision (ejected reads free the pore quickly, so
+    this is the worst case for the accelerator).
+    """
+    if sequencer_scale <= 0:
+        raise ValueError("sequencer_scale must be positive")
+    if decision_prefix_samples <= 0:
+        raise ValueError("decision_prefix_samples must be positive")
+    return sequencer_scale * sequencer_samples_per_s / decision_prefix_samples
+
+
+def required_tiles(
+    sequencer_scale: float,
+    genome_length_bases: int = 30_000,
+    decision_prefix_samples: int = 2000,
+    utilization_target: float = 0.8,
+) -> int:
+    """Smallest tile count that serves a scaled sequencer below a utilization target."""
+    if not 0.0 < utilization_target <= 1.0:
+        raise ValueError("utilization_target must be in (0, 1]")
+    performance = accelerator_performance(genome_length_bases, query_samples=decision_prefix_samples)
+    rate = request_rate_for_sequencer(sequencer_scale, decision_prefix_samples)
+    per_tile_capacity = utilization_target / performance.latency_s
+    return max(1, int(np.ceil(rate / per_tile_capacity)))

@@ -1,0 +1,184 @@
+"""Systolic-array tile model (paper Section 5.1, Figure 13).
+
+A tile is a 1-D chain of 2000 processing elements, one per query sample. The
+reference squiggle streams through the chain; after ``query_length +
+reference_length`` cycles the last PE has seen every cell of the final DP row
+and the threshold comparator knows the minimum alignment cost.
+
+Two execution modes are provided:
+
+* :meth:`SystolicTile.align` — the fast functional model. It reuses the
+  integer software kernel (bit-compatible with the hardware recurrence) and
+  reports the cycle count analytically. This is what experiments use.
+* :meth:`SystolicTile.simulate_cycles` — a true cycle-by-cycle simulation
+  built from :class:`repro.hardware.pe.ProcessingElement`. It is quadratic in
+  Python and intended for small inputs; tests use it to prove the systolic
+  schedule equals the software kernel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.config import SDTWConfig
+from repro.core.sdtw import SDTWState, sdtw_resume
+from repro.hardware.pe import INFINITE_COST, PEState, ProcessingElement, ThresholdComparator
+
+
+@dataclass
+class TileResult:
+    """Outcome of one tile-level alignment."""
+
+    cost: float
+    end_position: int
+    accept: Optional[bool]
+    query_samples: int
+    reference_samples: int
+    compute_cycles: int
+    state: Optional[SDTWState] = None
+
+    @property
+    def wavefront_cycles(self) -> int:
+        """Cycles for the systolic wavefront alone (fill + stream)."""
+        return self.compute_cycles
+
+
+class SystolicTile:
+    """Functional model of one SquiggleFilter tile."""
+
+    def __init__(
+        self,
+        n_pes: int = 2000,
+        match_bonus: int = 10,
+        match_bonus_cap: int = 10,
+        reference_buffer_kb: float = 100.0,
+    ) -> None:
+        if n_pes <= 0:
+            raise ValueError("n_pes must be positive")
+        self.n_pes = n_pes
+        self.match_bonus = match_bonus
+        self.match_bonus_cap = match_bonus_cap
+        self.reference_buffer_kb = reference_buffer_kb
+        self.config = SDTWConfig(
+            distance="absolute",
+            allow_reference_deletions=False,
+            quantize=True,
+            match_bonus=float(match_bonus),
+            match_bonus_cap=match_bonus_cap,
+        )
+
+    def reference_fits(self, reference_samples: int, bytes_per_sample: int = 2) -> bool:
+        """Whether the reference squiggle fits this tile's on-chip buffer."""
+        return reference_samples * bytes_per_sample <= self.reference_buffer_kb * 1024
+
+    def align(
+        self,
+        query: np.ndarray,
+        reference: np.ndarray,
+        threshold: Optional[float] = None,
+        state: Optional[SDTWState] = None,
+        keep_state: bool = False,
+    ) -> TileResult:
+        """Align a normalized, quantized query prefix against the reference.
+
+        ``query`` must contain at most ``n_pes`` samples (one per PE). Passing
+        a ``state`` continues a previous prefix (multi-stage filtering);
+        ``keep_state`` controls whether the intermediate last-row costs are
+        written out (the DRAM traffic discussed in Section 5.1).
+        """
+        query_values = np.asarray(query)
+        if query_values.size == 0:
+            raise ValueError("query must be non-empty")
+        if query_values.size > self.n_pes:
+            raise ValueError(
+                f"query of {query_values.size} samples exceeds the {self.n_pes}-PE tile"
+            )
+        reference_values = np.asarray(reference)
+        new_state = sdtw_resume(query_values, reference_values, self.config, state=state)
+        cost = new_state.cost
+        accept = None if threshold is None else bool(cost <= threshold)
+        return TileResult(
+            cost=cost,
+            end_position=new_state.end_position,
+            accept=accept,
+            query_samples=int(query_values.size),
+            reference_samples=int(reference_values.size),
+            compute_cycles=int(query_values.size + reference_values.size - 1),
+            state=new_state if keep_state else None,
+        )
+
+    def intermediate_bandwidth_bytes(self, reference_samples: int, bytes_per_cost: int = 4) -> int:
+        """Bytes written to DRAM when storing the last row for multi-stage filtering."""
+        return int(reference_samples * bytes_per_cost)
+
+    # ----------------------------------------------------------- cycle simulation
+    def simulate_cycles(
+        self,
+        query: np.ndarray,
+        reference: np.ndarray,
+        threshold: Optional[float] = None,
+    ) -> TileResult:
+        """Cycle-by-cycle simulation using explicit PEs (small inputs only)."""
+        query_values = [int(value) for value in np.asarray(query).tolist()]
+        reference_values = [int(value) for value in np.asarray(reference).tolist()]
+        if not query_values or not reference_values:
+            raise ValueError("query and reference must be non-empty")
+        if len(query_values) > self.n_pes:
+            raise ValueError(
+                f"query of {len(query_values)} samples exceeds the {self.n_pes}-PE tile"
+            )
+        pes = [
+            ProcessingElement(
+                index=index,
+                match_bonus=self.match_bonus,
+                match_bonus_cap=self.match_bonus_cap,
+            )
+            for index in range(len(query_values))
+        ]
+        for pe, value in zip(pes, query_values):
+            pe.reset(value)
+        comparator = ThresholdComparator(
+            threshold=None if threshold is None else int(threshold)
+        )
+
+        n_query = len(query_values)
+        n_reference = len(reference_values)
+        total_cycles = n_query + n_reference - 1
+        last_row: List[int] = [INFINITE_COST] * n_reference
+        for cycle in range(total_cycles):
+            # Evaluate PEs from the last to the first so each PE reads its left
+            # neighbour's *previous-cycle* outputs before they are overwritten.
+            for index in range(len(pes) - 1, -1, -1):
+                column = cycle - index
+                if not 0 <= column < n_reference:
+                    continue
+                pe = pes[index]
+                if index == 0:
+                    left_previous = PEState()
+                    left_before_previous = PEState()
+                else:
+                    left = pes[index - 1]
+                    left_previous = left.previous
+                    left_before_previous = left.before_previous
+                state = pe.step(reference_values[column], left_previous, left_before_previous)
+                if index == len(pes) - 1:
+                    comparator.observe(state)
+                    last_row[column] = state.cost
+        row = np.array(last_row, dtype=np.float64)
+        end_position = int(np.argmin(row))
+        cost = float(row[end_position])
+        accept = None
+        if threshold is not None:
+            accept = comparator.decision()
+        return TileResult(
+            cost=cost,
+            end_position=end_position,
+            accept=accept,
+            query_samples=n_query,
+            reference_samples=n_reference,
+            compute_cycles=total_cycles,
+            state=None,
+        )

@@ -1,0 +1,17 @@
+"""I/O substrate: FASTA sequences and FAST5-like raw-signal read containers."""
+
+from repro.io.fasta import FastaRecord, read_fasta, write_fasta
+from repro.io.fast5 import Fast5Read, Fast5Store
+from repro.io.paf import PafRecord, paf_from_alignment, read_paf, write_paf
+
+__all__ = [
+    "Fast5Read",
+    "Fast5Store",
+    "FastaRecord",
+    "PafRecord",
+    "paf_from_alignment",
+    "read_fasta",
+    "read_paf",
+    "write_fasta",
+    "write_paf",
+]

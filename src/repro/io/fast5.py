@@ -1,0 +1,149 @@
+"""FAST5-like containers for raw nanopore signal.
+
+Real MinION runs store raw 16-bit ADC samples per read in HDF5 ``.fast5``
+files (accessed via ``ont-fast5-api``). We reproduce the same role with a
+lightweight in-memory read record plus an ``.npz``-backed store so example
+scripts can persist and reload simulated runs without HDF5.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Union
+
+import numpy as np
+
+
+@dataclass
+class Fast5Read:
+    """One raw-signal read: ADC samples plus the channel metadata ONT stores."""
+
+    read_id: str
+    signal: np.ndarray
+    channel: int = 0
+    sample_rate: float = 4000.0
+    offset: float = 0.0
+    range_pa: float = 1400.0
+    digitisation: float = 8192.0
+    metadata: Dict[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.signal = np.asarray(self.signal)
+        if self.signal.ndim != 1:
+            raise ValueError(f"signal must be 1-D, got shape {self.signal.shape}")
+        if self.sample_rate <= 0:
+            raise ValueError(f"sample_rate must be positive, got {self.sample_rate}")
+        if self.digitisation <= 0:
+            raise ValueError(f"digitisation must be positive, got {self.digitisation}")
+
+    def __len__(self) -> int:
+        return int(self.signal.size)
+
+    @property
+    def duration_seconds(self) -> float:
+        """Wall-clock sequencing time represented by this signal."""
+        return self.signal.size / self.sample_rate
+
+    def to_picoamps(self) -> np.ndarray:
+        """Convert raw ADC counts to picoamps using the ONT conversion."""
+        return (self.signal.astype(np.float64) + self.offset) * (self.range_pa / self.digitisation)
+
+    @classmethod
+    def from_picoamps(
+        cls,
+        read_id: str,
+        current_pa: np.ndarray,
+        channel: int = 0,
+        sample_rate: float = 4000.0,
+        offset: float = 0.0,
+        range_pa: float = 1400.0,
+        digitisation: float = 8192.0,
+        metadata: Optional[Dict[str, str]] = None,
+    ) -> "Fast5Read":
+        """Quantize a picoamp trace into ADC counts, mirroring the MinION ADC."""
+        current = np.asarray(current_pa, dtype=np.float64)
+        counts = np.rint(current * (digitisation / range_pa) - offset)
+        counts = np.clip(counts, 0, digitisation - 1).astype(np.int16)
+        return cls(
+            read_id=read_id,
+            signal=counts,
+            channel=channel,
+            sample_rate=sample_rate,
+            offset=offset,
+            range_pa=range_pa,
+            digitisation=digitisation,
+            metadata=dict(metadata or {}),
+        )
+
+
+class Fast5Store:
+    """A collection of :class:`Fast5Read` with ``.npz`` persistence."""
+
+    def __init__(self, reads: Optional[List[Fast5Read]] = None) -> None:
+        self._reads: Dict[str, Fast5Read] = {}
+        for read in reads or []:
+            self.add(read)
+
+    def add(self, read: Fast5Read) -> None:
+        if read.read_id in self._reads:
+            raise ValueError(f"duplicate read id {read.read_id!r}")
+        self._reads[read.read_id] = read
+
+    def get(self, read_id: str) -> Fast5Read:
+        return self._reads[read_id]
+
+    def __len__(self) -> int:
+        return len(self._reads)
+
+    def __iter__(self) -> Iterator[Fast5Read]:
+        return iter(self._reads.values())
+
+    def __contains__(self, read_id: str) -> bool:
+        return read_id in self._reads
+
+    def read_ids(self) -> List[str]:
+        return list(self._reads.keys())
+
+    def save(self, path: Union[str, Path]) -> None:
+        """Persist all reads and their metadata to a single ``.npz`` file."""
+        arrays = {}
+        manifest = []
+        for index, read in enumerate(self._reads.values()):
+            arrays[f"signal_{index}"] = read.signal
+            manifest.append(
+                {
+                    "read_id": read.read_id,
+                    "channel": read.channel,
+                    "sample_rate": read.sample_rate,
+                    "offset": read.offset,
+                    "range_pa": read.range_pa,
+                    "digitisation": read.digitisation,
+                    "metadata": read.metadata,
+                    "key": f"signal_{index}",
+                }
+            )
+        arrays["manifest"] = np.frombuffer(json.dumps(manifest).encode("utf-8"), dtype=np.uint8)
+        np.savez_compressed(path, **arrays)
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "Fast5Store":
+        """Load a store written by :meth:`save`."""
+        store = cls()
+        with np.load(path, allow_pickle=False) as data:
+            manifest = json.loads(bytes(data["manifest"].tobytes()).decode("utf-8"))
+            for entry in manifest:
+                store.add(
+                    Fast5Read(
+                        read_id=entry["read_id"],
+                        signal=data[entry["key"]],
+                        channel=int(entry["channel"]),
+                        sample_rate=float(entry["sample_rate"]),
+                        offset=float(entry["offset"]),
+                        range_pa=float(entry["range_pa"]),
+                        digitisation=float(entry["digitisation"]),
+                        metadata=dict(entry["metadata"]),
+                    )
+                )
+        return store

@@ -1,0 +1,90 @@
+"""Minimal FASTA reader/writer.
+
+Reference genomes and assembled consensus sequences move between modules and
+example scripts as FASTA files, mirroring the artifact's ``data/`` layout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, List, Union
+
+from repro.genomes.sequences import validate_sequence
+
+
+@dataclass(frozen=True)
+class FastaRecord:
+    """One FASTA entry: identifier, free-text description and sequence."""
+
+    name: str
+    sequence: str
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "sequence", validate_sequence(self.sequence))
+        if not self.name:
+            raise ValueError("FASTA record name must be non-empty")
+
+    def __len__(self) -> int:
+        return len(self.sequence)
+
+
+def read_fasta(path: Union[str, Path]) -> List[FastaRecord]:
+    """Parse a FASTA file into records.
+
+    Raises ``ValueError`` if the file does not start with a header line or
+    contains a record with no sequence.
+    """
+    records: List[FastaRecord] = []
+    name = ""
+    description = ""
+    chunks: List[str] = []
+
+    def flush() -> None:
+        if name:
+            if not chunks:
+                raise ValueError(f"FASTA record {name!r} has no sequence")
+            records.append(FastaRecord(name=name, sequence="".join(chunks), description=description))
+
+    with open(path, "r", encoding="utf-8") as handle:
+        for raw_line in handle:
+            line = raw_line.strip()
+            if not line:
+                continue
+            if line.startswith(">"):
+                flush()
+                header = line[1:].split(maxsplit=1)
+                if not header or not header[0]:
+                    raise ValueError("FASTA header line has no identifier")
+                name = header[0]
+                description = header[1] if len(header) > 1 else ""
+                chunks = []
+            else:
+                if not name:
+                    raise ValueError("FASTA file does not start with a '>' header")
+                chunks.append(line)
+    flush()
+    return records
+
+
+def write_fasta(
+    path: Union[str, Path],
+    records: Iterable[FastaRecord],
+    line_width: int = 70,
+) -> int:
+    """Write records to ``path``; returns the number of records written."""
+    if line_width <= 0:
+        raise ValueError(f"line_width must be positive, got {line_width}")
+    count = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for record in records:
+            header = f">{record.name}"
+            if record.description:
+                header = f"{header} {record.description}"
+            handle.write(header + "\n")
+            sequence = record.sequence
+            for start in range(0, len(sequence), line_width):
+                handle.write(sequence[start : start + line_width] + "\n")
+            count += 1
+    return count

@@ -1,0 +1,129 @@
+"""PAF (Pairwise mApping Format) output for alignments.
+
+MiniMap2 reports mappings as PAF records; downstream tools in real Read Until
+pipelines consume that format. Writing our aligner's output as PAF keeps the
+substrate interoperable and gives the examples a concrete artifact to save.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, List, Union
+
+from repro.align.aligner import Alignment
+
+
+@dataclass(frozen=True)
+class PafRecord:
+    """One PAF line (the 12 mandatory columns)."""
+
+    query_name: str
+    query_length: int
+    query_start: int
+    query_end: int
+    strand: str
+    target_name: str
+    target_length: int
+    target_start: int
+    target_end: int
+    residue_matches: int
+    alignment_block_length: int
+    mapping_quality: int
+
+    def __post_init__(self) -> None:
+        if self.strand not in ("+", "-"):
+            raise ValueError(f"strand must be '+' or '-', got {self.strand!r}")
+        if not 0 <= self.mapping_quality <= 255:
+            raise ValueError("mapping_quality must be within [0, 255]")
+        if self.query_start > self.query_end or self.target_start > self.target_end:
+            raise ValueError("interval start must not exceed end")
+
+    def to_line(self) -> str:
+        fields = [
+            self.query_name,
+            self.query_length,
+            self.query_start,
+            self.query_end,
+            self.strand,
+            self.target_name,
+            self.target_length,
+            self.target_start,
+            self.target_end,
+            self.residue_matches,
+            self.alignment_block_length,
+            self.mapping_quality,
+        ]
+        return "\t".join(str(field) for field in fields)
+
+    @classmethod
+    def from_line(cls, line: str) -> "PafRecord":
+        parts = line.rstrip("\n").split("\t")
+        if len(parts) < 12:
+            raise ValueError(f"PAF line has {len(parts)} fields, expected at least 12")
+        return cls(
+            query_name=parts[0],
+            query_length=int(parts[1]),
+            query_start=int(parts[2]),
+            query_end=int(parts[3]),
+            strand=parts[4],
+            target_name=parts[5],
+            target_length=int(parts[6]),
+            target_start=int(parts[7]),
+            target_end=int(parts[8]),
+            residue_matches=int(parts[9]),
+            alignment_block_length=int(parts[10]),
+            mapping_quality=int(parts[11]),
+        )
+
+
+def paf_from_alignment(
+    read_id: str,
+    alignment: Alignment,
+    target_name: str,
+    target_length: int,
+) -> PafRecord:
+    """Convert a :class:`repro.align.aligner.Alignment` into a PAF record."""
+    if alignment.aligned_pairs:
+        query_start = alignment.aligned_pairs[0][0]
+        query_end = alignment.aligned_pairs[-1][0] + 1
+        matches = int(round(alignment.identity * len(alignment.aligned_pairs)))
+        block = len(alignment.aligned_pairs)
+    else:
+        query_start, query_end = 0, alignment.query_length
+        matches = 0
+        block = alignment.reference_span
+    return PafRecord(
+        query_name=read_id,
+        query_length=alignment.query_length,
+        query_start=query_start,
+        query_end=query_end,
+        strand=alignment.strand,
+        target_name=target_name,
+        target_length=target_length,
+        target_start=alignment.reference_start,
+        target_end=alignment.reference_end,
+        residue_matches=matches,
+        alignment_block_length=max(block, 1),
+        mapping_quality=int(min(max(alignment.mapping_quality, 0), 255)),
+    )
+
+
+def write_paf(path: Union[str, Path], records: Iterable[PafRecord]) -> int:
+    """Write records to ``path``; returns the number written."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for record in records:
+            handle.write(record.to_line() + "\n")
+            count += 1
+    return count
+
+
+def read_paf(path: Union[str, Path]) -> List[PafRecord]:
+    """Read a PAF file written by :func:`write_paf` (or MiniMap2)."""
+    records: List[PafRecord] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            if line.strip():
+                records.append(PafRecord.from_line(line))
+    return records

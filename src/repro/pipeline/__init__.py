@@ -1,0 +1,28 @@
+"""Pipeline-level models: Read Until orchestration, profiling, runtime and scalability."""
+
+from repro.pipeline.cost_model import SequencingCostConfig, experiment_cost, read_until_savings
+from repro.pipeline.profiling import PipelineProfile, profile_pipeline
+from repro.pipeline.read_until import ReadUntilPipeline, PipelineRunResult
+from repro.pipeline.runtime_model import (
+    ReadUntilModelConfig,
+    runtime_from_decisions,
+    runtime_vs_threshold,
+    sequencing_runtime_s,
+)
+from repro.pipeline.scalability import ScalabilityPoint, scalability_analysis
+
+__all__ = [
+    "PipelineProfile",
+    "PipelineRunResult",
+    "ReadUntilModelConfig",
+    "ReadUntilPipeline",
+    "ScalabilityPoint",
+    "SequencingCostConfig",
+    "experiment_cost",
+    "profile_pipeline",
+    "runtime_from_decisions",
+    "runtime_vs_threshold",
+    "read_until_savings",
+    "scalability_analysis",
+    "sequencing_runtime_s",
+]

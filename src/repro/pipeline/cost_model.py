@@ -1,0 +1,124 @@
+"""Sequencing time-and-cost model ("time saved is cost saved", paper Figure 20 / Table 1).
+
+Flow cells are the dominant consumable cost of nanopore sequencing and their
+useful lifetime is measured in pore-hours. Read Until shortens the pore-time
+needed per experiment, which translates directly into more experiments per
+flow cell and a lower cost per assembled genome. This module turns the
+runtime model's output into the dollar figures Table 1 reports for the
+sequencing-based detectors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.pipeline.runtime_model import ReadUntilModelConfig, sequencing_runtime_s
+
+
+@dataclass(frozen=True)
+class SequencingCostConfig:
+    """Consumable prices and lifetimes (paper Section 2.3 figures)."""
+
+    flowcell_cost_usd: float = 500.0
+    flowcell_reuses: int = 4
+    flowcell_lifetime_hours: float = 72.0
+    library_prep_cost_usd: float = 100.0
+    device_cost_usd: float = 1_000.0
+    device_lifetime_experiments: int = 500
+
+    def __post_init__(self) -> None:
+        for name in (
+            "flowcell_cost_usd",
+            "flowcell_lifetime_hours",
+            "library_prep_cost_usd",
+            "device_cost_usd",
+        ):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+        if self.flowcell_reuses < 1 or self.device_lifetime_experiments < 1:
+            raise ValueError("reuse counts must be at least 1")
+
+    @property
+    def effective_flowcell_cost_usd(self) -> float:
+        """Per-use flow cell cost after washing/re-use (paper: $125/use)."""
+        return self.flowcell_cost_usd / self.flowcell_reuses
+
+    @property
+    def flowcell_cost_per_hour_usd(self) -> float:
+        """Opportunity cost of occupying the flow cell for one hour."""
+        return self.flowcell_cost_usd / self.flowcell_lifetime_hours
+
+    @property
+    def device_cost_per_experiment_usd(self) -> float:
+        return self.device_cost_usd / self.device_lifetime_experiments
+
+
+@dataclass
+class ExperimentCost:
+    """Cost breakdown of one sequencing experiment."""
+
+    runtime_hours: float
+    flowcell_occupancy_usd: float
+    library_prep_usd: float
+    device_amortization_usd: float
+
+    @property
+    def total_usd(self) -> float:
+        return self.flowcell_occupancy_usd + self.library_prep_usd + self.device_amortization_usd
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "runtime_hours": self.runtime_hours,
+            "flowcell_occupancy_usd": self.flowcell_occupancy_usd,
+            "library_prep_usd": self.library_prep_usd,
+            "device_amortization_usd": self.device_amortization_usd,
+            "total_usd": self.total_usd,
+        }
+
+
+def experiment_cost(
+    runtime_s: float,
+    cost_config: SequencingCostConfig = SequencingCostConfig(),
+) -> ExperimentCost:
+    """Cost of one experiment given its sequencing runtime."""
+    if runtime_s < 0:
+        raise ValueError("runtime_s must be non-negative")
+    runtime_hours = runtime_s / 3600.0
+    return ExperimentCost(
+        runtime_hours=runtime_hours,
+        flowcell_occupancy_usd=runtime_hours * cost_config.flowcell_cost_per_hour_usd,
+        library_prep_usd=cost_config.library_prep_cost_usd,
+        device_amortization_usd=cost_config.device_cost_per_experiment_usd,
+    )
+
+
+def read_until_savings(
+    model: ReadUntilModelConfig,
+    recall: float,
+    false_positive_rate: float,
+    cost_config: SequencingCostConfig = SequencingCostConfig(),
+) -> Dict[str, float]:
+    """Time and cost saved by Read Until at one classifier operating point."""
+    control_runtime = sequencing_runtime_s(model, use_read_until=False)
+    read_until_runtime = sequencing_runtime_s(
+        model, recall=recall, false_positive_rate=false_positive_rate
+    )
+    control_cost = experiment_cost(control_runtime, cost_config)
+    read_until_cost = experiment_cost(read_until_runtime, cost_config)
+    experiments_per_flowcell_control = max(
+        int(cost_config.flowcell_lifetime_hours // max(control_cost.runtime_hours, 1e-9)), 1
+    )
+    experiments_per_flowcell_read_until = max(
+        int(cost_config.flowcell_lifetime_hours // max(read_until_cost.runtime_hours, 1e-9)), 1
+    )
+    return {
+        "control_runtime_hours": control_cost.runtime_hours,
+        "read_until_runtime_hours": read_until_cost.runtime_hours,
+        "time_saved_hours": control_cost.runtime_hours - read_until_cost.runtime_hours,
+        "control_cost_usd": control_cost.total_usd,
+        "read_until_cost_usd": read_until_cost.total_usd,
+        "cost_saved_usd": control_cost.total_usd - read_until_cost.total_usd,
+        "experiments_per_flowcell_control": float(experiments_per_flowcell_control),
+        "experiments_per_flowcell_read_until": float(experiments_per_flowcell_read_until),
+    }

@@ -1,0 +1,137 @@
+"""Compute-time profiling of the conventional pipeline (paper Figure 5).
+
+Figure 5 breaks the software pipeline's compute time into basecalling
+(Guppy-lite), alignment (MiniMap2) and variant calling (Racon + Medaka) when
+assembling a SARS-CoV-2 genome from specimens with 1 % and 0.1 % viral reads,
+and finds basecalling dominates (~96 %).
+
+The model here reproduces that accounting: every captured read has its prefix
+basecalled and aligned for the Read Until decision, accepted reads are
+basecalled in full and fed to the variant caller, and each stage's time is
+its work divided by the measured stage throughput on the evaluated device.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.basecall.performance import basecaller_performance
+from repro.pipeline.runtime_model import ReadUntilModelConfig
+
+# Stage throughputs for the non-basecalling stages, expressed per read.
+# Aligning a few-hundred-base read against a <100 kb viral reference is
+# orders of magnitude cheaper than basecalling it (Section 3.2) — MiniMap2
+# maps tens of thousands of such reads per second — and variant calling
+# touches only the kept target reads.
+ALIGN_READS_PER_S = 15_000.0
+VARIANT_CALL_READS_PER_S = 150.0
+
+
+@dataclass
+class PipelineProfile:
+    """Per-stage compute seconds and their fractions."""
+
+    basecall_s: float
+    align_s: float
+    variant_call_s: float
+    viral_fraction: float
+    n_reads: float
+
+    @property
+    def total_s(self) -> float:
+        return self.basecall_s + self.align_s + self.variant_call_s
+
+    def fractions(self) -> Dict[str, float]:
+        total = self.total_s
+        if total == 0:
+            return {"basecall": 0.0, "align": 0.0, "variant_call": 0.0}
+        return {
+            "basecall": self.basecall_s / total,
+            "align": self.align_s / total,
+            "variant_call": self.variant_call_s / total,
+        }
+
+    @property
+    def basecall_fraction(self) -> float:
+        return self.fractions()["basecall"]
+
+    def as_rows(self) -> List[Dict[str, object]]:
+        fractions = self.fractions()
+        return [
+            {
+                "stage": stage,
+                "seconds": seconds,
+                "fraction": fractions[stage],
+                "viral_fraction": self.viral_fraction,
+            }
+            for stage, seconds in (
+                ("basecall", self.basecall_s),
+                ("align", self.align_s),
+                ("variant_call", self.variant_call_s),
+            )
+        ]
+
+
+def profile_pipeline(
+    config: Optional[ReadUntilModelConfig] = None,
+    basecaller: str = "guppy_lite",
+    device: str = "jetson_xavier",
+    recall: float = 1.0,
+    false_positive_rate: float = 0.0,
+    align_reads_per_s: float = ALIGN_READS_PER_S,
+    variant_call_reads_per_s: float = VARIANT_CALL_READS_PER_S,
+) -> PipelineProfile:
+    """Compute the Figure 5 breakdown for one specimen configuration.
+
+    ``config.viral_fraction`` selects the 1 % or 0.1 % specimen. The decision
+    prefix of every read is basecalled; kept reads (true positives plus false
+    positives) are additionally basecalled to full length before variant
+    calling.
+    """
+    model = config if config is not None else ReadUntilModelConfig()
+    if align_reads_per_s <= 0 or variant_call_reads_per_s <= 0:
+        raise ValueError("stage throughputs must be positive")
+
+    performance = basecaller_performance(basecaller, device)
+    basecall_bases_per_s = performance.read_until_bases_per_s
+
+    p = model.viral_fraction
+    kept_target_per_slot = p * recall
+    if kept_target_per_slot <= 0:
+        raise ValueError("recall and viral fraction must keep at least some target reads")
+    n_reads = model.target_reads_needed / kept_target_per_slot
+    n_target_kept = model.target_reads_needed
+    n_background_kept = n_reads * (1.0 - p) * false_positive_rate
+
+    prefix_bases = model.decision_bases
+    # Decision basecalling for every read, full basecalling for kept reads.
+    basecall_bases = n_reads * prefix_bases
+    basecall_bases += n_target_kept * model.mean_target_read_bases
+    basecall_bases += n_background_kept * model.mean_background_read_bases
+    basecall_s = basecall_bases / basecall_bases_per_s
+
+    align_s = n_reads / align_reads_per_s
+    variant_call_s = (n_target_kept + n_background_kept) / variant_call_reads_per_s
+    return PipelineProfile(
+        basecall_s=basecall_s,
+        align_s=align_s,
+        variant_call_s=variant_call_s,
+        viral_fraction=p,
+        n_reads=n_reads,
+    )
+
+
+def profile_both_specimens(
+    basecaller: str = "guppy_lite",
+    device: str = "jetson_xavier",
+    base_config: Optional[ReadUntilModelConfig] = None,
+) -> Dict[float, PipelineProfile]:
+    """The two bars of Figure 5: 1 % and 0.1 % viral-fraction specimens."""
+    config = base_config if base_config is not None else ReadUntilModelConfig()
+    profiles = {}
+    for fraction in (0.01, 0.001):
+        profiles[fraction] = profile_pipeline(
+            config.with_(viral_fraction=fraction), basecaller=basecaller, device=device
+        )
+    return profiles

@@ -1,0 +1,155 @@
+"""End-to-end Read Until pipeline orchestration (paper Figure 4).
+
+Connects the pieces: a read source (the sequencer simulation), a Read Until
+classifier (SquiggleFilter, the basecall+align baseline, or a multi-stage
+filter), the event-driven sequencing session, and the off-critical-path
+reference-guided assembly of the kept reads. This is the module the
+examples use to run "a whole virus detection" from specimen to consensus
+genome.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.assembly.consensus import AssemblyResult, ReferenceGuidedAssembler
+from repro.baselines.basecall_align import BasecallAlignClassifier
+from repro.core.filter import FilterDecision, MultiStageSquiggleFilter, SquiggleFilter
+from repro.sequencer.reads import Read
+from repro.sequencer.run import MinIONParameters, ReadUntilSession, SessionSummary
+from repro.analysis.metrics import ClassificationCounts, confusion_from_labels
+
+Classifier = Union[SquiggleFilter, MultiStageSquiggleFilter, BasecallAlignClassifier]
+
+
+@dataclass
+class PipelineRunResult:
+    """Everything one pipeline run produces."""
+
+    session: SessionSummary
+    confusion: ClassificationCounts
+    assembly: Optional[AssemblyResult]
+    classifier_name: str
+    decision_latency_s: float
+
+    @property
+    def runtime_s(self) -> float:
+        return self.session.total_time_s
+
+    @property
+    def recall(self) -> float:
+        return self.confusion.recall
+
+    @property
+    def false_positive_rate(self) -> float:
+        return self.confusion.false_positive_rate
+
+
+class ReadUntilPipeline:
+    """Run a Read Until experiment with a pluggable classifier."""
+
+    def __init__(
+        self,
+        classifier: Classifier,
+        target_genome: str,
+        parameters: Optional[MinIONParameters] = None,
+        decision_latency_s: Optional[float] = None,
+        prefix_samples: int = 2000,
+        assemble: bool = True,
+        assembler: Optional[ReferenceGuidedAssembler] = None,
+    ) -> None:
+        self.classifier = classifier
+        self.target_genome = target_genome
+        self.parameters = parameters if parameters is not None else MinIONParameters()
+        self.prefix_samples = prefix_samples
+        self.assemble = assemble
+        self.assembler = assembler
+        if decision_latency_s is not None:
+            self.decision_latency_s = decision_latency_s
+        elif isinstance(classifier, BasecallAlignClassifier):
+            self.decision_latency_s = classifier.decision_latency_s
+        else:
+            # SquiggleFilter hardware decision latency is tens of microseconds;
+            # effectively zero on the Read Until timescale.
+            self.decision_latency_s = 4.3e-5
+
+    @property
+    def classifier_name(self) -> str:
+        return type(self.classifier).__name__
+
+    # ------------------------------------------------------------------ plumbing
+    def _decision_for_read(self, read: Read) -> FilterDecision:
+        if isinstance(self.classifier, BasecallAlignClassifier):
+            return self.classifier.classify_read(read, self.prefix_samples).as_filter_decision()
+        if isinstance(self.classifier, MultiStageSquiggleFilter):
+            return self.classifier.classify(read.signal_pa)
+        return self.classifier.classify(read.signal_pa, prefix_samples=self.prefix_samples)
+
+    def run(
+        self,
+        reads: Sequence[Read],
+        target_bases_goal: Optional[int] = None,
+    ) -> PipelineRunResult:
+        """Process ``reads`` through Read Until and assemble the kept targets."""
+        reads = list(reads)
+        decisions: Dict[str, FilterDecision] = {}
+
+        def classify_by_signal(prefix: np.ndarray) -> FilterDecision:
+            # The session hands us the signal prefix; we match it back to the
+            # read currently being processed via the closure below.
+            raise RuntimeError("classify_by_signal must be bound per read")
+
+        session = ReadUntilSession(
+            classifier=classify_by_signal,
+            parameters=self.parameters,
+            decision_latency_s=self.decision_latency_s,
+            prefix_samples=self.prefix_samples,
+        )
+
+        summary = SessionSummary(classifier_latency_s=self.decision_latency_s)
+        kept_reads: List[Read] = []
+        for read in reads:
+            decision = self._decision_for_read(read)
+            decisions[read.read_id] = decision
+            session.classifier = lambda prefix, d=decision: d
+            outcome = session.process_read(read)
+            summary.outcomes.append(outcome)
+            summary.total_time_s += outcome.sequencing_time_s
+            if outcome.is_target and not outcome.ejected:
+                summary.target_bases_kept += read.n_bases
+            if not outcome.ejected:
+                kept_reads.append(read)
+            if target_bases_goal is not None and summary.target_bases_kept >= target_bases_goal:
+                break
+
+        processed = summary.outcomes
+        confusion = confusion_from_labels(
+            truths=[outcome.is_target for outcome in processed],
+            predictions=[not outcome.ejected for outcome in processed],
+        )
+        assembly: Optional[AssemblyResult] = None
+        if self.assemble and kept_reads:
+            assembler = self.assembler or ReferenceGuidedAssembler(self.target_genome)
+            assembly = assembler.assemble(kept_reads)
+        return PipelineRunResult(
+            session=summary,
+            confusion=confusion,
+            assembly=assembly,
+            classifier_name=self.classifier_name,
+            decision_latency_s=self.decision_latency_s,
+        )
+
+
+def compare_classifiers(
+    reads: Sequence[Read],
+    pipelines: Dict[str, ReadUntilPipeline],
+    target_bases_goal: Optional[int] = None,
+) -> Dict[str, PipelineRunResult]:
+    """Run several pipelines over the same reads (used by examples and benches)."""
+    return {
+        name: pipeline.run(reads, target_bases_goal=target_bases_goal)
+        for name, pipeline in pipelines.items()
+    }

@@ -1,0 +1,234 @@
+"""Analytical Read Until sequencing-runtime model (paper Section 6, Figure 17b/c).
+
+The model estimates how long a sequencing run takes to reach the coverage
+goal on the target genome, as a function of the specimen's viral fraction,
+read lengths, pore kinetics (capture time, translocation speed, ejection
+time) and — crucially — the Read Until classifier's operating point:
+
+* its recall decides how many target reads are wasted (ejected),
+* its false-positive rate decides how many background reads are sequenced to
+  full length, and
+* the examined prefix plus the classification latency decide how many bases
+  every ejected read still costs.
+
+Evaluating the model over a threshold sweep produces the runtime-vs-threshold
+curves of Figure 17b (lambda phage) and 17c (SARS-CoV-2); evaluating it on
+the per-read decisions of a multi-stage filter quantifies the additional
+saving of Section 4.6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.core.filter import FilterDecision
+from repro.core.thresholds import ThresholdSweepResult
+
+
+@dataclass(frozen=True)
+class ReadUntilModelConfig:
+    """Inputs of the analytical runtime model."""
+
+    genome_length_bases: int = 30_000
+    coverage: float = 30.0
+    viral_fraction: float = 0.01
+    mean_target_read_bases: float = 4_000.0
+    mean_background_read_bases: float = 8_000.0
+    capture_time_s: float = 1.0
+    bases_per_second: float = 450.0
+    samples_per_base: float = 10.0
+    ejection_time_s: float = 0.5
+    decision_prefix_samples: int = 2000
+    decision_latency_s: float = 0.0
+    n_channels: int = 512
+
+    def __post_init__(self) -> None:
+        if self.genome_length_bases <= 0:
+            raise ValueError("genome_length_bases must be positive")
+        if self.coverage <= 0:
+            raise ValueError("coverage must be positive")
+        if not 0.0 < self.viral_fraction < 1.0:
+            raise ValueError("viral_fraction must be strictly between 0 and 1")
+        if self.mean_target_read_bases <= 0 or self.mean_background_read_bases <= 0:
+            raise ValueError("mean read lengths must be positive")
+        if self.bases_per_second <= 0 or self.samples_per_base <= 0:
+            raise ValueError("bases_per_second and samples_per_base must be positive")
+        if self.capture_time_s < 0 or self.ejection_time_s < 0 or self.decision_latency_s < 0:
+            raise ValueError("times must be non-negative")
+        if self.decision_prefix_samples <= 0:
+            raise ValueError("decision_prefix_samples must be positive")
+        if self.n_channels <= 0:
+            raise ValueError("n_channels must be positive")
+
+    # ------------------------------------------------------------ derived values
+    @property
+    def target_reads_needed(self) -> float:
+        """Kept target reads required to reach the coverage goal."""
+        return self.coverage * self.genome_length_bases / self.mean_target_read_bases
+
+    @property
+    def decision_bases(self) -> float:
+        """Bases sequenced before an ejection takes effect."""
+        prefix_bases = self.decision_prefix_samples / self.samples_per_base
+        latency_bases = self.decision_latency_s * self.bases_per_second
+        return prefix_bases + latency_bases
+
+    def read_time_s(self, n_bases: float) -> float:
+        """Pore-occupancy time of sequencing ``n_bases`` (plus capture)."""
+        return self.capture_time_s + n_bases / self.bases_per_second
+
+    def ejected_read_time_s(self, full_read_bases: float) -> float:
+        """Pore-occupancy time of a read ejected after the decision prefix."""
+        sequenced = min(self.decision_bases, full_read_bases)
+        return self.capture_time_s + sequenced / self.bases_per_second + self.ejection_time_s
+
+    def with_(self, **changes) -> "ReadUntilModelConfig":
+        return replace(self, **changes)
+
+
+def sequencing_runtime_s(
+    config: ReadUntilModelConfig,
+    recall: float = 1.0,
+    false_positive_rate: float = 0.0,
+    use_read_until: bool = True,
+) -> float:
+    """Wall-clock time to reach the coverage goal.
+
+    Without Read Until every captured read is sequenced to full length; with
+    Read Until target reads are kept with probability ``recall`` and
+    background reads are (incorrectly) kept with probability
+    ``false_positive_rate``.
+    """
+    if not 0.0 <= recall <= 1.0:
+        raise ValueError("recall must be within [0, 1]")
+    if not 0.0 <= false_positive_rate <= 1.0:
+        raise ValueError("false_positive_rate must be within [0, 1]")
+
+    p = config.viral_fraction
+    if use_read_until:
+        if recall <= 0.0:
+            return float("inf")
+        kept_target_per_slot = p * recall
+        target_time = recall * config.read_time_s(config.mean_target_read_bases) + (
+            1.0 - recall
+        ) * config.ejected_read_time_s(config.mean_target_read_bases)
+        background_time = false_positive_rate * config.read_time_s(
+            config.mean_background_read_bases
+        ) + (1.0 - false_positive_rate) * config.ejected_read_time_s(
+            config.mean_background_read_bases
+        )
+    else:
+        kept_target_per_slot = p
+        target_time = config.read_time_s(config.mean_target_read_bases)
+        background_time = config.read_time_s(config.mean_background_read_bases)
+
+    expected_slot_time = p * target_time + (1.0 - p) * background_time
+    slots_needed = config.target_reads_needed / kept_target_per_slot
+    total_pore_seconds = slots_needed * expected_slot_time
+    return total_pore_seconds / config.n_channels
+
+
+def read_until_speedup(
+    config: ReadUntilModelConfig,
+    recall: float,
+    false_positive_rate: float,
+) -> float:
+    """Runtime ratio control / Read Until at one operating point."""
+    with_read_until = sequencing_runtime_s(config, recall, false_positive_rate, use_read_until=True)
+    without = sequencing_runtime_s(config, use_read_until=False)
+    if with_read_until == 0:
+        return float("inf")
+    return without / with_read_until
+
+
+def runtime_vs_threshold(
+    sweep: ThresholdSweepResult,
+    config: ReadUntilModelConfig,
+) -> List[Dict[str, float]]:
+    """Figure 17b/c: modelled runtime at every threshold of an accuracy sweep."""
+    rows: List[Dict[str, float]] = []
+    for point in sweep:
+        runtime = sequencing_runtime_s(
+            config,
+            recall=point.recall,
+            false_positive_rate=point.false_positive_rate,
+        )
+        rows.append(
+            {
+                "threshold": point.threshold,
+                "recall": point.recall,
+                "false_positive_rate": point.false_positive_rate,
+                "runtime_s": runtime,
+                "runtime_hours": runtime / 3600.0,
+            }
+        )
+    return rows
+
+
+def best_runtime(rows: Sequence[Dict[str, float]]) -> Dict[str, float]:
+    """The minimum-runtime operating point of a runtime-vs-threshold curve."""
+    if not rows:
+        raise ValueError("no runtime rows provided")
+    return min(rows, key=lambda row: row["runtime_s"])
+
+
+def runtime_from_decisions(
+    decisions: Iterable[FilterDecision],
+    is_target: Iterable[bool],
+    config: ReadUntilModelConfig,
+    full_read_samples: Optional[Iterable[int]] = None,
+) -> float:
+    """Runtime estimated from observed per-read decisions (multi-stage filters).
+
+    Instead of a single (recall, false-positive-rate) pair, this uses each
+    read's actual decision and the number of samples it consumed before that
+    decision, so multi-stage filters — where different reads are ejected
+    after different prefix lengths — are modelled faithfully.
+    """
+    decisions = list(decisions)
+    truths = list(is_target)
+    if len(decisions) != len(truths):
+        raise ValueError("decisions and is_target must have equal length")
+    if not decisions:
+        raise ValueError("no decisions provided")
+    samples_list = (
+        list(full_read_samples) if full_read_samples is not None else [None] * len(decisions)
+    )
+    if len(samples_list) != len(decisions):
+        raise ValueError("full_read_samples must match decisions length")
+
+    target_times: List[float] = []
+    background_times: List[float] = []
+    kept_targets = 0
+    n_targets = 0
+    latency_bases = config.decision_latency_s * config.bases_per_second
+    for decision, target, full_samples in zip(decisions, truths, samples_list):
+        if target:
+            n_targets += 1
+        full_bases = (
+            config.mean_target_read_bases if target else config.mean_background_read_bases
+        )
+        if full_samples is not None:
+            full_bases = full_samples / config.samples_per_base
+        if decision.accept:
+            time_s = config.read_time_s(full_bases)
+            if target:
+                kept_targets += 1
+        else:
+            decision_bases = decision.samples_used / config.samples_per_base + latency_bases
+            sequenced = min(decision_bases, full_bases)
+            time_s = config.capture_time_s + sequenced / config.bases_per_second + config.ejection_time_s
+        (target_times if target else background_times).append(time_s)
+
+    if n_targets == 0 or kept_targets == 0:
+        return float("inf")
+    recall = kept_targets / n_targets
+    mean_target_time = sum(target_times) / len(target_times)
+    mean_background_time = (
+        sum(background_times) / len(background_times) if background_times else 0.0
+    )
+    p = config.viral_fraction
+    expected_slot_time = p * mean_target_time + (1.0 - p) * mean_background_time
+    slots_needed = config.target_reads_needed / (p * recall)
+    return slots_needed * expected_slot_time / config.n_channels

@@ -1,0 +1,167 @@
+"""Read Until scalability with growing sequencer throughput (paper Figure 21).
+
+ONT's roadmap promises 10-100x more sequencing throughput per device. A Read
+Until classifier that cannot keep up can only serve a fraction of the pores;
+the remaining pores sequence everything, so the Read Until benefit erodes.
+SquiggleFilter's throughput headroom (~114x a MinION) keeps the benefit
+intact across the projected range; GPU basecalling loses it almost
+immediately. This module computes that comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.basecall.performance import MINION_MAX_BASES_PER_S, basecaller_performance
+from repro.hardware.performance import accelerator_performance
+from repro.pipeline.runtime_model import ReadUntilModelConfig, sequencing_runtime_s
+
+
+@dataclass(frozen=True)
+class ClassifierOperatingPoint:
+    """A classifier's throughput ceiling and its classification quality."""
+
+    name: str
+    throughput_bases_per_s: float
+    recall: float
+    false_positive_rate: float
+    decision_latency_s: float
+
+    def __post_init__(self) -> None:
+        if self.throughput_bases_per_s <= 0:
+            raise ValueError("throughput_bases_per_s must be positive")
+        if not 0.0 < self.recall <= 1.0:
+            raise ValueError("recall must be in (0, 1]")
+        if not 0.0 <= self.false_positive_rate <= 1.0:
+            raise ValueError("false_positive_rate must be in [0, 1]")
+        if self.decision_latency_s < 0:
+            raise ValueError("decision_latency_s must be non-negative")
+
+
+@dataclass
+class ScalabilityPoint:
+    """Read Until benefit of one classifier at one sequencer scale factor."""
+
+    classifier: str
+    scale_factor: float
+    read_until_pore_fraction: float
+    runtime_with_read_until_s: float
+    runtime_without_read_until_s: float
+
+    @property
+    def speedup(self) -> float:
+        if self.runtime_with_read_until_s <= 0:
+            return float("inf")
+        return self.runtime_without_read_until_s / self.runtime_with_read_until_s
+
+
+def default_operating_points(
+    genome_length_bases: int = 30_000,
+    squigglefilter_recall: float = 0.94,
+    squigglefilter_fpr: float = 0.02,
+    guppy_lite_recall: float = 0.97,
+    guppy_lite_fpr: float = 0.01,
+) -> List[ClassifierOperatingPoint]:
+    """The three classifiers compared in Figure 21.
+
+    Guppy-lite is allowed a slightly better operating point than
+    SquiggleFilter (the paper concedes basecall+align is marginally more
+    accurate); the figure's message is that the accuracy edge is irrelevant
+    once the GPU cannot serve all pores.
+    """
+    jetson = basecaller_performance("guppy_lite", "jetson_xavier")
+    titan = basecaller_performance("guppy_lite", "titan_xp")
+    accelerator = accelerator_performance(genome_length_bases)
+    return [
+        ClassifierOperatingPoint(
+            name="guppy_lite@jetson_xavier",
+            throughput_bases_per_s=jetson.read_until_bases_per_s,
+            recall=guppy_lite_recall,
+            false_positive_rate=guppy_lite_fpr,
+            decision_latency_s=jetson.read_until_latency_ms / 1e3,
+        ),
+        ClassifierOperatingPoint(
+            name="guppy_lite@titan_xp",
+            throughput_bases_per_s=titan.read_until_bases_per_s,
+            recall=guppy_lite_recall,
+            false_positive_rate=guppy_lite_fpr,
+            decision_latency_s=titan.read_until_latency_ms / 1e3,
+        ),
+        ClassifierOperatingPoint(
+            name="squigglefilter",
+            throughput_bases_per_s=accelerator.total_throughput_bases_per_s,
+            recall=squigglefilter_recall,
+            false_positive_rate=squigglefilter_fpr,
+            decision_latency_s=accelerator.latency_s,
+        ),
+    ]
+
+
+def scalability_analysis(
+    scale_factors: Sequence[float] = (1, 2, 5, 10, 20, 50, 100),
+    operating_points: Optional[Sequence[ClassifierOperatingPoint]] = None,
+    config: Optional[ReadUntilModelConfig] = None,
+    sequencer_bases_per_s: float = MINION_MAX_BASES_PER_S,
+) -> List[ScalabilityPoint]:
+    """Figure 21: runtime benefit versus sequencer throughput scaling.
+
+    At scale ``s`` the sequencer produces ``s x`` the MinION's output. The
+    classifier can serve Read Until decisions for a pore fraction
+    ``min(1, classifier_throughput / (s x sequencer output))``; the remaining
+    pores run as control. Runtimes combine the two pore populations
+    harmonically (they work in parallel on the same coverage goal).
+    """
+    points: List[ScalabilityPoint] = []
+    classifiers = (
+        list(operating_points) if operating_points is not None else default_operating_points()
+    )
+    base_config = config if config is not None else ReadUntilModelConfig()
+    for scale in scale_factors:
+        if scale <= 0:
+            raise ValueError("scale factors must be positive")
+        for classifier in classifiers:
+            model = base_config.with_(decision_latency_s=classifier.decision_latency_s)
+            fraction = min(
+                1.0, classifier.throughput_bases_per_s / (scale * sequencer_bases_per_s)
+            )
+            runtime_read_until = sequencing_runtime_s(
+                model,
+                recall=classifier.recall,
+                false_positive_rate=classifier.false_positive_rate,
+                use_read_until=True,
+            )
+            runtime_control = sequencing_runtime_s(model, use_read_until=False)
+            # The sequencer's extra throughput shortens both arms equally.
+            runtime_read_until /= scale
+            runtime_control /= scale
+            # Pores split between Read Until and control contribute coverage in
+            # parallel; total runtime is the harmonic combination of the two
+            # acquisition rates weighted by the pore fractions.
+            read_until_rate = fraction / runtime_read_until if runtime_read_until > 0 else 0.0
+            control_rate = (1.0 - fraction) / runtime_control if runtime_control > 0 else 0.0
+            combined_rate = read_until_rate + control_rate
+            combined_runtime = 1.0 / combined_rate if combined_rate > 0 else float("inf")
+            points.append(
+                ScalabilityPoint(
+                    classifier=classifier.name,
+                    scale_factor=float(scale),
+                    read_until_pore_fraction=fraction,
+                    runtime_with_read_until_s=combined_runtime,
+                    runtime_without_read_until_s=runtime_control,
+                )
+            )
+    return points
+
+
+def speedup_table(points: Sequence[ScalabilityPoint]) -> List[Dict[str, object]]:
+    """Flatten scalability points into printable rows."""
+    return [
+        {
+            "classifier": point.classifier,
+            "scale_factor": point.scale_factor,
+            "read_until_pore_fraction": point.read_until_pore_fraction,
+            "speedup": point.speedup,
+        }
+        for point in points
+    ]

@@ -1,0 +1,11 @@
+"""Pore model substrate: 6-mer current table and squiggle synthesis."""
+
+from repro.pore_model.kmer_model import KmerModel
+from repro.pore_model.synthesis import SquiggleSimulator, SquiggleSynthesisConfig, synthesize_squiggle
+
+__all__ = [
+    "KmerModel",
+    "SquiggleSimulator",
+    "SquiggleSynthesisConfig",
+    "synthesize_squiggle",
+]

@@ -1,0 +1,155 @@
+"""k-mer pore model: expected nanopore current per k-mer context.
+
+The MinION's measured current at any instant is determined by the 5-6 bases
+inside the pore. ONT publishes a lookup table mapping each 6-mer to its
+expected current in picoamps (the ``kmer_models`` repository cited by the
+paper). That table is not available offline, so :class:`KmerModel` builds a
+deterministic surrogate: every 6-mer maps to a reproducible pseudo-random
+level drawn from a distribution with ONT-like statistics (mean ~90 pA,
+standard deviation ~12 pA). The sDTW filter only depends on the *relative*
+structure of the expected-current sequence, which this surrogate preserves.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.genomes.sequences import BASES, validate_sequence
+
+_BASE_TO_INDEX = {base: index for index, base in enumerate(BASES)}
+
+
+class KmerModel:
+    """Deterministic k-mer to expected-current lookup table.
+
+    Parameters
+    ----------
+    k:
+        Context length (ONT R9.4.1 DNA models use 6).
+    mean_current, current_spread:
+        Target mean and standard deviation of the level distribution in pA.
+    seed:
+        Seed for the deterministic table. Two models built with the same
+        ``(k, seed)`` are identical, mirroring a fixed published table.
+    """
+
+    def __init__(
+        self,
+        k: int = 6,
+        mean_current: float = 90.0,
+        current_spread: float = 12.0,
+        seed: int = 941,
+    ) -> None:
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        if k > 10:
+            raise ValueError(f"k larger than 10 would require a {4 ** k}-entry table")
+        if current_spread <= 0:
+            raise ValueError(f"current_spread must be positive, got {current_spread}")
+        self.k = k
+        self.mean_current = float(mean_current)
+        self.current_spread = float(current_spread)
+        self.seed = seed
+        generator = np.random.default_rng(seed)
+        # Gaussian levels, clipped to a physical range, then exactly
+        # standardized so the table statistics match the requested ones.
+        raw = generator.normal(0.0, 1.0, size=4 ** k)
+        raw = (raw - raw.mean()) / raw.std()
+        self._levels = mean_current + current_spread * raw
+        self._levels = np.clip(self._levels, 40.0, 160.0)
+
+    @property
+    def table_size(self) -> int:
+        """Number of k-mers in the table."""
+        return int(self._levels.size)
+
+    def kmer_index(self, kmer: str) -> int:
+        """Map a k-mer string to its table index (base-4 encoding)."""
+        if len(kmer) != self.k:
+            raise ValueError(f"expected a {self.k}-mer, got {kmer!r}")
+        index = 0
+        for base in kmer:
+            if base not in _BASE_TO_INDEX:
+                raise ValueError(f"k-mer contains invalid base {base!r}")
+            index = index * 4 + _BASE_TO_INDEX[base]
+        return index
+
+    def level(self, kmer: str) -> float:
+        """Expected current (pA) for a single k-mer."""
+        return float(self._levels[self.kmer_index(kmer)])
+
+    def levels(self) -> np.ndarray:
+        """The full level table (copy)."""
+        return self._levels.copy()
+
+    def sequence_indices(self, sequence: str) -> np.ndarray:
+        """Vectorized k-mer indices for every position of ``sequence``.
+
+        Positions containing ``N`` are mapped to index 0 (their level is an
+        arbitrary but deterministic placeholder, as in real pipelines where
+        ambiguous bases are rare).
+        """
+        upper = validate_sequence(sequence)
+        if len(upper) < self.k:
+            raise ValueError(
+                f"sequence of length {len(upper)} is shorter than k={self.k}"
+            )
+        codes = np.zeros(len(upper), dtype=np.int64)
+        for base, value in _BASE_TO_INDEX.items():
+            codes[np.frombuffer(upper.encode("ascii"), dtype=np.uint8) == ord(base)] = value
+        n_kmers = len(upper) - self.k + 1
+        indices = np.zeros(n_kmers, dtype=np.int64)
+        for offset in range(self.k):
+            indices = indices * 4 + codes[offset : offset + n_kmers]
+        return indices
+
+    def expected_signal(self, sequence: str) -> np.ndarray:
+        """Expected current profile (one level per k-mer position) for a sequence.
+
+        This is the "reference squiggle" construction of paper Section 4.1
+        (Figure 7), before normalization.
+        """
+        return self._levels[self.sequence_indices(sequence)]
+
+    def as_dict(self) -> Dict[str, float]:
+        """Materialize the table as a k-mer -> level dictionary.
+
+        Only practical for small ``k`` (tests use k=3); the default 6-mer
+        table has 4096 entries which is still fine.
+        """
+        table: Dict[str, float] = {}
+        for index in range(self.table_size):
+            kmer = self._index_to_kmer(index)
+            table[kmer] = float(self._levels[index])
+        return table
+
+    def _index_to_kmer(self, index: int) -> str:
+        if not 0 <= index < self.table_size:
+            raise ValueError(f"index {index} out of range for {self.table_size}-entry table")
+        bases = []
+        for _ in range(self.k):
+            bases.append(BASES[index % 4])
+            index //= 4
+        return "".join(reversed(bases))
+
+    def statistics(self) -> Dict[str, float]:
+        """Summary statistics of the level table (used in tests and docs)."""
+        return {
+            "mean": float(self._levels.mean()),
+            "std": float(self._levels.std()),
+            "min": float(self._levels.min()),
+            "max": float(self._levels.max()),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"KmerModel(k={self.k}, mean_current={self.mean_current}, "
+            f"current_spread={self.current_spread}, seed={self.seed})"
+        )
+
+
+def default_model(seed: Optional[int] = None) -> KmerModel:
+    """The shared 6-mer model used across experiments unless overridden."""
+    return KmerModel(k=6, seed=941 if seed is None else seed)

@@ -1,0 +1,193 @@
+"""Squiggle synthesis: generate raw nanopore current traces from sequences.
+
+Real squiggles differ from the expected current profile in four ways the
+paper calls out (Section 4.2, Figure 8):
+
+* each base dwells in the pore for a variable number of samples (the MinION
+  averages ~10 samples/base but the translocation rate varies per read and
+  per base),
+* thermal/electrical noise perturbs each sample,
+* per-pore bias voltage differences shift and scale the whole read, and
+* a stretch of open-pore / adapter signal precedes the genomic signal.
+
+:class:`SquiggleSimulator` models each of these so the normalizer and sDTW
+filter are exercised by the same effects they must be robust to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.pore_model.kmer_model import KmerModel
+
+
+@dataclass
+class SquiggleSynthesisConfig:
+    """Parameters of the squiggle generator.
+
+    ``samples_per_base`` is the mean dwell time; ``dwell_dispersion`` controls
+    how much the per-base dwell varies around it (0 disables dwell jitter).
+    ``translocation_rate_spread`` is the per-read multiplicative variation of
+    the mean dwell, modelling slow and fast reads. ``noise_pa`` is the
+    per-sample Gaussian noise. ``scale_spread``/``offset_spread_pa`` model
+    per-pore gain and bias-voltage differences. ``adapter_samples`` prepends
+    non-genomic stalling signal.
+    """
+
+    samples_per_base: float = 10.0
+    dwell_dispersion: float = 0.35
+    min_dwell: int = 4
+    max_dwell: int = 25
+    translocation_rate_spread: float = 0.15
+    noise_pa: float = 2.0
+    scale_spread: float = 0.08
+    offset_spread_pa: float = 6.0
+    adapter_samples: int = 0
+    adapter_level_pa: float = 110.0
+
+    def __post_init__(self) -> None:
+        if self.samples_per_base <= 0:
+            raise ValueError("samples_per_base must be positive")
+        if self.min_dwell < 1:
+            raise ValueError("min_dwell must be at least 1")
+        if self.max_dwell < self.min_dwell:
+            raise ValueError("max_dwell must be >= min_dwell")
+        if self.noise_pa < 0:
+            raise ValueError("noise_pa must be non-negative")
+        if self.adapter_samples < 0:
+            raise ValueError("adapter_samples must be non-negative")
+        for name in ("dwell_dispersion", "translocation_rate_spread", "scale_spread"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+
+
+@dataclass
+class SynthesizedSquiggle:
+    """A generated squiggle and the ground truth it was generated from."""
+
+    current_pa: np.ndarray
+    dwell_times: np.ndarray
+    scale: float
+    offset_pa: float
+    translocation_factor: float
+    sequence: str
+
+    @property
+    def samples_per_base(self) -> float:
+        if self.dwell_times.size == 0:
+            return 0.0
+        return float(self.dwell_times.mean())
+
+    def __len__(self) -> int:
+        return int(self.current_pa.size)
+
+
+class SquiggleSimulator:
+    """Generate raw squiggles for sequences under a :class:`KmerModel`."""
+
+    def __init__(
+        self,
+        kmer_model: Optional[KmerModel] = None,
+        config: Optional[SquiggleSynthesisConfig] = None,
+        seed: Optional[int] = None,
+    ) -> None:
+        self.kmer_model = kmer_model if kmer_model is not None else KmerModel()
+        self.config = config if config is not None else SquiggleSynthesisConfig()
+        self._rng = np.random.default_rng(seed)
+
+    def simulate(
+        self,
+        sequence: str,
+        rng: Optional[np.random.Generator] = None,
+    ) -> SynthesizedSquiggle:
+        """Generate one squiggle for ``sequence``.
+
+        The sequence must be at least ``k`` bases long so there is at least
+        one k-mer context.
+        """
+        generator = rng if rng is not None else self._rng
+        config = self.config
+        expected = self.kmer_model.expected_signal(sequence)
+
+        translocation_factor = 1.0
+        if config.translocation_rate_spread > 0:
+            translocation_factor = float(
+                np.exp(generator.normal(0.0, config.translocation_rate_spread))
+            )
+        mean_dwell = config.samples_per_base * translocation_factor
+
+        dwell_times = self._draw_dwell_times(expected.size, mean_dwell, generator)
+        levels = np.repeat(expected, dwell_times)
+
+        if config.noise_pa > 0:
+            levels = levels + generator.normal(0.0, config.noise_pa, size=levels.size)
+
+        scale = 1.0
+        if config.scale_spread > 0:
+            scale = float(np.exp(generator.normal(0.0, config.scale_spread)))
+        offset = 0.0
+        if config.offset_spread_pa > 0:
+            offset = float(generator.normal(0.0, config.offset_spread_pa))
+        levels = levels * scale + offset
+
+        if config.adapter_samples > 0:
+            adapter = np.full(config.adapter_samples, config.adapter_level_pa, dtype=np.float64)
+            if config.noise_pa > 0:
+                adapter = adapter + generator.normal(0.0, config.noise_pa, size=adapter.size)
+            levels = np.concatenate([adapter, levels])
+
+        return SynthesizedSquiggle(
+            current_pa=levels,
+            dwell_times=dwell_times,
+            scale=scale,
+            offset_pa=offset,
+            translocation_factor=translocation_factor,
+            sequence=sequence,
+        )
+
+    def _draw_dwell_times(
+        self,
+        n_positions: int,
+        mean_dwell: float,
+        generator: np.random.Generator,
+    ) -> np.ndarray:
+        config = self.config
+        if config.dwell_dispersion <= 0:
+            dwell = np.full(n_positions, int(round(mean_dwell)), dtype=np.int64)
+        else:
+            # Log-normal dwell: strictly positive, right-skewed like real data.
+            sigma = config.dwell_dispersion
+            mu = np.log(mean_dwell) - 0.5 * sigma * sigma
+            dwell = np.rint(np.exp(generator.normal(mu, sigma, size=n_positions))).astype(np.int64)
+        return np.clip(dwell, config.min_dwell, config.max_dwell)
+
+
+def synthesize_squiggle(
+    sequence: str,
+    kmer_model: Optional[KmerModel] = None,
+    config: Optional[SquiggleSynthesisConfig] = None,
+    seed: Optional[int] = None,
+) -> np.ndarray:
+    """Convenience wrapper returning only the raw current trace for ``sequence``."""
+    simulator = SquiggleSimulator(kmer_model=kmer_model, config=config, seed=seed)
+    return simulator.simulate(sequence).current_pa
+
+
+def ideal_squiggle(
+    sequence: str,
+    kmer_model: Optional[KmerModel] = None,
+    samples_per_base: int = 10,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Noise-free squiggle with constant dwell (used for unit tests and figures).
+
+    Returns the repeated expected levels and the per-position dwell times.
+    """
+    if samples_per_base <= 0:
+        raise ValueError("samples_per_base must be positive")
+    model = kmer_model if kmer_model is not None else KmerModel()
+    expected = model.expected_signal(sequence)
+    dwell = np.full(expected.size, samples_per_base, dtype=np.int64)
+    return np.repeat(expected, dwell), dwell

@@ -1,0 +1,25 @@
+"""Nanopore sequencer substrate: specimens, reads, flow cells and streaming runs."""
+
+from repro.sequencer.flowcell import FlowCell, FlowCellConfig, WashEvent
+from repro.sequencer.reads import Read, ReadGenerator, ReadLengthModel, SpecimenMixture
+from repro.sequencer.read_until_api import ReadUntilSimulator, SignalChunk, classifier_client
+from repro.sequencer.run import MinIONParameters, ReadUntilSession, SessionSummary
+from repro.sequencer.datasets import DatasetBundle, build_dataset
+
+__all__ = [
+    "DatasetBundle",
+    "FlowCell",
+    "FlowCellConfig",
+    "MinIONParameters",
+    "Read",
+    "ReadGenerator",
+    "ReadLengthModel",
+    "ReadUntilSession",
+    "ReadUntilSimulator",
+    "SignalChunk",
+    "SessionSummary",
+    "SpecimenMixture",
+    "WashEvent",
+    "build_dataset",
+    "classifier_client",
+]

@@ -1,0 +1,224 @@
+"""Read sampling from specimen mixtures.
+
+A sequencing specimen prepared with universal (SISPA) amplification contains
+target viral DNA/RNA among a sea of host and bacterial material — the paper
+evaluates 1 % and 0.1 % viral fractions. :class:`SpecimenMixture` captures the
+genome composition, :class:`ReadGenerator` samples reads (fragment, strand,
+length) and synthesizes their squiggles through the pore model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from repro.genomes.sequences import reverse_complement, validate_sequence
+from repro.pore_model.kmer_model import KmerModel
+from repro.pore_model.synthesis import SquiggleSimulator, SquiggleSynthesisConfig
+
+
+@dataclass
+class Read:
+    """One sequenced read: ground truth plus its raw squiggle."""
+
+    read_id: str
+    source: str
+    is_target: bool
+    sequence: str
+    signal_pa: np.ndarray
+    strand: str = "+"
+    start_position: int = 0
+    channel: int = 0
+
+    def __post_init__(self) -> None:
+        self.signal_pa = np.asarray(self.signal_pa, dtype=np.float64)
+        if self.strand not in ("+", "-"):
+            raise ValueError(f"strand must be '+' or '-', got {self.strand!r}")
+
+    @property
+    def n_bases(self) -> int:
+        return len(self.sequence)
+
+    @property
+    def n_samples(self) -> int:
+        return int(self.signal_pa.size)
+
+    def prefix(self, n_samples: int) -> np.ndarray:
+        """The first ``n_samples`` of raw signal (what Read Until sees first)."""
+        return self.signal_pa[:n_samples]
+
+
+@dataclass
+class ReadLengthModel:
+    """Read length distribution (log-normal, clamped to a sane range).
+
+    Nanopore read lengths are heavy-tailed; mean lengths of a few kilobases
+    are typical for rapid-kit viral preps. For the scaled experiments we use
+    shorter reads so that a read still spans a small fraction of the scaled
+    genome.
+    """
+
+    mean_bases: float = 600.0
+    sigma: float = 0.35
+    min_bases: int = 200
+    max_bases: int = 5_000
+
+    def __post_init__(self) -> None:
+        if self.mean_bases <= 0:
+            raise ValueError("mean_bases must be positive")
+        if self.sigma < 0:
+            raise ValueError("sigma must be non-negative")
+        if self.min_bases < 10:
+            raise ValueError("min_bases must be at least 10")
+        if self.max_bases < self.min_bases:
+            raise ValueError("max_bases must be >= min_bases")
+
+    def sample(self, rng: np.random.Generator) -> int:
+        if self.sigma == 0:
+            length = int(round(self.mean_bases))
+        else:
+            mu = np.log(self.mean_bases) - 0.5 * self.sigma**2
+            length = int(round(float(np.exp(rng.normal(mu, self.sigma)))))
+        return int(np.clip(length, self.min_bases, self.max_bases))
+
+
+@dataclass
+class SpecimenMixture:
+    """Genome composition of a specimen.
+
+    ``fractions`` maps genome names to their read fraction; they must sum to
+    1. ``target_names`` marks which genomes count as the target virus.
+    """
+
+    genomes: Dict[str, str]
+    fractions: Dict[str, float]
+    target_names: Sequence[str] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if not self.genomes:
+            raise ValueError("mixture requires at least one genome")
+        for name, sequence in self.genomes.items():
+            self.genomes[name] = validate_sequence(sequence)
+        missing = set(self.fractions) - set(self.genomes)
+        if missing:
+            raise ValueError(f"fractions reference unknown genomes: {sorted(missing)}")
+        total = sum(self.fractions.values())
+        if not np.isclose(total, 1.0, atol=1e-6):
+            raise ValueError(f"fractions must sum to 1, got {total}")
+        if any(value < 0 for value in self.fractions.values()):
+            raise ValueError("fractions must be non-negative")
+        unknown_targets = set(self.target_names) - set(self.genomes)
+        if unknown_targets:
+            raise ValueError(f"target_names reference unknown genomes: {sorted(unknown_targets)}")
+        self.target_names = tuple(self.target_names)
+
+    @property
+    def target_fraction(self) -> float:
+        """Fraction of reads expected to come from the target genome(s)."""
+        return sum(self.fractions.get(name, 0.0) for name in self.target_names)
+
+    def is_target(self, name: str) -> bool:
+        return name in self.target_names
+
+    @classmethod
+    def two_component(
+        cls,
+        target_name: str,
+        target_genome: str,
+        background_name: str,
+        background_genome: str,
+        target_fraction: float,
+    ) -> "SpecimenMixture":
+        """The paper's standard specimen: one virus in a host background."""
+        if not 0.0 <= target_fraction <= 1.0:
+            raise ValueError(f"target_fraction must be in [0, 1], got {target_fraction}")
+        return cls(
+            genomes={target_name: target_genome, background_name: background_genome},
+            fractions={target_name: target_fraction, background_name: 1.0 - target_fraction},
+            target_names=(target_name,),
+        )
+
+
+class ReadGenerator:
+    """Sample reads from a specimen and synthesize their squiggles."""
+
+    def __init__(
+        self,
+        mixture: SpecimenMixture,
+        kmer_model: Optional[KmerModel] = None,
+        synthesis: Optional[SquiggleSynthesisConfig] = None,
+        length_model: Optional[ReadLengthModel] = None,
+        seed: Optional[int] = None,
+        n_channels: int = 512,
+    ) -> None:
+        if n_channels <= 0:
+            raise ValueError("n_channels must be positive")
+        self.mixture = mixture
+        self.kmer_model = kmer_model if kmer_model is not None else KmerModel()
+        self.simulator = SquiggleSimulator(self.kmer_model, synthesis)
+        self.length_model = length_model if length_model is not None else ReadLengthModel()
+        self.n_channels = n_channels
+        self._rng = np.random.default_rng(seed)
+        self._names = sorted(mixture.fractions)
+        self._weights = np.array([mixture.fractions[name] for name in self._names])
+        self._counter = 0
+
+    def generate(self, n_reads: int) -> List[Read]:
+        """Generate ``n_reads`` reads according to the mixture fractions."""
+        if n_reads < 0:
+            raise ValueError("n_reads must be non-negative")
+        return [self.generate_one() for _ in range(n_reads)]
+
+    def generate_one(self, source: Optional[str] = None) -> Read:
+        """Generate one read, optionally forcing its source genome."""
+        rng = self._rng
+        if source is None:
+            source = self._names[int(rng.choice(len(self._names), p=self._weights))]
+        elif source not in self.mixture.genomes:
+            raise KeyError(f"unknown genome {source!r}")
+        genome = self.mixture.genomes[source]
+        length = min(self.length_model.sample(rng), len(genome) - self.kmer_model.k)
+        length = max(length, self.kmer_model.k + 1)
+        start = int(rng.integers(0, max(len(genome) - length, 1)))
+        fragment = genome[start : start + length]
+        strand = "+" if rng.random() < 0.5 else "-"
+        if strand == "-":
+            fragment = reverse_complement(fragment)
+        squiggle = self.simulator.simulate(fragment, rng=rng)
+        self._counter += 1
+        return Read(
+            read_id=f"read_{self._counter:06d}",
+            source=source,
+            is_target=self.mixture.is_target(source),
+            sequence=fragment,
+            signal_pa=squiggle.current_pa,
+            strand=strand,
+            start_position=start,
+            channel=int(rng.integers(0, self.n_channels)),
+        )
+
+    def generate_balanced(self, n_per_class: int) -> List[Read]:
+        """Generate an equal number of target and background reads.
+
+        The accuracy experiments (Figures 11, 17a, 18, 19) use balanced sets
+        (1000 lambda + 1000 human reads in the paper) so that F-scores are
+        not dominated by the extreme class imbalance of a real specimen.
+        """
+        if not self.mixture.target_names:
+            raise ValueError("mixture has no target genomes")
+        target_names = [name for name in self._names if self.mixture.is_target(name)]
+        background_names = [name for name in self._names if not self.mixture.is_target(name)]
+        if not background_names:
+            raise ValueError("mixture has no background genomes")
+        reads: List[Read] = []
+        for index in range(n_per_class):
+            reads.append(self.generate_one(source=target_names[index % len(target_names)]))
+            reads.append(self.generate_one(source=background_names[index % len(background_names)]))
+        return reads
+
+    def stream(self) -> Iterator[Read]:
+        """Endless stream of reads (used by the event-driven run simulation)."""
+        while True:
+            yield self.generate_one()

@@ -1,0 +1,226 @@
+"""Event-driven Read Until sequencing session.
+
+The paper derives Read Until runtimes from an analytical model
+(:mod:`repro.pipeline.runtime_model`). This module complements it with an
+event-driven simulation of a sequencing run: reads are captured one after the
+other on each pore, the classifier sees the growing prefix, and an ejection
+decision truncates the read after the decision latency. The two models agree
+on the trends and the event-driven session additionally yields per-read
+accounting (coverage, wasted sequencing, decision statistics).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional
+
+import numpy as np
+
+from repro.core.filter import FilterDecision
+from repro.sequencer.reads import Read, ReadGenerator
+
+
+@dataclass
+class MinIONParameters:
+    """Per-pore sequencing parameters of a MinION-class device.
+
+    Defaults follow the paper: ~4000 signal samples per second per pore,
+    450 bases per second translocation, an average capture time between reads
+    and a fixed time to reverse the pore voltage when ejecting.
+    """
+
+    sample_rate_hz: float = 4000.0
+    bases_per_second: float = 450.0
+    capture_time_s: float = 1.0
+    ejection_time_s: float = 0.5
+    n_channels: int = 512
+
+    def __post_init__(self) -> None:
+        if self.sample_rate_hz <= 0:
+            raise ValueError("sample_rate_hz must be positive")
+        if self.bases_per_second <= 0:
+            raise ValueError("bases_per_second must be positive")
+        if self.capture_time_s < 0 or self.ejection_time_s < 0:
+            raise ValueError("capture and ejection times must be non-negative")
+        if self.n_channels <= 0:
+            raise ValueError("n_channels must be positive")
+
+    @property
+    def samples_per_base(self) -> float:
+        return self.sample_rate_hz / self.bases_per_second
+
+    def samples_to_seconds(self, n_samples: float) -> float:
+        return n_samples / self.sample_rate_hz
+
+    def bases_to_seconds(self, n_bases: float) -> float:
+        return n_bases / self.bases_per_second
+
+    @property
+    def max_throughput_samples_per_s(self) -> float:
+        """Aggregate signal rate with every channel active (paper: 2.05 M samples/s)."""
+        return self.sample_rate_hz * self.n_channels
+
+
+@dataclass
+class ReadOutcome:
+    """Accounting for one read processed during a session."""
+
+    read: Read
+    decision: Optional[FilterDecision]
+    sequenced_samples: int
+    sequencing_time_s: float
+    ejected: bool
+
+    @property
+    def is_target(self) -> bool:
+        return self.read.is_target
+
+    @property
+    def kept_full_read(self) -> bool:
+        return not self.ejected
+
+
+@dataclass
+class SessionSummary:
+    """Aggregate results of one Read Until session."""
+
+    outcomes: List[ReadOutcome] = field(default_factory=list)
+    target_bases_kept: int = 0
+    total_time_s: float = 0.0
+    classifier_latency_s: float = 0.0
+
+    @property
+    def n_reads(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def n_ejected(self) -> int:
+        return sum(1 for outcome in self.outcomes if outcome.ejected)
+
+    @property
+    def n_target_reads(self) -> int:
+        return sum(1 for outcome in self.outcomes if outcome.is_target)
+
+    @property
+    def n_target_reads_kept(self) -> int:
+        return sum(1 for outcome in self.outcomes if outcome.is_target and not outcome.ejected)
+
+    @property
+    def target_read_recall(self) -> float:
+        if self.n_target_reads == 0:
+            return 0.0
+        return self.n_target_reads_kept / self.n_target_reads
+
+    @property
+    def wasted_nontarget_samples(self) -> int:
+        return sum(
+            outcome.sequenced_samples for outcome in self.outcomes if not outcome.is_target
+        )
+
+    @property
+    def mean_nontarget_sequenced_samples(self) -> float:
+        counts = [o.sequenced_samples for o in self.outcomes if not o.is_target]
+        if not counts:
+            return 0.0
+        return float(np.mean(counts))
+
+
+class ReadUntilSession:
+    """Simulate a Read Until run on a single pore stream.
+
+    ``classifier`` maps a raw signal prefix to a :class:`FilterDecision`.
+    ``decision_latency_s`` models the compute latency between the prefix
+    becoming available and the ejection command reaching the pore — the key
+    quantity distinguishing SquiggleFilter (0.04 ms) from GPU basecalling
+    (149-1000+ ms): during that latency the pore keeps sequencing unwanted
+    bases.
+    """
+
+    def __init__(
+        self,
+        classifier: Callable[[np.ndarray], FilterDecision],
+        parameters: Optional[MinIONParameters] = None,
+        decision_latency_s: float = 0.0,
+        prefix_samples: int = 2000,
+    ) -> None:
+        if decision_latency_s < 0:
+            raise ValueError("decision_latency_s must be non-negative")
+        if prefix_samples <= 0:
+            raise ValueError("prefix_samples must be positive")
+        self.classifier = classifier
+        self.parameters = parameters if parameters is not None else MinIONParameters()
+        self.decision_latency_s = decision_latency_s
+        self.prefix_samples = prefix_samples
+
+    def process_read(self, read: Read) -> ReadOutcome:
+        """Process one read and account for the sequencing time it consumed."""
+        params = self.parameters
+        total_samples = read.n_samples
+        prefix = read.prefix(self.prefix_samples)
+        decision = self.classifier(prefix)
+
+        latency_samples = int(round(self.decision_latency_s * params.sample_rate_hz))
+        if decision.accept:
+            sequenced = total_samples
+            ejected = False
+            time_s = params.capture_time_s + params.samples_to_seconds(sequenced)
+        else:
+            # The read is ejected after the decision prefix plus however much
+            # extra was sequenced while the classifier was busy.
+            sequenced = min(total_samples, decision.samples_used + latency_samples)
+            ejected = True
+            time_s = (
+                params.capture_time_s
+                + params.samples_to_seconds(sequenced)
+                + params.ejection_time_s
+            )
+        return ReadOutcome(
+            read=read,
+            decision=decision,
+            sequenced_samples=sequenced,
+            sequencing_time_s=time_s,
+            ejected=ejected,
+        )
+
+    def run(
+        self,
+        reads: Iterable[Read],
+        target_bases_goal: Optional[int] = None,
+        max_reads: Optional[int] = None,
+    ) -> SessionSummary:
+        """Process reads until the coverage goal (in kept target bases) is met."""
+        summary = SessionSummary(classifier_latency_s=self.decision_latency_s)
+        for index, read in enumerate(reads):
+            if max_reads is not None and index >= max_reads:
+                break
+            outcome = self.process_read(read)
+            summary.outcomes.append(outcome)
+            summary.total_time_s += outcome.sequencing_time_s
+            if outcome.is_target and not outcome.ejected:
+                summary.target_bases_kept += read.n_bases
+            if target_bases_goal is not None and summary.target_bases_kept >= target_bases_goal:
+                break
+        return summary
+
+
+def run_control_session(
+    reads: Iterable[Read],
+    parameters: Optional[MinIONParameters] = None,
+    target_bases_goal: Optional[int] = None,
+    max_reads: Optional[int] = None,
+) -> SessionSummary:
+    """Sequence everything (no Read Until): the control arm of Figure 20/17."""
+    params = parameters if parameters is not None else MinIONParameters()
+
+    def accept_everything(prefix: np.ndarray) -> FilterDecision:
+        return FilterDecision(
+            accept=True,
+            cost=0.0,
+            per_sample_cost=0.0,
+            samples_used=int(np.asarray(prefix).size),
+            threshold=float("inf"),
+            end_position=0,
+        )
+
+    session = ReadUntilSession(accept_everything, parameters=params, decision_latency_s=0.0)
+    return session.run(reads, target_bases_goal=target_bases_goal, max_reads=max_reads)

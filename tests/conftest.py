@@ -1,0 +1,127 @@
+"""Shared fixtures: small genomes, pore models, squiggles and datasets.
+
+Everything is deliberately scaled down (short genomes, short prefixes, few
+reads) so the full suite runs in seconds while still exercising the same code
+paths as the full-scale benchmarks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import SDTWConfig
+from repro.core.filter import SquiggleFilter
+from repro.core.normalization import NormalizationConfig
+from repro.core.reference import ReferenceSquiggle
+from repro.genomes.sequences import random_genome
+from repro.pore_model.kmer_model import KmerModel
+from repro.pore_model.synthesis import SquiggleSimulator, SquiggleSynthesisConfig
+from repro.sequencer.datasets import DatasetBundle, build_dataset
+from repro.sequencer.reads import ReadGenerator, ReadLengthModel, SpecimenMixture
+
+
+@pytest.fixture(scope="session")
+def kmer_model() -> KmerModel:
+    return KmerModel(k=6, seed=941)
+
+
+@pytest.fixture(scope="session")
+def target_genome() -> str:
+    return random_genome(1200, seed=11)
+
+
+@pytest.fixture(scope="session")
+def background_genome() -> str:
+    return random_genome(6000, seed=23)
+
+
+@pytest.fixture(scope="session")
+def reference_squiggle(target_genome, kmer_model) -> ReferenceSquiggle:
+    return ReferenceSquiggle.from_genome(target_genome, kmer_model=kmer_model)
+
+
+@pytest.fixture(scope="session")
+def synthesis_config() -> SquiggleSynthesisConfig:
+    return SquiggleSynthesisConfig()
+
+
+@pytest.fixture(scope="session")
+def simulator(kmer_model, synthesis_config) -> SquiggleSimulator:
+    return SquiggleSimulator(kmer_model, synthesis_config, seed=99)
+
+
+@pytest.fixture(scope="session")
+def mixture(target_genome, background_genome) -> SpecimenMixture:
+    return SpecimenMixture.two_component(
+        target_name="virus",
+        target_genome=target_genome,
+        background_name="host",
+        background_genome=background_genome,
+        target_fraction=0.01,
+    )
+
+
+@pytest.fixture(scope="session")
+def read_generator(mixture, kmer_model) -> ReadGenerator:
+    return ReadGenerator(
+        mixture,
+        kmer_model=kmer_model,
+        length_model=ReadLengthModel(mean_bases=260, sigma=0.15, min_bases=220, max_bases=420),
+        seed=4242,
+    )
+
+
+@pytest.fixture(scope="session")
+def balanced_reads(read_generator):
+    """12 target + 12 background reads with ground-truth labels."""
+    return read_generator.generate_balanced(12)
+
+
+@pytest.fixture(scope="session")
+def target_signals(balanced_reads):
+    return [read.signal_pa for read in balanced_reads if read.is_target]
+
+
+@pytest.fixture(scope="session")
+def nontarget_signals(balanced_reads):
+    return [read.signal_pa for read in balanced_reads if not read.is_target]
+
+
+@pytest.fixture(scope="session")
+def hardware_filter(reference_squiggle) -> SquiggleFilter:
+    return SquiggleFilter(
+        reference_squiggle,
+        config=SDTWConfig.hardware(),
+        normalization=NormalizationConfig(),
+        prefix_samples=800,
+    )
+
+
+@pytest.fixture(scope="session")
+def calibrated_filter(reference_squiggle, target_signals, nontarget_signals) -> SquiggleFilter:
+    squiggle_filter = SquiggleFilter(
+        reference_squiggle,
+        config=SDTWConfig.hardware(),
+        prefix_samples=800,
+    )
+    squiggle_filter.calibrate(target_signals, nontarget_signals, prefix_samples=800)
+    return squiggle_filter
+
+
+@pytest.fixture(scope="session")
+def small_dataset() -> DatasetBundle:
+    return build_dataset(
+        target="sars_cov_2",
+        background="human",
+        viral_fraction=0.05,
+        n_balanced_reads=6,
+        genome_lengths={"sars_cov_2": 1000, "lambda": 1200, "human": 5000},
+        read_length=ReadLengthModel(mean_bases=120, sigma=0.2, min_bases=60, max_bases=300),
+        seed=77,
+    )
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)

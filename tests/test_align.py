@@ -1,0 +1,205 @@
+"""Unit tests for minimizer seeding, chaining, banded extension and the aligner."""
+
+import numpy as np
+import pytest
+
+from repro.align.aligner import ReferenceAligner
+from repro.align.chain import Anchor, chain_anchors
+from repro.align.extend import banded_alignment
+from repro.align.minimizer import MinimizerIndex, encode_kmers, minimizer_sketch
+from repro.genomes.sequences import random_genome, reverse_complement, transcribe_errors
+
+
+class TestEncodeKmers:
+    def test_count(self):
+        assert len(encode_kmers("ACGTACGT", 3)) == 6
+
+    def test_identical_kmers_same_code(self):
+        codes = encode_kmers("ACGACG", 3)
+        assert codes[0] == codes[3]
+
+    def test_n_marks_invalid(self):
+        codes = encode_kmers("ACNGT", 3)
+        assert codes[0] == -1 and codes[1] == -1 and codes[2] == -1
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            encode_kmers("ACGT", 0)
+
+    def test_short_sequence(self):
+        assert encode_kmers("AC", 5) == []
+
+
+class TestMinimizerSketch:
+    def test_sketch_smaller_than_kmer_set(self):
+        genome = random_genome(2000, seed=1)
+        sketch = minimizer_sketch(genome, k=11, w=5)
+        assert 0 < len(sketch) < len(genome) - 10
+
+    def test_positions_increasing(self):
+        genome = random_genome(1000, seed=2)
+        sketch = minimizer_sketch(genome, k=11, w=5)
+        positions = [m.position for m in sketch]
+        assert positions == sorted(positions)
+
+    def test_deterministic(self):
+        genome = random_genome(500, seed=3)
+        assert minimizer_sketch(genome) == minimizer_sketch(genome)
+
+    def test_invalid_w(self):
+        with pytest.raises(ValueError):
+            minimizer_sketch("ACGTACGTACGT", w=0)
+
+    def test_shared_minimizers_between_overlapping_sequences(self):
+        genome = random_genome(800, seed=4)
+        read = genome[200:400]
+        genome_hashes = {m.hash_value for m in minimizer_sketch(genome)}
+        read_hashes = {m.hash_value for m in minimizer_sketch(read)}
+        assert len(read_hashes & genome_hashes) >= len(read_hashes) * 0.8
+
+
+class TestMinimizerIndex:
+    def test_hits_on_true_location(self):
+        genome = random_genome(3000, seed=5)
+        index = MinimizerIndex(genome)
+        read = genome[1000:1300]
+        hits = index.hits(read)
+        assert hits, "expected minimizer hits for an exact substring"
+        plus_hits = [r for q, r, s in hits if s == "+"]
+        near_truth = [r for r in plus_hits if 950 <= r <= 1350]
+        assert len(near_truth) >= len(plus_hits) * 0.5
+
+    def test_reverse_strand_hits(self):
+        genome = random_genome(3000, seed=6)
+        index = MinimizerIndex(genome)
+        read = reverse_complement(genome[500:800])
+        hits = index.hits(read)
+        assert any(strand == "-" for _, _, strand in hits)
+
+    def test_random_read_few_hits(self):
+        genome = random_genome(3000, seed=7)
+        index = MinimizerIndex(genome)
+        foreign = random_genome(300, seed=999)
+        assert len(index.hits(foreign)) <= 3
+
+    def test_lookup_missing(self):
+        index = MinimizerIndex(random_genome(500, seed=8))
+        assert index.lookup(123456789) == []
+
+    def test_reference_length(self):
+        genome = random_genome(700, seed=9)
+        assert MinimizerIndex(genome).reference_length == 700
+
+
+class TestChaining:
+    def test_perfect_diagonal_chain(self):
+        anchors = [Anchor(query_position=i * 10, reference_position=500 + i * 10) for i in range(8)]
+        chain = chain_anchors(anchors)
+        assert chain is not None
+        assert chain.n_anchors == 8
+        assert chain.reference_start == 500
+
+    def test_off_diagonal_anchors_excluded(self):
+        good = [Anchor(i * 10, 100 + i * 10) for i in range(6)]
+        noise = [Anchor(15, 5000), Anchor(25, 9000)]
+        chain = chain_anchors(good + noise)
+        assert chain.n_anchors == 6
+
+    def test_strands_not_mixed(self):
+        plus = [Anchor(i * 10, 100 + i * 10, "+") for i in range(4)]
+        minus = [Anchor(i * 10, 100 + i * 10, "-") for i in range(6)]
+        chain = chain_anchors(plus + minus)
+        assert chain.strand == "-"
+        assert chain.n_anchors == 6
+
+    def test_empty(self):
+        assert chain_anchors([]) is None
+
+    def test_spans(self):
+        anchors = [Anchor(5, 105), Anchor(25, 125), Anchor(45, 145)]
+        chain = chain_anchors(anchors)
+        assert chain.query_span == (5, 45)
+        assert chain.reference_span == (105, 145)
+
+
+class TestBandedAlignment:
+    def test_identical_sequences(self):
+        genome = random_genome(300, seed=10)
+        result = banded_alignment(genome, genome)
+        assert result.identity == pytest.approx(1.0)
+        assert len(result.aligned_pairs) == 300
+
+    def test_mismatches_lower_identity(self):
+        genome = random_genome(300, seed=11)
+        noisy = transcribe_errors(genome, substitution_rate=0.1, seed=12)
+        result = banded_alignment(noisy, genome)
+        assert 0.80 < result.identity < 0.97
+
+    def test_indels_handled(self):
+        genome = random_genome(300, seed=13)
+        noisy = transcribe_errors(genome, insertion_rate=0.03, deletion_rate=0.03, seed=14)
+        result = banded_alignment(noisy, genome, band=32)
+        assert result.identity > 0.85
+
+    def test_query_in_larger_window(self):
+        genome = random_genome(500, seed=15)
+        query = genome[100:300]
+        result = banded_alignment(query, genome[50:350], band=64)
+        assert result.identity > 0.95
+
+    def test_aligned_pairs_monotone(self):
+        genome = random_genome(200, seed=16)
+        noisy = transcribe_errors(genome, substitution_rate=0.05, seed=17)
+        result = banded_alignment(noisy, genome)
+        pairs = result.aligned_pairs
+        assert all(q1 > q0 and r1 > r0 for (q0, r0), (q1, r1) in zip(pairs[:-1], pairs[1:]))
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            banded_alignment("", "ACGT")
+        with pytest.raises(ValueError):
+            banded_alignment("ACGT", "ACGT", band=0)
+
+
+class TestReferenceAligner:
+    @pytest.fixture(scope="class")
+    def aligner(self):
+        return ReferenceAligner(random_genome(4000, seed=20))
+
+    def test_maps_exact_fragment(self, aligner):
+        read = aligner.reference[1200:1500]
+        alignment = aligner.map(read)
+        assert alignment is not None
+        assert alignment.strand == "+"
+        assert alignment.reference_start <= 1200 <= alignment.reference_end
+        assert alignment.identity > 0.95
+
+    def test_maps_noisy_fragment(self, aligner):
+        read = transcribe_errors(aligner.reference[2000:2400], substitution_rate=0.08, seed=21)
+        alignment = aligner.map(read)
+        assert alignment is not None
+        assert alignment.mapping_quality >= 20
+
+    def test_maps_reverse_strand(self, aligner):
+        read = reverse_complement(aligner.reference[500:900])
+        alignment = aligner.map(read)
+        assert alignment is not None
+        assert alignment.strand == "-"
+        assert alignment.reference_start <= 550
+        assert alignment.reference_end >= 850
+
+    def test_foreign_read_unmapped(self, aligner):
+        foreign = random_genome(400, seed=22)
+        alignment = aligner.map(foreign)
+        assert alignment is None or alignment.mapping_quality < 20
+
+    def test_classify_decision(self, aligner):
+        assert aligner.classify(aligner.reference[100:400])
+        assert not aligner.classify(random_genome(400, seed=23))
+
+    def test_short_read_unmapped(self, aligner):
+        assert aligner.map("ACGT") is None
+
+    def test_invalid_min_anchors(self):
+        with pytest.raises(ValueError):
+            ReferenceAligner("ACGT" * 100, min_chain_anchors=0)

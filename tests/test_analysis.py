@@ -1,0 +1,124 @@
+"""Unit tests for cost distributions and accuracy/ablation sweeps."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.distributions import CostDistribution, cost_distributions_by_prefix
+from repro.analysis.sweeps import accuracy_sweep, ablation_sweep, roc_points
+from repro.core.config import SDTWConfig
+from repro.core.filter import SquiggleFilter
+
+
+class TestCostDistribution:
+    def test_summary_statistics(self):
+        distribution = CostDistribution(label="target", prefix_samples=1000, costs=np.arange(100.0))
+        summary = distribution.summary()
+        assert summary["mean"] == pytest.approx(49.5)
+        assert summary["median"] == pytest.approx(49.5)
+        assert summary["p05"] < summary["p95"]
+
+    def test_histogram(self):
+        distribution = CostDistribution(label="x", prefix_samples=1, costs=np.arange(50.0))
+        histogram = distribution.histogram(bins=5)
+        assert histogram["counts"].sum() == 50
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            CostDistribution(label="x", prefix_samples=1, costs=np.array([]))
+
+
+class TestCostDistributionsByPrefix:
+    def test_overlap_decreases_with_prefix(self, hardware_filter, target_signals, nontarget_signals):
+        distributions = cost_distributions_by_prefix(
+            hardware_filter.cost,
+            target_signals,
+            nontarget_signals,
+            prefix_lengths=[300, 800],
+        )
+        assert len(distributions) == 2
+        assert distributions[0].prefix_samples == 300
+        # Longer prefixes separate the classes at least as well (Figure 11).
+        assert distributions[1].separation >= distributions[0].separation
+
+    def test_target_costs_lower(self, hardware_filter, target_signals, nontarget_signals):
+        distributions = cost_distributions_by_prefix(
+            hardware_filter.cost, target_signals, nontarget_signals, prefix_lengths=[800]
+        )
+        entry = distributions[0]
+        assert entry.target.mean < entry.nontarget.mean
+        assert 0.0 <= entry.overlap <= 1.0
+
+    def test_per_sample_normalization(self, hardware_filter, target_signals, nontarget_signals):
+        raw = cost_distributions_by_prefix(
+            hardware_filter.cost, target_signals[:3], nontarget_signals[:3], prefix_lengths=[400]
+        )
+        normalized = cost_distributions_by_prefix(
+            hardware_filter.cost,
+            target_signals[:3],
+            nontarget_signals[:3],
+            prefix_lengths=[400],
+            per_sample=True,
+        )
+        assert normalized[0].target.mean == pytest.approx(raw[0].target.mean / 400)
+
+
+class TestAccuracySweep:
+    def test_sweep_structure(self, hardware_filter, target_signals, nontarget_signals):
+        sweep = accuracy_sweep(
+            hardware_filter, target_signals, nontarget_signals, prefix_lengths=[400, 800], n_thresholds=31
+        )
+        assert len(sweep) == 2
+        assert set(sweep.max_f1_by_prefix()) == {400, 800}
+        entry = sweep.by_prefix(800)
+        assert len(entry.target_costs) == len(target_signals)
+        assert 0.0 <= entry.max_f1 <= 1.0
+
+    def test_longer_prefix_at_least_as_accurate(self, hardware_filter, target_signals, nontarget_signals):
+        sweep = accuracy_sweep(
+            hardware_filter, target_signals, nontarget_signals, prefix_lengths=[300, 800], n_thresholds=51
+        )
+        f1 = sweep.max_f1_by_prefix()
+        assert f1[800] >= f1[300] - 0.05
+
+    def test_missing_prefix_lookup(self, hardware_filter, target_signals, nontarget_signals):
+        sweep = accuracy_sweep(hardware_filter, target_signals, nontarget_signals, prefix_lengths=[400])
+        with pytest.raises(KeyError):
+            sweep.by_prefix(999)
+
+    def test_roc_points(self, hardware_filter, target_signals, nontarget_signals):
+        sweep = accuracy_sweep(hardware_filter, target_signals, nontarget_signals, prefix_lengths=[400])
+        points = roc_points(sweep.by_prefix(400).sweep)
+        assert all(0.0 <= p["false_positive_rate"] <= 1.0 for p in points)
+        assert all(0.0 <= p["recall"] <= 1.0 for p in points)
+
+
+class TestAblationSweep:
+    def test_hardware_variant_competitive(self, reference_squiggle, target_signals, nontarget_signals):
+        variants = {
+            "vanilla": SDTWConfig.vanilla(),
+            "squigglefilter": SDTWConfig.hardware(),
+        }
+        results = ablation_sweep(
+            reference_squiggle,
+            target_signals[:6],
+            nontarget_signals[:6],
+            prefix_lengths=[600],
+            variants=variants,
+            n_thresholds=41,
+        )
+        assert set(results) == {"vanilla", "squigglefilter"}
+        # The full SquiggleFilter configuration should not be far behind the
+        # floating-point baseline (Figure 18 shows it matching or beating it).
+        assert results["squigglefilter"][600] >= results["vanilla"][600] - 0.15
+
+    def test_default_variants_all_evaluated(self, reference_squiggle, target_signals, nontarget_signals):
+        results = ablation_sweep(
+            reference_squiggle,
+            target_signals[:3],
+            nontarget_signals[:3],
+            prefix_lengths=[400],
+            n_thresholds=21,
+        )
+        assert len(results) == 6
+        for scores in results.values():
+            assert 0.0 <= scores[400] <= 1.0

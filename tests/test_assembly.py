@@ -1,0 +1,151 @@
+"""Unit tests for pileup, variant calling and reference-guided assembly."""
+
+import pytest
+
+from repro.align.aligner import ReferenceAligner
+from repro.assembly.consensus import ReferenceGuidedAssembler
+from repro.assembly.pileup import Pileup
+from repro.assembly.variant_caller import VariantCaller
+from repro.genomes.mutate import apply_mutations, random_mutations
+from repro.genomes.sequences import random_genome
+from repro.sequencer.reads import ReadGenerator, ReadLengthModel, SpecimenMixture
+
+
+class TestPileup:
+    def test_add_observation_and_column(self, target_genome):
+        pileup = Pileup(target_genome)
+        pileup.add_observation(10, "A", count=3)
+        pileup.add_observation(10, "C", count=1)
+        column = pileup.column(10)
+        assert column.depth == 4
+        assert column.consensus_base() == "A"
+        assert column.allele_fraction("A") == pytest.approx(0.75)
+
+    def test_invalid_observation(self, target_genome):
+        pileup = Pileup(target_genome)
+        with pytest.raises(IndexError):
+            pileup.add_observation(10**6, "A")
+        with pytest.raises(ValueError):
+            pileup.add_observation(0, "X")
+        with pytest.raises(ValueError):
+            pileup.add_observation(0, "A", count=-1)
+
+    def test_depth_and_breadth(self, target_genome):
+        pileup = Pileup(target_genome)
+        for position in range(100):
+            pileup.add_observation(position, target_genome[position])
+        assert pileup.breadth_of_coverage(min_depth=1) == pytest.approx(100 / len(target_genome))
+        assert pileup.mean_depth() == pytest.approx(100 / len(target_genome))
+
+    def test_covered_intervals(self, target_genome):
+        pileup = Pileup(target_genome)
+        for position in list(range(10, 20)) + list(range(50, 55)):
+            pileup.add_observation(position, "A")
+        assert pileup.covered_intervals() == [(10, 20), (50, 55)]
+
+    def test_add_alignment(self, target_genome):
+        aligner = ReferenceAligner(target_genome)
+        read = target_genome[200:500]
+        alignment = aligner.map(read)
+        pileup = Pileup(target_genome)
+        updated = pileup.add_alignment(read, alignment)
+        assert updated > 250
+        assert pileup.column(300).consensus_base() == target_genome[300]
+
+    def test_empty_column(self, target_genome):
+        pileup = Pileup(target_genome)
+        assert pileup.column(5).consensus_base() is None
+        assert pileup.column(5).allele_fraction("A") == 0.0
+
+
+class TestVariantCaller:
+    def test_detects_substitution(self, target_genome):
+        pileup = Pileup(target_genome)
+        alternate = "A" if target_genome[42] != "A" else "C"
+        for position in range(30, 60):
+            base = alternate if position == 42 else target_genome[position]
+            pileup.add_observation(position, base, count=10)
+        caller = VariantCaller(min_depth=5)
+        variants = caller.call_variants(pileup)
+        assert len(variants) == 1
+        assert variants[0].position == 42
+        assert variants[0].alternate_base == alternate
+
+    def test_low_depth_not_called(self, target_genome):
+        pileup = Pileup(target_genome)
+        alternate = "A" if target_genome[10] != "A" else "C"
+        pileup.add_observation(10, alternate, count=2)
+        assert VariantCaller(min_depth=5).call_variants(pileup) == []
+
+    def test_mixed_column_below_fraction_not_called(self, target_genome):
+        pileup = Pileup(target_genome)
+        alternate = "A" if target_genome[10] != "A" else "C"
+        pileup.add_observation(10, alternate, count=5)
+        pileup.add_observation(10, target_genome[10], count=5)
+        assert VariantCaller(min_depth=5, min_allele_fraction=0.6).call_variants(pileup) == []
+
+    def test_consensus_uses_reference_when_uncovered(self, target_genome):
+        pileup = Pileup(target_genome)
+        consensus = VariantCaller().consensus_sequence(pileup)
+        assert consensus == target_genome
+
+    def test_consensus_marks_gaps_when_requested(self, target_genome):
+        pileup = Pileup(target_genome)
+        consensus = VariantCaller().consensus_sequence(pileup, uncovered_char="N")
+        assert set(consensus) == {"N"}
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            VariantCaller(min_depth=0)
+        with pytest.raises(ValueError):
+            VariantCaller(min_allele_fraction=0.0)
+
+
+class TestReferenceGuidedAssembly:
+    @pytest.fixture(scope="class")
+    def assembly_setup(self):
+        reference = random_genome(1500, seed=31)
+        mutations = random_mutations(reference, substitutions=4, seed=32)
+        strain = apply_mutations(reference, mutations)
+        mixture = SpecimenMixture(
+            genomes={"strain": strain}, fractions={"strain": 1.0}, target_names=("strain",)
+        )
+        generator = ReadGenerator(
+            mixture,
+            length_model=ReadLengthModel(mean_bases=400, sigma=0.1, min_bases=300, max_bases=600),
+            seed=33,
+        )
+        reads = generator.generate(60)
+        return reference, strain, mutations, reads
+
+    def test_assembles_strain_genome(self, assembly_setup):
+        reference, strain, mutations, reads = assembly_setup
+        assembler = ReferenceGuidedAssembler(reference, seed=34)
+        result = assembler.assemble(reads)
+        assert result.n_reads_used > len(reads) * 0.7
+        assert result.mean_depth > 5
+        comparison = assembler.compare_to_truth(result, strain)
+        assert comparison["identity"] > 0.995
+
+    def test_variants_recovered(self, assembly_setup):
+        reference, strain, mutations, reads = assembly_setup
+        assembler = ReferenceGuidedAssembler(reference, seed=35)
+        result = assembler.assemble(reads)
+        called_positions = {variant.position for variant in result.variants}
+        true_positions = set(mutations.positions())
+        # At least half of the true strain mutations should be recovered and
+        # not drowned in false positives.
+        assert len(called_positions & true_positions) >= len(true_positions) // 2
+        assert len(called_positions - true_positions) <= 10
+
+    def test_coverage_goal_check(self, assembly_setup):
+        reference, _, _, reads = assembly_setup
+        assembler = ReferenceGuidedAssembler(reference, seed=36)
+        result = assembler.assemble(reads[:5])
+        assert not result.reached_coverage(target_depth=30)
+
+    def test_empty_read_set(self, target_genome):
+        assembler = ReferenceGuidedAssembler(target_genome, seed=37)
+        result = assembler.assemble([])
+        assert result.n_reads_used == 0
+        assert result.consensus == target_genome

@@ -1,0 +1,189 @@
+"""Unit tests for the simulated basecaller, event segmentation and performance models."""
+
+import numpy as np
+import pytest
+
+from repro.basecall.basecaller import GUPPY, GUPPY_LITE, BasecallerProfile, SimulatedBasecaller
+from repro.basecall.events import (
+    Event,
+    event_means,
+    expected_event_count,
+    segment_events,
+    tstat_boundaries,
+)
+from repro.basecall.performance import (
+    BASECALLER_PERFORMANCE,
+    MINION_MAX_BASES_PER_S,
+    basecaller_performance,
+    extra_bases_sequenced,
+    performance_table,
+    read_until_latency_ms,
+    read_until_throughput_samples_per_s,
+)
+from repro.align.extend import banded_alignment
+from repro.pore_model.synthesis import ideal_squiggle
+
+
+class TestBasecallerProfiles:
+    def test_guppy_more_accurate_than_lite(self):
+        assert GUPPY.error_rate < GUPPY_LITE.error_rate
+
+    def test_guppy_more_expensive(self):
+        assert GUPPY.operations_per_chunk > GUPPY_LITE.operations_per_chunk
+
+    def test_operations_per_sample(self):
+        assert GUPPY_LITE.operations_per_sample == pytest.approx(141_000_000 / 2000)
+
+    def test_invalid_profile(self):
+        with pytest.raises(ValueError):
+            BasecallerProfile("bad", 0.5, 0.6, 0.0, 1000)
+        with pytest.raises(ValueError):
+            BasecallerProfile("bad", 0.1, 0.1, 0.1, 0)
+
+
+class TestSimulatedBasecaller:
+    def test_full_read_identity_near_profile(self, balanced_reads):
+        basecaller = SimulatedBasecaller(GUPPY_LITE, seed=1)
+        read = balanced_reads[0]
+        result = basecaller.basecall(read)
+        # Alignment-based identity (positional identity collapses after indels).
+        identity = banded_alignment(result.sequence, read.sequence).identity
+        assert identity > 0.85
+
+    def test_guppy_more_accurate_in_practice(self, balanced_reads):
+        read = balanced_reads[2]
+        lite = SimulatedBasecaller(GUPPY_LITE, seed=2).basecall(read)
+        hac = SimulatedBasecaller(GUPPY, seed=2).basecall(read)
+        lite_identity = banded_alignment(lite.sequence, read.sequence).identity
+        hac_identity = banded_alignment(hac.sequence, read.sequence).identity
+        assert hac_identity >= lite_identity - 0.02
+
+    def test_prefix_basecalls_fewer_bases(self, balanced_reads):
+        basecaller = SimulatedBasecaller(GUPPY_LITE, seed=3)
+        read = balanced_reads[1]
+        prefix = basecaller.basecall(read, n_samples=read.n_samples // 4)
+        full = basecaller.basecall(read)
+        assert prefix.n_bases < full.n_bases
+        assert prefix.n_samples == read.n_samples // 4
+
+    def test_operation_count_scales_with_chunks(self, balanced_reads):
+        basecaller = SimulatedBasecaller(GUPPY_LITE, seed=4)
+        read = balanced_reads[0]
+        result = basecaller.basecall(read, n_samples=2000)
+        assert result.n_operations == GUPPY_LITE.operations_per_chunk
+        longer = basecaller.basecall(read, n_samples=4000)
+        assert longer.n_operations >= result.n_operations
+
+    def test_zero_samples_rejected(self, balanced_reads):
+        basecaller = SimulatedBasecaller(GUPPY_LITE)
+        with pytest.raises(ValueError):
+            basecaller.basecall(balanced_reads[0], n_samples=0)
+
+    def test_batch(self, balanced_reads):
+        basecaller = SimulatedBasecaller(GUPPY_LITE, seed=5)
+        results = basecaller.basecall_batch(balanced_reads[:4])
+        assert len(results) == 4
+
+    def test_identity_estimate(self):
+        assert SimulatedBasecaller(GUPPY).identity_estimate() == pytest.approx(0.95)
+
+
+class TestEventSegmentation:
+    def test_detects_level_changes(self, kmer_model):
+        signal, _ = ideal_squiggle("ACGTACGTACGTACGTACGTACGT", kmer_model=kmer_model, samples_per_base=10)
+        events = segment_events(signal)
+        expected = expected_event_count(signal.size, 10)
+        assert expected * 0.5 <= len(events) <= expected * 1.6
+
+    def test_event_fields_consistent(self, kmer_model):
+        signal, _ = ideal_squiggle("ACGTTGCAACGT", kmer_model=kmer_model)
+        events = segment_events(signal)
+        total = sum(event.length for event in events)
+        assert total == signal.size
+        for event in events:
+            assert event.end <= signal.size
+
+    def test_flat_signal_single_event(self):
+        events = segment_events(np.full(200, 85.0))
+        assert len(events) == 1
+        assert events[0].length == 200
+
+    def test_empty_signal(self):
+        assert segment_events(np.array([])) == []
+
+    def test_short_signal_single_event(self):
+        events = segment_events(np.array([1.0, 2.0, 1.5]))
+        assert len(events) == 1
+
+    def test_boundaries_sorted(self, kmer_model):
+        signal, _ = ideal_squiggle("ACGTACGTACGTACG", kmer_model=kmer_model)
+        boundaries = tstat_boundaries(signal)
+        assert boundaries == sorted(boundaries)
+
+    def test_event_means_array(self):
+        events = [Event(start=0, length=5, mean=80.0, stdv=1.0), Event(start=5, length=5, mean=95.0, stdv=1.0)]
+        assert np.allclose(event_means(events), [80.0, 95.0])
+
+    def test_invalid_event(self):
+        with pytest.raises(ValueError):
+            Event(start=-1, length=5, mean=0.0, stdv=0.0)
+        with pytest.raises(ValueError):
+            Event(start=0, length=0, mean=0.0, stdv=0.0)
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            tstat_boundaries(np.zeros(100), window=1)
+
+    def test_expected_event_count_invalid(self):
+        with pytest.raises(ValueError):
+            expected_event_count(100, 0)
+
+
+class TestBasecallerPerformanceModel:
+    def test_all_records_present(self):
+        pairs = {(record.basecaller, record.device) for record in BASECALLER_PERFORMANCE}
+        assert ("guppy_lite", "titan_xp") in pairs
+        assert ("guppy", "jetson_xavier") in pairs
+        assert len(pairs) == 4
+
+    def test_jetson_guppy_lite_matches_paper(self):
+        record = basecaller_performance("guppy_lite", "jetson_xavier")
+        # Paper: ~95,700 bases/s, 41.5 % of the MinION's 230,400 bases/s.
+        assert record.read_until_bases_per_s == pytest.approx(95_700, rel=0.02)
+        assert record.minion_fraction == pytest.approx(0.415, abs=0.01)
+        assert not record.supports_full_read_until()
+
+    def test_titan_guppy_lite_keeps_up(self):
+        record = basecaller_performance("guppy_lite", "titan_xp")
+        assert record.supports_full_read_until()
+
+    def test_guppy_lite_latency(self):
+        assert read_until_latency_ms("guppy_lite", "titan_xp") == pytest.approx(149.0)
+
+    def test_guppy_latency_above_one_second(self):
+        assert read_until_latency_ms("guppy", "titan_xp") > 1000.0
+
+    def test_throughput_samples(self):
+        record = basecaller_performance("guppy_lite", "jetson_xavier")
+        assert read_until_throughput_samples_per_s("guppy_lite", "jetson_xavier") == pytest.approx(
+            record.read_until_bases_per_s * 10
+        )
+
+    def test_unknown_configuration(self):
+        with pytest.raises(KeyError):
+            basecaller_performance("bonito", "titan_xp")
+
+    def test_extra_bases(self):
+        # Paper: Guppy-lite's 149 ms costs ~60 extra bases, Guppy's >1 s costs >400.
+        assert extra_bases_sequenced(149.0) == pytest.approx(67, abs=10)
+        assert extra_bases_sequenced(1060.0) > 400
+        with pytest.raises(ValueError):
+            extra_bases_sequenced(-1)
+
+    def test_performance_table_rows(self):
+        rows = performance_table()
+        assert len(rows) == len(BASECALLER_PERFORMANCE)
+        assert {"basecaller", "device", "read_until_latency_ms"} <= set(rows[0])
+
+    def test_minion_constant(self):
+        assert MINION_MAX_BASES_PER_S == pytest.approx(230_400)

@@ -1,0 +1,110 @@
+"""Unit tests for the basecall+align and UNCALLED-like baseline classifiers."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.basecall_align import BasecallAlignClassifier
+from repro.baselines.uncalled import UncalledLikeClassifier
+from repro.basecall.basecaller import GUPPY, GUPPY_LITE
+
+
+class TestBasecallAlignClassifier:
+    @pytest.fixture(scope="class")
+    def classifier(self, target_genome):
+        return BasecallAlignClassifier(target_genome, prefix_samples=1500, seed=7)
+
+    def test_accepts_target_reads(self, classifier, balanced_reads):
+        targets = [read for read in balanced_reads if read.is_target]
+        accepted = sum(1 for read in targets if classifier.classify_read(read).accept)
+        assert accepted >= len(targets) - 1
+
+    def test_rejects_background_reads(self, classifier, balanced_reads):
+        background = [read for read in balanced_reads if not read.is_target]
+        accepted = sum(1 for read in background if classifier.classify_read(read).accept)
+        assert accepted <= 1
+
+    def test_decision_accounting(self, classifier, balanced_reads):
+        read = balanced_reads[0]
+        decision = classifier.classify_read(read, prefix_samples=1000)
+        assert decision.samples_used <= 1000
+        assert decision.bases_called > 0
+        assert decision.basecall_operations >= GUPPY_LITE.operations_per_chunk
+
+    def test_as_filter_decision(self, classifier, balanced_reads):
+        decision = classifier.classify_read(balanced_reads[0])
+        adapted = decision.as_filter_decision(latency_extra_samples=100)
+        assert adapted.samples_used == decision.samples_used + 100
+        assert adapted.accept == decision.accept
+
+    def test_latency_from_device_model(self, target_genome):
+        jetson = BasecallAlignClassifier(target_genome, device="jetson_xavier")
+        titan = BasecallAlignClassifier(target_genome, device="titan_xp")
+        assert jetson.decision_latency_s > titan.decision_latency_s
+
+    def test_guppy_profile_uses_more_operations(self, target_genome, balanced_reads):
+        lite = BasecallAlignClassifier(target_genome, basecaller_profile=GUPPY_LITE, seed=1)
+        hac = BasecallAlignClassifier(target_genome, basecaller_profile=GUPPY, seed=1)
+        read = balanced_reads[0]
+        assert (
+            hac.classify_read(read).basecall_operations
+            > lite.classify_read(read).basecall_operations
+        )
+
+    def test_accuracy_costs_sign_convention(self, classifier, balanced_reads):
+        targets = [read for read in balanced_reads if read.is_target][:3]
+        background = [read for read in balanced_reads if not read.is_target][:3]
+        target_costs = classifier.accuracy_costs(targets)
+        background_costs = classifier.accuracy_costs(background)
+        assert max(target_costs) <= min(background_costs)
+
+    def test_invalid_prefix(self, target_genome):
+        with pytest.raises(ValueError):
+            BasecallAlignClassifier(target_genome, prefix_samples=0)
+
+    def test_classify_batch(self, classifier, balanced_reads):
+        assert len(classifier.classify_batch(balanced_reads[:4])) == 4
+
+
+class TestUncalledLikeClassifier:
+    @pytest.fixture(scope="class")
+    def classifier(self, target_genome, kmer_model):
+        return UncalledLikeClassifier(target_genome, kmer_model=kmer_model)
+
+    def test_accepts_most_target_reads(self, classifier, balanced_reads):
+        targets = [read for read in balanced_reads if read.is_target]
+        accepted = sum(
+            1 for read in targets if classifier.classify(read.signal_pa[:2000]).accept
+        )
+        assert accepted >= len(targets) * 0.6
+
+    def test_rejects_most_background_reads(self, classifier, balanced_reads):
+        background = [read for read in balanced_reads if not read.is_target]
+        accepted = sum(
+            1 for read in background if classifier.classify(read.signal_pa[:2000]).accept
+        )
+        assert accepted <= len(background) * 0.4
+
+    def test_decision_fields(self, classifier, balanced_reads):
+        decision = classifier.classify(balanced_reads[0].signal_pa[:2000])
+        assert decision.n_events > 0
+        assert decision.best_cluster_size >= 0
+
+    def test_short_prefix_less_confident(self, classifier, balanced_reads):
+        signals_short = [read.signal_pa[:300] for read in balanced_reads]
+        signals_long = [read.signal_pa[:2000] for read in balanced_reads]
+        assert classifier.unalignable_fraction(signals_short) >= classifier.unalignable_fraction(
+            signals_long
+        )
+
+    def test_unalignable_fraction_empty(self, classifier):
+        assert classifier.unalignable_fraction([]) == 0.0
+
+    def test_event_letters_alphabet(self, classifier, balanced_reads):
+        letters = classifier.event_letters(balanced_reads[0].signal_pa[:1500])
+        assert set(letters) <= set("ACGT")
+
+    def test_invalid_parameters(self, target_genome, kmer_model):
+        with pytest.raises(ValueError):
+            UncalledLikeClassifier(target_genome, kmer_model=kmer_model, seed_length=2)
+        with pytest.raises(ValueError):
+            UncalledLikeClassifier(target_genome, kmer_model=kmer_model, min_cluster_size=0)

@@ -1,0 +1,94 @@
+"""Unit tests for SDTWConfig and the Figure 18 ablation variants."""
+
+import pytest
+
+from repro.core.config import SDTWConfig
+from repro.core.variants import (
+    ABLATION_VARIANTS,
+    describe_variant,
+    variant_config,
+    variant_names,
+)
+
+
+class TestSDTWConfig:
+    def test_vanilla_settings(self):
+        config = SDTWConfig.vanilla()
+        assert config.distance == "squared"
+        assert config.allow_reference_deletions
+        assert not config.quantize
+        assert not config.uses_bonus
+
+    def test_hardware_settings(self):
+        config = SDTWConfig.hardware()
+        assert config.distance == "absolute"
+        assert not config.allow_reference_deletions
+        assert config.quantize
+        assert config.uses_bonus
+
+    def test_invalid_distance(self):
+        with pytest.raises(ValueError):
+            SDTWConfig(distance="euclidean")
+
+    def test_negative_bonus_rejected(self):
+        with pytest.raises(ValueError):
+            SDTWConfig(match_bonus=-1)
+
+    def test_bonus_requires_no_deletions(self):
+        with pytest.raises(ValueError):
+            SDTWConfig(allow_reference_deletions=True, match_bonus=5.0)
+
+    def test_invalid_cap(self):
+        with pytest.raises(ValueError):
+            SDTWConfig(match_bonus_cap=0)
+
+    def test_with_creates_modified_copy(self):
+        base = SDTWConfig.vanilla()
+        changed = base.with_(distance="absolute")
+        assert changed.distance == "absolute"
+        assert base.distance == "squared"
+
+    def test_frozen(self):
+        config = SDTWConfig()
+        with pytest.raises(Exception):
+            config.distance = "squared"
+
+
+class TestAblationVariants:
+    def test_six_variants(self):
+        assert len(ABLATION_VARIANTS) == 6
+
+    def test_expected_names(self):
+        assert variant_names() == [
+            "vanilla",
+            "absolute_difference",
+            "integer_normalization",
+            "no_reference_deletions",
+            "all_approximations",
+            "squigglefilter",
+        ]
+
+    def test_each_single_modification_changes_one_field(self):
+        base = ABLATION_VARIANTS["vanilla"]
+        assert ABLATION_VARIANTS["absolute_difference"].distance != base.distance
+        assert ABLATION_VARIANTS["integer_normalization"].quantize != base.quantize
+        assert (
+            ABLATION_VARIANTS["no_reference_deletions"].allow_reference_deletions
+            != base.allow_reference_deletions
+        )
+
+    def test_squigglefilter_is_hardware(self):
+        assert ABLATION_VARIANTS["squigglefilter"] == SDTWConfig.hardware()
+
+    def test_all_approximations_has_no_bonus(self):
+        assert not ABLATION_VARIANTS["all_approximations"].uses_bonus
+
+    def test_lookup_unknown(self):
+        with pytest.raises(KeyError):
+            variant_config("magic")
+
+    def test_describe(self):
+        description = describe_variant("squigglefilter")
+        assert "no-ref-deletions" in description
+        assert "int8" in description
+        assert "bonus" in description

@@ -1,0 +1,83 @@
+"""Unit tests for the static data catalogs (Tables 1/3, Figures 2/6)."""
+
+import pytest
+
+# NOTE: some catalog helpers are imported under aliases because their natural
+# names start with "test"/"tests" and pytest would otherwise collect them as
+# test functions.
+from repro.data.tests_catalog import (
+    DIAGNOSTIC_TESTS,
+    DiagnosticTest,
+    programmable_tests,
+    whole_genome_tests,
+)
+from repro.data.tests_catalog import tests_table as diagnostic_tests_table
+from repro.data.testing_history import US_TESTING_HISTORY, months_to_reach
+from repro.data.testing_history import testing_history_table as us_testing_table
+from repro.data.throughput_history import (
+    SEQUENCER_RELEASES,
+    exponential_growth_rate,
+    projected_throughput,
+    throughput_history_table,
+)
+
+
+class TestDiagnosticTestsCatalog:
+    def test_table_has_all_rows(self):
+        assert len(diagnostic_tests_table()) == len(DIAGNOSTIC_TESTS) == 9
+
+    def test_only_sequencing_tests_programmable(self):
+        for test in programmable_tests():
+            assert test.category == "sequencing"
+
+    def test_whole_genome_tests_are_programmable(self):
+        for test in whole_genome_tests():
+            assert test.programmable
+
+    def test_antigen_test_fastest(self):
+        timed = [test for test in DIAGNOSTIC_TESTS if test.time_minutes is not None]
+        fastest = min(timed, key=lambda test: test.time_minutes)
+        assert fastest.category == "antigen"
+
+    def test_low_viral_load_takes_longer(self):
+        rna_1 = next(t for t in DIAGNOSTIC_TESTS if "RNA sequencing (1%" in t.name)
+        rna_01 = next(t for t in DIAGNOSTIC_TESTS if "RNA sequencing (0.1%" in t.name)
+        assert rna_01.time_minutes > rna_1.time_minutes
+
+    def test_invalid_test(self):
+        with pytest.raises(ValueError):
+            DiagnosticTest("bad", "antigen", "presence", False, -1, 5)
+
+
+class TestTestingHistory:
+    def test_monotone_ramp_overall(self):
+        values = [entry.daily_tests for entry in US_TESTING_HISTORY]
+        assert values[0] == 0
+        assert values[-1] > 1_000_000
+
+    def test_table_rows(self):
+        rows = us_testing_table()
+        assert len(rows) == 12
+        assert rows[0]["month"] == "2020-01"
+
+    def test_months_to_reach(self):
+        assert months_to_reach(1) >= 1
+        assert months_to_reach(1_000_000) >= 9
+        assert months_to_reach(0) == 0
+
+
+class TestThroughputHistory:
+    def test_rows_sorted_by_year(self):
+        rows = throughput_history_table()
+        years = [row["year"] for row in rows]
+        assert years == sorted(years)
+
+    def test_growth_is_exponential(self):
+        assert exponential_growth_rate() > 1.5
+
+    def test_projection_increases(self):
+        assert projected_throughput(2025.0) > projected_throughput(2018.0)
+
+    def test_minion_r941_value(self):
+        minion = next(r for r in SEQUENCER_RELEASES if r.name == "MinION R9.4.1")
+        assert minion.bases_per_second == 230_400

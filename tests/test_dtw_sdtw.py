@@ -1,0 +1,225 @@
+"""Unit tests for the DTW and sDTW kernels, including cross-kernel equivalence."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import SDTWConfig
+from repro.core.dtw import dtw_cost, dtw_cost_matrix, dtw_path
+from repro.core.sdtw import sdtw_cost, sdtw_cost_matrix, sdtw_last_row, sdtw_resume
+
+
+def random_signals(rng, n=40, m=120, integer=True):
+    if integer:
+        return (
+            rng.integers(-100, 100, size=n).astype(np.int64),
+            rng.integers(-100, 100, size=m).astype(np.int64),
+        )
+    return rng.normal(size=n), rng.normal(size=m)
+
+
+class TestClassicDTW:
+    def test_identical_signals_zero_cost(self):
+        signal = np.array([1.0, 2.0, 3.0, 2.0, 1.0])
+        assert dtw_cost(signal, signal) == pytest.approx(0.0)
+
+    def test_warping_invariance(self):
+        # Stretching one signal in time should cost (almost) nothing.
+        base = np.array([1.0, 5.0, 2.0, 8.0])
+        stretched = np.repeat(base, 3)
+        assert dtw_cost(base, stretched) == pytest.approx(0.0)
+
+    def test_cost_positive_for_different_signals(self):
+        assert dtw_cost(np.array([0.0, 0.0]), np.array([5.0, 5.0])) > 0
+
+    def test_absolute_vs_squared(self):
+        a = np.array([0.0, 1.0, 2.0])
+        b = np.array([0.0, 3.0, 2.0])
+        assert dtw_cost(a, b, "absolute") <= dtw_cost(a, b, "squared")
+
+    def test_invalid_distance(self):
+        with pytest.raises(ValueError):
+            dtw_cost(np.array([1.0]), np.array([1.0]), "cosine")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            dtw_cost(np.array([]), np.array([1.0]))
+
+    def test_path_endpoints(self):
+        a = np.array([1.0, 2.0, 3.0])
+        b = np.array([1.0, 2.0, 2.5, 3.0])
+        cost, path = dtw_path(a, b)
+        assert path[0] == (0, 0)
+        assert path[-1] == (len(a) - 1, len(b) - 1)
+        assert cost == pytest.approx(dtw_cost(a, b))
+
+    def test_path_monotone(self):
+        rng = np.random.default_rng(1)
+        a, b = random_signals(rng, 10, 15, integer=False)
+        _, path = dtw_path(a, b)
+        for (i0, j0), (i1, j1) in zip(path[:-1], path[1:]):
+            assert 0 <= i1 - i0 <= 1 and 0 <= j1 - j0 <= 1
+            assert (i1 - i0) + (j1 - j0) >= 1
+
+    def test_matrix_shape(self):
+        matrix = dtw_cost_matrix(np.arange(4.0), np.arange(6.0))
+        assert matrix.shape == (4, 6)
+
+
+class TestSDTWBasics:
+    def test_exact_subsequence_zero_cost(self):
+        reference = np.array([5.0, 1.0, 2.0, 3.0, 9.0, 4.0])
+        query = np.array([1.0, 2.0, 3.0])
+        config = SDTWConfig(distance="absolute", allow_reference_deletions=False, quantize=False, match_bonus=0.0)
+        result = sdtw_cost(query, reference, config)
+        assert result.cost == pytest.approx(0.0)
+        assert result.end_position == 3
+
+    def test_subsequence_cheaper_than_global(self):
+        rng = np.random.default_rng(2)
+        reference = rng.normal(size=200)
+        query = reference[50:80] + rng.normal(0, 0.01, size=30)
+        config = SDTWConfig.vanilla()
+        sub_cost = sdtw_cost(query, reference, config).cost
+        global_cost = dtw_cost(query, reference)
+        assert sub_cost < global_cost
+
+    def test_end_position_localizes_query(self):
+        rng = np.random.default_rng(3)
+        reference = rng.integers(-100, 100, size=300).astype(np.int64)
+        query = reference[120:160]
+        config = SDTWConfig(distance="absolute", allow_reference_deletions=False, quantize=True, match_bonus=0.0)
+        result = sdtw_cost(query, reference, config)
+        assert result.cost == 0
+        assert result.end_position == 159
+
+    def test_per_sample_cost(self):
+        reference = np.arange(50.0)
+        query = np.full(10, 100.0)
+        result = sdtw_cost(query, reference, SDTWConfig.vanilla())
+        assert result.per_sample_cost == pytest.approx(result.cost / 10)
+
+    def test_empty_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            sdtw_cost(np.array([]), np.array([1.0]))
+        with pytest.raises(ValueError):
+            sdtw_cost(np.array([1.0]), np.array([]))
+
+    def test_2d_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            sdtw_cost(np.zeros((2, 2)), np.arange(5.0))
+
+
+class TestKernelEquivalence:
+    """The vectorized kernels must agree with the direct DP matrix."""
+
+    @pytest.mark.parametrize("name", ["vanilla", "hardware", "abs_only", "nodel_only", "int_only"])
+    def test_last_row_matches_matrix(self, name):
+        configs = {
+            "vanilla": SDTWConfig.vanilla(),
+            "hardware": SDTWConfig.hardware(),
+            "abs_only": SDTWConfig.vanilla().with_(distance="absolute"),
+            "nodel_only": SDTWConfig.vanilla().with_(allow_reference_deletions=False),
+            "int_only": SDTWConfig.vanilla().with_(quantize=True),
+        }
+        config = configs[name]
+        rng = np.random.default_rng(hash(name) % (2**32))
+        query, reference = random_signals(rng, 25, 70, integer=config.quantize)
+        matrix, _ = sdtw_cost_matrix(query, reference, config)
+        last_row = sdtw_last_row(query, reference, config)
+        assert np.allclose(matrix[-1], last_row)
+
+    def test_cost_equals_min_of_last_row(self):
+        rng = np.random.default_rng(11)
+        query, reference = random_signals(rng, 30, 90)
+        config = SDTWConfig.hardware()
+        result = sdtw_cost(query, reference, config)
+        last_row = sdtw_last_row(query, reference, config)
+        assert result.cost == pytest.approx(last_row.min())
+
+    def test_no_deletion_cost_at_least_vanilla(self):
+        # Removing a DP move can only increase (or keep) the optimal cost.
+        rng = np.random.default_rng(12)
+        query, reference = random_signals(rng, 30, 90, integer=False)
+        vanilla = sdtw_cost(query, reference, SDTWConfig.vanilla().with_(distance="absolute")).cost
+        restricted = sdtw_cost(
+            query,
+            reference,
+            SDTWConfig(distance="absolute", allow_reference_deletions=False, quantize=False, match_bonus=0.0),
+        ).cost
+        assert restricted >= vanilla - 1e-9
+
+    def test_bonus_lowers_cost(self):
+        rng = np.random.default_rng(13)
+        query, reference = random_signals(rng, 40, 100)
+        no_bonus = sdtw_cost(
+            query,
+            reference,
+            SDTWConfig(distance="absolute", allow_reference_deletions=False, quantize=True, match_bonus=0.0),
+        ).cost
+        with_bonus = sdtw_cost(query, reference, SDTWConfig.hardware()).cost
+        assert with_bonus <= no_bonus
+
+
+class TestTraceback:
+    def test_path_is_contiguous_and_monotone(self):
+        rng = np.random.default_rng(14)
+        reference = rng.integers(-80, 80, size=120).astype(np.int64)
+        query = reference[40:70]
+        config = SDTWConfig.hardware()
+        _, path = sdtw_cost_matrix(query, reference, config, return_path=True)
+        assert path is not None
+        assert path[0][0] == 0
+        assert path[-1][0] == len(query) - 1
+        for (i0, j0), (i1, j1) in zip(path[:-1], path[1:]):
+            assert i1 == i0 + 1
+            assert j1 - j0 in (0, 1)
+
+    def test_exact_match_path_is_diagonal(self):
+        reference = np.arange(0, 500, 10, dtype=np.int64)
+        query = reference[10:20]
+        config = SDTWConfig(distance="absolute", allow_reference_deletions=False, quantize=True, match_bonus=0.0)
+        _, path = sdtw_cost_matrix(query, reference, config, return_path=True)
+        reference_positions = [j for _, j in path]
+        assert reference_positions == list(range(10, 20))
+
+
+class TestResume:
+    def test_resume_matches_full(self):
+        rng = np.random.default_rng(15)
+        query, reference = random_signals(rng, 50, 150)
+        config = SDTWConfig.hardware()
+        full = sdtw_resume(query, reference, config)
+        first = sdtw_resume(query[:20], reference, config)
+        second = sdtw_resume(query[20:], reference, config, state=first)
+        assert np.allclose(second.row, full.row)
+        assert second.samples_processed == 50
+
+    def test_resume_without_bonus(self):
+        rng = np.random.default_rng(16)
+        query, reference = random_signals(rng, 30, 80)
+        config = SDTWConfig(distance="absolute", allow_reference_deletions=False, quantize=True, match_bonus=0.0)
+        full = sdtw_last_row(query, reference, config)
+        first = sdtw_resume(query[:10], reference, config)
+        second = sdtw_resume(query[10:], reference, config, state=first)
+        assert np.allclose(second.row, full)
+
+    def test_resume_rejects_vanilla(self):
+        with pytest.raises(ValueError):
+            sdtw_resume(np.arange(5), np.arange(10), SDTWConfig.vanilla())
+
+    def test_resume_rejects_mismatched_reference(self):
+        rng = np.random.default_rng(17)
+        query, reference = random_signals(rng, 10, 40)
+        config = SDTWConfig.hardware()
+        state = sdtw_resume(query, reference, config)
+        with pytest.raises(ValueError):
+            sdtw_resume(query, reference[:-5], config, state=state)
+
+    def test_state_cost_and_end(self):
+        rng = np.random.default_rng(18)
+        query, reference = random_signals(rng, 20, 60)
+        config = SDTWConfig.hardware()
+        state = sdtw_resume(query, reference, config)
+        result = sdtw_cost(query, reference, config)
+        assert state.cost == pytest.approx(result.cost)
+        assert state.end_position == result.end_position

@@ -1,0 +1,311 @@
+"""Unit tests for the extension subsystems: Read Until API simulation,
+multi-target panels, the cost model, PAF output and report generation."""
+
+import numpy as np
+import pytest
+
+from repro.align.aligner import ReferenceAligner
+from repro.analysis.report import ExperimentReport, format_markdown_table, format_table
+from repro.core.panel import ReferencePanelFilter
+from repro.genomes.sequences import random_genome
+from repro.io.paf import PafRecord, paf_from_alignment, read_paf, write_paf
+from repro.pipeline.cost_model import (
+    SequencingCostConfig,
+    experiment_cost,
+    read_until_savings,
+)
+from repro.pipeline.runtime_model import ReadUntilModelConfig
+from repro.sequencer.read_until_api import ReadUntilSimulator, classifier_client
+from repro.sequencer.reads import ReadGenerator, ReadLengthModel, SpecimenMixture
+from repro.sequencer.run import MinIONParameters
+
+# Most API tests disable the 1-second capture dead time so the first chunk is
+# available immediately; one dedicated test checks the capture delay itself.
+NO_CAPTURE = MinIONParameters(capture_time_s=0.0)
+
+
+# --------------------------------------------------------------------------- Read Until API
+class TestReadUntilSimulator:
+    @pytest.fixture()
+    def long_reads(self, mixture, kmer_model):
+        generator = ReadGenerator(
+            mixture,
+            kmer_model=kmer_model,
+            length_model=ReadLengthModel(mean_bases=700, sigma=0.1, min_bases=500, max_bases=900),
+            seed=31,
+        )
+        reads = [generator.generate_one(source="virus") for _ in range(4)]
+        reads += [generator.generate_one(source="host") for _ in range(8)]
+        return reads
+
+    def test_chunks_grow_until_decision(self, long_reads):
+        simulator = ReadUntilSimulator(
+            long_reads[:2], parameters=NO_CAPTURE, chunk_samples=500, n_channels=1
+        )
+        first = simulator.get_read_chunks()
+        second = simulator.get_read_chunks()
+        assert first and second
+        assert second[0].samples_seen > first[0].samples_seen
+
+    def test_capture_time_delays_first_chunk(self, long_reads):
+        simulator = ReadUntilSimulator(long_reads[:1], chunk_samples=500, n_channels=1)
+        # With the default 1 s capture time and 0.125 s chunks, the first few
+        # polls return nothing.
+        assert simulator.get_read_chunks() == []
+        for _ in range(10):
+            chunks = simulator.get_read_chunks()
+            if chunks:
+                break
+        assert chunks
+
+    def test_unblock_truncates_read(self, long_reads):
+        read = long_reads[0]
+        simulator = ReadUntilSimulator([read], parameters=NO_CAPTURE, chunk_samples=500, n_channels=1)
+        chunks = simulator.get_read_chunks()
+        simulator.unblock(chunks[0].channel, chunks[0].read_id)
+        assert simulator.action_log
+        entry = simulator.action_log[0]
+        assert entry.action == "unblocked"
+        assert entry.samples_sequenced < read.n_samples
+
+    def test_stop_receiving_sequences_fully(self, long_reads):
+        read = long_reads[0]
+        simulator = ReadUntilSimulator([read], parameters=NO_CAPTURE, chunk_samples=800, n_channels=1)
+        chunks = simulator.get_read_chunks()
+        simulator.stop_receiving(chunks[0].channel, chunks[0].read_id)
+        while not simulator.finished:
+            simulator.get_read_chunks()
+        entry = simulator.action_log[0]
+        assert entry.action == "sequenced"
+        assert entry.samples_sequenced == read.n_samples
+
+    def test_latency_costs_extra_samples(self, long_reads):
+        read = long_reads[0]
+        fast = ReadUntilSimulator([read], parameters=NO_CAPTURE, chunk_samples=500, n_channels=1)
+        chunk = fast.get_read_chunks()[0]
+        fast.unblock(chunk.channel, chunk.read_id, latency_s=0.0)
+        slow = ReadUntilSimulator([read], parameters=NO_CAPTURE, chunk_samples=500, n_channels=1)
+        chunk = slow.get_read_chunks()[0]
+        slow.unblock(chunk.channel, chunk.read_id, latency_s=0.2)
+        assert slow.action_log[0].samples_sequenced > fast.action_log[0].samples_sequenced
+
+    def test_run_client_with_oracle(self, long_reads):
+        truth = {read.read_id: read.is_target for read in long_reads}
+        simulator = ReadUntilSimulator(long_reads, chunk_samples=600, n_channels=4)
+
+        def decide(chunk):
+            return "stop_receiving" if truth[chunk.read_id] else "unblock"
+
+        summary = simulator.run_client(decide)
+        assert summary["reads_finished"] == len(long_reads)
+        assert summary["target_recall"] == 1.0
+        assert summary["background_ejection_rate"] == 1.0
+        assert summary["mean_background_samples"] < np.mean(
+            [read.n_samples for read in long_reads if not read.is_target]
+        )
+
+    def test_classifier_client_adapter(self, long_reads, calibrated_filter):
+        client = classifier_client(
+            lambda signal: calibrated_filter.classify(signal).accept, min_samples=800
+        )
+        simulator = ReadUntilSimulator(long_reads, chunk_samples=400, n_channels=4)
+        summary = simulator.run_client(client)
+        assert summary["reads_finished"] == len(long_reads)
+        assert summary["target_recall"] >= 0.75
+        assert summary["background_ejection_rate"] >= 0.75
+
+    def test_invalid_construction(self, long_reads):
+        with pytest.raises(ValueError):
+            ReadUntilSimulator(long_reads, chunk_samples=0)
+        with pytest.raises(ValueError):
+            ReadUntilSimulator(long_reads, n_channels=0)
+
+    def test_unknown_action_rejected(self, long_reads):
+        simulator = ReadUntilSimulator(long_reads[:1], chunk_samples=500, n_channels=1)
+        with pytest.raises(ValueError):
+            simulator.run_client(lambda chunk: "explode")
+
+    def test_stale_unblock_ignored(self, long_reads):
+        simulator = ReadUntilSimulator(long_reads[:1], parameters=NO_CAPTURE, chunk_samples=500, n_channels=1)
+        simulator.get_read_chunks()
+        simulator.unblock(0, "nonexistent-read")
+        assert simulator.action_log == []
+
+
+# --------------------------------------------------------------------------- Panel filter
+class TestReferencePanelFilter:
+    @pytest.fixture(scope="class")
+    def panel_world(self, kmer_model):
+        genomes = {
+            "virus_a": random_genome(900, seed=71),
+            "virus_b": random_genome(900, seed=72),
+        }
+        background = random_genome(6000, seed=73)
+        panel = ReferencePanelFilter(genomes, kmer_model=kmer_model, prefix_samples=900)
+
+        def reads_for(genome, n, seed):
+            mixture = SpecimenMixture.two_component("t", genome, "bg", background, 0.5)
+            generator = ReadGenerator(
+                mixture,
+                kmer_model=kmer_model,
+                length_model=ReadLengthModel(mean_bases=250, sigma=0.1, min_bases=200, max_bases=350),
+                seed=seed,
+            )
+            return generator.generate_balanced(n)
+
+        reads_a = reads_for(genomes["virus_a"], 6, 81)
+        reads_b = reads_for(genomes["virus_b"], 6, 82)
+        target_a = [r.signal_pa for r in reads_a if r.is_target]
+        target_b = [r.signal_pa for r in reads_b if r.is_target]
+        background_signals = [r.signal_pa for r in reads_a + reads_b if not r.is_target]
+        panel.calibrate({"virus_a": target_a, "virus_b": target_b}, background_signals)
+        return panel, target_a, target_b, background_signals
+
+    def test_requires_calibration(self, kmer_model):
+        panel = ReferencePanelFilter({"x": random_genome(600, seed=1)}, kmer_model=kmer_model)
+        with pytest.raises(ValueError):
+            panel.classify(np.random.default_rng(0).normal(90, 12, 500))
+
+    def test_identifies_correct_member(self, panel_world):
+        panel, target_a, target_b, _ = panel_world
+        hits_a = [panel.classify(signal) for signal in target_a]
+        hits_b = [panel.classify(signal) for signal in target_b]
+        assert sum(1 for d in hits_a if d.best_target == "virus_a") >= len(hits_a) - 1
+        assert sum(1 for d in hits_b if d.best_target == "virus_b") >= len(hits_b) - 1
+
+    def test_rejects_background(self, panel_world):
+        panel, _, _, background_signals = panel_world
+        rejected = sum(1 for signal in background_signals if not panel.classify(signal).accept)
+        assert rejected >= len(background_signals) - 1
+
+    def test_identification_accuracy(self, panel_world):
+        panel, target_a, target_b, background_signals = panel_world
+        labelled = (
+            [("virus_a", signal) for signal in target_a]
+            + [("virus_b", signal) for signal in target_b]
+            + [(None, signal) for signal in background_signals]
+        )
+        assert panel.identification_accuracy(labelled) >= 0.85
+        assert panel.identification_accuracy([]) == 0.0
+
+    def test_buffer_capacity_enforced(self, kmer_model):
+        genomes = {f"virus_{i}": random_genome(20_000, seed=100 + i) for i in range(3)}
+        with pytest.raises(ValueError):
+            ReferencePanelFilter(genomes, kmer_model=kmer_model)
+
+    def test_empty_panel_rejected(self, kmer_model):
+        with pytest.raises(ValueError):
+            ReferencePanelFilter({}, kmer_model=kmer_model)
+
+    def test_unknown_member_in_calibration(self, kmer_model):
+        panel = ReferencePanelFilter({"x": random_genome(600, seed=5)}, kmer_model=kmer_model)
+        with pytest.raises(KeyError):
+            panel.calibrate({"y": [np.zeros(100)]}, [np.zeros(100)])
+
+    def test_cost_margin(self, panel_world):
+        panel, target_a, _, _ = panel_world
+        decision = panel.classify(target_a[0])
+        assert decision.cost_margin() > 0
+
+
+# --------------------------------------------------------------------------- Cost model
+class TestCostModel:
+    def test_effective_flowcell_cost(self):
+        config = SequencingCostConfig()
+        assert config.effective_flowcell_cost_usd == pytest.approx(125.0)
+
+    def test_experiment_cost_scales_with_runtime(self):
+        short = experiment_cost(3600.0)
+        long = experiment_cost(7200.0)
+        assert long.total_usd > short.total_usd
+        assert long.runtime_hours == pytest.approx(2.0)
+
+    def test_negative_runtime_rejected(self):
+        with pytest.raises(ValueError):
+            experiment_cost(-1.0)
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            SequencingCostConfig(flowcell_cost_usd=0)
+        with pytest.raises(ValueError):
+            SequencingCostConfig(flowcell_reuses=0)
+
+    def test_read_until_saves_time_and_cost(self):
+        model = ReadUntilModelConfig()
+        savings = read_until_savings(model, recall=0.95, false_positive_rate=0.02)
+        assert savings["time_saved_hours"] > 0
+        assert savings["cost_saved_usd"] > 0
+        assert (
+            savings["experiments_per_flowcell_read_until"]
+            >= savings["experiments_per_flowcell_control"]
+        )
+
+
+# --------------------------------------------------------------------------- PAF output
+class TestPafOutput:
+    @pytest.fixture(scope="class")
+    def alignment_world(self):
+        genome = random_genome(3000, seed=91)
+        aligner = ReferenceAligner(genome)
+        read = genome[500:900]
+        alignment = aligner.map(read)
+        return genome, alignment
+
+    def test_round_trip(self, tmp_path, alignment_world):
+        genome, alignment = alignment_world
+        record = paf_from_alignment("read_1", alignment, "virus", len(genome))
+        path = tmp_path / "out.paf"
+        assert write_paf(path, [record]) == 1
+        loaded = read_paf(path)
+        assert loaded == [record]
+
+    def test_record_consistency(self, alignment_world):
+        genome, alignment = alignment_world
+        record = paf_from_alignment("read_1", alignment, "virus", len(genome))
+        assert record.strand == alignment.strand
+        assert record.target_start <= 500 <= record.target_end
+        assert 0 < record.residue_matches <= record.alignment_block_length
+
+    def test_invalid_record(self):
+        with pytest.raises(ValueError):
+            PafRecord("q", 100, 0, 50, "x", "t", 200, 0, 50, 40, 50, 60)
+        with pytest.raises(ValueError):
+            PafRecord("q", 100, 60, 50, "+", "t", 200, 0, 50, 40, 50, 60)
+        with pytest.raises(ValueError):
+            PafRecord("q", 100, 0, 50, "+", "t", 200, 0, 50, 40, 50, 300)
+
+    def test_from_line_rejects_short_lines(self):
+        with pytest.raises(ValueError):
+            PafRecord.from_line("a\tb\tc")
+
+
+# --------------------------------------------------------------------------- Reports
+class TestExperimentReport:
+    def test_text_table_alignment(self):
+        rows = [{"metric": "recall", "value": 0.95}, {"metric": "fpr", "value": 0.0123}]
+        text = format_table(rows)
+        assert "recall" in text and "0.95" in text
+        assert format_table([]) == "(no rows)"
+
+    def test_markdown_table(self):
+        rows = [{"a": 1, "b": True}]
+        markdown = format_markdown_table(rows)
+        assert markdown.splitlines()[0] == "| a | b |"
+        assert "yes" in markdown
+
+    def test_report_round_trip(self, tmp_path):
+        report = ExperimentReport("Figure 17b reproduction")
+        section = report.section("lambda", columns=["prefix", "runtime_min"])
+        section.add_row(prefix=1000, runtime_min=42.1)
+        section.add_note("30x coverage target")
+        text = report.to_text()
+        markdown = report.to_markdown()
+        assert "Figure 17b" in text and "lambda" in text
+        assert markdown.startswith("# Figure 17b reproduction")
+        path = tmp_path / "report.md"
+        report.save(path)
+        assert "42.1" in path.read_text()
+
+    def test_empty_title_rejected(self):
+        with pytest.raises(ValueError):
+            ExperimentReport("")

@@ -1,0 +1,164 @@
+"""Unit tests for the single-stage and multi-stage SquiggleFilter."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import SDTWConfig
+from repro.core.filter import (
+    FilterStage,
+    MultiStageSquiggleFilter,
+    SquiggleFilter,
+    build_default_filter,
+)
+
+
+class TestSquiggleFilterCosts:
+    def test_target_costs_below_nontarget(self, hardware_filter, target_signals, nontarget_signals):
+        target_costs = [hardware_filter.cost(s, 800) for s in target_signals]
+        nontarget_costs = [hardware_filter.cost(s, 800) for s in nontarget_signals]
+        assert max(target_costs) < min(nontarget_costs)
+
+    def test_cost_deterministic(self, hardware_filter, target_signals):
+        signal = target_signals[0]
+        assert hardware_filter.cost(signal, 500) == hardware_filter.cost(signal, 500)
+
+    def test_prefix_trimming(self, hardware_filter, target_signals):
+        signal = target_signals[0]
+        short = hardware_filter.alignment(signal, 400)
+        long = hardware_filter.alignment(signal, 800)
+        assert short.query_length == 400
+        assert long.query_length == min(800, signal.size)
+
+    def test_prepare_query_quantized(self, hardware_filter, target_signals):
+        query = hardware_filter.prepare_query(target_signals[0], 400)
+        assert query.dtype == np.int32
+        assert np.abs(query).max() <= 127
+
+    def test_prepare_query_float_config(self, reference_squiggle, target_signals):
+        squiggle_filter = SquiggleFilter(
+            reference_squiggle, config=SDTWConfig.vanilla(), prefix_samples=300
+        )
+        query = squiggle_filter.prepare_query(target_signals[0])
+        assert query.dtype == np.float64
+
+    def test_empty_signal_rejected(self, hardware_filter):
+        with pytest.raises(ValueError):
+            hardware_filter.cost(np.array([]))
+
+    def test_invalid_prefix_samples(self, reference_squiggle):
+        with pytest.raises(ValueError):
+            SquiggleFilter(reference_squiggle, prefix_samples=0)
+
+    def test_per_sample_cost(self, hardware_filter, target_signals):
+        result = hardware_filter.alignment(target_signals[0], 400)
+        assert result.per_sample_cost == pytest.approx(result.cost / 400)
+
+
+class TestSquiggleFilterDecisions:
+    def test_requires_threshold(self, hardware_filter, target_signals):
+        with pytest.raises(ValueError):
+            hardware_filter.classify(target_signals[0])
+
+    def test_calibrated_filter_classifies_correctly(
+        self, calibrated_filter, target_signals, nontarget_signals
+    ):
+        target_decisions = [calibrated_filter.classify(s).accept for s in target_signals]
+        nontarget_decisions = [calibrated_filter.classify(s).accept for s in nontarget_signals]
+        assert sum(target_decisions) >= len(target_signals) - 1
+        assert sum(nontarget_decisions) <= 1
+
+    def test_decision_fields(self, calibrated_filter, target_signals):
+        decision = calibrated_filter.classify(target_signals[0])
+        assert decision.samples_used <= 800
+        assert decision.threshold == calibrated_filter.threshold
+        assert decision.stage == 0
+        assert 0 <= decision.end_position < len(calibrated_filter.reference)
+
+    def test_explicit_threshold_overrides(self, calibrated_filter, nontarget_signals):
+        generous = calibrated_filter.classify(nontarget_signals[0], threshold=float("inf"))
+        assert generous.accept
+
+    def test_classify_batch(self, calibrated_filter, target_signals):
+        decisions = calibrated_filter.classify_batch(target_signals)
+        assert len(decisions) == len(target_signals)
+
+    def test_calibrate_returns_threshold(self, reference_squiggle, target_signals, nontarget_signals):
+        squiggle_filter = SquiggleFilter(reference_squiggle, prefix_samples=600)
+        threshold = squiggle_filter.calibrate(target_signals, nontarget_signals, prefix_samples=600)
+        assert threshold == squiggle_filter.threshold
+        assert np.isfinite(threshold)
+
+
+class TestBuildDefaultFilter:
+    def test_builds_working_filter(self, target_genome, kmer_model, simulator):
+        squiggle_filter = build_default_filter(target_genome, kmer_model=kmer_model, prefix_samples=400)
+        read = simulator.simulate(target_genome[100:220])
+        cost = squiggle_filter.cost(read.current_pa, 400)
+        assert np.isfinite(cost)
+
+    def test_single_strand_reference(self, target_genome, kmer_model):
+        both = build_default_filter(target_genome, kmer_model=kmer_model)
+        single = build_default_filter(
+            target_genome, kmer_model=kmer_model, include_reverse_complement=False
+        )
+        assert len(both.reference) == 2 * len(single.reference)
+
+
+class TestMultiStageFilter:
+    def test_stage_validation(self, reference_squiggle):
+        with pytest.raises(ValueError):
+            MultiStageSquiggleFilter(reference_squiggle, stages=[])
+        with pytest.raises(ValueError):
+            MultiStageSquiggleFilter(
+                reference_squiggle,
+                stages=[FilterStage(600, 10.0), FilterStage(300, 5.0)],
+            )
+        with pytest.raises(ValueError):
+            MultiStageSquiggleFilter(
+                reference_squiggle,
+                stages=[FilterStage(300, 10.0), FilterStage(300, 5.0)],
+            )
+
+    def test_invalid_stage_prefix(self):
+        with pytest.raises(ValueError):
+            FilterStage(prefix_samples=0, threshold=1.0)
+
+    def test_early_rejection_uses_short_prefix(self, reference_squiggle, nontarget_signals):
+        stages = [FilterStage(300, -1e12), FilterStage(800, -1e12)]
+        multistage = MultiStageSquiggleFilter(reference_squiggle, stages)
+        decision = multistage.classify(nontarget_signals[0])
+        assert not decision.accept
+        assert decision.stage == 0
+        assert decision.samples_used <= 300
+
+    def test_acceptance_goes_through_all_stages(self, reference_squiggle, target_signals):
+        stages = [FilterStage(300, float("inf")), FilterStage(800, float("inf"))]
+        multistage = MultiStageSquiggleFilter(reference_squiggle, stages)
+        decision = multistage.classify(target_signals[0])
+        assert decision.accept
+        assert decision.stage == 1
+
+    def test_calibrated_multistage_accuracy(
+        self, reference_squiggle, target_signals, nontarget_signals
+    ):
+        multistage = MultiStageSquiggleFilter.calibrated(
+            reference_squiggle,
+            target_signals,
+            nontarget_signals,
+            prefix_lengths=(400, 800),
+        )
+        target_decisions = multistage.classify_batch(target_signals)
+        nontarget_decisions = multistage.classify_batch(nontarget_signals)
+        kept_targets = sum(1 for d in target_decisions if d.accept)
+        kept_nontargets = sum(1 for d in nontarget_decisions if d.accept)
+        assert kept_targets >= len(target_signals) - 2
+        assert kept_nontargets <= 1
+        # Most rejected non-targets should be rejected at the first stage.
+        early = [d for d in nontarget_decisions if not d.accept and d.stage == 0]
+        rejected = [d for d in nontarget_decisions if not d.accept]
+        assert len(early) >= len(rejected) // 2
+
+    def test_classify_batch_length(self, reference_squiggle, target_signals):
+        stages = [FilterStage(300, float("inf"))]
+        multistage = MultiStageSquiggleFilter(reference_squiggle, stages)
+        assert len(multistage.classify_batch(target_signals)) == len(target_signals)

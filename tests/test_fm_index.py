@@ -1,0 +1,82 @@
+"""Unit tests for the FM-index."""
+
+import pytest
+
+from repro.align.fm_index import FMIndex, build_suffix_array
+from repro.genomes.sequences import random_genome
+
+
+class TestSuffixArray:
+    def test_small_example(self):
+        # suffixes of "banana$"-style example using DNA alphabet
+        text = "ACGTACG$"
+        # build_suffix_array works on arbitrary strings
+        suffix_array = build_suffix_array(text)
+        suffixes = sorted(range(len(text)), key=lambda i: text[i:])
+        assert suffix_array == suffixes
+
+    def test_random_genome_matches_naive(self):
+        text = random_genome(300, seed=1) + "$"
+        suffix_array = build_suffix_array(text)
+        naive = sorted(range(len(text)), key=lambda i: text[i:])
+        assert suffix_array == naive
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            build_suffix_array("")
+
+
+class TestFMIndex:
+    @pytest.fixture(scope="class")
+    def genome(self):
+        return random_genome(1500, seed=2)
+
+    @pytest.fixture(scope="class")
+    def index(self, genome):
+        return FMIndex(genome)
+
+    def test_length(self, index, genome):
+        assert len(index) == len(genome)
+
+    def test_count_matches_string_count(self, index, genome):
+        for pattern in (genome[100:110], genome[700:708], "ACGT"):
+            start = 0
+            expected = 0
+            while True:
+                found = genome.find(pattern, start)
+                if found == -1:
+                    break
+                expected += 1
+                start = found + 1
+            assert index.count(pattern) == expected
+
+    def test_locate_positions_correct(self, index, genome):
+        pattern = genome[400:412]
+        positions = index.locate(pattern)
+        assert 400 in positions
+        for position in positions:
+            assert genome[position : position + len(pattern)] == pattern
+
+    def test_absent_pattern(self, index, genome):
+        absent = "A" * 40
+        if absent in genome:
+            pytest.skip("unexpectedly present homopolymer")
+        assert index.count(absent) == 0
+        assert index.locate(absent) == []
+        assert not index.contains(absent)
+
+    def test_contains_present(self, index, genome):
+        assert index.contains(genome[50:60])
+
+    def test_single_base_counts_sum_to_length(self, index, genome):
+        total = sum(index.count(base) for base in "ACGT")
+        assert total == len(genome)
+
+    def test_backward_search_interval_width(self, index, genome):
+        pattern = genome[10:20]
+        start, end = index.backward_search(pattern)
+        assert end - start == index.count(pattern)
+
+    def test_invalid_reference(self):
+        with pytest.raises(ValueError):
+            FMIndex("ACG$T")

@@ -1,0 +1,138 @@
+"""Unit tests for the virus catalog (Fig. 10) and strain panel (Table 2)."""
+
+import pytest
+
+from repro.genomes.catalog import (
+    EPIDEMIC_VIRUSES,
+    MAX_DOUBLE_STRANDED_LENGTH,
+    MAX_SINGLE_STRANDED_LENGTH,
+    VirusRecord,
+    genome_length_table,
+    lookup,
+    supported_by_filter,
+    supported_fraction,
+)
+from repro.genomes.references import (
+    DEFAULT_SCALED_LENGTHS,
+    REAL_GENOME_LENGTHS,
+    ReferencePanel,
+    build_reference_panel,
+    scaled_length,
+)
+from repro.genomes.sequences import random_genome
+from repro.genomes.strains import (
+    SARS_COV_2_CLADES,
+    max_strain_divergence,
+    simulate_strain_panel,
+    strain_mutation_table,
+)
+
+
+class TestVirusCatalog:
+    def test_known_viruses_present(self):
+        names = {record.name for record in EPIDEMIC_VIRUSES}
+        assert "SARS-CoV-2" in names
+        assert "Lambda phage" in names
+        assert "Ebola virus" in names
+
+    def test_sars_cov_2_length(self):
+        assert lookup("SARS-CoV-2").genome_length == 29_903
+
+    def test_lookup_case_insensitive(self):
+        assert lookup("sars-cov-2").name == "SARS-CoV-2"
+
+    def test_lookup_missing(self):
+        with pytest.raises(KeyError):
+            lookup("T4 phage")
+
+    def test_table_sorted_by_length(self):
+        rows = genome_length_table()
+        lengths = [row["genome_length"] for row in rows]
+        assert lengths == sorted(lengths)
+
+    def test_most_viruses_supported(self):
+        # The paper: smallpox and herpes simplex (and mpox) are the exceptions.
+        assert supported_fraction() > 0.85
+
+    def test_smallpox_not_supported(self):
+        assert not supported_by_filter(lookup("Smallpox (Variola)"))
+
+    def test_sars_cov_2_supported(self):
+        assert supported_by_filter(lookup("SARS-CoV-2"))
+
+    def test_limits_consistent(self):
+        assert MAX_SINGLE_STRANDED_LENGTH == 2 * MAX_DOUBLE_STRANDED_LENGTH
+
+    def test_effective_reference_length_double_stranded(self):
+        record = lookup("Lambda phage")
+        assert record.effective_reference_length == 2 * record.genome_length
+
+    def test_invalid_record_rejected(self):
+        with pytest.raises(ValueError):
+            VirusRecord("bad", -5, "RNA", "single")
+        with pytest.raises(ValueError):
+            VirusRecord("bad", 10, "XNA", "single")
+
+
+class TestReferencePanel:
+    def test_build_contains_canonical_genomes(self):
+        panel = build_reference_panel(seed=1)
+        for name in ("lambda", "sars_cov_2", "human"):
+            assert name in panel
+
+    def test_lengths_match_defaults(self):
+        panel = build_reference_panel(seed=2)
+        assert panel.lengths() == {
+            name: DEFAULT_SCALED_LENGTHS[name] for name in panel.lengths()
+        }
+
+    def test_target_background_accessors(self):
+        panel = build_reference_panel(target="lambda", background="human", seed=3)
+        assert panel.target == panel["lambda"]
+        assert panel.background == panel["human"]
+
+    def test_custom_lengths(self):
+        panel = build_reference_panel(lengths={"lambda": 900}, seed=4)
+        assert len(panel["lambda"]) == 900
+
+    def test_missing_length_raises(self):
+        with pytest.raises(KeyError):
+            build_reference_panel(target="zika", seed=5)
+
+    def test_add_validates(self):
+        panel = ReferencePanel()
+        with pytest.raises(ValueError):
+            panel.add("bad", "ACGX")
+
+    def test_scaled_length(self):
+        assert scaled_length("lambda", 0.1) == int(REAL_GENOME_LENGTHS["lambda"] * 0.1)
+        with pytest.raises(KeyError):
+            scaled_length("unknown")
+        with pytest.raises(ValueError):
+            scaled_length("lambda", 0)
+
+
+class TestStrainPanel:
+    def test_table2_clades(self):
+        clades = {record.clade: record.mutations for record in SARS_COV_2_CLADES}
+        assert clades == {"19A": 23, "19B": 18, "20A": 22, "20B": 17, "20C": 17}
+
+    def test_panel_mutation_counts_match(self):
+        reference = random_genome(2000, seed=6)
+        panel = simulate_strain_panel(reference, seed=7)
+        for strain, record in zip(panel, SARS_COV_2_CLADES):
+            assert strain.mutation_count == record.mutations
+            assert len(strain.genome) == len(reference)
+
+    def test_table_regeneration(self):
+        reference = random_genome(1500, seed=8)
+        panel = simulate_strain_panel(reference, seed=9)
+        rows = strain_mutation_table(reference, panel)
+        for row in rows:
+            assert row["mutations"] == row["expected_mutations"]
+
+    def test_max_divergence(self):
+        reference = random_genome(1500, seed=10)
+        panel = simulate_strain_panel(reference, seed=11)
+        assert max_strain_divergence(panel) == 23
+        assert max_strain_divergence([]) == 0

@@ -1,0 +1,121 @@
+"""Unit tests for repro.genomes.mutate."""
+
+import pytest
+
+from repro.genomes.mutate import (
+    Mutation,
+    MutationSet,
+    apply_mutations,
+    mutated_reference_series,
+    mutation_distance,
+    random_mutations,
+)
+from repro.genomes.sequences import random_genome
+
+
+class TestMutation:
+    def test_valid_substitution(self):
+        mutation = Mutation(position=3, kind="substitution", base="A")
+        assert mutation.position == 3
+
+    def test_invalid_kind(self):
+        with pytest.raises(ValueError):
+            Mutation(position=0, kind="inversion", base="A")
+
+    def test_substitution_requires_base(self):
+        with pytest.raises(ValueError):
+            Mutation(position=0, kind="substitution", base="")
+
+    def test_negative_position(self):
+        with pytest.raises(ValueError):
+            Mutation(position=-1, kind="deletion")
+
+
+class TestRandomMutations:
+    def test_exact_substitution_count(self):
+        genome = random_genome(400, seed=1)
+        mutation_set = random_mutations(genome, substitutions=17, seed=2)
+        assert mutation_set.substitution_count == 17
+        assert mutation_set.indel_count == 0
+
+    def test_substitutions_change_base(self):
+        genome = random_genome(400, seed=3)
+        mutation_set = random_mutations(genome, substitutions=25, seed=4)
+        for mutation in mutation_set:
+            assert mutation.base != genome[mutation.position]
+
+    def test_positions_unique(self):
+        genome = random_genome(300, seed=5)
+        mutation_set = random_mutations(genome, substitutions=50, seed=6)
+        assert len(set(mutation_set.positions())) == 50
+
+    def test_too_many_mutations_rejected(self):
+        with pytest.raises(ValueError):
+            random_mutations("ACGT", substitutions=10)
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ValueError):
+            random_mutations("ACGTACGT", substitutions=-1)
+
+    def test_indels_counted(self):
+        genome = random_genome(400, seed=7)
+        mutation_set = random_mutations(genome, substitutions=5, insertions=3, deletions=2, seed=8)
+        assert mutation_set.substitution_count == 5
+        assert mutation_set.indel_count == 5
+
+
+class TestApplyMutations:
+    def test_substitution_only_preserves_length(self):
+        genome = random_genome(500, seed=9)
+        mutation_set = random_mutations(genome, substitutions=20, seed=10)
+        mutated = apply_mutations(genome, mutation_set)
+        assert len(mutated) == len(genome)
+        assert mutation_distance(genome, mutated) == 20
+
+    def test_deletion_shortens(self):
+        genome = random_genome(200, seed=11)
+        mutation_set = random_mutations(genome, substitutions=0, deletions=5, seed=12)
+        assert len(apply_mutations(genome, mutation_set)) == len(genome) - 5
+
+    def test_insertion_lengthens(self):
+        genome = random_genome(200, seed=13)
+        mutation_set = random_mutations(genome, substitutions=0, insertions=4, seed=14)
+        assert len(apply_mutations(genome, mutation_set)) == len(genome) + 4
+
+    def test_substitution_beyond_length_rejected(self):
+        mutation_set = MutationSet(
+            reference_name="x",
+            mutations=[Mutation(position=100, kind="substitution", base="A")],
+        )
+        with pytest.raises(ValueError):
+            apply_mutations("ACGT", mutation_set)
+
+    def test_manual_substitution(self):
+        mutation_set = MutationSet(
+            reference_name="x",
+            mutations=[Mutation(position=1, kind="substitution", base="T")],
+        )
+        assert apply_mutations("AAAA", mutation_set) == "ATAA"
+
+
+class TestMutationDistance:
+    def test_requires_equal_length(self):
+        with pytest.raises(ValueError):
+            mutation_distance("ACGT", "ACG")
+
+    def test_zero_for_identical(self):
+        assert mutation_distance("ACGT", "ACGT") == 0
+
+
+class TestMutatedReferenceSeries:
+    def test_series_counts(self):
+        genome = random_genome(600, seed=15)
+        series = mutated_reference_series(genome, [0, 10, 50], seed=16)
+        assert [count for count, _ in series] == [0, 10, 50]
+        for count, mutated in series:
+            assert mutation_distance(genome, mutated) == count
+
+    def test_zero_mutations_identical(self):
+        genome = random_genome(100, seed=17)
+        series = mutated_reference_series(genome, [0], seed=18)
+        assert series[0][1] == genome

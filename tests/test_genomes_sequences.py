@@ -1,0 +1,167 @@
+"""Unit tests for repro.genomes.sequences."""
+
+import numpy as np
+import pytest
+
+from repro.genomes.sequences import (
+    gc_content,
+    hamming_distance,
+    kmer_counts,
+    random_genome,
+    reverse_complement,
+    sequence_identity,
+    tile_sequence,
+    transcribe_errors,
+    validate_sequence,
+)
+
+
+class TestValidateSequence:
+    def test_uppercases(self):
+        assert validate_sequence("acgt") == "ACGT"
+
+    def test_accepts_n(self):
+        assert validate_sequence("ACGTN") == "ACGTN"
+
+    def test_rejects_invalid_base(self):
+        with pytest.raises(ValueError):
+            validate_sequence("ACGX")
+
+    def test_rejects_non_string(self):
+        with pytest.raises(TypeError):
+            validate_sequence(1234)
+
+
+class TestRandomGenome:
+    def test_length(self):
+        assert len(random_genome(500, seed=1)) == 500
+
+    def test_only_valid_bases(self):
+        genome = random_genome(300, seed=2)
+        assert set(genome) <= set("ACGT")
+
+    def test_deterministic_with_seed(self):
+        assert random_genome(200, seed=3) == random_genome(200, seed=3)
+
+    def test_different_seeds_differ(self):
+        assert random_genome(200, seed=3) != random_genome(200, seed=4)
+
+    def test_gc_content_respected(self):
+        genome = random_genome(20_000, gc=0.7, seed=5)
+        assert 0.66 < gc_content(genome) < 0.74
+
+    def test_zero_length_rejected(self):
+        with pytest.raises(ValueError):
+            random_genome(0)
+
+    def test_invalid_gc_rejected(self):
+        with pytest.raises(ValueError):
+            random_genome(100, gc=1.5)
+
+    def test_rng_takes_precedence(self):
+        rng = np.random.default_rng(9)
+        first = random_genome(100, rng=rng)
+        second = random_genome(100, rng=rng)
+        assert first != second
+
+
+class TestReverseComplement:
+    def test_simple(self):
+        assert reverse_complement("ACGT") == "ACGT"
+        assert reverse_complement("AAAC") == "GTTT"
+
+    def test_involution(self):
+        genome = random_genome(150, seed=6)
+        assert reverse_complement(reverse_complement(genome)) == genome
+
+    def test_preserves_n(self):
+        assert reverse_complement("ANT") == "ANT"
+
+
+class TestGcContent:
+    def test_half(self):
+        assert gc_content("ACGT") == 0.5
+
+    def test_all_gc(self):
+        assert gc_content("GGCC") == 1.0
+
+    def test_ignores_n(self):
+        assert gc_content("GCNN") == 1.0
+
+    def test_empty_is_zero(self):
+        assert gc_content("NNN") == 0.0
+
+
+class TestKmerCounts:
+    def test_counts(self):
+        counts = kmer_counts("ACGACG", 3)
+        assert counts["ACG"] == 2
+        assert counts["CGA"] == 1
+
+    def test_skips_n(self):
+        counts = kmer_counts("ACNGT", 2)
+        assert "CN" not in counts and "NG" not in counts
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            kmer_counts("ACGT", 0)
+
+    def test_total_count(self):
+        genome = random_genome(100, seed=7)
+        counts = kmer_counts(genome, 4)
+        assert sum(counts.values()) == len(genome) - 3
+
+
+class TestTranscribeErrors:
+    def test_no_errors_is_identity(self):
+        genome = random_genome(200, seed=8)
+        assert transcribe_errors(genome) == genome
+
+    def test_substitutions_change_bases(self):
+        genome = random_genome(500, seed=9)
+        mutated = transcribe_errors(genome, substitution_rate=0.2, seed=10)
+        assert len(mutated) == len(genome)
+        assert hamming_distance(genome, mutated) > 50
+
+    def test_deletions_shorten(self):
+        genome = random_genome(500, seed=11)
+        mutated = transcribe_errors(genome, deletion_rate=0.2, seed=12)
+        assert len(mutated) < len(genome)
+
+    def test_insertions_lengthen(self):
+        genome = random_genome(500, seed=13)
+        mutated = transcribe_errors(genome, insertion_rate=0.2, seed=14)
+        assert len(mutated) > len(genome)
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            transcribe_errors("ACGT", substitution_rate=1.5)
+
+
+class TestDistances:
+    def test_hamming_requires_equal_length(self):
+        with pytest.raises(ValueError):
+            hamming_distance("ACG", "AC")
+
+    def test_hamming_zero_for_identical(self):
+        assert hamming_distance("ACGT", "ACGT") == 0
+
+    def test_identity_range(self):
+        assert sequence_identity("ACGT", "ACGA") == 0.75
+
+    def test_identity_empty(self):
+        assert sequence_identity("", "ACGT") == 0.0
+
+
+class TestTileSequence:
+    def test_non_overlapping(self):
+        tiles = list(tile_sequence("ACGTACGT", window=4))
+        assert tiles == ["ACGT", "ACGT"]
+
+    def test_overlapping_stride(self):
+        tiles = list(tile_sequence("ACGTAC", window=4, stride=2))
+        assert tiles == ["ACGT", "GTAC"]
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            list(tile_sequence("ACGT", window=0))

@@ -1,0 +1,304 @@
+"""Unit tests for the hardware model: PEs, tiles, normalizer, ASIC and performance."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import SDTWConfig
+from repro.core.normalization import SignalNormalizer
+from repro.core.reference import ReferenceSquiggle
+from repro.core.sdtw import sdtw_cost, sdtw_last_row
+from repro.genomes.sequences import random_genome
+from repro.hardware.accelerator import AcceleratorConfig, SquiggleFilterAccelerator
+from repro.hardware.asic import AsicModel, TechnologyConstants, synthesis_table
+from repro.hardware.devices import DEVICES, EdgeSoC, device, device_table
+from repro.hardware.normalizer import HardwareNormalizer
+from repro.hardware.pe import INFINITE_COST, PEState, ProcessingElement, ThresholdComparator
+from repro.hardware.performance import (
+    accelerator_performance,
+    classification_cycles,
+    latency_comparison,
+    speedup_over_baseline,
+    throughput_comparison,
+)
+from repro.hardware.systolic import SystolicTile
+
+
+class TestProcessingElement:
+    def test_first_pe_free_start(self):
+        pe = ProcessingElement(index=0)
+        pe.reset(50)
+        state = pe.step(45, PEState(), PEState())
+        assert state.valid
+        assert state.cost == 5
+        assert state.run_length == 1
+
+    def test_inner_pe_without_valid_inputs_idles(self):
+        pe = ProcessingElement(index=3)
+        pe.reset(50)
+        state = pe.step(45, PEState(), PEState())
+        assert not state.valid
+
+    def test_diagonal_bonus_applied(self):
+        pe = ProcessingElement(index=1, match_bonus=10, match_bonus_cap=10)
+        pe.reset(30)
+        diagonal = PEState(cost=100, run_length=4, valid=True)
+        vertical = PEState(cost=200, run_length=4, valid=True)
+        state = pe.step(30, left_previous=vertical, left_before_previous=diagonal)
+        # diagonal candidate 100 - 10*4 = 60 beats vertical 200; local distance 0.
+        assert state.cost == 60
+        assert state.run_length == 1
+
+    def test_vertical_extends_run(self):
+        pe = ProcessingElement(index=1, match_bonus=10)
+        pe.reset(30)
+        vertical = PEState(cost=10, run_length=2, valid=True)
+        state = pe.step(35, left_previous=vertical, left_before_previous=PEState())
+        assert state.cost == 15
+        assert state.run_length == 3
+
+    def test_threshold_comparator(self):
+        comparator = ThresholdComparator(threshold=100)
+        assert not comparator.has_observation
+        comparator.observe(PEState(cost=150, run_length=1, valid=True))
+        comparator.observe(PEState(cost=80, run_length=1, valid=True))
+        assert comparator.minimum_cost == 80
+        assert comparator.decision()
+
+    def test_comparator_without_threshold(self):
+        with pytest.raises(ValueError):
+            ThresholdComparator().decision()
+
+
+class TestSystolicTile:
+    def test_align_matches_software_kernel(self, rng):
+        query = rng.integers(-100, 100, size=50)
+        reference = rng.integers(-100, 100, size=200)
+        tile = SystolicTile(n_pes=64)
+        result = tile.align(query, reference)
+        software = sdtw_cost(query, reference, tile.config)
+        assert result.cost == pytest.approx(software.cost)
+        assert result.end_position == software.end_position
+
+    def test_cycle_simulation_matches_functional_model(self, rng):
+        query = rng.integers(-60, 60, size=16)
+        reference = rng.integers(-60, 60, size=48)
+        tile = SystolicTile(n_pes=16)
+        fast = tile.align(query, reference)
+        slow = tile.simulate_cycles(query, reference)
+        assert slow.cost == pytest.approx(fast.cost)
+        assert slow.end_position == fast.end_position
+        assert slow.compute_cycles == len(query) + len(reference) - 1
+
+    def test_threshold_decision(self, rng):
+        query = rng.integers(-50, 50, size=20)
+        reference = np.concatenate([rng.integers(-50, 50, size=80), query])
+        tile = SystolicTile(n_pes=32)
+        accept = tile.align(query, reference, threshold=10.0)
+        reject = tile.align(query, rng.integers(-50, 50, size=100), threshold=-10**6)
+        assert accept.accept is True
+        assert reject.accept is False
+
+    def test_query_larger_than_tile_rejected(self, rng):
+        tile = SystolicTile(n_pes=8)
+        with pytest.raises(ValueError):
+            tile.align(rng.integers(0, 10, size=9), rng.integers(0, 10, size=20))
+
+    def test_multi_stage_resume(self, rng):
+        query = rng.integers(-80, 80, size=40)
+        reference = rng.integers(-80, 80, size=120)
+        tile = SystolicTile(n_pes=64)
+        full = tile.align(query, reference)
+        first = tile.align(query[:20], reference, keep_state=True)
+        second = tile.align(query[20:], reference, state=first.state)
+        assert second.cost == pytest.approx(full.cost)
+
+    def test_reference_buffer_check(self):
+        tile = SystolicTile()
+        assert tile.reference_fits(50_000)
+        assert not tile.reference_fits(60_000)
+
+    def test_intermediate_bandwidth(self):
+        tile = SystolicTile()
+        assert tile.intermediate_bandwidth_bytes(60_000) == 240_000
+
+
+class TestHardwareNormalizer:
+    def test_matches_software_normalizer(self, rng):
+        signal_pa = rng.normal(90, 12, size=1000)
+        hardware = HardwareNormalizer(chunk_samples=1000)
+        adc = hardware.quantize_adc(signal_pa)
+        hardware_output = hardware.normalize_signal(adc)
+        software = SignalNormalizer().normalize_quantized(adc.astype(np.float64))
+        # ADC path and float path agree to within one quantization step almost
+        # everywhere.
+        assert np.mean(np.abs(hardware_output - software) <= 1) > 0.99
+
+    def test_chunked_streaming(self, rng):
+        hardware = HardwareNormalizer(chunk_samples=100)
+        outputs = []
+        for sample in hardware.quantize_adc(rng.normal(90, 12, size=250)):
+            outputs.extend(hardware.push(int(sample)))
+        outputs.extend(hardware.flush())
+        assert len(outputs) == 250
+
+    def test_output_range(self, rng):
+        hardware = HardwareNormalizer(chunk_samples=500)
+        outputs = hardware.normalize_signal(hardware.quantize_adc(rng.normal(90, 20, size=500)))
+        assert outputs.max() <= 127 and outputs.min() >= -127
+
+    def test_invalid_configuration(self):
+        with pytest.raises(ValueError):
+            HardwareNormalizer(chunk_samples=0)
+        with pytest.raises(ValueError):
+            HardwareNormalizer(adc_bits=2)
+
+    def test_stats_recorded(self, rng):
+        hardware = HardwareNormalizer(chunk_samples=200)
+        hardware.normalize_signal(hardware.quantize_adc(rng.normal(90, 12, size=200)))
+        assert hardware.last_stats.n_samples == 200
+        assert hardware.last_stats.mad > 0
+
+
+class TestAsicModel:
+    def test_table4_regenerated(self):
+        model = AsicModel()
+        rows = {row["element"]: row for row in synthesis_table(model)}
+        assert rows["Tile (1x2000 PEs)"]["area_mm2"] == pytest.approx(2.423, abs=0.01)
+        assert rows["Tile (1x2000 PEs)"]["power_w"] == pytest.approx(2.78, abs=0.01)
+        assert rows["Complete 1-Tile ASIC"]["area_mm2"] == pytest.approx(2.65, abs=0.01)
+        assert rows["Complete 1-Tile ASIC"]["power_w"] == pytest.approx(2.86, abs=0.01)
+        assert rows["Complete 5-Tile ASIC"]["area_mm2"] == pytest.approx(13.25, abs=0.05)
+        assert rows["Complete 5-Tile ASIC"]["power_w"] == pytest.approx(14.31, abs=0.05)
+
+    def test_power_gating(self):
+        model = AsicModel()
+        assert model.power_gated_power_w(0) == 0.0
+        assert model.power_gated_power_w(5) == pytest.approx(model.total_power_w)
+        with pytest.raises(ValueError):
+            model.power_gated_power_w(6)
+
+    def test_reference_capacity_covers_sars_cov_2(self):
+        model = AsicModel()
+        assert model.max_reference_samples() >= 50_000
+
+    def test_scaling_with_pe_count(self):
+        small = AsicModel(n_pes_per_tile=1000)
+        large = AsicModel(n_pes_per_tile=4000)
+        assert large.tile_area_mm2 > 2 * small.tile_area_mm2 * 0.9
+
+    def test_invalid_technology(self):
+        with pytest.raises(ValueError):
+            TechnologyConstants(clock_ghz=0)
+        with pytest.raises(ValueError):
+            AsicModel(n_tiles=0)
+
+
+class TestDevices:
+    def test_table3_devices_present(self):
+        names = {spec.name for spec in DEVICES}
+        assert {"jetson_xavier", "titan_xp", "arm_v8_2", "xeon_e5_2697v3"} <= names
+
+    def test_lookup(self):
+        assert device("titan_xp").cores == 3840
+        with pytest.raises(KeyError):
+            device("a100")
+
+    def test_table_rows(self):
+        rows = device_table()
+        assert len(rows) == len(DEVICES)
+
+    def test_edge_soc(self):
+        soc = EdgeSoC()
+        assert soc.total_power_w < 70
+        assert soc.supports_multistage_bandwidth(n_tiles=5)
+        assert not soc.supports_multistage_bandwidth(n_tiles=20)
+        assert soc.flash_stores_one_day()
+
+
+class TestPerformanceModel:
+    def test_classification_cycles(self):
+        assert classification_cycles(60_000, 2000) == 66_000
+        with pytest.raises(ValueError):
+            classification_cycles(0)
+
+    def test_sars_cov_2_latency_matches_paper(self):
+        performance = accelerator_performance(30_000)
+        assert performance.latency_ms == pytest.approx(0.027, abs=0.002)
+
+    def test_lambda_latency_matches_paper(self):
+        performance = accelerator_performance(48_502)
+        assert performance.latency_ms == pytest.approx(0.043, abs=0.003)
+
+    def test_tile_throughputs_match_paper(self):
+        covid = accelerator_performance(30_000)
+        lam = accelerator_performance(48_502)
+        assert covid.tile_throughput_samples_per_s == pytest.approx(74.6e6, rel=0.05)
+        assert lam.tile_throughput_samples_per_s == pytest.approx(46.7e6, rel=0.05)
+
+    def test_headroom_exceeds_100x(self):
+        assert accelerator_performance(30_000).minion_headroom > 100
+
+    def test_speedup_over_edge_gpu(self):
+        assert speedup_over_baseline(48_502) > 200
+
+    def test_latency_comparison_ordering(self):
+        rows = {row["classifier"]: row["latency_ms"] for row in latency_comparison()}
+        assert rows["squigglefilter"] < 0.1
+        assert rows["guppy_lite@titan_xp"] == pytest.approx(149.0)
+        assert rows["guppy@titan_xp"] > 1000
+        assert rows["squigglefilter"] < rows["guppy_lite@jetson_xavier"]
+
+    def test_throughput_comparison_flags(self):
+        rows = {row["classifier"]: row for row in throughput_comparison()}
+        assert rows["squigglefilter"]["keeps_up_with_minion"]
+        assert not rows["guppy_lite@jetson_xavier"]["keeps_up_with_minion"]
+
+
+class TestAccelerator:
+    @pytest.fixture(scope="class")
+    def accelerator(self, reference_squiggle):
+        config = AcceleratorConfig(n_tiles=2, n_pes_per_tile=800)
+        return SquiggleFilterAccelerator(reference_squiggle, config=config)
+
+    def test_requires_threshold(self, accelerator, target_signals):
+        with pytest.raises(ValueError):
+            accelerator.classify(target_signals[0])
+
+    def test_calibrate_and_classify(self, accelerator, target_signals, nontarget_signals):
+        threshold = accelerator.calibrate_threshold(
+            target_signals, nontarget_signals, prefix_samples=800
+        )
+        assert np.isfinite(threshold)
+        accepted_targets = sum(
+            1 for signal in target_signals if accelerator.classify(signal, 800).accept
+        )
+        accepted_background = sum(
+            1 for signal in nontarget_signals if accelerator.classify(signal, 800).accept
+        )
+        assert accepted_targets >= len(target_signals) - 1
+        assert accepted_background <= 1
+
+    def test_round_robin_dispatch(self, accelerator, target_signals):
+        accelerator.program_threshold(0.0)
+        accelerator.stats.per_tile_reads.clear()
+        accelerator.classify_batch(target_signals[:4], prefix_samples=400)
+        assert len(accelerator.stats.per_tile_reads) == 2
+
+    def test_latency_and_throughput_reporting(self, accelerator):
+        assert accelerator.latency_ms(800) > 0
+        assert accelerator.throughput_samples_per_s(800) > 1e6
+        assert accelerator.area_mm2() > 0
+        assert accelerator.power_w(1) < accelerator.power_w()
+
+    def test_reference_too_large_rejected(self, kmer_model):
+        huge = ReferenceSquiggle.from_genome(random_genome(40_000, seed=3), kmer_model=kmer_model)
+        with pytest.raises(ValueError):
+            SquiggleFilterAccelerator(huge, config=AcceleratorConfig(n_tiles=1, n_pes_per_tile=100))
+
+    def test_stats_accumulate(self, accelerator, nontarget_signals):
+        accelerator.program_threshold(-(10**9))
+        before = accelerator.stats.reads_classified
+        accelerator.classify(nontarget_signals[0], 400)
+        assert accelerator.stats.reads_classified == before + 1
+        assert accelerator.stats.reads_ejected > 0
+        assert accelerator.stats.busy_seconds(2.5, 2) > 0

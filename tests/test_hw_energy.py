@@ -1,0 +1,68 @@
+"""Tests for the energy-per-decision model."""
+
+import pytest
+
+from repro.basecall.performance import basecaller_performance
+from repro.hardware.asic import AsicModel
+from repro.hardware.energy import (
+    accelerator_energy,
+    basecaller_energy,
+    energy_advantage_over,
+    energy_comparison,
+)
+
+
+class TestAcceleratorEnergy:
+    def test_energy_positive_and_small(self):
+        estimate = accelerator_energy(30_000)
+        assert estimate.power_w == pytest.approx(AsicModel().total_power_w)
+        assert 0 < estimate.energy_per_decision_mj < 0.1
+
+    def test_power_gating_reduces_power_not_energy(self):
+        full = accelerator_energy(30_000)
+        gated = accelerator_energy(30_000, active_tiles=1)
+        assert gated.power_w < full.power_w
+        # Energy per decision is unchanged to first order: one tile does one
+        # read's work at one tile's power.
+        assert gated.energy_per_decision_mj == pytest.approx(
+            full.energy_per_decision_mj, rel=0.01
+        )
+
+    def test_longer_reference_costs_more_energy(self):
+        covid = accelerator_energy(30_000)
+        lam = accelerator_energy(48_502)
+        assert lam.energy_per_decision_mj > covid.energy_per_decision_mj
+
+
+class TestBasecallerEnergy:
+    def test_edge_gpu_energy(self):
+        record = basecaller_performance("guppy_lite", "jetson_xavier")
+        estimate = basecaller_energy(record)
+        assert estimate.power_w == pytest.approx(30.0)
+        assert estimate.energy_per_decision_mj > 1.0
+
+    def test_invalid_prefix(self):
+        record = basecaller_performance("guppy_lite", "titan_xp")
+        with pytest.raises(ValueError):
+            basecaller_energy(record, decision_prefix_samples=0)
+
+
+class TestEnergyComparison:
+    def test_all_classifiers_present(self):
+        rows = {row["classifier"] for row in energy_comparison()}
+        assert "squigglefilter" in rows
+        assert "guppy_lite@jetson_xavier" in rows
+        assert len(rows) == 5
+
+    def test_squigglefilter_most_efficient(self):
+        rows = energy_comparison()
+        best = min(rows, key=lambda row: row["energy_per_decision_mj"])
+        assert best["classifier"] == "squigglefilter"
+
+    def test_advantage_ratios(self):
+        assert energy_advantage_over("guppy_lite@jetson_xavier") > 100
+        assert energy_advantage_over("guppy@titan_xp") > energy_advantage_over(
+            "guppy_lite@titan_xp"
+        )
+        with pytest.raises(KeyError):
+            energy_advantage_over("tpu")

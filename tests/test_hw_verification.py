@@ -1,0 +1,52 @@
+"""Tests for the hardware/software equivalence checker."""
+
+import numpy as np
+import pytest
+
+from repro.hardware.verification import HardwareEquivalenceChecker
+
+
+class TestHardwareEquivalenceChecker:
+    def test_random_campaign_passes(self):
+        checker = HardwareEquivalenceChecker(n_pes=32)
+        report = checker.run_random_campaign(
+            n_cases=8, query_samples=24, reference_samples=80, seed=3
+        )
+        assert report.n_cases == 8
+        assert report.all_passed, report.failures()
+
+    def test_functional_only_campaign(self):
+        checker = HardwareEquivalenceChecker(n_pes=64)
+        report = checker.run_random_campaign(
+            n_cases=5, query_samples=64, reference_samples=200, seed=5, cycle_accurate=False
+        )
+        assert report.all_passed
+        assert all(case.cycle_accurate_cost is None for case in report.cases)
+
+    def test_signal_campaign_with_real_reads(self, hardware_filter, target_signals):
+        checker = HardwareEquivalenceChecker(n_pes=400)
+        queries = [hardware_filter.prepare_query(signal, 400) for signal in target_signals[:4]]
+        reference = hardware_filter.reference.quantized
+        report = checker.run_signal_campaign(queries, reference)
+        assert report.n_cases == 4
+        assert report.all_passed
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            HardwareEquivalenceChecker(tolerance=-1)
+        checker = HardwareEquivalenceChecker(n_pes=16)
+        with pytest.raises(ValueError):
+            checker.run_random_campaign(n_cases=0)
+        with pytest.raises(ValueError):
+            checker.run_random_campaign(query_samples=32)
+
+    def test_detects_mismatch(self):
+        checker = HardwareEquivalenceChecker(n_pes=16, tolerance=0.0)
+        # Tamper with the tile's bonus so the hardware model diverges from the
+        # software configuration: the checker must flag it.
+        checker.tile.config = checker.tile.config.with_(match_bonus=3.0)
+        rng = np.random.default_rng(7)
+        case = checker.check_case(
+            rng.integers(-50, 50, size=12), rng.integers(-50, 50, size=40), cycle_accurate=False
+        )
+        assert not case.passed

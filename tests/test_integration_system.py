@@ -1,0 +1,187 @@
+"""System-level integration tests spanning several subsystems."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.metrics import confusion_from_labels
+from repro.assembly.consensus import ReferenceGuidedAssembler
+from repro.core.config import SDTWConfig
+from repro.core.filter import SquiggleFilter
+from repro.core.normalization import SignalNormalizer
+from repro.core.sdtw import sdtw_cost
+from repro.genomes.strains import simulate_strain_panel
+from repro.hardware.accelerator import AcceleratorConfig, SquiggleFilterAccelerator
+from repro.io.fasta import FastaRecord, write_fasta, read_fasta
+from repro.io.paf import paf_from_alignment, write_paf, read_paf
+from repro.pipeline.cost_model import read_until_savings
+from repro.pipeline.runtime_model import ReadUntilModelConfig
+from repro.sequencer.read_until_api import ReadUntilSimulator, classifier_client
+from repro.sequencer.run import MinIONParameters
+
+
+class TestAcceleratorMatchesSoftwareFilter:
+    """The hardware data path must agree with the software filter's decisions."""
+
+    def test_costs_close_between_paths(self, reference_squiggle, target_signals, nontarget_signals):
+        accelerator = SquiggleFilterAccelerator(
+            reference_squiggle,
+            threshold=float("inf"),
+            config=AcceleratorConfig(n_tiles=1, n_pes_per_tile=800),
+        )
+        software = SquiggleFilter(reference_squiggle, prefix_samples=800)
+        for signal in (target_signals + nontarget_signals)[:8]:
+            hardware_cost = accelerator.classify(signal, 800).cost
+            software_cost = software.cost(signal, 800)
+            # The hardware path quantizes through a 10-bit ADC before the
+            # normalizer, so costs differ slightly but must stay within a few
+            # percent of the signal's dynamic range.
+            scale = max(abs(software_cost), 1.0)
+            assert abs(hardware_cost - software_cost) / scale < 0.25
+
+    def test_decisions_agree(self, reference_squiggle, target_signals, nontarget_signals):
+        software = SquiggleFilter(reference_squiggle, prefix_samples=800)
+        threshold = software.calibrate(target_signals, nontarget_signals, prefix_samples=800)
+        accelerator = SquiggleFilterAccelerator(
+            reference_squiggle,
+            threshold=threshold,
+            config=AcceleratorConfig(n_tiles=2, n_pes_per_tile=800),
+        )
+        signals = target_signals + nontarget_signals
+        truths = [True] * len(target_signals) + [False] * len(nontarget_signals)
+        software_predictions = [software.classify(s).accept for s in signals]
+        hardware_predictions = [accelerator.classify(s, 800).accept for s in signals]
+        software_confusion = confusion_from_labels(truths, software_predictions)
+        hardware_confusion = confusion_from_labels(truths, hardware_predictions)
+        assert abs(software_confusion.f1 - hardware_confusion.f1) < 0.15
+
+    def test_exact_equivalence_without_adc(self, reference_squiggle, target_signals):
+        """Bypassing the ADC, the tile kernel equals the software kernel exactly."""
+        software = SquiggleFilter(reference_squiggle, prefix_samples=600)
+        accelerator = SquiggleFilterAccelerator(
+            reference_squiggle,
+            threshold=float("inf"),
+            config=AcceleratorConfig(n_tiles=1, n_pes_per_tile=600),
+        )
+        for signal in target_signals[:3]:
+            query = software.prepare_query(signal, 600)
+            tile_result = accelerator.tiles[0].align(query, reference_squiggle.quantized)
+            software_result = sdtw_cost(query, reference_squiggle.quantized, software.config)
+            assert tile_result.cost == pytest.approx(software_result.cost)
+
+
+class TestStrainDetectionWorkflow:
+    """Reference from FASTA -> filter -> assembly -> variants, end to end."""
+
+    def test_full_workflow(self, tmp_path, target_genome, kmer_model, balanced_reads):
+        from repro.core.reference import ReferenceSquiggle
+
+        # 1. Persist and reload the reference genome as FASTA.
+        reference_path = tmp_path / "reference.fasta"
+        write_fasta(reference_path, [FastaRecord(name="target", sequence=target_genome)])
+        reference_genome = read_fasta(reference_path)[0].sequence
+        assert reference_genome == target_genome
+
+        # 2. Build and calibrate the filter on half of the labelled reads.
+        calibration = balanced_reads[: len(balanced_reads) // 2]
+        evaluation = balanced_reads[len(balanced_reads) // 2 :]
+        squiggle_filter = SquiggleFilter(
+            ReferenceSquiggle.from_genome(reference_genome, kmer_model=kmer_model),
+            prefix_samples=800,
+        )
+        squiggle_filter.calibrate(
+            [read.signal_pa for read in calibration if read.is_target],
+            [read.signal_pa for read in calibration if not read.is_target],
+            prefix_samples=800,
+        )
+
+        # 3. Classify the evaluation half and keep accepted reads.
+        predictions = [
+            squiggle_filter.classify(read.signal_pa).accept for read in evaluation
+        ]
+        kept = [read for read, accept in zip(evaluation, predictions) if accept]
+        confusion = confusion_from_labels([read.is_target for read in evaluation], predictions)
+        assert confusion.recall >= 0.7
+        assert confusion.false_positive_rate <= 0.3
+
+        # 4. Assemble kept reads and write their alignments as PAF.
+        assembler = ReferenceGuidedAssembler(reference_genome, seed=5)
+        result = assembler.assemble(kept)
+        assert result.n_reads_used >= 1
+        records = []
+        for read in kept[:3]:
+            basecall = assembler.basecaller.basecall(read)
+            alignment = assembler.aligner.map(basecall.sequence)
+            if alignment is not None:
+                records.append(
+                    paf_from_alignment(read.read_id, alignment, "target", len(reference_genome))
+                )
+        paf_path = tmp_path / "alignments.paf"
+        write_paf(paf_path, records)
+        assert len(read_paf(paf_path)) == len(records)
+
+
+class TestReadUntilApiWithAccelerator:
+    def test_accelerator_drives_streaming_api(self, reference_squiggle, mixture, kmer_model,
+                                               target_signals, nontarget_signals):
+        from repro.sequencer.reads import ReadGenerator, ReadLengthModel
+
+        accelerator = SquiggleFilterAccelerator(
+            reference_squiggle, config=AcceleratorConfig(n_tiles=1, n_pes_per_tile=800)
+        )
+        accelerator.calibrate_threshold(target_signals, nontarget_signals, prefix_samples=800)
+
+        generator = ReadGenerator(
+            mixture,
+            kmer_model=kmer_model,
+            length_model=ReadLengthModel(mean_bases=600, sigma=0.1, min_bases=450, max_bases=800),
+            seed=61,
+        )
+        reads = [generator.generate_one(source="virus") for _ in range(3)]
+        reads += [generator.generate_one(source="host") for _ in range(6)]
+        simulator = ReadUntilSimulator(
+            reads,
+            parameters=MinIONParameters(capture_time_s=0.0),
+            chunk_samples=400,
+            n_channels=3,
+        )
+        client = classifier_client(
+            lambda signal: accelerator.classify(signal, 800).accept, min_samples=800
+        )
+        summary = simulator.run_client(client, decision_latency_s=4.3e-5)
+        assert summary["reads_finished"] == len(reads)
+        assert summary["target_recall"] >= 2 / 3
+        assert summary["background_ejection_rate"] >= 2 / 3
+
+
+class TestEconomicsOfReadUntil:
+    def test_savings_consistent_with_runtime_model(self):
+        model = ReadUntilModelConfig(viral_fraction=0.001)
+        savings = read_until_savings(model, recall=0.9, false_positive_rate=0.05)
+        assert savings["read_until_runtime_hours"] < savings["control_runtime_hours"]
+        assert savings["cost_saved_usd"] > 0
+
+
+class TestStrainPanelThroughFilter:
+    def test_strains_remain_detectable(self, kmer_model):
+        """Table 2 + Figure 19 glue: real strain divergence does not break the filter."""
+        from repro.core.reference import ReferenceSquiggle
+        from repro.genomes.sequences import random_genome
+        from repro.pore_model.synthesis import SquiggleSimulator
+
+        reference_genome = random_genome(1500, seed=404)
+        reference = ReferenceSquiggle.from_genome(reference_genome, kmer_model=kmer_model)
+        squiggle_filter = SquiggleFilter(reference, prefix_samples=800)
+        simulator = SquiggleSimulator(kmer_model, seed=11)
+        background = random_genome(1500, seed=405)
+
+        panel = simulate_strain_panel(reference_genome, seed=9)
+        rng = np.random.default_rng(3)
+        for strain in panel:
+            start = int(rng.integers(0, len(strain.genome) - 400))
+            strain_cost = squiggle_filter.cost(
+                simulator.simulate(strain.genome[start : start + 300]).current_pa, 800
+            )
+            background_cost = squiggle_filter.cost(
+                simulator.simulate(background[start : start + 300]).current_pa, 800
+            )
+            assert strain_cost < background_cost

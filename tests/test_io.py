@@ -1,0 +1,115 @@
+"""Unit tests for FASTA and FAST5-like I/O."""
+
+import numpy as np
+import pytest
+
+from repro.genomes.sequences import random_genome
+from repro.io.fast5 import Fast5Read, Fast5Store
+from repro.io.fasta import FastaRecord, read_fasta, write_fasta
+
+
+class TestFastaRecord:
+    def test_validates_sequence(self):
+        with pytest.raises(ValueError):
+            FastaRecord(name="x", sequence="ACGZ")
+
+    def test_requires_name(self):
+        with pytest.raises(ValueError):
+            FastaRecord(name="", sequence="ACGT")
+
+    def test_len(self):
+        assert len(FastaRecord(name="x", sequence="ACGT")) == 4
+
+
+class TestFastaRoundTrip:
+    def test_round_trip(self, tmp_path):
+        records = [
+            FastaRecord(name="virus", sequence=random_genome(333, seed=1), description="target"),
+            FastaRecord(name="host", sequence=random_genome(101, seed=2)),
+        ]
+        path = tmp_path / "genomes.fasta"
+        assert write_fasta(path, records) == 2
+        loaded = read_fasta(path)
+        assert [r.name for r in loaded] == ["virus", "host"]
+        assert loaded[0].sequence == records[0].sequence
+        assert loaded[0].description == "target"
+        assert loaded[1].sequence == records[1].sequence
+
+    def test_line_wrapping(self, tmp_path):
+        path = tmp_path / "wrap.fasta"
+        write_fasta(path, [FastaRecord(name="x", sequence="A" * 150)], line_width=60)
+        lines = path.read_text().splitlines()
+        assert lines[0] == ">x"
+        assert max(len(line) for line in lines[1:]) == 60
+
+    def test_invalid_line_width(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_fasta(tmp_path / "x.fasta", [], line_width=0)
+
+    def test_missing_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.fasta"
+        path.write_text("ACGT\n")
+        with pytest.raises(ValueError):
+            read_fasta(path)
+
+    def test_empty_record_rejected(self, tmp_path):
+        path = tmp_path / "bad2.fasta"
+        path.write_text(">only_header\n>second\nACGT\n")
+        with pytest.raises(ValueError):
+            read_fasta(path)
+
+
+class TestFast5Read:
+    def test_signal_must_be_1d(self):
+        with pytest.raises(ValueError):
+            Fast5Read(read_id="r", signal=np.zeros((2, 2)))
+
+    def test_duration(self):
+        read = Fast5Read(read_id="r", signal=np.zeros(8000), sample_rate=4000.0)
+        assert read.duration_seconds == pytest.approx(2.0)
+
+    def test_picoamp_round_trip(self):
+        current = np.linspace(60.0, 140.0, 500)
+        read = Fast5Read.from_picoamps("r", current)
+        recovered = read.to_picoamps()
+        assert np.allclose(recovered, current, atol=0.2)
+
+    def test_invalid_sample_rate(self):
+        with pytest.raises(ValueError):
+            Fast5Read(read_id="r", signal=np.zeros(10), sample_rate=0.0)
+
+
+class TestFast5Store:
+    def _make_store(self, n=3):
+        store = Fast5Store()
+        for index in range(n):
+            store.add(
+                Fast5Read(
+                    read_id=f"read_{index}",
+                    signal=np.arange(index * 10 + 5, dtype=np.int16),
+                    channel=index,
+                    metadata={"source": "test"},
+                )
+            )
+        return store
+
+    def test_add_and_get(self):
+        store = self._make_store()
+        assert len(store) == 3
+        assert "read_1" in store
+        assert store.get("read_2").channel == 2
+
+    def test_duplicate_rejected(self):
+        store = self._make_store(1)
+        with pytest.raises(ValueError):
+            store.add(Fast5Read(read_id="read_0", signal=np.zeros(3)))
+
+    def test_save_load_round_trip(self, tmp_path):
+        store = self._make_store()
+        path = tmp_path / "reads.npz"
+        store.save(path)
+        loaded = Fast5Store.load(path)
+        assert loaded.read_ids() == store.read_ids()
+        for read_id in store.read_ids():
+            assert np.array_equal(loaded.get(read_id).signal, store.get(read_id).signal)
+            assert loaded.get(read_id).metadata == {"source": "test"}

@@ -1,0 +1,148 @@
+"""Unit tests for classification metrics and threshold selection."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.metrics import (
+    ClassificationCounts,
+    confusion_from_labels,
+    f_score,
+)
+from repro.core.thresholds import ThresholdPoint, choose_threshold, sweep_thresholds
+
+
+class TestClassificationCounts:
+    def test_perfect_classifier(self):
+        counts = ClassificationCounts(true_positive=10, false_positive=0, true_negative=10, false_negative=0)
+        assert counts.precision == 1.0
+        assert counts.recall == 1.0
+        assert counts.f1 == 1.0
+        assert counts.accuracy == 1.0
+        assert counts.false_positive_rate == 0.0
+
+    def test_degenerate_no_predictions(self):
+        counts = ClassificationCounts(true_positive=0, false_positive=0, true_negative=5, false_negative=5)
+        assert counts.precision == 0.0
+        assert counts.recall == 0.0
+        assert counts.f1 == 0.0
+
+    def test_counts_negative_rejected(self):
+        with pytest.raises(ValueError):
+            ClassificationCounts(true_positive=-1, false_positive=0, true_negative=0, false_negative=0)
+
+    def test_totals(self):
+        counts = ClassificationCounts(true_positive=3, false_positive=2, true_negative=4, false_negative=1)
+        assert counts.total == 10
+        assert counts.positives == 4
+        assert counts.negatives == 6
+        assert counts.specificity == pytest.approx(4 / 6)
+
+    def test_f_beta_weights_recall(self):
+        counts = ClassificationCounts(true_positive=8, false_positive=4, true_negative=0, false_negative=2)
+        f1 = f_score(counts, beta=1.0)
+        f2 = f_score(counts, beta=2.0)
+        f_half = f_score(counts, beta=0.5)
+        # recall (0.8) > precision (0.67), so favouring recall raises the score
+        assert f2 > f1 > f_half
+
+    def test_f_score_invalid_beta(self):
+        counts = ClassificationCounts(1, 1, 1, 1)
+        with pytest.raises(ValueError):
+            f_score(counts, beta=0)
+
+
+class TestConfusionFromLabels:
+    def test_basic(self):
+        truths = [True, True, False, False]
+        predictions = [True, False, True, False]
+        counts = confusion_from_labels(truths, predictions)
+        assert counts.true_positive == 1
+        assert counts.false_negative == 1
+        assert counts.false_positive == 1
+        assert counts.true_negative == 1
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            confusion_from_labels([True], [True, False])
+
+
+class TestSweepThresholds:
+    def setup_method(self):
+        self.target = [1.0, 2.0, 3.0, 4.0]
+        self.nontarget = [10.0, 11.0, 12.0, 13.0]
+
+    def test_perfectly_separable(self):
+        sweep = sweep_thresholds(self.target, self.nontarget, n_thresholds=25)
+        best = sweep.best_by_f1()
+        assert best.f1 == 1.0
+        assert 4.0 <= best.threshold < 10.0
+
+    def test_monotone_recall(self):
+        sweep = sweep_thresholds(self.target, self.nontarget, n_thresholds=50)
+        recalls = [point.recall for point in sweep]
+        assert recalls == sorted(recalls)
+
+    def test_counts_add_up(self):
+        sweep = sweep_thresholds(self.target, self.nontarget)
+        for point in sweep:
+            assert point.true_positive + point.false_negative == len(self.target)
+            assert point.false_positive + point.true_negative == len(self.nontarget)
+
+    def test_explicit_thresholds(self):
+        sweep = sweep_thresholds(self.target, self.nontarget, thresholds=[5.0])
+        assert len(sweep) == 1
+        assert sweep.points[0].recall == 1.0
+        assert sweep.points[0].false_positive_rate == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            sweep_thresholds([], self.nontarget)
+
+    def test_rows_have_expected_keys(self):
+        rows = sweep_thresholds(self.target, self.nontarget).as_rows()
+        assert {"threshold", "recall", "precision", "f1", "accuracy", "false_positive_rate"} <= set(rows[0])
+
+    def test_identical_costs_single_threshold(self):
+        sweep = sweep_thresholds([5.0, 5.0], [5.0, 5.0])
+        assert len(sweep) == 1
+
+    def test_max_f1_shortcut(self):
+        sweep = sweep_thresholds(self.target, self.nontarget)
+        assert sweep.max_f1() == pytest.approx(sweep.best_by_f1().f1)
+
+    def test_empty_sweep_best_raises(self):
+        from repro.core.thresholds import ThresholdSweepResult
+
+        with pytest.raises(ValueError):
+            ThresholdSweepResult().best_by_f1()
+
+
+class TestChooseThreshold:
+    def test_f1_objective_separates(self):
+        threshold = choose_threshold([1, 2, 3], [10, 11, 12], objective="f1")
+        assert 3 <= threshold < 10
+
+    def test_recall_objective(self):
+        target = np.linspace(0, 100, 101)
+        threshold = choose_threshold(target, [1000.0], objective="recall", target_recall=0.9)
+        assert threshold == pytest.approx(90.0)
+
+    def test_midpoint_objective(self):
+        assert choose_threshold([0.0], [10.0], objective="midpoint") == pytest.approx(5.0)
+
+    def test_unknown_objective(self):
+        with pytest.raises(ValueError):
+            choose_threshold([1.0], [2.0], objective="magic")
+
+    def test_invalid_recall_target(self):
+        with pytest.raises(ValueError):
+            choose_threshold([1.0], [2.0], objective="recall", target_recall=0.0)
+
+
+class TestThresholdPoint:
+    def test_properties(self):
+        point = ThresholdPoint(threshold=1.0, true_positive=8, false_positive=2, true_negative=18, false_negative=2)
+        assert point.recall == pytest.approx(0.8)
+        assert point.precision == pytest.approx(0.8)
+        assert point.accuracy == pytest.approx(26 / 30)
+        assert point.false_positive_rate == pytest.approx(0.1)

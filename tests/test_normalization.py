@@ -1,0 +1,87 @@
+"""Unit tests for signal normalization and quantization."""
+
+import numpy as np
+import pytest
+
+from repro.core.normalization import NormalizationConfig, SignalNormalizer
+
+
+class TestNormalizationConfig:
+    def test_defaults(self):
+        config = NormalizationConfig()
+        assert config.method == "mean_mad"
+        assert config.quantize_max == 127
+        assert config.quantize_scale == pytest.approx(127 / 4.0)
+
+    def test_invalid_method(self):
+        with pytest.raises(ValueError):
+            NormalizationConfig(method="minmax")
+
+    def test_invalid_clip(self):
+        with pytest.raises(ValueError):
+            NormalizationConfig(clip=0)
+
+    def test_invalid_bits(self):
+        with pytest.raises(ValueError):
+            NormalizationConfig(quantize_bits=1)
+        with pytest.raises(ValueError):
+            NormalizationConfig(quantize_bits=20)
+
+    def test_bits_scale(self):
+        assert NormalizationConfig(quantize_bits=6).quantize_max == 31
+
+
+class TestSignalNormalizer:
+    def test_mean_mad_statistics(self):
+        normalizer = SignalNormalizer()
+        signal = np.array([1.0, 2.0, 3.0, 4.0])
+        center, spread = normalizer.statistics(signal)
+        assert center == pytest.approx(2.5)
+        assert spread == pytest.approx(1.0)
+
+    def test_zscore_statistics(self):
+        normalizer = SignalNormalizer(NormalizationConfig(method="zscore"))
+        signal = np.array([1.0, 3.0])
+        center, spread = normalizer.statistics(signal)
+        assert center == pytest.approx(2.0)
+        assert spread == pytest.approx(1.0)
+
+    def test_normalize_centers_signal(self, rng):
+        normalizer = SignalNormalizer()
+        signal = rng.normal(90.0, 12.0, size=5000)
+        normalized = normalizer.normalize(signal)
+        assert abs(normalized.mean()) < 0.05
+        assert np.abs(normalized).max() <= 4.0
+
+    def test_normalize_invariant_to_shift_and_scale(self, rng):
+        normalizer = SignalNormalizer()
+        signal = rng.normal(90.0, 12.0, size=2000)
+        shifted = signal * 1.4 + 17.0
+        assert np.allclose(normalizer.normalize(signal), normalizer.normalize(shifted), atol=1e-9)
+
+    def test_empty_signal_rejected(self):
+        with pytest.raises(ValueError):
+            SignalNormalizer().normalize(np.array([]))
+
+    def test_constant_signal_handled(self):
+        normalized = SignalNormalizer().normalize(np.full(100, 42.0))
+        assert np.allclose(normalized, 0.0)
+
+    def test_quantize_range(self, rng):
+        normalizer = SignalNormalizer()
+        signal = rng.normal(90.0, 12.0, size=3000)
+        quantized = normalizer.normalize_quantized(signal)
+        assert quantized.dtype == np.int32
+        assert quantized.max() <= 127 and quantized.min() >= -127
+
+    def test_quantize_dequantize_error_bounded(self, rng):
+        normalizer = SignalNormalizer()
+        normalized = normalizer.normalize(rng.normal(90.0, 12.0, size=1000))
+        recovered = normalizer.dequantize(normalizer.quantize(normalized))
+        assert np.abs(recovered - normalized).max() <= 0.5 / normalizer.config.quantize_scale + 1e-9
+
+    def test_outliers_clipped(self):
+        normalizer = SignalNormalizer()
+        signal = np.concatenate([np.full(1000, 90.0), [1e6]])
+        normalized = normalizer.normalize(signal)
+        assert normalized.max() <= 4.0

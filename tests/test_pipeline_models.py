@@ -1,0 +1,218 @@
+"""Unit tests for the profiling, runtime and scalability models."""
+
+import pytest
+
+from repro.core.filter import FilterDecision
+from repro.core.thresholds import sweep_thresholds
+from repro.pipeline.profiling import profile_both_specimens, profile_pipeline
+from repro.pipeline.runtime_model import (
+    ReadUntilModelConfig,
+    best_runtime,
+    read_until_speedup,
+    runtime_from_decisions,
+    runtime_vs_threshold,
+    sequencing_runtime_s,
+)
+from repro.pipeline.scalability import (
+    ClassifierOperatingPoint,
+    default_operating_points,
+    scalability_analysis,
+    speedup_table,
+)
+
+
+class TestReadUntilModelConfig:
+    def test_target_reads_needed(self):
+        config = ReadUntilModelConfig(genome_length_bases=30_000, coverage=30, mean_target_read_bases=3_000)
+        assert config.target_reads_needed == pytest.approx(300)
+
+    def test_decision_bases_includes_latency(self):
+        fast = ReadUntilModelConfig(decision_latency_s=0.0)
+        slow = ReadUntilModelConfig(decision_latency_s=0.149)
+        assert slow.decision_bases - fast.decision_bases == pytest.approx(0.149 * 450.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ReadUntilModelConfig(viral_fraction=0.0)
+        with pytest.raises(ValueError):
+            ReadUntilModelConfig(coverage=0)
+        with pytest.raises(ValueError):
+            ReadUntilModelConfig(capture_time_s=-1)
+
+    def test_with_copies(self):
+        config = ReadUntilModelConfig()
+        changed = config.with_(viral_fraction=0.001)
+        assert changed.viral_fraction == 0.001
+        assert config.viral_fraction == 0.01
+
+
+class TestSequencingRuntime:
+    def test_read_until_faster_than_control(self):
+        config = ReadUntilModelConfig()
+        with_ru = sequencing_runtime_s(config, recall=0.95, false_positive_rate=0.02)
+        without = sequencing_runtime_s(config, use_read_until=False)
+        assert with_ru < without
+
+    def test_perfect_classifier_fastest(self):
+        config = ReadUntilModelConfig()
+        perfect = sequencing_runtime_s(config, recall=1.0, false_positive_rate=0.0)
+        imperfect = sequencing_runtime_s(config, recall=0.8, false_positive_rate=0.2)
+        assert perfect < imperfect
+
+    def test_zero_recall_infinite(self):
+        config = ReadUntilModelConfig()
+        assert sequencing_runtime_s(config, recall=0.0) == float("inf")
+
+    def test_lower_viral_fraction_takes_longer(self):
+        high = sequencing_runtime_s(ReadUntilModelConfig(viral_fraction=0.01), 0.95, 0.02)
+        low = sequencing_runtime_s(ReadUntilModelConfig(viral_fraction=0.001), 0.95, 0.02)
+        assert low > high
+
+    def test_latency_increases_runtime(self):
+        fast = sequencing_runtime_s(ReadUntilModelConfig(decision_latency_s=0.0), 0.95, 0.02)
+        slow = sequencing_runtime_s(ReadUntilModelConfig(decision_latency_s=1.0), 0.95, 0.02)
+        assert slow > fast
+
+    def test_speedup_ratio(self):
+        config = ReadUntilModelConfig()
+        speedup = read_until_speedup(config, recall=0.95, false_positive_rate=0.02)
+        assert speedup > 2.0
+
+    def test_invalid_rates(self):
+        with pytest.raises(ValueError):
+            sequencing_runtime_s(ReadUntilModelConfig(), recall=1.5)
+        with pytest.raises(ValueError):
+            sequencing_runtime_s(ReadUntilModelConfig(), recall=0.5, false_positive_rate=-0.1)
+
+
+class TestRuntimeVsThreshold:
+    def test_curve_from_sweep(self):
+        sweep = sweep_thresholds([1.0, 2.0, 3.0], [8.0, 9.0, 10.0], n_thresholds=20)
+        rows = runtime_vs_threshold(sweep, ReadUntilModelConfig())
+        assert len(rows) == 20
+        best = best_runtime(rows)
+        assert best["runtime_s"] == min(row["runtime_s"] for row in rows)
+        # The best threshold keeps all targets while rejecting all background.
+        assert best["recall"] == 1.0
+        assert best["false_positive_rate"] == 0.0
+
+    def test_empty_rows_rejected(self):
+        with pytest.raises(ValueError):
+            best_runtime([])
+
+
+class TestRuntimeFromDecisions:
+    def _decision(self, accept, samples_used=2000):
+        return FilterDecision(
+            accept=accept,
+            cost=0.0,
+            per_sample_cost=0.0,
+            samples_used=samples_used,
+            threshold=0.0,
+            end_position=0,
+        )
+
+    def test_matches_analytical_model_at_same_operating_point(self):
+        config = ReadUntilModelConfig()
+        # 10 targets kept out of 10, 90 background all ejected after 2000 samples.
+        decisions = [self._decision(True)] * 10 + [self._decision(False)] * 90
+        truths = [True] * 10 + [False] * 90
+        empirical = runtime_from_decisions(decisions, truths, config)
+        analytical = sequencing_runtime_s(config, recall=1.0, false_positive_rate=0.0)
+        assert empirical == pytest.approx(analytical, rel=0.05)
+
+    def test_earlier_ejection_is_faster(self):
+        config = ReadUntilModelConfig()
+        late = [self._decision(True)] * 5 + [self._decision(False, samples_used=4000)] * 50
+        early = [self._decision(True)] * 5 + [self._decision(False, samples_used=1000)] * 50
+        truths = [True] * 5 + [False] * 50
+        assert runtime_from_decisions(early, truths, config) < runtime_from_decisions(
+            late, truths, config
+        )
+
+    def test_no_targets_infinite(self):
+        config = ReadUntilModelConfig()
+        decisions = [self._decision(False)] * 5
+        assert runtime_from_decisions(decisions, [True] * 5, config) == float("inf")
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            runtime_from_decisions([self._decision(True)], [True, False], ReadUntilModelConfig())
+
+
+class TestProfiling:
+    def test_basecalling_dominates(self):
+        profiles = profile_both_specimens()
+        for profile in profiles.values():
+            assert profile.basecall_fraction > 0.9
+
+    def test_lower_viral_fraction_increases_basecall_share(self):
+        profiles = profile_both_specimens()
+        assert profiles[0.001].basecall_fraction > profiles[0.01].basecall_fraction
+
+    def test_fractions_sum_to_one(self):
+        profile = profile_pipeline()
+        assert sum(profile.fractions().values()) == pytest.approx(1.0)
+
+    def test_rows_structure(self):
+        rows = profile_pipeline().as_rows()
+        assert {row["stage"] for row in rows} == {"basecall", "align", "variant_call"}
+
+    def test_faster_basecaller_reduces_share(self):
+        slow = profile_pipeline(device="jetson_xavier")
+        fast = profile_pipeline(device="titan_xp")
+        assert fast.basecall_s < slow.basecall_s
+
+    def test_invalid_stage_rate(self):
+        with pytest.raises(ValueError):
+            profile_pipeline(align_reads_per_s=0)
+
+
+class TestScalability:
+    def test_squigglefilter_keeps_benefit(self):
+        points = scalability_analysis(scale_factors=(1, 10, 100))
+        by_classifier = {}
+        for point in points:
+            by_classifier.setdefault(point.classifier, {})[point.scale_factor] = point
+        squigglefilter = by_classifier["squigglefilter"]
+        assert squigglefilter[100.0].read_until_pore_fraction == 1.0
+        assert squigglefilter[100.0].speedup == pytest.approx(squigglefilter[1.0].speedup, rel=0.05)
+
+    def test_gpu_loses_benefit_at_scale(self):
+        points = scalability_analysis(scale_factors=(1, 100))
+        jetson = {p.scale_factor: p for p in points if p.classifier == "guppy_lite@jetson_xavier"}
+        assert jetson[100.0].read_until_pore_fraction < 0.01
+        assert jetson[100.0].speedup < jetson[1.0].speedup
+        assert jetson[100.0].speedup < 1.2
+
+    def test_squigglefilter_beats_jetson_at_every_scale(self):
+        points = scalability_analysis(scale_factors=(1, 10, 100))
+        for scale in (1.0, 10.0, 100.0):
+            sf = next(p for p in points if p.classifier == "squigglefilter" and p.scale_factor == scale)
+            gpu = next(
+                p
+                for p in points
+                if p.classifier == "guppy_lite@jetson_xavier" and p.scale_factor == scale
+            )
+            assert sf.speedup >= gpu.speedup
+
+    def test_default_operating_points(self):
+        points = default_operating_points()
+        names = {point.name for point in points}
+        assert "squigglefilter" in names
+        assert len(points) == 3
+
+    def test_speedup_table_rows(self):
+        rows = speedup_table(scalability_analysis(scale_factors=(1,)))
+        assert len(rows) == 3
+        assert {"classifier", "scale_factor", "speedup"} <= set(rows[0])
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            scalability_analysis(scale_factors=(0,))
+
+    def test_invalid_operating_point(self):
+        with pytest.raises(ValueError):
+            ClassifierOperatingPoint("bad", 0.0, 0.9, 0.1, 0.0)
+        with pytest.raises(ValueError):
+            ClassifierOperatingPoint("bad", 100.0, 0.0, 0.1, 0.0)

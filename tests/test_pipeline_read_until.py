@@ -1,0 +1,120 @@
+"""Integration tests for the end-to-end Read Until pipeline orchestration."""
+
+import pytest
+
+from repro.assembly.consensus import ReferenceGuidedAssembler
+from repro.baselines.basecall_align import BasecallAlignClassifier
+from repro.core.filter import MultiStageSquiggleFilter
+from repro.pipeline.read_until import ReadUntilPipeline, compare_classifiers
+from repro.sequencer.run import MinIONParameters
+
+
+@pytest.fixture(scope="module")
+def pipeline_reads(mixture, kmer_model):
+    """A small stream with realistic imbalance: few targets, many background.
+
+    Reads are longer than the classification prefix so that ejecting a
+    non-target read actually saves sequencing time (as on a real flow cell,
+    where reads are far longer than the decision prefix).
+    """
+    from repro.sequencer.reads import ReadGenerator, ReadLengthModel
+
+    generator = ReadGenerator(
+        mixture,
+        kmer_model=kmer_model,
+        length_model=ReadLengthModel(mean_bases=700, sigma=0.1, min_bases=500, max_bases=900),
+        seed=20211018,
+    )
+    reads = [generator.generate_one(source="virus") for _ in range(6)]
+    reads += [generator.generate_one(source="host") for _ in range(24)]
+    return reads
+
+
+class TestSquiggleFilterPipeline:
+    def test_run_filters_and_assembles(self, calibrated_filter, target_genome, pipeline_reads):
+        pipeline = ReadUntilPipeline(
+            calibrated_filter,
+            target_genome,
+            prefix_samples=800,
+            assembler=ReferenceGuidedAssembler(target_genome, seed=3),
+        )
+        result = pipeline.run(pipeline_reads)
+        assert result.recall >= 0.8
+        assert result.false_positive_rate <= 0.15
+        assert result.assembly is not None
+        assert result.assembly.n_reads_used >= 1
+        assert result.runtime_s > 0
+        assert result.decision_latency_s < 0.001
+
+    def test_ejection_saves_time(self, calibrated_filter, target_genome, pipeline_reads):
+        read_until = ReadUntilPipeline(
+            calibrated_filter, target_genome, prefix_samples=800, assemble=False
+        )
+        result = read_until.run(pipeline_reads)
+        control_time = sum(
+            MinIONParameters().capture_time_s
+            + read.n_samples / MinIONParameters().sample_rate_hz
+            for read in pipeline_reads
+        )
+        assert result.runtime_s < control_time
+
+    def test_target_bases_goal_stops_early(self, calibrated_filter, target_genome, read_generator):
+        reads = [read_generator.generate_one(source="virus") for _ in range(10)]
+        pipeline = ReadUntilPipeline(calibrated_filter, target_genome, prefix_samples=800, assemble=False)
+        result = pipeline.run(reads, target_bases_goal=300)
+        assert result.session.target_bases_kept >= 300
+        assert result.session.n_reads < 10
+
+
+class TestMultiStagePipeline:
+    def test_multistage_classifier_supported(
+        self, reference_squiggle, target_genome, target_signals, nontarget_signals, pipeline_reads
+    ):
+        multistage = MultiStageSquiggleFilter.calibrated(
+            reference_squiggle,
+            target_signals,
+            nontarget_signals,
+            prefix_lengths=(400, 800),
+        )
+        pipeline = ReadUntilPipeline(multistage, target_genome, assemble=False)
+        result = pipeline.run(pipeline_reads)
+        assert result.recall >= 0.8
+        # Some ejected reads should have used only the first-stage prefix.
+        ejected_samples = [
+            outcome.decision.samples_used
+            for outcome in result.session.outcomes
+            if outcome.ejected
+        ]
+        assert ejected_samples and min(ejected_samples) <= 400
+
+
+class TestBaselinePipeline:
+    def test_basecall_align_pipeline(self, target_genome, pipeline_reads):
+        classifier = BasecallAlignClassifier(target_genome, prefix_samples=1500, seed=5)
+        pipeline = ReadUntilPipeline(classifier, target_genome, prefix_samples=1500, assemble=False)
+        result = pipeline.run(pipeline_reads)
+        assert result.recall >= 0.8
+        assert result.false_positive_rate <= 0.15
+        # Its decision latency comes from the device performance model.
+        assert result.decision_latency_s > 0.1
+
+    def test_compare_classifiers(self, calibrated_filter, target_genome, pipeline_reads):
+        baseline = BasecallAlignClassifier(target_genome, prefix_samples=1500, seed=6)
+        results = compare_classifiers(
+            pipeline_reads,
+            {
+                "squigglefilter": ReadUntilPipeline(
+                    calibrated_filter, target_genome, prefix_samples=800, assemble=False
+                ),
+                "basecall_align": ReadUntilPipeline(
+                    baseline, target_genome, prefix_samples=1500, assemble=False
+                ),
+            },
+        )
+        assert set(results) == {"squigglefilter", "basecall_align"}
+        # SquiggleFilter's negligible latency means ejected non-target reads
+        # consume no more sequencing time than the baseline's.
+        assert (
+            results["squigglefilter"].session.mean_nontarget_sequenced_samples
+            <= results["basecall_align"].session.mean_nontarget_sequenced_samples + 1
+        )

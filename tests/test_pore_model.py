@@ -1,0 +1,163 @@
+"""Unit tests for the k-mer pore model and squiggle synthesis."""
+
+import numpy as np
+import pytest
+
+from repro.pore_model.kmer_model import KmerModel, default_model
+from repro.pore_model.synthesis import (
+    SquiggleSimulator,
+    SquiggleSynthesisConfig,
+    ideal_squiggle,
+    synthesize_squiggle,
+)
+
+
+class TestKmerModel:
+    def test_table_size(self):
+        assert KmerModel(k=3, seed=1).table_size == 64
+        assert KmerModel(k=6, seed=1).table_size == 4096
+
+    def test_deterministic(self):
+        first = KmerModel(k=6, seed=5)
+        second = KmerModel(k=6, seed=5)
+        assert np.array_equal(first.levels(), second.levels())
+
+    def test_different_seeds_differ(self):
+        assert not np.array_equal(KmerModel(seed=1).levels(), KmerModel(seed=2).levels())
+
+    def test_statistics_near_targets(self):
+        model = KmerModel(k=6, mean_current=90.0, current_spread=12.0, seed=3)
+        stats = model.statistics()
+        assert stats["mean"] == pytest.approx(90.0, abs=1.0)
+        assert stats["std"] == pytest.approx(12.0, abs=1.5)
+        assert stats["min"] >= 40.0 and stats["max"] <= 160.0
+
+    def test_kmer_index_round_trip(self):
+        model = KmerModel(k=4, seed=7)
+        for kmer in ("AAAA", "ACGT", "TTTT", "GATC"):
+            index = model.kmer_index(kmer)
+            assert model._index_to_kmer(index) == kmer
+
+    def test_level_matches_expected_signal(self):
+        model = KmerModel(k=3, seed=9)
+        sequence = "ACGTAC"
+        expected = model.expected_signal(sequence)
+        assert expected[0] == pytest.approx(model.level("ACG"))
+        assert expected[-1] == pytest.approx(model.level("TAC"))
+
+    def test_expected_signal_length(self):
+        model = KmerModel(k=6, seed=11)
+        assert model.expected_signal("A" * 30).size == 25
+
+    def test_sequence_shorter_than_k_rejected(self):
+        with pytest.raises(ValueError):
+            KmerModel(k=6).expected_signal("ACG")
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            KmerModel(k=0)
+        with pytest.raises(ValueError):
+            KmerModel(k=11)
+
+    def test_invalid_kmer_rejected(self):
+        model = KmerModel(k=3)
+        with pytest.raises(ValueError):
+            model.level("AC")
+        with pytest.raises(ValueError):
+            model.level("ACX")
+
+    def test_as_dict_small_k(self):
+        model = KmerModel(k=2, seed=13)
+        table = model.as_dict()
+        assert len(table) == 16
+        assert table["AA"] == pytest.approx(model.level("AA"))
+
+    def test_default_model(self):
+        assert default_model().k == 6
+
+
+class TestSynthesisConfig:
+    def test_defaults_valid(self):
+        config = SquiggleSynthesisConfig()
+        assert config.samples_per_base == 10.0
+
+    def test_invalid_values(self):
+        with pytest.raises(ValueError):
+            SquiggleSynthesisConfig(samples_per_base=0)
+        with pytest.raises(ValueError):
+            SquiggleSynthesisConfig(min_dwell=0)
+        with pytest.raises(ValueError):
+            SquiggleSynthesisConfig(max_dwell=2, min_dwell=5)
+        with pytest.raises(ValueError):
+            SquiggleSynthesisConfig(noise_pa=-1)
+
+
+class TestSquiggleSimulator:
+    def test_length_scales_with_sequence(self, kmer_model):
+        simulator = SquiggleSimulator(kmer_model, seed=1)
+        short = simulator.simulate("ACGTACGTACGT" * 5)
+        long = simulator.simulate("ACGTACGTACGT" * 20)
+        assert len(long) > len(short)
+
+    def test_samples_per_base_near_config(self, kmer_model):
+        config = SquiggleSynthesisConfig(translocation_rate_spread=0.0, dwell_dispersion=0.1)
+        simulator = SquiggleSimulator(kmer_model, config, seed=2)
+        squiggle = simulator.simulate("ACGT" * 100)
+        assert 8.0 < squiggle.samples_per_base < 12.0
+
+    def test_noise_free_constant_dwell_matches_expected(self, kmer_model):
+        config = SquiggleSynthesisConfig(
+            dwell_dispersion=0.0,
+            translocation_rate_spread=0.0,
+            noise_pa=0.0,
+            scale_spread=0.0,
+            offset_spread_pa=0.0,
+        )
+        simulator = SquiggleSimulator(kmer_model, config, seed=3)
+        sequence = "ACGTACGTACGTACGT"
+        squiggle = simulator.simulate(sequence)
+        expected = np.repeat(kmer_model.expected_signal(sequence), 10)
+        assert np.allclose(squiggle.current_pa, expected)
+
+    def test_offset_and_scale_recorded(self, kmer_model):
+        config = SquiggleSynthesisConfig(scale_spread=0.2, offset_spread_pa=15.0)
+        simulator = SquiggleSimulator(kmer_model, config, seed=4)
+        squiggle = simulator.simulate("ACGT" * 50)
+        assert squiggle.scale != 1.0
+        assert squiggle.offset_pa != 0.0
+
+    def test_adapter_prepended(self, kmer_model):
+        config = SquiggleSynthesisConfig(adapter_samples=100)
+        simulator = SquiggleSimulator(kmer_model, config, seed=5)
+        with_adapter = simulator.simulate("ACGT" * 30)
+        config_no = SquiggleSynthesisConfig(adapter_samples=0)
+        simulator_no = SquiggleSimulator(kmer_model, config_no, seed=5)
+        without = simulator_no.simulate("ACGT" * 30)
+        assert len(with_adapter) == len(without) + 100
+
+    def test_dwell_bounds_respected(self, kmer_model):
+        config = SquiggleSynthesisConfig(min_dwell=6, max_dwell=12, dwell_dispersion=1.0)
+        simulator = SquiggleSimulator(kmer_model, config, seed=6)
+        squiggle = simulator.simulate("ACGT" * 60)
+        assert squiggle.dwell_times.min() >= 6
+        assert squiggle.dwell_times.max() <= 12
+
+    def test_reproducible_with_seed(self, kmer_model):
+        first = SquiggleSimulator(kmer_model, seed=7).simulate("ACGT" * 40)
+        second = SquiggleSimulator(kmer_model, seed=7).simulate("ACGT" * 40)
+        assert np.array_equal(first.current_pa, second.current_pa)
+
+
+class TestConvenienceFunctions:
+    def test_synthesize_squiggle(self, kmer_model):
+        signal = synthesize_squiggle("ACGT" * 30, kmer_model=kmer_model, seed=8)
+        assert signal.ndim == 1 and signal.size > 0
+
+    def test_ideal_squiggle(self, kmer_model):
+        signal, dwell = ideal_squiggle("ACGT" * 10, kmer_model=kmer_model, samples_per_base=5)
+        assert signal.size == dwell.sum()
+        assert set(dwell.tolist()) == {5}
+
+    def test_ideal_squiggle_invalid_dwell(self, kmer_model):
+        with pytest.raises(ValueError):
+            ideal_squiggle("ACGTACGT", kmer_model=kmer_model, samples_per_base=0)

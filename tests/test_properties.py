@@ -1,0 +1,197 @@
+"""Property-based tests (hypothesis) for core data structures and invariants."""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.metrics import ClassificationCounts, confusion_from_labels, f_score
+from repro.core.config import SDTWConfig
+from repro.core.dtw import dtw_cost
+from repro.core.normalization import NormalizationConfig, SignalNormalizer
+from repro.core.sdtw import sdtw_cost, sdtw_cost_matrix, sdtw_last_row
+from repro.core.thresholds import sweep_thresholds
+from repro.genomes.sequences import random_genome, reverse_complement
+from repro.pipeline.runtime_model import ReadUntilModelConfig, sequencing_runtime_s
+
+# Shared strategies ---------------------------------------------------------
+
+signal_values = st.integers(min_value=-127, max_value=127)
+small_signal = st.lists(signal_values, min_size=2, max_size=25).map(np.array)
+larger_signal = st.lists(signal_values, min_size=5, max_size=60).map(np.array)
+
+sdtw_configs = st.sampled_from(
+    [
+        SDTWConfig.vanilla(),
+        SDTWConfig.hardware(),
+        SDTWConfig.vanilla().with_(distance="absolute"),
+        SDTWConfig(distance="absolute", allow_reference_deletions=False, quantize=True, match_bonus=0.0),
+    ]
+)
+
+default_settings = settings(
+    max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+class TestSDTWProperties:
+    @default_settings
+    @given(query=small_signal, reference=larger_signal, config=sdtw_configs)
+    def test_vectorized_kernel_matches_matrix(self, query, reference, config):
+        matrix, _ = sdtw_cost_matrix(query, reference, config)
+        last_row = sdtw_last_row(query, reference, config)
+        assert np.allclose(matrix[-1], last_row)
+
+    @default_settings
+    @given(query=small_signal, reference=larger_signal)
+    def test_cost_non_negative_without_bonus(self, query, reference):
+        config = SDTWConfig(
+            distance="absolute", allow_reference_deletions=False, quantize=True, match_bonus=0.0
+        )
+        assert sdtw_cost(query, reference, config).cost >= 0
+
+    @default_settings
+    @given(reference=larger_signal)
+    def test_exact_subsequence_has_zero_cost(self, reference):
+        config = SDTWConfig(
+            distance="absolute", allow_reference_deletions=False, quantize=True, match_bonus=0.0
+        )
+        start = len(reference) // 3
+        end = max(start + 2, 2 * len(reference) // 3)
+        query = reference[start:end]
+        assert sdtw_cost(query, reference, config).cost == 0
+
+    @default_settings
+    @given(query=small_signal, reference=larger_signal)
+    def test_subsequence_cost_at_most_full_dtw(self, query, reference):
+        config = SDTWConfig.vanilla()
+        sub = sdtw_cost(query, reference, config).cost
+        full = dtw_cost(query, reference, distance="squared")
+        assert sub <= full + 1e-6
+
+    @default_settings
+    @given(query=small_signal, reference=larger_signal, shift=st.integers(-50, 50))
+    def test_shift_invariance_after_normalization(self, query, reference, shift):
+        normalizer = SignalNormalizer()
+        config = SDTWConfig(
+            distance="absolute", allow_reference_deletions=False, quantize=False, match_bonus=0.0
+        )
+        if np.all(query == query[0]) or np.all(reference == reference[0]):
+            return
+        baseline = sdtw_cost(
+            normalizer.normalize(query.astype(float)),
+            normalizer.normalize(reference.astype(float)),
+            config,
+        ).cost
+        shifted = sdtw_cost(
+            normalizer.normalize(query.astype(float) + shift),
+            normalizer.normalize(reference.astype(float)),
+            config,
+        ).cost
+        assert np.isclose(baseline, shifted, atol=1e-6)
+
+    @default_settings
+    @given(query=small_signal, reference=larger_signal)
+    def test_end_position_within_reference(self, query, reference):
+        result = sdtw_cost(query, reference, SDTWConfig.hardware())
+        assert 0 <= result.end_position < reference.size
+
+
+class TestNormalizationProperties:
+    @default_settings
+    @given(
+        values=st.lists(st.floats(min_value=1.0, max_value=500.0), min_size=10, max_size=300),
+        bits=st.integers(min_value=4, max_value=10),
+    )
+    def test_quantization_stays_in_range(self, values, bits):
+        config = NormalizationConfig(quantize_bits=bits)
+        normalizer = SignalNormalizer(config)
+        quantized = normalizer.normalize_quantized(np.array(values))
+        assert quantized.max() <= config.quantize_max
+        assert quantized.min() >= -config.quantize_max
+
+    @default_settings
+    @given(
+        values=st.lists(st.floats(min_value=1.0, max_value=500.0), min_size=10, max_size=200),
+        scale=st.floats(min_value=0.5, max_value=2.0),
+        offset=st.floats(min_value=-50.0, max_value=50.0),
+    )
+    def test_normalization_invariant_to_affine_transform(self, values, scale, offset):
+        signal = np.array(values)
+        if np.abs(signal - signal.mean()).mean() < 1e-6:
+            return
+        normalizer = SignalNormalizer()
+        original = normalizer.normalize(signal)
+        transformed = normalizer.normalize(signal * scale + offset)
+        assert np.allclose(original, transformed, atol=1e-6)
+
+
+class TestGenomeProperties:
+    @default_settings
+    @given(seed=st.integers(0, 10_000), length=st.integers(20, 400))
+    def test_reverse_complement_involution(self, seed, length):
+        genome = random_genome(length, seed=seed)
+        assert reverse_complement(reverse_complement(genome)) == genome
+
+    @default_settings
+    @given(seed=st.integers(0, 10_000), length=st.integers(20, 400))
+    def test_reverse_complement_preserves_gc(self, seed, length):
+        genome = random_genome(length, seed=seed)
+        revcomp = reverse_complement(genome)
+        assert sorted(genome.count(b) for b in "GC") == sorted(revcomp.count(b) for b in "GC")
+
+
+class TestMetricsProperties:
+    @default_settings
+    @given(
+        tp=st.integers(0, 50), fp=st.integers(0, 50), tn=st.integers(0, 50), fn=st.integers(0, 50)
+    )
+    def test_metric_ranges(self, tp, fp, tn, fn):
+        counts = ClassificationCounts(tp, fp, tn, fn)
+        assert 0.0 <= counts.precision <= 1.0
+        assert 0.0 <= counts.recall <= 1.0
+        assert 0.0 <= counts.accuracy <= 1.0
+        assert 0.0 <= f_score(counts) <= 1.0
+
+    @default_settings
+    @given(labels=st.lists(st.tuples(st.booleans(), st.booleans()), min_size=1, max_size=60))
+    def test_confusion_total_matches_input(self, labels):
+        truths = [t for t, _ in labels]
+        predictions = [p for _, p in labels]
+        counts = confusion_from_labels(truths, predictions)
+        assert counts.total == len(labels)
+
+    @default_settings
+    @given(
+        target=st.lists(st.floats(-1e3, 1e3), min_size=2, max_size=40),
+        nontarget=st.lists(st.floats(-1e3, 1e3), min_size=2, max_size=40),
+    )
+    def test_sweep_recall_monotone_in_threshold(self, target, nontarget):
+        sweep = sweep_thresholds(target, nontarget, n_thresholds=21)
+        recalls = [point.recall for point in sweep]
+        assert all(b >= a - 1e-12 for a, b in zip(recalls[:-1], recalls[1:]))
+
+
+class TestRuntimeModelProperties:
+    @default_settings
+    @given(
+        recall=st.floats(0.05, 1.0),
+        fpr=st.floats(0.0, 1.0),
+        viral_fraction=st.sampled_from([0.001, 0.01, 0.1]),
+    )
+    def test_read_until_never_slower_than_sequencing_everything_when_perfect_recall(
+        self, recall, fpr, viral_fraction
+    ):
+        config = ReadUntilModelConfig(viral_fraction=viral_fraction)
+        runtime = sequencing_runtime_s(config, recall=recall, false_positive_rate=fpr)
+        control = sequencing_runtime_s(config, use_read_until=False)
+        assert runtime > 0
+        if recall == 1.0 and config.decision_bases < config.mean_background_read_bases:
+            assert runtime <= control + 1e-6
+
+    @default_settings
+    @given(recall_low=st.floats(0.1, 0.5), recall_high=st.floats(0.6, 1.0), fpr=st.floats(0.0, 0.5))
+    def test_higher_recall_never_slower(self, recall_low, recall_high, fpr):
+        config = ReadUntilModelConfig()
+        slow = sequencing_runtime_s(config, recall=recall_low, false_positive_rate=fpr)
+        fast = sequencing_runtime_s(config, recall=recall_high, false_positive_rate=fpr)
+        assert fast <= slow + 1e-6

@@ -1,0 +1,115 @@
+"""Property-based tests for the alignment substrate (minimizers, FM-index, aligner)."""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.align.aligner import ReferenceAligner
+from repro.align.extend import banded_alignment
+from repro.align.fm_index import FMIndex
+from repro.align.minimizer import MinimizerIndex, minimizer_sketch
+from repro.genomes.sequences import random_genome, reverse_complement, transcribe_errors
+
+default_settings = settings(
+    max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+# Build a handful of shared genomes/indexes up-front so hypothesis only varies
+# the cheap parameters (positions, lengths, seeds) and not the expensive index
+# construction.
+_GENOME = random_genome(3000, seed=20211018)
+_FM_INDEX = FMIndex(_GENOME[:1200])
+_ALIGNER = ReferenceAligner(_GENOME)
+_MINIMIZER_INDEX = MinimizerIndex(_GENOME)
+
+
+class TestMinimizerProperties:
+    @default_settings
+    @given(seed=st.integers(0, 5000), length=st.integers(80, 400))
+    def test_sketch_positions_valid_and_sorted(self, seed, length):
+        sequence = random_genome(length, seed=seed)
+        sketch = minimizer_sketch(sequence, k=11, w=5)
+        positions = [m.position for m in sketch]
+        assert positions == sorted(positions)
+        assert all(0 <= p <= length - 11 for p in positions)
+
+    @default_settings
+    @given(start=st.integers(0, 2500), length=st.integers(120, 400))
+    def test_substring_shares_minimizer_hits(self, start, length):
+        end = min(start + length, len(_GENOME))
+        if end - start < 120:
+            return
+        read = _GENOME[start:end]
+        hits = _MINIMIZER_INDEX.hits(read)
+        assert hits, "an exact substring must produce minimizer hits"
+        forward_hits = [r for _, r, strand in hits if strand == "+"]
+        assert any(start - 50 <= r <= end + 50 for r in forward_hits)
+
+
+class TestFMIndexProperties:
+    @default_settings
+    @given(start=st.integers(0, 1150), length=st.integers(6, 40))
+    def test_locate_agrees_with_string_find(self, start, length):
+        reference = _GENOME[:1200]
+        end = min(start + length, len(reference))
+        pattern = reference[start:end]
+        if len(pattern) < 6:
+            return
+        positions = _FM_INDEX.locate(pattern, limit=200)
+        expected = []
+        cursor = reference.find(pattern)
+        while cursor != -1:
+            expected.append(cursor)
+            cursor = reference.find(pattern, cursor + 1)
+        assert sorted(positions) == sorted(expected[: len(positions)]) or sorted(
+            positions
+        ) == sorted(expected)
+        assert _FM_INDEX.count(pattern) == len(expected)
+
+    @default_settings
+    @given(seed=st.integers(0, 5000))
+    def test_random_pattern_count_consistency(self, seed):
+        pattern = random_genome(12, seed=seed)
+        count = _FM_INDEX.count(pattern)
+        assert count == _GENOME[:1200].count(pattern)
+
+
+class TestAlignerProperties:
+    @default_settings
+    @given(
+        start=st.integers(0, 2500),
+        length=st.integers(200, 450),
+        minus_strand=st.booleans(),
+        error_seed=st.integers(0, 1000),
+    )
+    def test_fragments_map_near_their_origin(self, start, length, minus_strand, error_seed):
+        end = min(start + length, len(_GENOME))
+        if end - start < 200:
+            return
+        fragment = _GENOME[start:end]
+        fragment = transcribe_errors(fragment, substitution_rate=0.05, seed=error_seed)
+        if minus_strand:
+            fragment = reverse_complement(fragment)
+        alignment = _ALIGNER.map(fragment, refine=False)
+        assert alignment is not None
+        assert alignment.strand == ("-" if minus_strand else "+")
+        # The mapping window must overlap the fragment's true origin.
+        assert alignment.reference_start <= end + 60
+        assert alignment.reference_end >= start - 60
+
+    @default_settings
+    @given(seed=st.integers(0, 5000), length=st.integers(200, 400))
+    def test_foreign_sequence_rarely_confident(self, seed, length):
+        foreign = random_genome(length, seed=seed + 90_000)
+        alignment = _ALIGNER.map(foreign, refine=False)
+        if alignment is not None:
+            assert alignment.n_anchors <= 6
+
+    @default_settings
+    @given(seed=st.integers(0, 2000), length=st.integers(50, 200), rate=st.floats(0.0, 0.15))
+    def test_banded_alignment_identity_tracks_error_rate(self, seed, length, rate):
+        sequence = random_genome(length, seed=seed)
+        noisy = transcribe_errors(sequence, substitution_rate=rate, seed=seed + 1)
+        result = banded_alignment(noisy, sequence, band=24)
+        assert 0.0 <= result.identity <= 1.0
+        assert result.identity >= 1.0 - rate - 0.25

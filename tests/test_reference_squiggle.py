@@ -1,0 +1,63 @@
+"""Unit tests for reference squiggle construction."""
+
+import numpy as np
+import pytest
+
+from repro.core.normalization import NormalizationConfig
+from repro.core.reference import ReferenceSquiggle
+from repro.genomes.sequences import random_genome, reverse_complement
+
+
+class TestReferenceSquiggle:
+    def test_length_both_strands(self, kmer_model, target_genome):
+        reference = ReferenceSquiggle.from_genome(target_genome, kmer_model=kmer_model)
+        per_strand = len(target_genome) - kmer_model.k + 1
+        assert len(reference) == 2 * per_strand
+        assert reference.forward_length == per_strand
+
+    def test_length_single_strand(self, kmer_model, target_genome):
+        reference = ReferenceSquiggle.from_genome(
+            target_genome, kmer_model=kmer_model, include_reverse_complement=False
+        )
+        assert len(reference) == len(target_genome) - kmer_model.k + 1
+
+    def test_forward_half_matches_expected_signal(self, kmer_model, target_genome):
+        reference = ReferenceSquiggle.from_genome(target_genome, kmer_model=kmer_model)
+        expected = kmer_model.expected_signal(target_genome)
+        assert np.allclose(reference.expected_pa[: reference.forward_length], expected)
+
+    def test_reverse_half_matches_revcomp(self, kmer_model, target_genome):
+        reference = ReferenceSquiggle.from_genome(target_genome, kmer_model=kmer_model)
+        expected = kmer_model.expected_signal(reverse_complement(target_genome))
+        assert np.allclose(reference.expected_pa[reference.forward_length :], expected)
+
+    def test_quantized_within_int8(self, reference_squiggle):
+        assert reference_squiggle.quantized.max() <= 127
+        assert reference_squiggle.quantized.min() >= -127
+
+    def test_values_selects_representation(self, reference_squiggle):
+        assert reference_squiggle.values(quantized=True) is reference_squiggle.quantized
+        assert reference_squiggle.values(quantized=False) is reference_squiggle.normalized
+
+    def test_normalized_is_standardized(self, reference_squiggle):
+        normalized = reference_squiggle.normalized
+        assert abs(normalized.mean()) < 0.05
+        assert np.abs(normalized).max() <= 4.0
+
+    def test_buffer_sizing(self, kmer_model):
+        small = ReferenceSquiggle.from_genome(random_genome(1000, seed=1), kmer_model=kmer_model)
+        assert small.fits_buffer(buffer_kb=100.0)
+        assert small.buffer_bytes(2) == 2 * small.n_positions
+        with pytest.raises(ValueError):
+            small.buffer_bytes(0)
+
+    def test_large_genome_overflows_buffer(self, kmer_model):
+        large = ReferenceSquiggle.from_genome(random_genome(60_000, seed=2), kmer_model=kmer_model)
+        assert not large.fits_buffer(buffer_kb=100.0)
+
+    def test_custom_normalization(self, kmer_model, target_genome):
+        config = NormalizationConfig(quantize_bits=6)
+        reference = ReferenceSquiggle.from_genome(
+            target_genome, kmer_model=kmer_model, normalization=config
+        )
+        assert reference.quantized.max() <= 31

@@ -1,0 +1,132 @@
+"""Tests for the tile scheduler model and the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.hardware.scheduler import (
+    TileScheduler,
+    request_rate_for_sequencer,
+    required_tiles,
+)
+
+
+class TestTileScheduler:
+    def test_light_load_no_waiting(self):
+        scheduler = TileScheduler(n_tiles=5, classification_latency_s=2.7e-5, seed=1)
+        stats = scheduler.simulate(request_rate_per_s=1000.0, duration_s=2.0)
+        assert stats.n_requests > 0
+        assert stats.mean_waiting_ms < 0.05
+        assert stats.mean_utilization < 0.1
+
+    def test_heavy_load_builds_queue(self):
+        scheduler = TileScheduler(n_tiles=1, classification_latency_s=1e-3, seed=2)
+        overload = scheduler.simulate(request_rate_per_s=2000.0, duration_s=1.0)
+        light = scheduler.simulate(request_rate_per_s=100.0, duration_s=1.0)
+        assert overload.mean_waiting_ms > light.mean_waiting_ms
+        assert overload.mean_utilization > 0.9
+
+    def test_deterministic_arrivals(self):
+        scheduler = TileScheduler(n_tiles=2, classification_latency_s=1e-4, seed=3)
+        stats = scheduler.simulate(request_rate_per_s=500.0, duration_s=1.0, poisson=False)
+        assert stats.n_requests == 500
+        assert stats.utilization.shape == (2,)
+
+    def test_max_sustainable_rate(self):
+        scheduler = TileScheduler(n_tiles=5, classification_latency_s=2.7e-5)
+        assert scheduler.max_sustainable_request_rate() == pytest.approx(5 / 2.7e-5)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            TileScheduler(n_tiles=0)
+        with pytest.raises(ValueError):
+            TileScheduler().simulate(request_rate_per_s=0)
+
+    def test_request_rate_scales_linearly(self):
+        base = request_rate_for_sequencer(1.0)
+        assert request_rate_for_sequencer(10.0) == pytest.approx(10 * base)
+        with pytest.raises(ValueError):
+            request_rate_for_sequencer(0)
+
+    def test_required_tiles_monotone_in_scale(self):
+        small = required_tiles(1.0)
+        large = required_tiles(100.0)
+        assert large >= small
+        # The paper's 5-tile provisioning covers the 100x future sequencer:
+        # each tile classifies a 2000-sample prefix in ~26.4 us, so even the
+        # pessimistic one-request-per-prefix model needs few tiles.
+        assert large <= 5
+
+    def test_required_tiles_invalid_target(self):
+        with pytest.raises(ValueError):
+            required_tiles(1.0, utilization_target=0.0)
+
+
+class TestCli:
+    def test_parser_knows_all_commands(self):
+        parser = build_parser()
+        for command in ("simulate-specimen", "build-reference", "classify", "runtime-model"):
+            args = parser.parse_args([command] if command != "runtime-model" else [command])
+            assert args.command == command
+
+    def test_simulate_specimen_writes_outputs(self, tmp_path, capsys):
+        fasta = tmp_path / "genomes.fasta"
+        reads = tmp_path / "reads.npz"
+        exit_code = main(
+            [
+                "simulate-specimen",
+                "--target-length", "600",
+                "--background-length", "2000",
+                "--n-reads", "6",
+                "--mean-read-bases", "150",
+                "--fasta-out", str(fasta),
+                "--reads-out", str(reads),
+            ]
+        )
+        assert exit_code == 0
+        assert fasta.exists() and reads.exists()
+        output = capsys.readouterr().out
+        assert "simulated 6 reads" in output
+
+    def test_build_reference_from_fasta(self, tmp_path, capsys, target_genome):
+        from repro.io.fasta import FastaRecord, write_fasta
+
+        fasta = tmp_path / "target.fasta"
+        write_fasta(fasta, [FastaRecord(name="virus", sequence=target_genome)])
+        exit_code = main(["build-reference", "--fasta", str(fasta)])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "fits_100kb_buffer" in output
+        assert "yes" in output
+
+    def test_build_reference_synthetic(self, capsys):
+        exit_code = main(["build-reference", "--length", "1200", "--single-strand"])
+        assert exit_code == 0
+        assert "reference_positions" in capsys.readouterr().out
+
+    def test_classify_reports_metrics(self, capsys):
+        exit_code = main(
+            [
+                "classify",
+                "--target-length", "1000",
+                "--background-length", "4000",
+                "--reads-per-class", "5",
+                "--prefix-samples", "600",
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "recall" in output and "f1" in output
+
+    def test_runtime_model_output(self, capsys):
+        exit_code = main(
+            [
+                "runtime-model",
+                "--recall", "0.9",
+                "--false-positive-rate", "0.05",
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "speedup" in output
+        assert "control_runtime_minutes" in output

@@ -1,0 +1,65 @@
+"""Unit tests for dataset bundle construction."""
+
+import pytest
+
+from repro.sequencer.datasets import build_dataset
+from repro.sequencer.reads import ReadLengthModel
+
+
+class TestBuildDataset:
+    def test_bundle_contents(self, small_dataset):
+        assert small_dataset.mixture.target_fraction == pytest.approx(0.05)
+        assert len(small_dataset.target_reads) == 6
+        assert len(small_dataset.nontarget_reads) == 6
+        assert len(small_dataset.target_genome) == 1000
+
+    def test_signals_split_by_class(self, small_dataset):
+        assert len(small_dataset.target_signals()) == len(small_dataset.target_reads)
+        assert len(small_dataset.nontarget_signals()) == len(small_dataset.nontarget_reads)
+
+    def test_split_halves(self, small_dataset):
+        splits = small_dataset.split(0.5)
+        calibration = splits["calibration"]
+        evaluation = splits["evaluation"]
+        assert len(calibration.reads) + len(evaluation.reads) == len(small_dataset.reads)
+        assert len(calibration.target_reads) == 3
+        assert len(evaluation.target_reads) == 3
+
+    def test_split_invalid_fraction(self, small_dataset):
+        with pytest.raises(ValueError):
+            small_dataset.split(1.0)
+
+    def test_invalid_viral_fraction(self):
+        with pytest.raises(ValueError):
+            build_dataset(viral_fraction=0.0, n_balanced_reads=0)
+
+    def test_no_balanced_reads(self):
+        bundle = build_dataset(
+            n_balanced_reads=0,
+            genome_lengths={"sars_cov_2": 800, "lambda": 900, "human": 2000},
+            seed=3,
+        )
+        assert bundle.reads == []
+
+    def test_deterministic_given_seed(self):
+        kwargs = dict(
+            n_balanced_reads=2,
+            genome_lengths={"sars_cov_2": 800, "lambda": 900, "human": 2000},
+            read_length=ReadLengthModel(mean_bases=80, sigma=0.1, min_bases=50, max_bases=150),
+            seed=11,
+        )
+        first = build_dataset(**kwargs)
+        second = build_dataset(**kwargs)
+        assert first.reads[0].sequence == second.reads[0].sequence
+        assert first.panel["human"] == second.panel["human"]
+
+    def test_lambda_target(self):
+        bundle = build_dataset(
+            target="lambda",
+            n_balanced_reads=1,
+            genome_lengths={"sars_cov_2": 800, "lambda": 900, "human": 2000},
+            read_length=ReadLengthModel(mean_bases=80, sigma=0.1, min_bases=50, max_bases=150),
+            seed=5,
+        )
+        assert bundle.mixture.target_names == ("lambda",)
+        assert bundle.target_genome == bundle.panel["lambda"]

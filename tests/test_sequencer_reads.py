@@ -1,0 +1,140 @@
+"""Unit tests for specimen mixtures and read generation."""
+
+import numpy as np
+import pytest
+
+from repro.genomes.sequences import random_genome, reverse_complement
+from repro.sequencer.reads import Read, ReadGenerator, ReadLengthModel, SpecimenMixture
+
+
+class TestRead:
+    def test_fields(self):
+        read = Read(
+            read_id="r1",
+            source="virus",
+            is_target=True,
+            sequence="ACGTACGT",
+            signal_pa=np.zeros(80),
+        )
+        assert read.n_bases == 8
+        assert read.n_samples == 80
+        assert read.prefix(10).size == 10
+
+    def test_invalid_strand(self):
+        with pytest.raises(ValueError):
+            Read("r", "virus", True, "ACGT", np.zeros(4), strand="x")
+
+
+class TestReadLengthModel:
+    def test_sample_within_bounds(self, rng):
+        model = ReadLengthModel(mean_bases=300, sigma=0.5, min_bases=100, max_bases=500)
+        lengths = [model.sample(rng) for _ in range(200)]
+        assert min(lengths) >= 100
+        assert max(lengths) <= 500
+
+    def test_zero_sigma_deterministic(self, rng):
+        model = ReadLengthModel(mean_bases=250, sigma=0.0)
+        assert model.sample(rng) == 250
+
+    def test_mean_roughly_respected(self, rng):
+        model = ReadLengthModel(mean_bases=300, sigma=0.3, min_bases=50, max_bases=2000)
+        lengths = [model.sample(rng) for _ in range(400)]
+        assert 250 < np.mean(lengths) < 360
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            ReadLengthModel(mean_bases=0)
+        with pytest.raises(ValueError):
+            ReadLengthModel(min_bases=5)
+        with pytest.raises(ValueError):
+            ReadLengthModel(min_bases=100, max_bases=50)
+
+
+class TestSpecimenMixture:
+    def test_two_component(self, target_genome, background_genome):
+        mixture = SpecimenMixture.two_component(
+            "virus", target_genome, "host", background_genome, target_fraction=0.01
+        )
+        assert mixture.target_fraction == pytest.approx(0.01)
+        assert mixture.is_target("virus")
+        assert not mixture.is_target("host")
+
+    def test_fractions_must_sum_to_one(self, target_genome, background_genome):
+        with pytest.raises(ValueError):
+            SpecimenMixture(
+                genomes={"a": target_genome, "b": background_genome},
+                fractions={"a": 0.3, "b": 0.3},
+            )
+
+    def test_unknown_fraction_genome(self, target_genome):
+        with pytest.raises(ValueError):
+            SpecimenMixture(genomes={"a": target_genome}, fractions={"b": 1.0})
+
+    def test_unknown_target_name(self, target_genome):
+        with pytest.raises(ValueError):
+            SpecimenMixture(
+                genomes={"a": target_genome}, fractions={"a": 1.0}, target_names=("b",)
+            )
+
+    def test_invalid_target_fraction(self, target_genome, background_genome):
+        with pytest.raises(ValueError):
+            SpecimenMixture.two_component("v", target_genome, "h", background_genome, 1.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            SpecimenMixture(genomes={}, fractions={})
+
+
+class TestReadGenerator:
+    def test_generate_count(self, read_generator):
+        reads = read_generator.generate(5)
+        assert len(reads) == 5
+        assert len({read.read_id for read in reads}) == 5
+
+    def test_balanced_generation(self, read_generator):
+        reads = read_generator.generate_balanced(6)
+        targets = [read for read in reads if read.is_target]
+        assert len(targets) == 6
+        assert len(reads) == 12
+
+    def test_read_fragment_comes_from_genome(self, read_generator, mixture):
+        read = read_generator.generate_one(source="virus")
+        genome = mixture.genomes["virus"]
+        fragment = read.sequence if read.strand == "+" else reverse_complement(read.sequence)
+        assert fragment in genome
+
+    def test_forced_unknown_source(self, read_generator):
+        with pytest.raises(KeyError):
+            read_generator.generate_one(source="bacteria")
+
+    def test_signal_length_tracks_bases(self, read_generator):
+        read = read_generator.generate_one(source="virus")
+        assert read.n_samples > 4 * read.n_bases
+
+    def test_mixture_fractions_drive_sampling(self, target_genome, background_genome, kmer_model):
+        mixture = SpecimenMixture.two_component(
+            "virus", target_genome, "host", background_genome, target_fraction=0.5
+        )
+        generator = ReadGenerator(
+            mixture,
+            kmer_model=kmer_model,
+            length_model=ReadLengthModel(mean_bases=60, sigma=0.1, min_bases=40, max_bases=100),
+            seed=1,
+        )
+        reads = generator.generate(80)
+        target_count = sum(1 for read in reads if read.is_target)
+        assert 20 < target_count < 60
+
+    def test_stream_is_endless(self, read_generator):
+        stream = read_generator.stream()
+        first = next(stream)
+        second = next(stream)
+        assert first.read_id != second.read_id
+
+    def test_negative_count_rejected(self, read_generator):
+        with pytest.raises(ValueError):
+            read_generator.generate(-1)
+
+    def test_channels_within_range(self, read_generator):
+        reads = read_generator.generate(20)
+        assert all(0 <= read.channel < 512 for read in reads)

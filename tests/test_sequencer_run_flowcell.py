@@ -1,0 +1,161 @@
+"""Unit tests for the flow cell model and the event-driven Read Until session."""
+
+import numpy as np
+import pytest
+
+from repro.core.filter import FilterDecision
+from repro.sequencer.flowcell import FlowCell, FlowCellConfig, WashEvent
+from repro.sequencer.run import (
+    MinIONParameters,
+    ReadUntilSession,
+    run_control_session,
+)
+
+
+def make_decision(accept: bool, samples_used: int = 500) -> FilterDecision:
+    return FilterDecision(
+        accept=accept,
+        cost=0.0,
+        per_sample_cost=0.0,
+        samples_used=samples_used,
+        threshold=1.0,
+        end_position=0,
+    )
+
+
+class TestMinIONParameters:
+    def test_defaults(self):
+        params = MinIONParameters()
+        assert params.samples_per_base == pytest.approx(4000.0 / 450.0)
+        assert params.max_throughput_samples_per_s == pytest.approx(2_048_000)
+
+    def test_conversions(self):
+        params = MinIONParameters()
+        assert params.samples_to_seconds(4000) == pytest.approx(1.0)
+        assert params.bases_to_seconds(450) == pytest.approx(1.0)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            MinIONParameters(sample_rate_hz=0)
+        with pytest.raises(ValueError):
+            MinIONParameters(capture_time_s=-1)
+
+
+class TestReadUntilSession:
+    def test_accepted_read_sequenced_fully(self, balanced_reads):
+        session = ReadUntilSession(lambda prefix: make_decision(True), prefix_samples=500)
+        read = balanced_reads[0]
+        outcome = session.process_read(read)
+        assert not outcome.ejected
+        assert outcome.sequenced_samples == read.n_samples
+
+    def test_rejected_read_truncated(self, balanced_reads):
+        session = ReadUntilSession(lambda prefix: make_decision(False, 500), prefix_samples=500)
+        read = balanced_reads[0]
+        outcome = session.process_read(read)
+        assert outcome.ejected
+        assert outcome.sequenced_samples <= 500
+
+    def test_latency_costs_extra_samples(self, balanced_reads):
+        read = balanced_reads[0]
+        fast = ReadUntilSession(lambda prefix: make_decision(False, 500), decision_latency_s=0.0)
+        slow = ReadUntilSession(lambda prefix: make_decision(False, 500), decision_latency_s=0.1)
+        assert slow.process_read(read).sequenced_samples >= fast.process_read(read).sequenced_samples
+
+    def test_run_stops_at_goal(self, balanced_reads):
+        session = ReadUntilSession(lambda prefix: make_decision(True))
+        goal = balanced_reads[0].n_bases + 1
+        summary = session.run(balanced_reads, target_bases_goal=goal)
+        assert summary.target_bases_kept >= goal
+        assert summary.n_reads <= len(balanced_reads)
+
+    def test_run_max_reads(self, balanced_reads):
+        session = ReadUntilSession(lambda prefix: make_decision(True))
+        summary = session.run(balanced_reads, max_reads=3)
+        assert summary.n_reads == 3
+
+    def test_summary_statistics(self, balanced_reads):
+        session = ReadUntilSession(
+            lambda prefix: make_decision(bool(prefix.mean() < np.inf)), prefix_samples=400
+        )
+        summary = session.run(balanced_reads)
+        assert summary.n_reads == len(balanced_reads)
+        assert summary.target_read_recall == 1.0
+        assert summary.total_time_s > 0
+
+    def test_eject_everything_recall_zero(self, balanced_reads):
+        session = ReadUntilSession(lambda prefix: make_decision(False))
+        summary = session.run(balanced_reads)
+        assert summary.target_read_recall == 0.0
+        assert summary.n_ejected == len(balanced_reads)
+        assert summary.mean_nontarget_sequenced_samples > 0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            ReadUntilSession(lambda prefix: make_decision(True), decision_latency_s=-1)
+        with pytest.raises(ValueError):
+            ReadUntilSession(lambda prefix: make_decision(True), prefix_samples=0)
+
+    def test_control_session_keeps_everything(self, balanced_reads):
+        summary = run_control_session(balanced_reads)
+        assert summary.n_ejected == 0
+        assert summary.target_read_recall == 1.0
+
+    def test_read_until_saves_time_on_nontargets(self, balanced_reads):
+        def oracle(prefix):
+            return make_decision(True)
+
+        control = run_control_session(balanced_reads)
+        session = ReadUntilSession(
+            lambda prefix: make_decision(False, 400), prefix_samples=400
+        )
+        # Eject everything: total time must be lower than sequencing everything.
+        filtered = session.run(balanced_reads)
+        assert filtered.total_time_s < control.total_time_s
+
+
+class TestFlowCell:
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            FlowCellConfig(n_channels=0)
+        with pytest.raises(ValueError):
+            FlowCellConfig(blockage_rate_per_hour=-0.1)
+        with pytest.raises(ValueError):
+            WashEvent(time_hours=-1)
+        with pytest.raises(ValueError):
+            WashEvent(time_hours=1, recovery_fraction=1.5)
+
+    def test_simulation_produces_both_groups(self):
+        flowcell = FlowCell(seed=1)
+        traces = flowcell.simulate(duration_hours=6.0)
+        assert set(traces) == {"control", "read_until"}
+        assert traces["control"].active_channels[0] + traces["read_until"].active_channels[0] == 512
+
+    def test_activity_declines_without_wash(self):
+        flowcell = FlowCell(FlowCellConfig(blockage_rate_per_hour=0.3), seed=2)
+        traces = flowcell.simulate(duration_hours=10.0)
+        for trace in traces.values():
+            assert trace.final_active < trace.active_channels[0]
+
+    def test_wash_recovers_channels(self):
+        config = FlowCellConfig(blockage_rate_per_hour=0.3, permanent_death_rate_per_hour=0.0)
+        flowcell = FlowCell(config, seed=3)
+        wash = WashEvent(time_hours=5.0, recovery_fraction=1.0)
+        traces = flowcell.simulate(duration_hours=10.0, washes=[wash])
+        control = traces["control"]
+        before = control.at(4.75)
+        after = control.at(5.0)
+        assert after > before
+
+    def test_read_until_not_more_damaging(self):
+        flowcell = FlowCell(seed=4)
+        summary = flowcell.wash_recovery_gap(duration_hours=12.0, wash_time_hours=6.0)
+        # After the wash the normalized active-channel gap is small (paper Fig. 20).
+        assert abs(summary["gap_after_wash"]) < 0.12
+
+    def test_invalid_simulation_arguments(self):
+        flowcell = FlowCell(seed=5)
+        with pytest.raises(ValueError):
+            flowcell.simulate(duration_hours=0)
+        with pytest.raises(ValueError):
+            flowcell.simulate(duration_hours=1, read_until_fraction=0.0)

@@ -1,0 +1,99 @@
+"""Tests for the event-space Viterbi basecaller."""
+
+import numpy as np
+import pytest
+
+from repro.align.extend import banded_alignment
+from repro.basecall.viterbi import EventViterbiBasecaller
+from repro.genomes.sequences import random_genome
+from repro.pore_model.kmer_model import KmerModel
+from repro.pore_model.synthesis import SquiggleSimulator, ideal_squiggle
+
+
+@pytest.fixture(scope="module")
+def small_kmer_model():
+    return KmerModel(k=4, seed=941)
+
+
+class TestEventViterbiBasecaller:
+    def test_clean_signal_high_identity(self, small_kmer_model):
+        genome = random_genome(150, seed=3)
+        signal, _ = ideal_squiggle(genome, kmer_model=small_kmer_model, samples_per_base=10)
+        basecaller = EventViterbiBasecaller(kmer_model=small_kmer_model)
+        result = basecaller.basecall_signal(signal)
+        assert result.n_bases > 100
+        identity = banded_alignment(result.sequence, genome, band=48).identity
+        assert identity > 0.9
+
+    def test_noisy_signal_usable_identity(self, small_kmer_model):
+        genome = random_genome(150, seed=5)
+        simulator = SquiggleSimulator(small_kmer_model, seed=9)
+        signal = simulator.simulate(genome).current_pa
+        basecaller = EventViterbiBasecaller(kmer_model=small_kmer_model)
+        result = basecaller.basecall_signal(signal)
+        assert result.n_bases > 60
+        identity = banded_alignment(result.sequence, genome, band=64).identity
+        assert identity > 0.6
+
+    def test_six_mer_model_supported(self, kmer_model):
+        genome = random_genome(80, seed=7)
+        signal, _ = ideal_squiggle(genome, kmer_model=kmer_model, samples_per_base=10)
+        basecaller = EventViterbiBasecaller(kmer_model=kmer_model)
+        result = basecaller.basecall_signal(signal)
+        assert result.n_bases > 40
+        assert set(result.sequence) <= set("ACGT")
+
+    def test_empty_signal(self, small_kmer_model):
+        basecaller = EventViterbiBasecaller(kmer_model=small_kmer_model)
+        result = basecaller.basecall_signal(np.array([]))
+        assert result.sequence == ""
+        assert result.n_events == 0
+
+    def test_path_and_sequence_consistent(self, small_kmer_model):
+        genome = random_genome(100, seed=11)
+        signal, _ = ideal_squiggle(genome, kmer_model=small_kmer_model, samples_per_base=10)
+        basecaller = EventViterbiBasecaller(kmer_model=small_kmer_model)
+        result = basecaller.basecall_signal(signal)
+        distinct_steps = sum(
+            1 for previous, current in zip(result.kmer_path[:-1], result.kmer_path[1:]) if previous != current
+        )
+        assert result.n_bases == small_kmer_model.k + distinct_steps
+
+    def test_batch(self, small_kmer_model):
+        genome = random_genome(60, seed=13)
+        signal, _ = ideal_squiggle(genome, kmer_model=small_kmer_model)
+        basecaller = EventViterbiBasecaller(kmer_model=small_kmer_model)
+        results = basecaller.basecall_batch([signal, signal])
+        assert len(results) == 2
+        assert results[0].sequence == results[1].sequence
+
+    def test_invalid_parameters(self, small_kmer_model):
+        with pytest.raises(ValueError):
+            EventViterbiBasecaller(kmer_model=small_kmer_model, stay_probability=0.0)
+        with pytest.raises(ValueError):
+            EventViterbiBasecaller(kmer_model=small_kmer_model, emission_sigma=0.0)
+
+    def test_log_likelihood_finite(self, small_kmer_model):
+        genome = random_genome(60, seed=17)
+        signal, _ = ideal_squiggle(genome, kmer_model=small_kmer_model)
+        basecaller = EventViterbiBasecaller(kmer_model=small_kmer_model)
+        result = basecaller.basecall_signal(signal)
+        assert np.isfinite(result.log_likelihood)
+
+    def test_decoded_reads_map_to_reference(self, small_kmer_model):
+        """End to end: Viterbi basecalls from raw signal align to the genome."""
+        from repro.align.aligner import ReferenceAligner
+
+        genome = random_genome(2000, seed=19)
+        simulator = SquiggleSimulator(small_kmer_model, seed=21)
+        basecaller = EventViterbiBasecaller(kmer_model=small_kmer_model)
+        aligner = ReferenceAligner(genome, k=9, w=4)
+        mapped = 0
+        for start in (100, 700, 1300):
+            fragment = genome[start : start + 300]
+            signal = simulator.simulate(fragment).current_pa
+            called = basecaller.basecall_signal(signal)
+            alignment = aligner.map(called.sequence)
+            if alignment is not None and alignment.reference_start <= start + 150:
+                mapped += 1
+        assert mapped >= 2
