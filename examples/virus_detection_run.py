@@ -82,8 +82,10 @@ def main() -> None:
     )
     print(f"\nprogrammed ejection threshold: {threshold:,.0f}")
 
-    # The pipeline needs a classifier with a `classify(signal, prefix)` shape;
-    # the accelerator model provides exactly that.
+    # The pipeline streams raw-signal chunks through the Read Until simulator;
+    # the accelerator model exposes `classify(signal, prefix_samples=...)`, so
+    # the streaming API adapts it automatically (wait until the prefix has
+    # arrived on the wire, then decide in one accelerator pass).
     reads = generator.generate(N_READS)
     n_target = sum(1 for read in reads if read.is_target)
     print(f"sequencing {len(reads)} reads ({n_target} from the target strain)...")
@@ -92,16 +94,19 @@ def main() -> None:
         accelerator,
         target_genome=reference_genome,
         prefix_samples=PREFIX_SAMPLES,
+        chunk_samples=400,
         assembler=ReferenceGuidedAssembler(reference_genome, seed=11),
     )
     result = pipeline.run(reads)
 
-    print("\n-- Read Until session --")
+    print("\n-- Read Until session (chunk-driven) --")
     print(f"reads processed : {result.session.n_reads}")
     print(f"reads ejected   : {result.session.n_ejected}")
     print(f"target recall   : {result.recall:.3f}")
     print(f"false positive rate: {result.false_positive_rate:.3f}")
     print(f"sequencing pore-time: {result.runtime_s / 60:.1f} pore-minutes")
+    print(f"simulator wall-clock: {result.streaming['wall_clock_s'] / 60:.1f} minutes "
+          f"({result.streaming['reads_finished']} reads streamed)")
 
     # --- Assembly / variant report -------------------------------------------
     assembly = result.assembly

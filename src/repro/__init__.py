@@ -25,25 +25,46 @@ from repro.core.normalization import NormalizationConfig, SignalNormalizer
 from repro.core.reference import ReferenceSquiggle
 from repro.core.sdtw import sdtw_cost, sdtw_cost_matrix
 from repro.genomes.sequences import random_genome, reverse_complement
+from repro.pipeline.api import (
+    Action,
+    ReadUntilClassifier,
+    as_streaming_classifier,
+    available_classifiers,
+    build_pipeline,
+    create_classifier,
+    register_classifier,
+)
+from repro.pipeline.read_until import ReadUntilPipeline
 from repro.pore_model.kmer_model import KmerModel
 from repro.pore_model.synthesis import SquiggleSimulator, SquiggleSynthesisConfig
+from repro.sequencer.read_until_api import ReadUntilSimulator, SignalChunk
 from repro.sequencer.reads import Read, ReadGenerator, SpecimenMixture
 
 __all__ = [
+    "Action",
     "FilterDecision",
     "KmerModel",
     "MultiStageSquiggleFilter",
     "NormalizationConfig",
     "Read",
     "ReadGenerator",
+    "ReadUntilClassifier",
+    "ReadUntilPipeline",
+    "ReadUntilSimulator",
     "ReferenceSquiggle",
     "SDTWConfig",
+    "SignalChunk",
     "SignalNormalizer",
     "SpecimenMixture",
     "SquiggleFilter",
     "SquiggleSimulator",
     "SquiggleSynthesisConfig",
+    "as_streaming_classifier",
+    "available_classifiers",
+    "build_pipeline",
+    "create_classifier",
     "random_genome",
+    "register_classifier",
     "reverse_complement",
     "sdtw_cost",
     "sdtw_cost_matrix",

@@ -1,6 +1,6 @@
 """Command-line interface for the SquiggleFilter reproduction.
 
-Four subcommands cover the library's main workflows without writing Python:
+Five subcommands cover the library's main workflows without writing Python:
 
 * ``simulate-specimen`` — synthesize a target + background specimen and save
   the genomes (FASTA) and raw reads (FAST5-like ``.npz``).
@@ -10,6 +10,9 @@ Four subcommands cover the library's main workflows without writing Python:
   and report classification metrics for held-out reads.
 * ``runtime-model``     — evaluate the analytical Read Until runtime model at
   a given operating point.
+* ``read-until``        — run a chunk-driven Read Until session end to end
+  with any registered streaming classifier (``--classifier`` picks one from
+  :func:`repro.pipeline.api.available_classifiers`).
 
 The CLI is intentionally thin: it parses arguments, calls the same public API
 the examples use, and prints human-readable reports via
@@ -24,11 +27,13 @@ from typing import List, Optional, Sequence
 
 from repro.analysis.metrics import confusion_from_labels
 from repro.analysis.report import format_table
-from repro.core.filter import SquiggleFilter
+from repro.core.filter import MultiStageSquiggleFilter, SquiggleFilter
 from repro.core.reference import ReferenceSquiggle
+from repro.core.thresholds import choose_threshold
 from repro.genomes.sequences import random_genome
 from repro.io.fast5 import Fast5Read, Fast5Store
 from repro.io.fasta import FastaRecord, read_fasta, write_fasta
+from repro.pipeline.api import available_classifiers, build_pipeline
 from repro.pipeline.runtime_model import ReadUntilModelConfig, sequencing_runtime_s
 from repro.pore_model.kmer_model import KmerModel
 from repro.sequencer.reads import ReadGenerator, ReadLengthModel, SpecimenMixture
@@ -69,6 +74,32 @@ def build_parser() -> argparse.ArgumentParser:
     classify.add_argument("--reads-per-class", type=int, default=20)
     classify.add_argument("--prefix-samples", type=int, default=1000)
     classify.add_argument("--seed", type=int, default=11)
+
+    read_until = subparsers.add_parser(
+        "read-until",
+        help="stream a simulated specimen through the chunk-driven Read Until pipeline",
+    )
+    read_until.add_argument(
+        "--classifier",
+        choices=available_classifiers(),
+        default="squigglefilter",
+        help="registered streaming classifier to drive the session with",
+    )
+    read_until.add_argument("--target-length", type=int, default=2400)
+    read_until.add_argument("--background-length", type=int, default=16000)
+    read_until.add_argument("--viral-fraction", type=float, default=0.05)
+    read_until.add_argument("--n-reads", type=int, default=60)
+    read_until.add_argument("--calibration-reads-per-class", type=int, default=15)
+    read_until.add_argument("--prefix-samples", type=int, default=1000)
+    read_until.add_argument("--chunk-samples", type=int, default=None)
+    read_until.add_argument(
+        "--stage-prefixes",
+        type=int,
+        nargs="+",
+        default=[500, 1000],
+        help="stage decision points in samples (multistage classifier only)",
+    )
+    read_until.add_argument("--seed", type=int, default=17)
 
     runtime = subparsers.add_parser(
         "runtime-model", help="evaluate the analytical Read Until runtime model"
@@ -184,6 +215,75 @@ def _command_classify(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_read_until(args: argparse.Namespace) -> int:
+    kmer_model = KmerModel()
+    target = random_genome(args.target_length, seed=args.seed)
+    background = random_genome(args.background_length, seed=args.seed + 1)
+    mixture = SpecimenMixture.two_component(
+        "target", target, "background", background, args.viral_fraction
+    )
+    generator = ReadGenerator(
+        mixture,
+        kmer_model=kmer_model,
+        length_model=ReadLengthModel(mean_bases=500, sigma=0.2, min_bases=350, max_bases=900),
+        seed=args.seed + 2,
+    )
+    calibration = generator.generate_balanced(args.calibration_reads_per_class)
+    target_signals = [read.signal_pa for read in calibration if read.is_target]
+    background_signals = [read.signal_pa for read in calibration if not read.is_target]
+
+    # Build the classifier spec for the registry; sDTW classifiers need a
+    # reference squiggle and their ejection threshold(s) calibrated from the
+    # labelled reads first, the baseline needs neither.
+    if args.classifier == "squigglefilter":
+        reference = ReferenceSquiggle.from_genome(target, kmer_model=kmer_model)
+        helper = SquiggleFilter(reference, prefix_samples=args.prefix_samples)
+        threshold = choose_threshold(
+            [helper.cost(signal, args.prefix_samples) for signal in target_signals],
+            [helper.cost(signal, args.prefix_samples) for signal in background_signals],
+        )
+        params = {
+            "reference": reference,
+            "prefix_samples": args.prefix_samples,
+            "threshold": threshold,
+        }
+    elif args.classifier == "multistage":
+        reference = ReferenceSquiggle.from_genome(target, kmer_model=kmer_model)
+        calibrated = MultiStageSquiggleFilter.calibrated(
+            reference,
+            target_signals,
+            background_signals,
+            prefix_lengths=sorted(args.stage_prefixes),
+        )
+        params = {"reference": reference, "stages": calibrated.stages}
+    else:  # basecall_align
+        params = {"prefix_samples": args.prefix_samples, "seed": args.seed}
+
+    pipeline = build_pipeline(
+        {
+            "classifier": {"name": args.classifier, "params": params},
+            "target_genome": target,
+            "prefix_samples": args.prefix_samples,
+            "chunk_samples": args.chunk_samples,
+            "assemble": False,
+        }
+    )
+    reads = generator.generate(args.n_reads)
+    result = pipeline.run(reads)
+    rows = [
+        {"metric": "classifier", "value": args.classifier},
+        {"metric": "reads_processed", "value": result.session.n_reads},
+        {"metric": "reads_ejected", "value": result.session.n_ejected},
+        {"metric": "recall", "value": result.recall},
+        {"metric": "false_positive_rate", "value": result.false_positive_rate},
+        {"metric": "decision_latency_ms", "value": result.decision_latency_s * 1e3},
+        {"metric": "mean_background_samples", "value": result.session.mean_nontarget_sequenced_samples},
+        {"metric": "pore_minutes", "value": result.runtime_s / 60.0},
+    ]
+    print(format_table(rows))
+    return 0
+
+
 def _command_runtime(args: argparse.Namespace) -> int:
     config = ReadUntilModelConfig(
         genome_length_bases=args.genome_length,
@@ -212,6 +312,7 @@ _COMMANDS = {
     "simulate-specimen": _command_simulate,
     "build-reference": _command_build_reference,
     "classify": _command_classify,
+    "read-until": _command_read_until,
     "runtime-model": _command_runtime,
 }
 

@@ -14,7 +14,7 @@ sequencing while low-confidence reads get more signal before the decision.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import List, Optional, Sequence
 
 import numpy as np
@@ -83,6 +83,10 @@ class SquiggleFilter:
         self.normalizer = SignalNormalizer(self.normalization)
         self.threshold = threshold
         self.prefix_samples = prefix_samples
+        # The reference profile never changes after construction; resolving it
+        # once keeps classify_batch and calibration sweeps off the attribute
+        # lookup in every alignment() call.
+        self._reference_values = self.reference.values(quantized=self.config.quantize)
 
     # ------------------------------------------------------------------ costs
     def prepare_query(self, raw_signal: np.ndarray, prefix_samples: Optional[int] = None) -> np.ndarray:
@@ -100,8 +104,7 @@ class SquiggleFilter:
     def alignment(self, raw_signal: np.ndarray, prefix_samples: Optional[int] = None) -> SDTWResult:
         """Align a read prefix against the reference squiggle."""
         query = self.prepare_query(raw_signal, prefix_samples)
-        reference = self.reference.values(quantized=self.config.quantize)
-        return sdtw_cost(query, reference, self.config)
+        return sdtw_cost(query, self._reference_values, self.config)
 
     def cost(self, raw_signal: np.ndarray, prefix_samples: Optional[int] = None) -> float:
         """Alignment cost only (convenience for sweeps and distributions)."""
@@ -203,6 +206,28 @@ class MultiStageSquiggleFilter:
     def config(self) -> SDTWConfig:
         return self._filter.config
 
+    @property
+    def n_stages(self) -> int:
+        return len(self.stages)
+
+    @property
+    def prefix_lengths(self) -> List[int]:
+        """The stage decision points, in samples, in firing order."""
+        return [stage.prefix_samples for stage in self.stages]
+
+    def classify_stage(self, raw_signal: np.ndarray, index: int) -> FilterDecision:
+        """Run exactly one stage over the signal prefix it examines.
+
+        This is the unit of work the streaming Read Until adapter schedules:
+        stage ``index`` fires as soon as ``stages[index].prefix_samples`` of
+        signal have arrived, without waiting for the later stages' prefixes.
+        """
+        stage = self.stages[index]
+        decision = self._filter.classify(
+            raw_signal, threshold=stage.threshold, prefix_samples=stage.prefix_samples
+        )
+        return replace(decision, stage=index)
+
     def classify(self, raw_signal: np.ndarray) -> FilterDecision:
         """Run the read through stages until one rejects it or all accept.
 
@@ -212,19 +237,8 @@ class MultiStageSquiggleFilter:
         """
         signal = np.asarray(raw_signal, dtype=np.float64)
         last_decision: Optional[FilterDecision] = None
-        for index, stage in enumerate(self.stages):
-            decision = self._filter.classify(
-                signal, threshold=stage.threshold, prefix_samples=stage.prefix_samples
-            )
-            decision = FilterDecision(
-                accept=decision.accept,
-                cost=decision.cost,
-                per_sample_cost=decision.per_sample_cost,
-                samples_used=decision.samples_used,
-                threshold=decision.threshold,
-                end_position=decision.end_position,
-                stage=index,
-            )
+        for index in range(len(self.stages)):
+            decision = self.classify_stage(signal, index)
             if not decision.accept:
                 return decision
             last_decision = decision

@@ -1,8 +1,20 @@
 """Pipeline-level models: Read Until orchestration, profiling, runtime and scalability."""
 
+from repro.pipeline.api import (
+    Action,
+    BasecallAlignAdapter,
+    MultiStageAdapter,
+    ReadUntilClassifier,
+    SingleStageAdapter,
+    as_streaming_classifier,
+    available_classifiers,
+    build_pipeline,
+    create_classifier,
+    register_classifier,
+)
 from repro.pipeline.cost_model import SequencingCostConfig, experiment_cost, read_until_savings
 from repro.pipeline.profiling import PipelineProfile, profile_pipeline
-from repro.pipeline.read_until import ReadUntilPipeline, PipelineRunResult
+from repro.pipeline.read_until import ReadUntilPipeline, PipelineRunResult, compare_classifiers
 from repro.pipeline.runtime_model import (
     ReadUntilModelConfig,
     runtime_from_decisions,
@@ -12,14 +24,25 @@ from repro.pipeline.runtime_model import (
 from repro.pipeline.scalability import ScalabilityPoint, scalability_analysis
 
 __all__ = [
+    "Action",
+    "BasecallAlignAdapter",
+    "MultiStageAdapter",
     "PipelineProfile",
     "PipelineRunResult",
+    "ReadUntilClassifier",
     "ReadUntilModelConfig",
     "ReadUntilPipeline",
     "ScalabilityPoint",
     "SequencingCostConfig",
+    "SingleStageAdapter",
+    "as_streaming_classifier",
+    "available_classifiers",
+    "build_pipeline",
+    "compare_classifiers",
+    "create_classifier",
     "experiment_cost",
     "profile_pipeline",
+    "register_classifier",
     "runtime_from_decisions",
     "runtime_vs_threshold",
     "read_until_savings",

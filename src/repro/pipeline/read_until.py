@@ -1,28 +1,46 @@
 """End-to-end Read Until pipeline orchestration (paper Figure 4).
 
-Connects the pieces: a read source (the sequencer simulation), a Read Until
-classifier (SquiggleFilter, the basecall+align baseline, or a multi-stage
-filter), the event-driven sequencing session, and the off-critical-path
-reference-guided assembly of the kept reads. This is the module the
-examples use to run "a whole virus detection" from specimen to consensus
-genome.
+The pipeline wires a read source to the *streaming* Read Until interface:
+every run executes through :class:`~repro.sequencer.read_until_api.ReadUntilSimulator`,
+the faithful chunk-level simulation of ONT's API. Classifiers speak the
+:class:`~repro.pipeline.api.ReadUntilClassifier` protocol —
+``begin_read(read_id)`` then ``on_chunk(SignalChunk) -> Action`` — so every
+classifier sees signal incrementally, exactly as the paper's system does:
+SquiggleFilter decides as soon as its prefix has streamed in, the multi-stage
+filter ejects clear non-targets on early chunks, and the basecall+align
+baseline pays its decision latency in extra sequenced samples.
+
+Legacy classifier objects (anything with ``classify(signal, ...)`` or
+``classify_read(read, ...)``) are adapted automatically via
+:func:`repro.pipeline.api.as_streaming_classifier`, so existing call sites
+keep working. Pipelines can also be constructed by name from a plain config
+mapping with :func:`repro.pipeline.api.build_pipeline`. Reads that survive
+the filter are assembled off the critical path into a consensus genome; this
+is the module the examples use to run "a whole virus detection" from specimen
+to consensus.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Union
+from math import ceil
+from typing import Dict, List, Optional, Sequence, Set
 
-import numpy as np
-
-from repro.assembly.consensus import AssemblyResult, ReferenceGuidedAssembler
-from repro.baselines.basecall_align import BasecallAlignClassifier
-from repro.core.filter import FilterDecision, MultiStageSquiggleFilter, SquiggleFilter
-from repro.sequencer.reads import Read
-from repro.sequencer.run import MinIONParameters, ReadUntilSession, SessionSummary
 from repro.analysis.metrics import ClassificationCounts, confusion_from_labels
+from repro.assembly.consensus import AssemblyResult, ReferenceGuidedAssembler
+from repro.pipeline.api import (
+    ACCEPT,
+    DEFAULT_HARDWARE_LATENCY_S,
+    Action,
+    as_streaming_classifier,
+)
+from repro.sequencer.read_until_api import ReadUntilSimulator, SignalChunk
+from repro.sequencer.reads import Read
+from repro.sequencer.run import MinIONParameters, ReadOutcome, SessionSummary
 
-Classifier = Union[SquiggleFilter, MultiStageSquiggleFilter, BasecallAlignClassifier]
+
+class _CoverageGoalReached(Exception):
+    """Internal control flow: the kept-target-bases goal was met mid-stream."""
 
 
 @dataclass
@@ -34,6 +52,7 @@ class PipelineRunResult:
     assembly: Optional[AssemblyResult]
     classifier_name: str
     decision_latency_s: float
+    streaming: Dict[str, object] = field(default_factory=dict)
 
     @property
     def runtime_s(self) -> float:
@@ -49,86 +68,191 @@ class PipelineRunResult:
 
 
 class ReadUntilPipeline:
-    """Run a Read Until experiment with a pluggable classifier."""
+    """Run a Read Until experiment with a pluggable streaming classifier.
+
+    ``classifier`` may implement the streaming protocol directly or be any of
+    the repository's whole-prefix classifiers (adapted automatically).
+    ``chunk_samples`` controls the granularity the simulator streams at; by
+    default it matches the classifier's earliest decision point so single-stage
+    filters decide on their first chunk while multi-stage filters see one chunk
+    per early stage.
+    """
 
     def __init__(
         self,
-        classifier: Classifier,
+        classifier: object,
         target_genome: str,
         parameters: Optional[MinIONParameters] = None,
         decision_latency_s: Optional[float] = None,
         prefix_samples: int = 2000,
         assemble: bool = True,
         assembler: Optional[ReferenceGuidedAssembler] = None,
+        chunk_samples: Optional[int] = None,
+        n_channels: int = 1,
+        max_chunks_per_read: Optional[int] = None,
     ) -> None:
+        if chunk_samples is not None and chunk_samples <= 0:
+            raise ValueError("chunk_samples must be positive")
+        if n_channels <= 0:
+            raise ValueError("n_channels must be positive")
         self.classifier = classifier
         self.target_genome = target_genome
         self.parameters = parameters if parameters is not None else MinIONParameters()
         self.prefix_samples = prefix_samples
         self.assemble = assemble
         self.assembler = assembler
+        self.chunk_samples = chunk_samples
+        self.n_channels = n_channels
+        self.max_chunks_per_read = max_chunks_per_read
         if decision_latency_s is not None:
             self.decision_latency_s = decision_latency_s
-        elif isinstance(classifier, BasecallAlignClassifier):
-            self.decision_latency_s = classifier.decision_latency_s
         else:
-            # SquiggleFilter hardware decision latency is tens of microseconds;
-            # effectively zero on the Read Until timescale.
-            self.decision_latency_s = 4.3e-5
+            latency = getattr(classifier, "decision_latency_s", None)
+            self.decision_latency_s = (
+                float(latency) if latency is not None else DEFAULT_HARDWARE_LATENCY_S
+            )
 
     @property
     def classifier_name(self) -> str:
         return type(self.classifier).__name__
-
-    # ------------------------------------------------------------------ plumbing
-    def _decision_for_read(self, read: Read) -> FilterDecision:
-        if isinstance(self.classifier, BasecallAlignClassifier):
-            return self.classifier.classify_read(read, self.prefix_samples).as_filter_decision()
-        if isinstance(self.classifier, MultiStageSquiggleFilter):
-            return self.classifier.classify(read.signal_pa)
-        return self.classifier.classify(read.signal_pa, prefix_samples=self.prefix_samples)
 
     def run(
         self,
         reads: Sequence[Read],
         target_bases_goal: Optional[int] = None,
     ) -> PipelineRunResult:
-        """Process ``reads`` through Read Until and assemble the kept targets."""
+        """Stream ``reads`` through Read Until and assemble the kept targets.
+
+        The chunk simulator is the single execution engine: chunks arrive per
+        channel, the streaming classifier returns accept/eject/wait actions,
+        and ejections pay the classifier's decision latency in extra sequenced
+        samples before the pore frees up.
+        """
         reads = list(reads)
-        decisions: Dict[str, FilterDecision] = {}
+        read_map: Dict[str, Read] = {read.read_id: read for read in reads}
+        streaming = as_streaming_classifier(
+            self.classifier, prefix_samples=self.prefix_samples, read_lookup=read_map.get
+        )
+        chunk_samples = self.chunk_samples
+        if chunk_samples is None:
+            chunk_samples = max(1, min(streaming.min_decision_samples, self.prefix_samples))
+        max_chunks = self.max_chunks_per_read
+        if max_chunks is None:
+            # Enough chunks for the latest decision point, plus one chunk of
+            # slack so prefixes that straddle a boundary still resolve.
+            max_chunks = ceil(streaming.max_decision_samples / chunk_samples) + 1
 
-        def classify_by_signal(prefix: np.ndarray) -> FilterDecision:
-            # The session hands us the signal prefix; we match it back to the
-            # read currently being processed via the closure below.
-            raise RuntimeError("classify_by_signal must be bound per read")
-
-        session = ReadUntilSession(
-            classifier=classify_by_signal,
+        simulator = ReadUntilSimulator(
+            reads,
             parameters=self.parameters,
-            decision_latency_s=self.decision_latency_s,
-            prefix_samples=self.prefix_samples,
+            chunk_samples=chunk_samples,
+            n_channels=self.n_channels,
+            max_chunks_per_read=max_chunks,
         )
 
-        summary = SessionSummary(classifier_latency_s=self.decision_latency_s)
-        kept_reads: List[Read] = []
-        for read in reads:
-            decision = self._decision_for_read(read)
-            decisions[read.read_id] = decision
-            session.classifier = lambda prefix, d=decision: d
-            outcome = session.process_read(read)
-            summary.outcomes.append(outcome)
-            summary.total_time_s += outcome.sequencing_time_s
-            if outcome.is_target and not outcome.ejected:
-                summary.target_bases_kept += read.n_bases
-            if not outcome.ejected:
-                kept_reads.append(read)
-            if target_bases_goal is not None and summary.target_bases_kept >= target_bases_goal:
-                break
+        actions: Dict[str, Action] = {}
+        started: Set[str] = set()
+        goal_bases = 0
 
-        processed = summary.outcomes
+        def decide(chunk: SignalChunk) -> str:
+            nonlocal goal_bases
+            if chunk.read_id not in started:
+                started.add(chunk.read_id)
+                streaming.begin_read(chunk.read_id)
+            action = streaming.on_chunk(chunk)
+            if action.is_terminal:
+                actions[chunk.read_id] = action
+                if action.kind == ACCEPT and target_bases_goal is not None:
+                    read = read_map[chunk.read_id]
+                    if read.is_target:
+                        goal_bases += read.n_bases
+                        if goal_bases >= target_bases_goal:
+                            raise _CoverageGoalReached
+            return action.to_simulator_action()
+
+        # Upper-bound the polls one read can consume (capture dead time,
+        # chunk delivery of the whole read, ejection dead time, plus the
+        # undecided-chunk budget), scaled by the worst-case round-robin depth.
+        params = self.parameters
+        chunk_duration_s = chunk_samples / params.sample_rate_hz
+        longest_read = max((read.n_samples for read in reads), default=0)
+        polls_per_read = (
+            ceil(params.capture_time_s / chunk_duration_s)
+            + ceil((params.ejection_time_s + self.decision_latency_s) / chunk_duration_s)
+            + ceil(longest_read / chunk_samples)
+            + max_chunks
+            + 2
+        )
+        max_iterations = (ceil(len(reads) / self.n_channels) + 1) * polls_per_read + 10
+
+        goal_reached = False
+        try:
+            stream_summary = simulator.run_client(
+                decide,
+                decision_latency_s=self.decision_latency_s,
+                max_iterations=max_iterations,
+            )
+        except _CoverageGoalReached:
+            goal_reached = True
+            stream_summary = simulator.summary()
+        if not goal_reached and not simulator.finished:
+            raise RuntimeError(
+                f"Read Until session did not drain within {max_iterations} polls "
+                f"({len(reads)} reads, chunk_samples={chunk_samples}); this indicates "
+                "a bug in the iteration budget, not a property of the input"
+            )
+        # Release per-read state for reads that ended without a terminal
+        # action (e.g. capped by max_chunks_per_read).
+        end_read = getattr(streaming, "end_read", None)
+        if end_read is not None:
+            for read_id in started - set(actions):
+                end_read(read_id)
+        summary = SessionSummary(classifier_latency_s=self.decision_latency_s)
+        finished: Set[str] = set()
+        for entry in simulator.action_log:
+            finished.add(entry.read_id)
+            action = actions.get(entry.read_id)
+            ejected = entry.action == "unblocked"
+            time_s = params.capture_time_s + params.samples_to_seconds(entry.samples_sequenced)
+            if ejected:
+                time_s += params.ejection_time_s
+            summary.outcomes.append(
+                ReadOutcome(
+                    read=read_map[entry.read_id],
+                    decision=action.as_filter_decision() if action is not None else None,
+                    sequenced_samples=entry.samples_sequenced,
+                    sequencing_time_s=time_s,
+                    ejected=ejected,
+                )
+            )
+        # Reads already accepted but still sequencing when the coverage goal
+        # stopped the run count as fully kept, as in a real run wind-down.
+        for read_id, action in actions.items():
+            if read_id in finished or action.kind != ACCEPT:
+                continue
+            read = read_map[read_id]
+            summary.outcomes.append(
+                ReadOutcome(
+                    read=read,
+                    decision=action.as_filter_decision(),
+                    sequenced_samples=read.n_samples,
+                    sequencing_time_s=params.capture_time_s
+                    + params.samples_to_seconds(read.n_samples),
+                    ejected=False,
+                )
+            )
+
+        kept_reads: List[Read] = []
+        for outcome in summary.outcomes:
+            summary.total_time_s += outcome.sequencing_time_s
+            if not outcome.ejected:
+                kept_reads.append(outcome.read)
+                if outcome.is_target:
+                    summary.target_bases_kept += outcome.read.n_bases
+
         confusion = confusion_from_labels(
-            truths=[outcome.is_target for outcome in processed],
-            predictions=[not outcome.ejected for outcome in processed],
+            truths=[outcome.is_target for outcome in summary.outcomes],
+            predictions=[not outcome.ejected for outcome in summary.outcomes],
         )
         assembly: Optional[AssemblyResult] = None
         if self.assemble and kept_reads:
@@ -140,6 +264,7 @@ class ReadUntilPipeline:
             assembly=assembly,
             classifier_name=self.classifier_name,
             decision_latency_s=self.decision_latency_s,
+            streaming=dict(stream_summary),
         )
 
 

@@ -2,11 +2,17 @@
 
 from repro.sequencer.flowcell import FlowCell, FlowCellConfig, WashEvent
 from repro.sequencer.reads import Read, ReadGenerator, ReadLengthModel, SpecimenMixture
-from repro.sequencer.read_until_api import ReadUntilSimulator, SignalChunk, classifier_client
+from repro.sequencer.read_until_api import (
+    ChunkAccumulator,
+    ReadUntilSimulator,
+    SignalChunk,
+    classifier_client,
+)
 from repro.sequencer.run import MinIONParameters, ReadUntilSession, SessionSummary
 from repro.sequencer.datasets import DatasetBundle, build_dataset
 
 __all__ = [
+    "ChunkAccumulator",
     "DatasetBundle",
     "FlowCell",
     "FlowCellConfig",

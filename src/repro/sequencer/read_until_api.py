@@ -1,10 +1,11 @@
 """Streaming Read Until API simulation.
 
 ONT's Read Until API exposes sequencing as a stream of raw-signal *chunks*
-per channel: client code repeatedly fetches the accumulated signal of every
-read currently in a pore, decides to ``unblock`` (eject), ``stop receiving``
-(keep sequencing, stop streaming data) or wait for more signal, and the pore
-state advances in real time whether or not the client keeps up.
+per channel: client code repeatedly fetches the newest chunk of every read
+currently in a pore (accumulating prefixes itself), decides to ``unblock``
+(eject), ``stop receiving`` (keep sequencing, stop streaming data) or wait
+for more signal, and the pore state advances in real time whether or not the
+client keeps up.
 
 The paper's system plugs SquiggleFilter into exactly this interface, and its
 latency argument (Section 7.2) is about what happens *between* chunk arrival
@@ -27,13 +28,24 @@ from repro.sequencer.run import MinIONParameters
 
 @dataclass
 class SignalChunk:
-    """One chunk of raw signal delivered to the Read Until client."""
+    """One chunk of raw signal delivered to the Read Until client.
+
+    Chunks are incremental, as in ONT's API: ``signal_pa`` holds only the
+    samples that arrived since the previous chunk of the same read, and
+    ``chunk_start_sample`` is the offset of this chunk's first sample within
+    the read. ``is_last`` marks the chunk that exhausts the read's signal, so
+    clients can make a best-effort decision on whatever prefix exists instead
+    of waiting for samples that will never arrive. Clients that classify
+    whole prefixes accumulate chunks per read (see :class:`ChunkAccumulator`,
+    :func:`classifier_client` and the adapters in :mod:`repro.pipeline.api`).
+    """
 
     channel: int
     read_id: str
     read_number: int
     chunk_start_sample: int
     signal_pa: np.ndarray
+    is_last: bool = False
 
     @property
     def chunk_length(self) -> int:
@@ -137,8 +149,10 @@ class ReadUntilSimulator:
         """Fetch the newest chunk for every channel with an undecided read.
 
         Mirrors ``read_until.ReadUntilClient.get_read_chunks()``: each call
-        advances the simulation clock by one chunk duration and returns the
-        accumulated-prefix chunks for reads still awaiting a decision.
+        advances the simulation clock by one chunk duration and returns, for
+        every read still awaiting a decision, the incremental chunk of signal
+        that arrived since the previous poll (``chunk_start_sample`` marks
+        where in the read the chunk begins).
         """
         chunk_duration_s = self.chunk_samples / self.parameters.sample_rate_hz
         self.clock_s += chunk_duration_s
@@ -172,8 +186,9 @@ class ReadUntilSimulator:
                     channel=state.channel,
                     read_id=state.read.read_id,
                     read_number=state.read_number,
-                    chunk_start_sample=0,
-                    signal_pa=state.read.signal_pa[:end],
+                    chunk_start_sample=start,
+                    signal_pa=state.read.signal_pa[start:end],
+                    is_last=end >= state.read.n_samples,
                 )
             )
             if state.samples_delivered >= self.max_chunks_per_read * self.chunk_samples:
@@ -277,22 +292,59 @@ class ReadUntilSimulator:
         }
 
 
+class ChunkAccumulator:
+    """Reassemble incremental :class:`SignalChunk` streams into per-read prefixes.
+
+    Shared by :func:`classifier_client` and the streaming adapters in
+    :mod:`repro.pipeline.api`, so the chunk-to-prefix bookkeeping (and its
+    cleanup) lives in exactly one place.
+    """
+
+    def __init__(self) -> None:
+        self._buffers: Dict[str, List[np.ndarray]] = {}
+
+    def begin_read(self, read_id: str) -> None:
+        self._buffers[read_id] = []
+
+    def add(self, chunk: SignalChunk) -> int:
+        """Append a chunk to its read's buffer; return the prefix length so far."""
+        if chunk.chunk_start_sample == 0:
+            self._buffers[chunk.read_id] = []
+        parts = self._buffers.setdefault(chunk.read_id, [])
+        parts.append(np.asarray(chunk.signal_pa, dtype=np.float64))
+        return sum(part.size for part in parts)
+
+    def prefix(self, read_id: str) -> np.ndarray:
+        return np.concatenate(self._buffers[read_id])
+
+    def drop(self, read_id: str) -> None:
+        self._buffers.pop(read_id, None)
+
+
 def classifier_client(
     classify: Callable[[np.ndarray], bool],
     min_samples: int = 2000,
 ) -> Callable[[SignalChunk], str]:
     """Adapt a boolean classifier into a Read Until decision callback.
 
-    The callback waits until ``min_samples`` of signal are available, then
+    The callback accumulates the incremental chunks of each read, waits until
+    ``min_samples`` of signal are available (or the read ends first), then
     issues ``stop_receiving`` for positives and ``unblock`` for negatives —
-    the standard single-stage policy.
+    the standard single-stage policy. For richer incremental behaviour (typed
+    actions, multi-stage decisions, cost accounting) use the
+    :class:`repro.pipeline.api.ReadUntilClassifier` protocol instead.
     """
     if min_samples <= 0:
         raise ValueError("min_samples must be positive")
 
+    accumulator = ChunkAccumulator()
+
     def decide(chunk: SignalChunk) -> str:
-        if chunk.samples_seen < min_samples:
+        accumulator.add(chunk)
+        if chunk.samples_seen < min_samples and not chunk.is_last:
             return "wait"
-        return "stop_receiving" if classify(chunk.signal_pa[:min_samples]) else "unblock"
+        signal = accumulator.prefix(chunk.read_id)
+        accumulator.drop(chunk.read_id)
+        return "stop_receiving" if classify(signal[:min_samples]) else "unblock"
 
     return decide

@@ -65,8 +65,14 @@ class TestTileScheduler:
 class TestCli:
     def test_parser_knows_all_commands(self):
         parser = build_parser()
-        for command in ("simulate-specimen", "build-reference", "classify", "runtime-model"):
-            args = parser.parse_args([command] if command != "runtime-model" else [command])
+        for command in (
+            "simulate-specimen",
+            "build-reference",
+            "classify",
+            "read-until",
+            "runtime-model",
+        ):
+            args = parser.parse_args([command])
             assert args.command == command
 
     def test_simulate_specimen_writes_outputs(self, tmp_path, capsys):
@@ -117,6 +123,25 @@ class TestCli:
         assert exit_code == 0
         output = capsys.readouterr().out
         assert "recall" in output and "f1" in output
+
+    @pytest.mark.parametrize("classifier", ["squigglefilter", "multistage"])
+    def test_read_until_streams_registry_classifier(self, capsys, classifier):
+        exit_code = main(
+            [
+                "read-until",
+                "--classifier", classifier,
+                "--target-length", "1000",
+                "--background-length", "4000",
+                "--n-reads", "12",
+                "--calibration-reads-per-class", "6",
+                "--prefix-samples", "600",
+                "--stage-prefixes", "300", "600",
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert classifier in output
+        assert "reads_processed" in output and "pore_minutes" in output
 
     def test_runtime_model_output(self, capsys):
         exit_code = main(

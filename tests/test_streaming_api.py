@@ -1,0 +1,385 @@
+"""Tests for the unified streaming classifier API (repro.pipeline.api) and
+the Read Until simulator edge cases the chunk-driven pipeline relies on."""
+
+import numpy as np
+import pytest
+
+from repro.core.filter import FilterDecision, MultiStageSquiggleFilter
+from repro.core.thresholds import choose_threshold
+from repro.pipeline.api import (
+    ACCEPT,
+    EJECT,
+    WAIT,
+    Action,
+    MultiStageAdapter,
+    SingleStageAdapter,
+    as_streaming_classifier,
+    available_classifiers,
+    build_pipeline,
+    create_classifier,
+    register_classifier,
+)
+from repro.pipeline.read_until import ReadUntilPipeline
+from repro.sequencer.read_until_api import ReadUntilSimulator
+from repro.sequencer.reads import ReadGenerator, ReadLengthModel
+from repro.sequencer.run import MinIONParameters
+
+NO_CAPTURE = MinIONParameters(capture_time_s=0.0)
+
+
+@pytest.fixture(scope="module")
+def streaming_reads(mixture, kmer_model):
+    """Reads long enough that every stage boundary falls inside the signal."""
+    generator = ReadGenerator(
+        mixture,
+        kmer_model=kmer_model,
+        length_model=ReadLengthModel(mean_bases=700, sigma=0.1, min_bases=500, max_bases=900),
+        seed=20211025,
+    )
+    reads = [generator.generate_one(source="virus") for _ in range(5)]
+    reads += [generator.generate_one(source="host") for _ in range(20)]
+    return reads
+
+
+# ------------------------------------------------------------------------ Action
+class TestAction:
+    def test_kinds_and_terminality(self):
+        assert Action.wait().kind == WAIT
+        assert not Action.wait().is_terminal
+        assert Action(kind=ACCEPT).is_terminal
+        assert Action(kind=EJECT).is_terminal
+
+    def test_invalid_kind_rejected(self):
+        with pytest.raises(ValueError):
+            Action(kind="explode")
+
+    def test_round_trip_with_filter_decision(self):
+        decision = FilterDecision(
+            accept=False,
+            cost=123.0,
+            per_sample_cost=123.0 / 400,
+            samples_used=400,
+            threshold=200.0,
+            end_position=17,
+            stage=1,
+        )
+        action = Action.from_decision(decision)
+        assert action.kind == EJECT
+        assert action.stage == 1
+        assert action.samples_used == 400
+        assert action.as_filter_decision() == decision
+
+    def test_wait_carries_no_decision(self):
+        with pytest.raises(ValueError):
+            Action.wait().as_filter_decision()
+
+    def test_simulator_verbs(self):
+        assert Action(kind=ACCEPT).to_simulator_action() == "stop_receiving"
+        assert Action(kind=EJECT).to_simulator_action() == "unblock"
+        assert Action.wait().to_simulator_action() == "wait"
+
+
+# ---------------------------------------------------------------------- adapters
+class TestAdapters:
+    def test_single_stage_waits_then_decides(self, calibrated_filter, streaming_reads):
+        adapter = SingleStageAdapter(calibrated_filter, prefix_samples=800)
+        read = streaming_reads[0]
+        simulator = ReadUntilSimulator(
+            [read], parameters=NO_CAPTURE, chunk_samples=400, n_channels=1
+        )
+        adapter.begin_read(read.read_id)
+        first = adapter.on_chunk(simulator.get_read_chunks()[0])
+        assert first.kind == WAIT
+        second = adapter.on_chunk(simulator.get_read_chunks()[0])
+        assert second.is_terminal
+        assert second.samples_used == 800
+
+    def test_adapter_matches_whole_prefix_classification(
+        self, calibrated_filter, streaming_reads
+    ):
+        adapter = SingleStageAdapter(calibrated_filter, prefix_samples=800)
+        for read in streaming_reads[:6]:
+            expected = calibrated_filter.classify(read.signal_pa, prefix_samples=800)
+            simulator = ReadUntilSimulator(
+                [read], parameters=NO_CAPTURE, chunk_samples=400, n_channels=1
+            )
+            adapter.begin_read(read.read_id)
+            action = Action.wait()
+            while not action.is_terminal:
+                action = adapter.on_chunk(simulator.get_read_chunks()[0])
+            assert (action.kind == ACCEPT) == expected.accept
+            assert action.cost == expected.cost
+
+    def test_structural_dispatch(self, calibrated_filter):
+        streaming = as_streaming_classifier(calibrated_filter, prefix_samples=800)
+        assert isinstance(streaming, SingleStageAdapter)
+        # An object already speaking the protocol passes through untouched.
+        assert as_streaming_classifier(streaming) is streaming
+
+    def test_unknown_object_rejected(self):
+        with pytest.raises(TypeError):
+            as_streaming_classifier(object())
+
+
+# --------------------------------------------------------- multistage streaming
+class TestMultiStageStreaming:
+    @pytest.fixture(scope="class")
+    def multistage(self, reference_squiggle, target_signals, nontarget_signals):
+        return MultiStageSquiggleFilter.calibrated(
+            reference_squiggle,
+            target_signals,
+            nontarget_signals,
+            prefix_lengths=(400, 800),
+        )
+
+    def test_dispatches_to_multistage_adapter(self, multistage):
+        assert isinstance(as_streaming_classifier(multistage), MultiStageAdapter)
+
+    def test_ejects_on_earlier_chunk_than_final_prefix(
+        self, multistage, target_genome, streaming_reads
+    ):
+        """The acceptance check: streamed stage 0 fires on the first 400-sample
+        chunk, so some non-target reads are ejected before the final stage's
+        800-sample prefix ever arrives."""
+        pipeline = ReadUntilPipeline(
+            multistage, target_genome, assemble=False, chunk_samples=400
+        )
+        result = pipeline.run(streaming_reads)
+        assert result.recall >= 0.8
+        ejected = [o.decision for o in result.session.outcomes if o.ejected]
+        assert ejected
+        early = [d for d in ejected if d.stage == 0]
+        assert early, "no read was ejected by the early stage"
+        final_prefix = multistage.stages[-1].prefix_samples
+        assert all(d.samples_used <= 400 < final_prefix for d in early)
+        # And the pore stopped streaming right there: the ejected reads'
+        # sequenced samples stay well short of the final prefix.
+        for outcome in result.session.outcomes:
+            if outcome.ejected and outcome.decision.stage == 0:
+                assert outcome.sequenced_samples < final_prefix
+
+    def test_stage_accounting_matches_batch_classify(self, multistage, streaming_reads):
+        adapter = MultiStageAdapter(multistage)
+        for read in streaming_reads[:6]:
+            expected = multistage.classify(read.signal_pa)
+            simulator = ReadUntilSimulator(
+                [read], parameters=NO_CAPTURE, chunk_samples=400, n_channels=1
+            )
+            adapter.begin_read(read.read_id)
+            action = Action.wait()
+            while not action.is_terminal:
+                action = adapter.on_chunk(simulator.get_read_chunks()[0])
+            assert action.stage == expected.stage
+            assert (action.kind == ACCEPT) == expected.accept
+
+
+# ---------------------------------------------------------------------- registry
+class TestRegistry:
+    def test_builtin_names(self):
+        assert {"squigglefilter", "multistage", "basecall_align"} <= set(available_classifiers())
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            create_classifier("does-not-exist")
+
+    def test_duplicate_registration_rejected(self):
+        @register_classifier("only-once-test")
+        def factory(**kwargs):  # pragma: no cover - never called
+            return None
+
+        with pytest.raises(ValueError):
+            register_classifier("only-once-test")(factory)
+
+    def test_create_squigglefilter_from_genome(self, target_genome, kmer_model):
+        classifier = create_classifier(
+            "squigglefilter", genome=target_genome, kmer_model=kmer_model, prefix_samples=800
+        )
+        assert classifier.prefix_samples == 800
+
+    def test_create_multistage_from_pairs(self, reference_squiggle):
+        classifier = create_classifier(
+            "multistage", reference=reference_squiggle, stages=[(400, 1e9), (800, 5e8)]
+        )
+        assert classifier.prefix_lengths == [400, 800]
+
+
+# ----------------------------------------------------------------- build_pipeline
+class TestBuildPipeline:
+    def _threshold(self, helper, signals_a, signals_b, prefix, objective="f1"):
+        return choose_threshold(
+            [helper.cost(signal, prefix) for signal in signals_a],
+            [helper.cost(signal, prefix) for signal in signals_b],
+            objective=objective,
+        )
+
+    def test_all_three_classifiers_by_name(
+        self,
+        calibrated_filter,
+        reference_squiggle,
+        target_genome,
+        target_signals,
+        nontarget_signals,
+        streaming_reads,
+    ):
+        threshold_800 = self._threshold(calibrated_filter, target_signals, nontarget_signals, 800)
+        threshold_400 = self._threshold(
+            calibrated_filter, target_signals, nontarget_signals, 400, objective="recall"
+        )
+        specs = {
+            "squigglefilter": {
+                "classifier": {
+                    "name": "squigglefilter",
+                    "reference": reference_squiggle,
+                    "threshold": threshold_800,
+                    "prefix_samples": 800,
+                },
+                "target_genome": target_genome,
+                "prefix_samples": 800,
+                "assemble": False,
+            },
+            "multistage": {
+                "classifier": {
+                    "name": "multistage",
+                    "reference": reference_squiggle,
+                    "stages": [(400, threshold_400), (800, threshold_800)],
+                },
+                "target_genome": target_genome,
+                "assemble": False,
+            },
+            "basecall_align": {
+                "classifier": {
+                    "name": "basecall_align",
+                    "params": {"prefix_samples": 1500, "seed": 5},
+                },
+                "target_genome": target_genome,
+                "prefix_samples": 1500,
+                "assemble": False,
+            },
+        }
+        for name, spec in specs.items():
+            pipeline = build_pipeline(spec)
+            result = pipeline.run(streaming_reads)
+            assert result.session.n_reads == len(streaming_reads), name
+            assert result.recall >= 0.6, name
+            assert result.streaming["reads_finished"] >= 1, name
+
+    def test_parameters_and_assembler_from_mappings(self, target_genome, reference_squiggle):
+        pipeline = build_pipeline(
+            {
+                "classifier": {
+                    "name": "squigglefilter",
+                    "reference": reference_squiggle,
+                    "threshold": 1e9,
+                    "prefix_samples": 400,
+                },
+                "target_genome": target_genome,
+                "parameters": {"capture_time_s": 0.0},
+                "assembler": {"seed": 3},
+                "prefix_samples": 400,
+            }
+        )
+        assert pipeline.parameters.capture_time_s == 0.0
+        assert pipeline.assembler is not None
+
+    def test_missing_keys_rejected(self):
+        with pytest.raises(KeyError):
+            build_pipeline({"target_genome": "ACGT"})
+
+
+# ------------------------------------------------------ pipeline robustness
+class TestPipelineRobustness:
+    def test_short_reads_still_classified(self, calibrated_filter, target_genome, read_generator):
+        """A read shorter than the decision prefix is classified on its final
+        chunk with the signal that exists (whole-prefix classify() parity),
+        not silently kept undecided."""
+        reads = [read_generator.generate_one(source="virus") for _ in range(4)]
+        reads += [read_generator.generate_one(source="host") for _ in range(8)]
+        prefix = max(read.n_samples for read in reads) + 1000
+        pipeline = ReadUntilPipeline(
+            calibrated_filter, target_genome, prefix_samples=prefix, assemble=False
+        )
+        result = pipeline.run(reads)
+        assert result.session.n_reads == len(reads)
+        decisions = [outcome.decision for outcome in result.session.outcomes]
+        assert all(decision is not None for decision in decisions)
+        assert result.recall >= 0.75
+        assert result.session.n_ejected >= 1
+
+    def test_tiny_chunks_drain_every_read(self, calibrated_filter, target_genome, streaming_reads):
+        """The iteration budget must scale with chunk geometry: tiny chunks
+        mean many capture-dead-time polls per read, which once silently
+        truncated the session."""
+        pipeline = ReadUntilPipeline(
+            calibrated_filter,
+            target_genome,
+            prefix_samples=800,
+            chunk_samples=50,
+            assemble=False,
+        )
+        result = pipeline.run(streaming_reads)
+        assert result.session.n_reads == len(streaming_reads)
+
+
+# ------------------------------------------------------- simulator edge cases
+class TestSimulatorEdgeCases:
+    def test_stale_unblock_after_read_finished(self, streaming_reads):
+        read = streaming_reads[0]
+        simulator = ReadUntilSimulator(
+            [read], parameters=NO_CAPTURE, chunk_samples=500, n_channels=1
+        )
+        chunk = simulator.get_read_chunks()[0]
+        simulator.stop_receiving(chunk.channel, chunk.read_id)
+        while not simulator.finished:
+            simulator.get_read_chunks()
+        assert len(simulator.action_log) == 1
+        # The client learns about the decision late and unblocks anyway; the
+        # read is gone, so the command must be a no-op.
+        simulator.unblock(chunk.channel, chunk.read_id)
+        assert len(simulator.action_log) == 1
+        assert simulator.action_log[0].action == "sequenced"
+
+    def test_max_chunks_forces_stop_receiving(self, streaming_reads):
+        read = streaming_reads[0]
+        simulator = ReadUntilSimulator(
+            [read],
+            parameters=NO_CAPTURE,
+            chunk_samples=400,
+            n_channels=1,
+            max_chunks_per_read=2,
+        )
+        summary = simulator.run_client(lambda chunk: "wait")
+        assert summary["reads_finished"] == 1
+        entry = simulator.action_log[0]
+        # An undecided read is not ejected: it keeps sequencing to the end,
+        # the client just stops receiving its chunks.
+        assert entry.action == "sequenced"
+        assert entry.samples_sequenced == read.n_samples
+        # The client saw exactly max_chunks_per_read chunks' worth of signal.
+        assert entry.decision_sample == 2 * 400
+
+    def test_exhaustion_and_finished_semantics(self, streaming_reads):
+        reads = streaming_reads[:2]
+        simulator = ReadUntilSimulator(
+            reads, parameters=NO_CAPTURE, chunk_samples=500, n_channels=1
+        )
+        assert not simulator.finished
+        simulator.run_client(lambda chunk: "stop_receiving")
+        assert simulator.finished
+        assert simulator.summary()["reads_finished"] == len(reads)
+        # Polling an exhausted stream yields nothing and stays finished.
+        assert simulator.get_read_chunks() == []
+        assert simulator.finished
+
+    def test_chunk_geometry_reports_true_prefix_start(self, streaming_reads):
+        read = streaming_reads[0]
+        simulator = ReadUntilSimulator(
+            [read], parameters=NO_CAPTURE, chunk_samples=500, n_channels=1
+        )
+        first = simulator.get_read_chunks()[0]
+        second = simulator.get_read_chunks()[0]
+        assert first.chunk_start_sample == 0
+        assert second.chunk_start_sample == 500
+        assert first.samples_seen == 500
+        assert second.samples_seen == 1000
+        stitched = np.concatenate([first.signal_pa, second.signal_pa])
+        np.testing.assert_array_equal(stitched, read.signal_pa[:1000])
