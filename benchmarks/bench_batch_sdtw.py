@@ -1,0 +1,148 @@
+"""Supplementary benchmark: scalar per-read loop vs the batched sDTW wavefront.
+
+The batch execution engine's argument is that one ``(channels, reference)``
+matrix operation per wavefront step beats ``channels`` separate
+``(reference,)`` operations issued from a Python loop — the same reason the
+accelerator advances all alignments in lockstep. This benchmark replays an
+identical chunk-round workload through both paths, checks the costs are
+bit-identical, and reports wavefront throughput (DP cells per second) for two
+deployment geometries:
+
+* ``amplicon`` — a qPCR-assay-scale target (~100 bp, both strands) across a
+  large channel count. Here each scalar kernel call does little arithmetic,
+  so the per-read Python loop is overhead-dominated and lockstep batching
+  pays maximally. This is the gated workload (``BATCH_SDTW_MIN_SPEEDUP``,
+  default 5x).
+* ``genome`` — a lambda-phage-scale reference, where every kernel call is
+  memory-bandwidth-bound and batching's win shrinks to the int32 data path
+  and pass-count savings (reported, not gated).
+
+Emits a machine-readable JSON report (``BATCH_SDTW_JSON`` chooses the path;
+unset or ``-`` prints to stdout only). Tunables: ``BATCH_SDTW_CHANNELS``,
+``BATCH_SDTW_ROUNDS``, ``BATCH_SDTW_CHUNK``, ``BATCH_SDTW_MIN_SPEEDUP``
+(the CI smoke invocation relaxes the gate — shared runners vary too much for
+a hard 5x assertion there).
+"""
+
+import json
+import os
+import time
+
+import numpy as np
+import pytest
+from _bench_utils import print_rows
+
+from repro.batch.engine import BatchSDTWEngine
+from repro.core.config import SDTWConfig
+from repro.core.reference import ReferenceSquiggle
+from repro.core.sdtw import sdtw_resume
+from repro.genomes.sequences import random_genome
+
+CHANNELS = int(os.environ.get("BATCH_SDTW_CHANNELS", "256"))
+ROUNDS = int(os.environ.get("BATCH_SDTW_ROUNDS", "2"))
+CHUNK_SAMPLES = int(os.environ.get("BATCH_SDTW_CHUNK", "250"))
+MIN_SPEEDUP = float(os.environ.get("BATCH_SDTW_MIN_SPEEDUP", "5.0"))
+
+_REPORTS = {}
+
+
+def _chunk_rounds(rng, n_channels, n_rounds, chunk_samples):
+    """Quantized query chunks per round per channel (ragged final round)."""
+    rounds = []
+    for round_index in range(n_rounds):
+        chunks = []
+        for _ in range(n_channels):
+            length = chunk_samples
+            if round_index == n_rounds - 1:
+                length = int(rng.integers(1, chunk_samples + 1))
+            chunks.append(rng.integers(-127, 128, size=length, dtype=np.int64))
+        rounds.append(chunks)
+    return rounds
+
+
+def _measure(reference, n_channels):
+    config = SDTWConfig.hardware()
+    rng = np.random.default_rng(20211025)
+    rounds = _chunk_rounds(rng, n_channels, ROUNDS, CHUNK_SAMPLES)
+    total_samples = sum(chunk.size for round_chunks in rounds for chunk in round_chunks)
+    dp_cells = total_samples * reference.size
+
+    # Scalar path: what the pipeline's per-read fallback does — one
+    # sdtw_resume call per channel per chunk round.
+    start = time.perf_counter()
+    states = {}
+    for round_chunks in rounds:
+        for channel, chunk in enumerate(round_chunks):
+            states[channel] = sdtw_resume(chunk, reference, config, state=states.get(channel))
+    scalar_s = time.perf_counter() - start
+
+    # Batched path: one engine step per round across all channels.
+    engine = BatchSDTWEngine(reference, config)
+    start = time.perf_counter()
+    for round_chunks in rounds:
+        snapshots = engine.step(list(enumerate(round_chunks)))
+    batch_s = time.perf_counter() - start
+
+    # Same work, bit-identical outcome.
+    for channel, state in states.items():
+        assert snapshots[channel].cost == state.cost
+        assert np.array_equal(engine.state_of(channel).row, state.row)
+
+    return {
+        "channels": n_channels,
+        "rounds": ROUNDS,
+        "chunk_samples": CHUNK_SAMPLES,
+        "reference_samples": int(reference.size),
+        "dp_cells": int(dp_cells),
+        "scalar_seconds": scalar_s,
+        "batched_seconds": batch_s,
+        "scalar_cells_per_s": dp_cells / scalar_s,
+        "batched_cells_per_s": dp_cells / batch_s,
+        "speedup": scalar_s / batch_s,
+    }
+
+
+def _emit():
+    payload = json.dumps(_REPORTS, indent=2, sort_keys=True)
+    destination = os.environ.get("BATCH_SDTW_JSON", "-")
+    if destination and destination != "-":
+        with open(destination, "w") as handle:
+            handle.write(payload + "\n")
+    print(payload)
+    print_rows(
+        "Batched sDTW wavefront vs per-read scalar loop",
+        [
+            {
+                "workload": name,
+                "channels": report["channels"],
+                "reference": report["reference_samples"],
+                "scalar_Mcells_s": report["scalar_cells_per_s"] / 1e6,
+                "batched_Mcells_s": report["batched_cells_per_s"] / 1e6,
+                "speedup": report["speedup"],
+            }
+            for name, report in _REPORTS.items()
+        ],
+    )
+
+
+def test_batch_wavefront_throughput_amplicon():
+    """Gated workload: short amplicon target, full-flowcell channel count."""
+    reference = ReferenceSquiggle.from_genome(random_genome(100, seed=3)).values(quantized=True)
+    report = _measure(reference, CHANNELS)
+    _REPORTS["amplicon"] = report
+    assert report["speedup"] >= MIN_SPEEDUP, (
+        f"batched wavefront only {report['speedup']:.2f}x faster than the per-read "
+        f"loop at {CHANNELS} channels x {reference.size}-sample reference "
+        f"(expected >= {MIN_SPEEDUP}x)"
+    )
+
+
+def test_batch_wavefront_throughput_genome(lambda_reference):
+    """Reported workload: lambda-scale reference (memory-bound regime)."""
+    reference = lambda_reference.values(quantized=True)
+    report = _measure(reference, min(CHANNELS, 64))
+    _REPORTS["genome"] = report
+    _emit()
+    # In the bandwidth-bound regime the win is smaller; batching must still
+    # never be slower than the loop it replaces.
+    assert report["speedup"] >= 1.0

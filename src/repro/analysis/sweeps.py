@@ -69,8 +69,10 @@ def accuracy_sweep(
     """Compute Figure 17a-style accuracy curves for each prefix length."""
     result = AccuracySweep()
     for prefix in prefix_lengths:
-        target_costs = [squiggle_filter.cost(signal, prefix) for signal in target_signals]
-        nontarget_costs = [squiggle_filter.cost(signal, prefix) for signal in nontarget_signals]
+        # One batched wavefront per class per prefix length (falls back to the
+        # per-read loop only for the non-resumable vanilla recurrence).
+        target_costs = squiggle_filter.cost_batch(target_signals, prefix)
+        nontarget_costs = squiggle_filter.cost_batch(nontarget_signals, prefix)
         sweep = sweep_thresholds(target_costs, nontarget_costs, n_thresholds=n_thresholds)
         result.prefixes.append(
             PrefixSweep(

@@ -1,0 +1,38 @@
+"""Batched sDTW execution: one vectorized wavefront across all channels.
+
+The paper's accelerator keeps up with every flowcell channel because many
+alignments advance in lockstep; this package is the software analogue. Where
+the scalar hot path runs one :func:`~repro.core.sdtw.sdtw_resume` per read
+per chunk inside a Python loop, the batch subsystem stacks the resumable
+no-deletion recurrence into 2-D state (``channels × reference``) and advances
+every active alignment with one set of NumPy matrix operations per chunk
+round:
+
+* :class:`BatchSDTWEngine` — lane admission/retirement over the stacked
+  state, ragged per-round chunk lengths, and a per-round occupancy trace the
+  ASIC multi-tile dispatch model replays
+  (:meth:`~repro.hardware.scheduler.TileScheduler.simulate_batch_trace`);
+* :class:`BatchSquiggleClassifier` — the streaming Read Until classifier
+  built on the engine, advertising the ``on_chunk_batch`` fast path
+  :class:`~repro.pipeline.read_until.ReadUntilPipeline` drives whole polling
+  rounds through (registered as ``"batch_squigglefilter"``).
+
+Per-lane costs are bit-identical to the per-read scalar kernels, so batching
+is purely an execution-engine change — the enabling layer for sharding and
+GPU/accelerator backends behind the same interface.
+"""
+
+from repro.batch.engine import BatchRound, BatchSDTWEngine, LaneSnapshot
+
+__all__ = ["BatchRound", "BatchSDTWEngine", "BatchSquiggleClassifier", "LaneSnapshot"]
+
+
+def __getattr__(name: str):
+    # BatchSquiggleClassifier pulls in repro.pipeline.api (which itself imports
+    # repro.core.filter -> repro.batch.engine), so it is loaded on demand to
+    # keep the package importable from the core layer.
+    if name == "BatchSquiggleClassifier":
+        from repro.batch.classifier import BatchSquiggleClassifier
+
+        return BatchSquiggleClassifier
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

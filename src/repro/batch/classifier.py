@@ -1,0 +1,189 @@
+"""Streaming Read Until classifier backed by the batched wavefront engine.
+
+:class:`BatchSquiggleClassifier` speaks the
+:class:`~repro.pipeline.api.ReadUntilClassifier` protocol and additionally
+advertises ``on_chunk_batch`` — the fast path
+:class:`~repro.pipeline.read_until.ReadUntilPipeline` uses to classify every
+undecided channel's chunk of a polling round with **one** vectorized sDTW
+wavefront instead of a per-read Python loop.
+
+Each chunk is normalized on its own (the hardware normalizer operates per
+chunk, paper Section 5.3), quantized when the kernel config asks for it, and
+appended to the read's resumable lane in the :class:`BatchSDTWEngine`; the
+decision fires once the configured prefix has streamed in (or the read ends
+first). The scalar ``on_chunk`` path is a batch of one, so batched and
+per-read runs make bit-identical decisions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.batch.engine import BatchSDTWEngine
+from repro.core.config import SDTWConfig
+from repro.core.normalization import NormalizationConfig, SignalNormalizer
+from repro.core.reference import ReferenceSquiggle
+from repro.core.thresholds import choose_threshold
+from repro.pipeline.api import ACCEPT, DEFAULT_HARDWARE_LATENCY_S, EJECT, Action
+from repro.sequencer.read_until_api import SignalChunk
+
+__all__ = ["BatchSquiggleClassifier"]
+
+
+class BatchSquiggleClassifier:
+    """Single-stage sDTW classifier that advances all channels in lockstep."""
+
+    supports_chunk_batching = True
+
+    def __init__(
+        self,
+        reference: ReferenceSquiggle,
+        config: Optional[SDTWConfig] = None,
+        normalization: Optional[NormalizationConfig] = None,
+        threshold: Optional[float] = None,
+        prefix_samples: int = 2000,
+        name: Optional[str] = None,
+        decision_latency_s: Optional[float] = None,
+    ) -> None:
+        if prefix_samples <= 0:
+            raise ValueError(f"prefix_samples must be positive, got {prefix_samples}")
+        self.reference = reference
+        self.config = config if config is not None else SDTWConfig.hardware()
+        self.normalization = (
+            normalization if normalization is not None else reference.normalization
+        )
+        self.normalizer = SignalNormalizer(self.normalization)
+        self.threshold = threshold
+        self.prefix_samples = int(prefix_samples)
+        self.engine = BatchSDTWEngine(
+            reference.values(quantized=self.config.quantize), self.config
+        )
+        self.name = name if name is not None else "batch:SquiggleFilter"
+        self.decision_latency_s = (
+            float(decision_latency_s)
+            if decision_latency_s is not None
+            else DEFAULT_HARDWARE_LATENCY_S
+        )
+
+    # ------------------------------------------------------------- protocol
+    @property
+    def min_decision_samples(self) -> int:
+        return self.prefix_samples
+
+    @property
+    def max_decision_samples(self) -> int:
+        return self.prefix_samples
+
+    def begin_read(self, read_id: str) -> None:
+        if read_id not in self.engine:
+            self.engine.admit(read_id)
+
+    def end_read(self, read_id: str) -> None:
+        self.engine.retire(read_id)
+
+    def on_chunk(self, chunk: SignalChunk) -> Action:
+        """Scalar fallback: a batch round of one channel."""
+        return self.on_chunk_batch([chunk])[0]
+
+    def on_chunk_batch(self, chunks: Sequence[SignalChunk]) -> List[Action]:
+        """Classify one polling round: a single wavefront across all chunks."""
+        if self.threshold is None:
+            raise ValueError(
+                "no threshold configured; call calibrate() or pass threshold explicitly"
+            )
+        items = []
+        for chunk in chunks:
+            if chunk.read_id not in self.engine:
+                self.engine.admit(chunk.read_id)
+            consumed = self.engine.samples_processed(chunk.read_id)
+            remaining = self.prefix_samples - consumed
+            if remaining > 0 and chunk.chunk_length > 0:
+                items.append(
+                    (chunk.read_id, self._prepare(chunk.signal_pa[:remaining]))
+                )
+        snapshots = self.engine.step(items)
+
+        actions: List[Action] = []
+        for chunk in chunks:
+            if chunk.samples_seen < self.prefix_samples and not chunk.is_last:
+                actions.append(Action.wait())
+                continue
+            snapshot = snapshots.get(chunk.read_id)
+            if snapshot is None:
+                snapshot = self.engine.snapshot(chunk.read_id)
+            accept = snapshot.cost <= self.threshold
+            self.end_read(chunk.read_id)
+            actions.append(
+                Action(
+                    kind=ACCEPT if accept else EJECT,
+                    cost=float(snapshot.cost),
+                    samples_used=int(snapshot.samples_processed),
+                    stage=0,
+                    threshold=float(self.threshold),
+                    end_position=int(snapshot.end_position),
+                )
+            )
+        return actions
+
+    # ---------------------------------------------------------- calibration
+    def _prepare(self, raw_chunk: np.ndarray) -> np.ndarray:
+        normalized = self.normalizer.normalize(np.asarray(raw_chunk, dtype=np.float64))
+        if self.config.quantize:
+            return self.normalizer.quantize(normalized)
+        return normalized
+
+    def costs(
+        self,
+        raw_signals: Sequence[np.ndarray],
+        prefix_samples: Optional[int] = None,
+        chunk_samples: Optional[int] = None,
+    ) -> List[float]:
+        """Chunk-streamed alignment costs for many reads, batched per round.
+
+        Mirrors what the streaming path computes: each read's prefix is cut
+        into ``chunk_samples`` pieces, each piece normalized on its own, and
+        every round advances all reads with one wavefront. With
+        ``chunk_samples >= prefix_samples`` (the pipeline default geometry)
+        this equals :meth:`SquiggleFilter.cost` on the same prefix.
+        """
+        prefix = prefix_samples if prefix_samples is not None else self.prefix_samples
+        chunk = chunk_samples if chunk_samples is not None else prefix
+        if chunk <= 0:
+            raise ValueError("chunk_samples must be positive")
+        signals = [np.asarray(signal, dtype=np.float64)[:prefix] for signal in raw_signals]
+        if any(signal.size == 0 for signal in signals):
+            raise ValueError("cannot classify an empty signal")
+        engine = BatchSDTWEngine(self.engine.reference_values, self.config)
+        costs: Dict[int, float] = {}
+        offset = 0
+        while len(costs) < len(signals):
+            items = []
+            for index, signal in enumerate(signals):
+                if offset < signal.size:
+                    items.append((index, self._prepare(signal[offset : offset + chunk])))
+            snapshots = engine.step(items)
+            offset += chunk
+            for index, signal in enumerate(signals):
+                if index not in costs and offset >= signal.size:
+                    costs[index] = snapshots[index].cost
+        return [costs[index] for index in range(len(signals))]
+
+    def calibrate(
+        self,
+        target_signals: Sequence[np.ndarray],
+        nontarget_signals: Sequence[np.ndarray],
+        objective: str = "f1",
+        target_recall: float = 0.95,
+        prefix_samples: Optional[int] = None,
+        chunk_samples: Optional[int] = None,
+    ) -> float:
+        """Choose and store a threshold from labelled calibration reads."""
+        self.threshold = choose_threshold(
+            self.costs(target_signals, prefix_samples, chunk_samples),
+            self.costs(nontarget_signals, prefix_samples, chunk_samples),
+            objective=objective,
+            target_recall=target_recall,
+        )
+        return self.threshold

@@ -1,0 +1,219 @@
+"""The batched sDTW execution engine.
+
+:class:`BatchSDTWEngine` owns the lane-stacked resumable state behind one
+reference squiggle: reads are *admitted* to a free lane when their first
+chunk arrives, every polling round advances all lanes that received signal
+with a single :func:`~repro.core.sdtw.sdtw_resume_batch` wavefront, and
+decided reads are *retired* so their lane is recycled. Lane storage grows by
+doubling, so the engine serves any number of concurrent channels.
+
+The engine also records a :class:`BatchRound` per ``step`` call — how many
+lanes advanced and how many query samples they consumed. That occupancy
+trace is exactly the request stream the accelerator's multi-tile dispatch
+model wants: :meth:`repro.hardware.scheduler.TileScheduler.simulate_batch_trace`
+replays it against a tile count instead of assuming a synthetic Poisson
+request rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.config import SDTWConfig
+from repro.core.sdtw import BatchSDTWState, SDTWState, sdtw_resume_batch
+
+__all__ = ["BatchRound", "BatchSDTWEngine", "LaneSnapshot"]
+
+
+@dataclass(frozen=True)
+class BatchRound:
+    """Occupancy record of one engine step: the batch the wavefront advanced."""
+
+    index: int
+    n_lanes: int
+    n_samples: int
+
+
+@dataclass(frozen=True)
+class LaneSnapshot:
+    """One lane's alignment progress after a step."""
+
+    key: Hashable
+    cost: float
+    end_position: int
+    samples_processed: int
+
+    @property
+    def per_sample_cost(self) -> float:
+        return self.cost / max(self.samples_processed, 1)
+
+
+class BatchSDTWEngine:
+    """Advance many concurrent sDTW alignments in lockstep.
+
+    Parameters
+    ----------
+    reference:
+        The reference squiggle values on the kernel's scale — quantized
+        integers for a quantized config, normalized floats otherwise
+        (``ReferenceSquiggle.values(quantized=config.quantize)``).
+    config:
+        Kernel configuration; must use the resumable no-reference-deletion
+        recurrence (the hardware recurrences).
+    initial_capacity:
+        Lanes preallocated up front; storage doubles on demand.
+    """
+
+    def __init__(
+        self,
+        reference: np.ndarray,
+        config: Optional[SDTWConfig] = None,
+        initial_capacity: int = 8,
+    ) -> None:
+        self.config = config if config is not None else SDTWConfig()
+        if self.config.allow_reference_deletions:
+            raise ValueError(
+                "BatchSDTWEngine requires allow_reference_deletions=False "
+                "(only the hardware recurrences are resumable)"
+            )
+        if initial_capacity <= 0:
+            raise ValueError("initial_capacity must be positive")
+        dtype = np.int64 if self.config.quantize else np.float64
+        self.reference_values = np.asarray(reference, dtype=dtype)
+        if self.reference_values.ndim != 1 or self.reference_values.size == 0:
+            raise ValueError("reference must be a non-empty 1-D array")
+        self._state = BatchSDTWState.initial(
+            initial_capacity, self.reference_values.size, self.config
+        )
+        self._lane_of: Dict[Hashable, int] = {}
+        self._free: List[int] = list(range(initial_capacity - 1, -1, -1))
+        self.rounds: List[BatchRound] = []
+
+    # -------------------------------------------------------------- lane admin
+    @property
+    def capacity(self) -> int:
+        return self._state.n_lanes
+
+    @property
+    def n_active(self) -> int:
+        return len(self._lane_of)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._lane_of
+
+    def active_keys(self) -> Tuple[Hashable, ...]:
+        return tuple(self._lane_of)
+
+    def _grow(self) -> None:
+        old = self._state
+        capacity = old.n_lanes * 2
+        state = BatchSDTWState.initial(capacity, self.reference_values.size, self.config)
+        state.rows[: old.n_lanes] = old.rows
+        state.runs[: old.n_lanes] = old.runs
+        state.samples_processed[: old.n_lanes] = old.samples_processed
+        self._state = state
+        self._free.extend(range(capacity - 1, old.n_lanes - 1, -1))
+
+    def admit(self, key: Hashable) -> int:
+        """Assign ``key`` a fresh lane; returns the lane index."""
+        if key in self._lane_of:
+            raise ValueError(f"read {key!r} already occupies a lane")
+        if not self._free:
+            self._grow()
+        lane = self._free.pop()
+        self._state.rows[lane] = 0
+        self._state.runs[lane] = 1
+        self._state.samples_processed[lane] = 0
+        self._lane_of[key] = lane
+        return lane
+
+    def retire(self, key: Hashable) -> None:
+        """Release ``key``'s lane (no-op for unknown keys)."""
+        lane = self._lane_of.pop(key, None)
+        if lane is not None:
+            self._free.append(lane)
+
+    def samples_processed(self, key: Hashable) -> int:
+        """Query samples consumed so far by ``key``'s alignment."""
+        return int(self._state.samples_processed[self._lane_of[key]])
+
+    def snapshot(self, key: Hashable) -> LaneSnapshot:
+        """Current cost/end-position of one active lane."""
+        lane = self._lane_of[key]
+        return LaneSnapshot(
+            key=key,
+            cost=float(self._state.rows[lane].min()),
+            end_position=int(np.argmin(self._state.rows[lane])),
+            samples_processed=int(self._state.samples_processed[lane]),
+        )
+
+    def state_of(self, key: Hashable) -> SDTWState:
+        """Scalar :class:`SDTWState` view of one lane (tests / interop)."""
+        return self._state.lane(self._lane_of[key])
+
+    # ------------------------------------------------------------------- step
+    def step(
+        self, items: Sequence[Tuple[Hashable, np.ndarray]]
+    ) -> Dict[Hashable, LaneSnapshot]:
+        """Advance every listed alignment with one batched wavefront.
+
+        ``items`` pairs each read key with its new (kernel-scale) query
+        samples for this round; lengths may be ragged. Unknown keys are
+        admitted automatically. Returns the post-step snapshot per key.
+        """
+        keys = [key for key, _ in items]
+        if len(set(keys)) != len(keys):
+            raise ValueError("duplicate read keys in one batch round")
+        for key in keys:
+            if key not in self._lane_of:
+                self.admit(key)
+        lanes = np.fromiter(
+            (self._lane_of[key] for key in keys), dtype=np.intp, count=len(keys)
+        )
+        queries = [np.asarray(query) for _, query in items]
+
+        n_samples = int(sum(query.size for query in queries))
+        self.rounds.append(
+            BatchRound(index=len(self.rounds), n_lanes=len(keys), n_samples=n_samples)
+        )
+        if not keys:
+            return {}
+
+        gathered = BatchSDTWState(
+            rows=self._state.rows[lanes],
+            runs=self._state.runs[lanes],
+            samples_processed=self._state.samples_processed[lanes],
+        )
+        # track_runs=False: the engine never reads raw dwell counters, and the
+        # capped counters the fast path keeps are lossless for resumption.
+        advanced = sdtw_resume_batch(
+            queries, self.reference_values, self.config, state=gathered, track_runs=False
+        )
+        self._state.rows[lanes] = advanced.rows
+        self._state.runs[lanes] = advanced.runs
+        self._state.samples_processed[lanes] = advanced.samples_processed
+
+        costs = advanced.costs
+        ends = advanced.end_positions
+        return {
+            key: LaneSnapshot(
+                key=key,
+                cost=float(costs[index]),
+                end_position=int(ends[index]),
+                samples_processed=int(advanced.samples_processed[index]),
+            )
+            for index, key in enumerate(keys)
+        }
+
+    # -------------------------------------------------------------- occupancy
+    @property
+    def occupancy_trace(self) -> List[int]:
+        """Per-round active-lane counts — the multi-tile dispatch request trace."""
+        return [entry.n_lanes for entry in self.rounds]
+
+    @property
+    def peak_occupancy(self) -> int:
+        return max(self.occupancy_trace, default=0)

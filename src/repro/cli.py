@@ -12,7 +12,9 @@ Five subcommands cover the library's main workflows without writing Python:
   a given operating point.
 * ``read-until``        — run a chunk-driven Read Until session end to end
   with any registered streaming classifier (``--classifier`` picks one from
-  :func:`repro.pipeline.api.available_classifiers`).
+  :func:`repro.pipeline.api.available_classifiers`); ``--batch`` switches the
+  squigglefilter onto the batched wavefront engine, classifying every
+  undecided channel of a polling round in one vectorized sDTW advance.
 
 The CLI is intentionally thin: it parses arguments, calls the same public API
 the examples use, and prints human-readable reports via
@@ -33,7 +35,7 @@ from repro.core.thresholds import choose_threshold
 from repro.genomes.sequences import random_genome
 from repro.io.fast5 import Fast5Read, Fast5Store
 from repro.io.fasta import FastaRecord, read_fasta, write_fasta
-from repro.pipeline.api import available_classifiers, build_pipeline
+from repro.pipeline.api import available_classifiers, build_pipeline, create_classifier
 from repro.pipeline.runtime_model import ReadUntilModelConfig, sequencing_runtime_s
 from repro.pore_model.kmer_model import KmerModel
 from repro.sequencer.reads import ReadGenerator, ReadLengthModel, SpecimenMixture
@@ -84,6 +86,29 @@ def build_parser() -> argparse.ArgumentParser:
         choices=available_classifiers(),
         default="squigglefilter",
         help="registered streaming classifier to drive the session with",
+    )
+    read_until.add_argument(
+        "--batch",
+        dest="batch",
+        action="store_true",
+        default=None,
+        help="drive the session through the batched wavefront engine: one "
+        "vectorized sDTW advance across all undecided channels per chunk "
+        "round (squigglefilter classifier only)",
+    )
+    read_until.add_argument(
+        "--no-batch",
+        dest="batch",
+        action="store_false",
+        help="force the per-read scalar classification path even for a "
+        "batch-capable classifier (default: auto)",
+    )
+    read_until.add_argument(
+        "--n-channels",
+        type=int,
+        default=1,
+        help="concurrently sequencing channels to simulate (batching pays "
+        "off as this grows)",
     )
     read_until.add_argument("--target-length", type=int, default=2400)
     read_until.add_argument("--background-length", type=int, default=16000)
@@ -235,12 +260,42 @@ def _command_read_until(args: argparse.Namespace) -> int:
     # Build the classifier spec for the registry; sDTW classifiers need a
     # reference squiggle and their ejection threshold(s) calibrated from the
     # labelled reads first, the baseline needs neither.
-    if args.classifier == "squigglefilter":
+    classifier_name = args.classifier
+    squigglefilter_family = ("squigglefilter", "batch_squigglefilter")
+    if args.batch and args.classifier not in squigglefilter_family:
+        print(
+            "--batch requires the squigglefilter classifier "
+            f"(got {args.classifier!r})",
+            file=sys.stderr,
+        )
+        return 2
+    use_batch_classifier = args.classifier == "batch_squigglefilter" or (
+        args.batch is True and args.classifier == "squigglefilter"
+    )
+    if use_batch_classifier:
+        # The batched classifier normalizes per chunk, so its threshold is
+        # calibrated on the same chunk geometry the session will stream at.
+        classifier_name = "batch_squigglefilter"
+        reference = ReferenceSquiggle.from_genome(target, kmer_model=kmer_model)
+        helper = create_classifier(
+            "batch_squigglefilter", reference=reference, prefix_samples=args.prefix_samples
+        )
+        chunk = args.chunk_samples if args.chunk_samples else args.prefix_samples
+        threshold = choose_threshold(
+            helper.costs(target_signals, chunk_samples=chunk),
+            helper.costs(background_signals, chunk_samples=chunk),
+        )
+        params = {
+            "reference": reference,
+            "prefix_samples": args.prefix_samples,
+            "threshold": threshold,
+        }
+    elif args.classifier == "squigglefilter":
         reference = ReferenceSquiggle.from_genome(target, kmer_model=kmer_model)
         helper = SquiggleFilter(reference, prefix_samples=args.prefix_samples)
         threshold = choose_threshold(
-            [helper.cost(signal, args.prefix_samples) for signal in target_signals],
-            [helper.cost(signal, args.prefix_samples) for signal in background_signals],
+            helper.cost_batch(target_signals, args.prefix_samples),
+            helper.cost_batch(background_signals, args.prefix_samples),
         )
         params = {
             "reference": reference,
@@ -261,17 +316,19 @@ def _command_read_until(args: argparse.Namespace) -> int:
 
     pipeline = build_pipeline(
         {
-            "classifier": {"name": args.classifier, "params": params},
+            "classifier": {"name": classifier_name, "params": params},
             "target_genome": target,
             "prefix_samples": args.prefix_samples,
             "chunk_samples": args.chunk_samples,
+            "n_channels": args.n_channels,
+            "batch": args.batch,
             "assemble": False,
         }
     )
     reads = generator.generate(args.n_reads)
     result = pipeline.run(reads)
     rows = [
-        {"metric": "classifier", "value": args.classifier},
+        {"metric": "classifier", "value": classifier_name},
         {"metric": "reads_processed", "value": result.session.n_reads},
         {"metric": "reads_ejected", "value": result.session.n_ejected},
         {"metric": "recall", "value": result.recall},
@@ -280,6 +337,9 @@ def _command_read_until(args: argparse.Namespace) -> int:
         {"metric": "mean_background_samples", "value": result.session.mean_nontarget_sequenced_samples},
         {"metric": "pore_minutes", "value": result.runtime_s / 60.0},
     ]
+    if result.streaming.get("batched"):
+        rows.append({"metric": "batch_rounds", "value": len(result.streaming["batch_occupancy"])})
+        rows.append({"metric": "peak_batch_lanes", "value": result.streaming["peak_batch_lanes"]})
     print(format_table(rows))
     return 0
 

@@ -12,12 +12,21 @@ from repro.core.filter import (
 from repro.core.normalization import NormalizationConfig, SignalNormalizer
 from repro.core.panel import PanelDecision, ReferencePanelFilter
 from repro.core.reference import ReferenceSquiggle
-from repro.core.sdtw import SDTWState, sdtw_cost, sdtw_cost_matrix, sdtw_last_row, sdtw_resume
+from repro.core.sdtw import (
+    BatchSDTWState,
+    SDTWState,
+    sdtw_cost,
+    sdtw_cost_matrix,
+    sdtw_last_row,
+    sdtw_resume,
+    sdtw_resume_batch,
+)
 from repro.core.thresholds import ThresholdSweepResult, choose_threshold, sweep_thresholds
 from repro.core.variants import ABLATION_VARIANTS, variant_config
 
 __all__ = [
     "ABLATION_VARIANTS",
+    "BatchSDTWState",
     "FilterDecision",
     "FilterStage",
     "MultiStageSquiggleFilter",
@@ -38,6 +47,7 @@ __all__ = [
     "sdtw_cost_matrix",
     "sdtw_last_row",
     "sdtw_resume",
+    "sdtw_resume_batch",
     "sweep_thresholds",
     "variant_config",
 ]

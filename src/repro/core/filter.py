@@ -19,6 +19,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from repro.batch.engine import BatchSDTWEngine
 from repro.core.config import SDTWConfig
 from repro.core.normalization import NormalizationConfig, SignalNormalizer
 from repro.core.reference import ReferenceSquiggle
@@ -143,14 +144,77 @@ class SquiggleFilter:
             end_position=result.end_position,
         )
 
+    def _batch_states(
+        self, raw_signals: Sequence[np.ndarray], prefix_samples: Optional[int]
+    ):
+        """Align many prepared prefixes with one batched wavefront.
+
+        Returns ``(queries, snapshots)`` where snapshot ``i`` carries the same
+        cost/end-position :meth:`alignment` computes for signal ``i``. Only
+        the resumable (no-reference-deletion) recurrences batch; callers fall
+        back to the per-read loop for the vanilla recurrence.
+        """
+        queries = [self.prepare_query(signal, prefix_samples) for signal in raw_signals]
+        engine = BatchSDTWEngine(self._reference_values, self.config)
+        snapshots = engine.step(list(enumerate(queries)))
+        return queries, [snapshots[index] for index in range(len(queries))]
+
+    def cost_batch(
+        self,
+        raw_signals: Sequence[np.ndarray],
+        prefix_samples: Optional[int] = None,
+    ) -> List[float]:
+        """Alignment costs for many reads via one batched wavefront.
+
+        Identical values to calling :meth:`cost` per read; the calibration
+        and sweep helpers use this so experiments stop looping the kernel in
+        Python.
+        """
+        if not raw_signals:
+            return []
+        if self.config.allow_reference_deletions:
+            # The vanilla recurrence is not resumable, hence not batchable.
+            return [self.cost(signal, prefix_samples) for signal in raw_signals]
+        _, snapshots = self._batch_states(raw_signals, prefix_samples)
+        return [float(snapshot.cost) for snapshot in snapshots]
+
     def classify_batch(
         self,
         raw_signals: Sequence[np.ndarray],
         threshold: Optional[float] = None,
         prefix_samples: Optional[int] = None,
     ) -> List[FilterDecision]:
-        """Classify a batch of reads (convenience for experiments)."""
-        return [self.classify(signal, threshold, prefix_samples) for signal in raw_signals]
+        """Classify a batch of reads with one batched sDTW wavefront.
+
+        Decisions are identical to per-read :meth:`classify` calls; the work
+        runs through :class:`~repro.batch.BatchSDTWEngine` (one set of matrix
+        ops per wavefront step across all reads) instead of a Python loop.
+        """
+        effective_threshold = threshold if threshold is not None else self.threshold
+        if effective_threshold is None:
+            raise ValueError(
+                "no threshold configured; call calibrate() or pass threshold explicitly"
+            )
+        if not raw_signals:
+            return []
+        if self.config.allow_reference_deletions:
+            return [self.classify(signal, threshold, prefix_samples) for signal in raw_signals]
+        used = prefix_samples if prefix_samples is not None else self.prefix_samples
+        queries, snapshots = self._batch_states(raw_signals, prefix_samples)
+        decisions: List[FilterDecision] = []
+        for signal, query, snapshot in zip(raw_signals, queries, snapshots):
+            samples_used = min(int(np.asarray(signal).size), used)
+            decisions.append(
+                FilterDecision(
+                    accept=snapshot.cost <= effective_threshold,
+                    cost=float(snapshot.cost),
+                    per_sample_cost=float(snapshot.cost) / max(int(query.size), 1),
+                    samples_used=samples_used,
+                    threshold=float(effective_threshold),
+                    end_position=int(snapshot.end_position),
+                )
+            )
+        return decisions
 
     # -------------------------------------------------------------- calibration
     def calibrate(
@@ -162,11 +226,9 @@ class SquiggleFilter:
         prefix_samples: Optional[int] = None,
     ) -> float:
         """Choose and store a threshold from labelled calibration reads."""
-        target_costs = [self.cost(signal, prefix_samples) for signal in target_signals]
-        nontarget_costs = [self.cost(signal, prefix_samples) for signal in nontarget_signals]
         self.threshold = choose_threshold(
-            target_costs,
-            nontarget_costs,
+            self.cost_batch(target_signals, prefix_samples),
+            self.cost_batch(nontarget_signals, prefix_samples),
             objective=objective,
             target_recall=target_recall,
         )
@@ -246,7 +308,36 @@ class MultiStageSquiggleFilter:
         return last_decision
 
     def classify_batch(self, raw_signals: Sequence[np.ndarray]) -> List[FilterDecision]:
-        return [self.classify(signal) for signal in raw_signals]
+        """Stage-by-stage batched classification.
+
+        Each stage advances every still-undecided read with one batched
+        wavefront (:meth:`SquiggleFilter.classify_batch`), so a calibration
+        sweep over N reads costs ``n_stages`` kernel launches instead of up
+        to ``N * n_stages``. Decisions are identical to per-read
+        :meth:`classify` calls.
+        """
+        signals = [np.asarray(signal, dtype=np.float64) for signal in raw_signals]
+        decisions: List[Optional[FilterDecision]] = [None] * len(signals)
+        pending = list(range(len(signals)))
+        for index, stage in enumerate(self.stages):
+            if not pending:
+                break
+            staged = self._filter.classify_batch(
+                [signals[i] for i in pending],
+                threshold=stage.threshold,
+                prefix_samples=stage.prefix_samples,
+            )
+            is_last = index == len(self.stages) - 1
+            survivors: List[int] = []
+            for i, decision in zip(pending, staged):
+                decision = replace(decision, stage=index)
+                if not decision.accept or is_last:
+                    decisions[i] = decision
+                else:
+                    survivors.append(i)
+            pending = survivors
+        assert all(decision is not None for decision in decisions)
+        return decisions  # type: ignore[return-value]
 
     @classmethod
     def calibrated(
@@ -269,8 +360,8 @@ class MultiStageSquiggleFilter:
         helper = SquiggleFilter(reference, config=config, normalization=normalization)
         stages: List[FilterStage] = []
         for index, prefix in enumerate(prefix_lengths):
-            target_costs = [helper.cost(signal, prefix) for signal in target_signals]
-            nontarget_costs = [helper.cost(signal, prefix) for signal in nontarget_signals]
+            target_costs = helper.cost_batch(target_signals, prefix)
+            nontarget_costs = helper.cost_batch(nontarget_signals, prefix)
             is_last = index == len(prefix_lengths) - 1
             threshold = choose_threshold(
                 target_costs,

@@ -19,23 +19,32 @@ configuration:
 
 The hardware accelerator model in :mod:`repro.hardware` reuses the integer
 kernel so the systolic array is bit-compatible with the software filter.
+
+The resumable recurrence also comes in a **batched** form:
+:func:`sdtw_resume_batch` stacks many lanes into a ``(lanes, reference)``
+state (:class:`BatchSDTWState`) and advances all of them with one set of
+matrix operations per wavefront step — the kernel behind
+:class:`repro.batch.BatchSDTWEngine`. Per-lane results are bit-identical to
+per-read :func:`sdtw_resume` calls.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.config import SDTWConfig
 
 __all__ = [
+    "BatchSDTWState",
     "SDTWResult",
     "SDTWState",
     "sdtw_cost",
     "sdtw_cost_matrix",
     "sdtw_last_row",
     "sdtw_resume",
+    "sdtw_resume_batch",
 ]
 
 
@@ -106,19 +115,43 @@ def sdtw_last_row(
     return _last_row_no_deletions(query_values, reference_values, cfg)
 
 
+def _state_dtype(config: SDTWConfig):
+    """Dtype a resumable state row is stored in (int64 on the quantized path)."""
+    return np.int64 if config.quantize else np.float64
+
+
+def _accumulator_dtype(config: SDTWConfig):
+    """Dtype the resumable recurrence accumulates in.
+
+    The match bonus mixes the integer costs with a (possibly fractional)
+    reward, so the bonus recurrence accumulates in float64 and rounds back to
+    integers at the end of each call; without a bonus the quantized recurrence
+    is exact integer arithmetic end-to-end.
+    """
+    return np.int64 if (config.quantize and not config.uses_bonus) else np.float64
+
+
+def _big_for(dtype):
+    """A shifted-in boundary cost that is never selected by the minimum."""
+    return np.int64(2**40) if dtype is np.int64 else np.inf
+
+
 class SDTWState:
     """Resumable kernel state after processing a query prefix.
 
     The hardware's multi-stage filtering (paper Section 5.1, "Variable Query
     Length") stores the last PE's costs to DRAM so that alignment can continue
     when a longer prefix is requested. ``row`` is the last DP row and ``run``
-    the per-column dwell counters the match bonus needs.
+    the per-column dwell counters the match bonus needs. Quantized-kernel rows
+    are integer costs and stay ``int64`` end-to-end; float kernels store
+    ``float64`` rows.
     """
 
     __slots__ = ("row", "run", "samples_processed")
 
     def __init__(self, row: np.ndarray, run: Optional[np.ndarray], samples_processed: int) -> None:
-        self.row = np.asarray(row, dtype=np.float64)
+        row = np.asarray(row)
+        self.row = row.astype(np.int64 if np.issubdtype(row.dtype, np.integer) else np.float64)
         self.run = None if run is None else np.asarray(run, dtype=np.int64)
         self.samples_processed = int(samples_processed)
 
@@ -129,6 +162,81 @@ class SDTWState:
     @property
     def end_position(self) -> int:
         return int(np.argmin(self.row))
+
+
+class BatchSDTWState:
+    """Stacked resumable state: one lane per concurrent alignment.
+
+    ``rows`` is the ``(n_lanes, reference_length)`` matrix of last DP rows,
+    ``runs`` the matching dwell counters and ``samples_processed`` the
+    per-lane query progress. A lane with ``samples_processed == 0`` has not
+    consumed any signal yet; its row content is meaningless until the first
+    call of :func:`sdtw_resume_batch` that feeds it samples.
+    """
+
+    __slots__ = ("rows", "runs", "samples_processed")
+
+    def __init__(
+        self,
+        rows: np.ndarray,
+        runs: np.ndarray,
+        samples_processed: np.ndarray,
+    ) -> None:
+        rows = np.asarray(rows)
+        self.rows = rows.astype(np.int64 if np.issubdtype(rows.dtype, np.integer) else np.float64)
+        self.runs = np.asarray(runs, dtype=np.int64)
+        self.samples_processed = np.asarray(samples_processed, dtype=np.int64)
+        if self.rows.ndim != 2:
+            raise ValueError("rows must be a (n_lanes, reference_length) matrix")
+        if self.runs.shape != self.rows.shape:
+            raise ValueError("runs must have the same shape as rows")
+        if self.samples_processed.shape != (self.rows.shape[0],):
+            raise ValueError("samples_processed must have one entry per lane")
+
+    @classmethod
+    def initial(
+        cls,
+        n_lanes: int,
+        reference_length: int,
+        config: Optional[SDTWConfig] = None,
+    ) -> "BatchSDTWState":
+        """A state of ``n_lanes`` lanes none of which has consumed samples."""
+        cfg = config if config is not None else SDTWConfig()
+        if n_lanes < 0:
+            raise ValueError("n_lanes must be non-negative")
+        if reference_length <= 0:
+            raise ValueError("reference_length must be positive")
+        return cls(
+            rows=np.zeros((n_lanes, reference_length), dtype=_state_dtype(cfg)),
+            runs=np.ones((n_lanes, reference_length), dtype=np.int64),
+            samples_processed=np.zeros(n_lanes, dtype=np.int64),
+        )
+
+    @property
+    def n_lanes(self) -> int:
+        return int(self.rows.shape[0])
+
+    @property
+    def reference_length(self) -> int:
+        return int(self.rows.shape[1])
+
+    @property
+    def costs(self) -> np.ndarray:
+        """Per-lane optimal subsequence cost so far (the row minimum)."""
+        return self.rows.min(axis=1)
+
+    @property
+    def end_positions(self) -> np.ndarray:
+        """Per-lane reference position where the best alignment ends."""
+        return np.argmin(self.rows, axis=1)
+
+    def lane(self, index: int) -> SDTWState:
+        """The scalar :class:`SDTWState` view of one lane."""
+        return SDTWState(
+            row=self.rows[index],
+            run=self.runs[index],
+            samples_processed=int(self.samples_processed[index]),
+        )
 
 
 def sdtw_resume(
@@ -154,10 +262,11 @@ def sdtw_resume(
 
     bonus = float(cfg.match_bonus)
     cap = cfg.match_bonus_cap
-    big = np.inf
+    accumulator = _accumulator_dtype(cfg)
+    big = _big_for(accumulator)
 
     if state is None:
-        previous = _local_distance(query_values[0], reference_values, cfg).astype(np.float64)
+        previous = _local_distance(query_values[0], reference_values, cfg).astype(accumulator)
         run = np.ones(reference_values.size, dtype=np.int64)
         start_index = 1
         processed = 1
@@ -166,7 +275,7 @@ def sdtw_resume(
             raise ValueError(
                 f"state row length {state.row.size} does not match reference length {reference_values.size}"
             )
-        previous = state.row.astype(np.float64).copy()
+        previous = state.row.astype(accumulator)
         run = (
             state.run.copy()
             if state.run is not None
@@ -178,7 +287,7 @@ def sdtw_resume(
     cost_shift = np.empty_like(previous)
     run_shift = np.empty_like(run)
     for i in range(start_index, query_values.size):
-        local = _local_distance(query_values[i], reference_values, cfg).astype(np.float64)
+        local = _local_distance(query_values[i], reference_values, cfg).astype(accumulator)
         cost_shift[0] = big
         cost_shift[1:] = previous[:-1]
         run_shift[0] = 0
@@ -189,8 +298,290 @@ def sdtw_resume(
         run = np.where(take_diagonal, 1, run + 1)
         processed += 1
 
-    row = np.rint(previous) if cfg.quantize and bonus else previous
+    if cfg.quantize and cfg.uses_bonus:
+        row = np.rint(previous).astype(np.int64)
+    else:
+        row = previous
     return SDTWState(row=row, run=run, samples_processed=processed)
+
+
+def sdtw_resume_batch(
+    queries: Sequence[np.ndarray],
+    reference: np.ndarray,
+    config: Optional[SDTWConfig] = None,
+    state: Optional[BatchSDTWState] = None,
+    track_runs: bool = True,
+) -> BatchSDTWState:
+    """Advance many resumable alignments with one vectorized wavefront.
+
+    ``queries`` holds one (possibly ragged-length) array of new query samples
+    per lane; lanes contributing no samples this round pass an empty array and
+    their state flows through untouched. Each lane computes exactly the
+    no-reference-deletion recurrence of :func:`sdtw_resume`, so per-lane rows,
+    runs and costs are **bit-identical** to calling ``sdtw_resume`` once per
+    lane — the batch kernel only restructures the Python-loop work into
+    ``(lanes, reference)`` matrix operations, one set per wavefront step.
+
+    A lane whose ``state.samples_processed`` is zero is initialized from its
+    first sample, as a fresh ``sdtw_resume`` call would be. Returns a new
+    :class:`BatchSDTWState`; the input state is not mutated.
+
+    With ``track_runs=False`` the kernel skips maintaining the raw dwell
+    counters and the returned state's ``runs`` hold the *capped* counters
+    ``min(run, match_bonus_cap)`` instead (or pass through unchanged when no
+    bonus is configured). The recurrence only ever consumes the capped value,
+    so rows, costs and resumption stay bit-identical — this is the execution
+    engine's hot-path mode, shaving the counter updates from every wavefront
+    step.
+
+    Execution notes: lanes are processed in descending order of remaining
+    samples so the active set of every wavefront step is a contiguous row
+    *prefix* of the stacked state (views, never masked copies), and the
+    all-integer configurations (quantized, absolute distance, whole-number
+    bonus — the hardware data path) run on an ``int32`` fast path that
+    carries the saturating ``bonus * min(run, cap)`` table directly. All
+    intermediate values are exact small integers on both paths, so the
+    outputs remain bit-identical to the scalar kernel.
+    """
+    cfg = config if config is not None else SDTWConfig()
+    if cfg.allow_reference_deletions:
+        raise ValueError("sdtw_resume_batch requires allow_reference_deletions=False")
+
+    input_dtype = np.int64 if cfg.quantize else np.float64
+    reference_values = np.asarray(reference, dtype=input_dtype)
+    if reference_values.ndim != 1 or reference_values.size == 0:
+        raise ValueError("reference must be a non-empty 1-D array")
+
+    lanes = [np.asarray(q, dtype=input_dtype) for q in queries]
+    if any(lane.ndim != 1 for lane in lanes):
+        raise ValueError("every lane query must be a 1-D array")
+    n_lanes = len(lanes)
+    lengths = np.fromiter((lane.size for lane in lanes), dtype=np.int64, count=n_lanes)
+
+    if state is None:
+        state = BatchSDTWState.initial(n_lanes, reference_values.size, cfg)
+    if state.n_lanes != n_lanes:
+        raise ValueError(f"state has {state.n_lanes} lanes but {n_lanes} queries were given")
+    if state.reference_length != reference_values.size:
+        raise ValueError(
+            f"state reference length {state.reference_length} does not match "
+            f"reference length {reference_values.size}"
+        )
+
+    bonus = float(cfg.match_bonus)
+    cap = cfg.match_bonus_cap
+    processed = state.samples_processed + lengths
+    if n_lanes == 0 or int(lengths.max(initial=0)) == 0:
+        return BatchSDTWState(
+            rows=state.rows.copy(), runs=state.runs.copy(), samples_processed=processed
+        )
+
+    # A fresh lane consumes its first sample as the initial DP row and joins
+    # the wavefront afterwards, so its effective step count is one shorter.
+    fresh = (state.samples_processed == 0) & (lengths > 0)
+    effective = lengths - fresh.astype(np.int64)
+    order = np.argsort(-effective, kind="stable")
+    inverse = np.empty(n_lanes, dtype=np.intp)
+    inverse[order] = np.arange(n_lanes, dtype=np.intp)
+    effective_sorted = effective[order]
+    neg_sorted = -effective_sorted
+    max_steps = int(effective_sorted[0])
+
+    padded = np.zeros((n_lanes, max(max_steps, 1)), dtype=input_dtype)
+    first_values = np.zeros(n_lanes, dtype=input_dtype)
+    for position, lane_index in enumerate(order):
+        lane = lanes[lane_index]
+        if lane.size == 0:
+            continue
+        if fresh[lane_index]:
+            first_values[position] = lane[0]
+            padded[position, : lane.size - 1] = lane[1:]
+        else:
+            padded[position, : lane.size] = lane
+    fresh_sorted = fresh[order]
+
+    use_int_path = (
+        cfg.quantize
+        and cfg.distance == "absolute"
+        and float(bonus).is_integer()
+        and cap * bonus < 2**28
+    )
+    if use_int_path:
+        # The int32 path needs every intermediate cost to stay far from the
+        # sentinel; bound it by what this call can add to what the state holds.
+        value_bound = max(
+            int(np.abs(padded).max(initial=0)),
+            int(np.abs(first_values).max(initial=0)),
+            int(np.abs(reference_values).max()),
+        )
+        rows_bound = int(np.abs(state.rows).max(initial=0))
+        growth = (2 * value_bound + int(bonus) + 1) * int(lengths.max())
+        use_int_path = rows_bound + growth < 2**28
+
+    if use_int_path:
+        rows, runs = _advance_batch_int32(
+            padded,
+            first_values,
+            fresh_sorted,
+            neg_sorted,
+            max_steps,
+            state.rows[order],
+            state.runs[order],
+            reference_values,
+            int(bonus),
+            cap,
+            track_runs,
+        )
+        out_rows = rows.astype(np.int64)[inverse]
+        out_runs = runs.astype(np.int64)[inverse]
+    else:
+        rows, runs = _advance_batch_generic(
+            padded,
+            first_values,
+            fresh_sorted,
+            neg_sorted,
+            max_steps,
+            state.rows[order],
+            state.runs[order],
+            reference_values,
+            cfg,
+        )
+        if cfg.quantize and cfg.uses_bonus:
+            rows = np.rint(rows).astype(np.int64)
+        out_rows = rows[inverse]
+        out_runs = runs[inverse]
+    return BatchSDTWState(rows=out_rows, runs=out_runs, samples_processed=processed)
+
+
+def _advance_batch_int32(
+    padded: np.ndarray,
+    first_values: np.ndarray,
+    fresh: np.ndarray,
+    neg_sorted: np.ndarray,
+    max_steps: int,
+    rows_in: np.ndarray,
+    runs_in: np.ndarray,
+    reference_values: np.ndarray,
+    bonus: int,
+    cap: int,
+    track_runs: bool,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Integer wavefront over lane-sorted state (the hardware data path).
+
+    All quantities are exact small integers, so ``int32`` arithmetic matches
+    the float64 scalar kernel bit for bit while halving memory traffic. The
+    dwell counters enter the recurrence only through ``bonus * min(run,
+    cap)``, which is carried directly as a saturating per-column table —
+    turning the scalar kernel's shift/minimum/multiply/where cascade into
+    in-place ``minimum``/``add`` passes over contiguous prefixes.
+    """
+    n_lanes, reference_length = rows_in.shape
+    big = np.int32(2**29)
+    bonus32 = np.int32(bonus)
+    cap_bonus = np.int32(bonus * cap)
+
+    rows = rows_in.astype(np.int32)
+    runs = runs_in.astype(np.int32)
+    query = padded.astype(np.int32)
+    reference32 = reference_values.astype(np.int32)
+    if fresh.any():
+        firsts = first_values.astype(np.int32)
+        rows[fresh] = np.abs(firsts[fresh][:, None] - reference32[None, :])
+        runs[fresh] = 1
+    bonus_of = None
+    if bonus:
+        bonus_of = bonus32 * np.minimum(runs, np.int32(cap))
+
+    local = np.empty((n_lanes, reference_length), dtype=np.int32)
+    diagonal = np.empty((n_lanes, reference_length), dtype=np.int32)
+    take = np.empty((n_lanes, reference_length), dtype=bool)
+    for step in range(max_steps):
+        k = int(np.searchsorted(neg_sorted, -step, side="left"))
+        if k == 0:
+            break
+        row_view = rows[:k]
+        local_view = local[:k]
+        diagonal_view = diagonal[:k]
+        take_view = take[:k]
+        np.subtract(query[:k, step][:, None], reference32[None, :], out=local_view)
+        np.abs(local_view, out=local_view)
+        if bonus:
+            np.subtract(row_view[:, :-1], bonus_of[:k, :-1], out=diagonal_view[:, 1:])
+        else:
+            diagonal_view[:, 1:] = row_view[:, :-1]
+        diagonal_view[:, 0] = big
+        if track_runs or bonus:
+            np.less(diagonal_view, row_view, out=take_view)
+        np.minimum(row_view, diagonal_view, out=row_view)
+        row_view += local_view
+        if track_runs:
+            runs[:k] += 1
+            np.copyto(runs[:k], np.int32(1), where=take_view)
+        if bonus:
+            bonus_view = bonus_of[:k]
+            bonus_view += bonus32
+            np.minimum(bonus_view, cap_bonus, out=bonus_view)
+            np.copyto(bonus_view, bonus32, where=take_view)
+    if not track_runs and bonus:
+        # Recover the capped counters the bonus table carries; resumption
+        # only ever consumes min(run, cap), so this is lossless.
+        runs = bonus_of // bonus32
+    return rows, runs
+
+
+def _advance_batch_generic(
+    padded: np.ndarray,
+    first_values: np.ndarray,
+    fresh: np.ndarray,
+    neg_sorted: np.ndarray,
+    max_steps: int,
+    rows_in: np.ndarray,
+    runs_in: np.ndarray,
+    reference_values: np.ndarray,
+    cfg: SDTWConfig,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Reference wavefront over lane-sorted state, any resumable config.
+
+    Mirrors :func:`sdtw_resume` operation for operation (same accumulator
+    dtype, same ``np.where`` selections), stacked over the active lane
+    prefix.
+    """
+    n_lanes, reference_length = rows_in.shape
+    bonus = float(cfg.match_bonus)
+    cap = cfg.match_bonus_cap
+    accumulator = _accumulator_dtype(cfg)
+    big = _big_for(accumulator)
+
+    rows = rows_in.astype(accumulator)
+    runs = runs_in.copy()
+    if fresh.any():
+        rows[fresh] = _local_distance(
+            first_values[fresh][:, None], reference_values[None, :], cfg
+        ).astype(accumulator)
+        runs[fresh] = 1
+
+    cost_shift = np.empty((n_lanes, reference_length), dtype=accumulator)
+    run_shift = np.empty((n_lanes, reference_length), dtype=np.int64)
+    for step in range(max_steps):
+        k = int(np.searchsorted(neg_sorted, -step, side="left"))
+        if k == 0:
+            break
+        previous = rows[:k]
+        local = _local_distance(
+            padded[:k, step][:, None], reference_values[None, :], cfg
+        ).astype(accumulator)
+        cost_shift[:k, 0] = big
+        cost_shift[:k, 1:] = previous[:, :-1]
+        if bonus:
+            run_shift[:k, 0] = 0
+            run_shift[:k, 1:] = runs[:k, :-1]
+            diagonal = cost_shift[:k] - bonus * np.minimum(run_shift[:k], cap)
+        else:
+            diagonal = cost_shift[:k]
+        take_diagonal = diagonal < previous
+        rows[:k] = local + np.where(take_diagonal, diagonal, previous)
+        runs[:k] = np.where(take_diagonal, 1, runs[:k] + 1)
+    return rows, runs
 
 
 def sdtw_cost(

@@ -7,13 +7,19 @@ queueing simulation: classification requests arrive as reads reach the
 decision prefix on the sequencer, each occupies a tile for the classification
 latency, and we measure tile utilization, queueing delay and the maximum
 sequencer scale a given tile count sustains.
+
+Arrivals come from either a synthetic rate (:meth:`TileScheduler.simulate`)
+or a **real batch trace** (:meth:`TileScheduler.simulate_batch_trace`): the
+per-round occupancy a :class:`~repro.batch.BatchSDTWEngine` recorded while
+driving a Read Until session, where every undecided channel requests
+classification at the same instant of each polling round.
 """
 
 from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -96,8 +102,36 @@ class TileScheduler:
         else:
             arrivals = np.arange(0.0, duration_s, 1.0 / request_rate_per_s)
         arrivals = arrivals[arrivals < duration_s]
+        return self._serve(arrivals, duration_s)
 
-        tile_free_at = [0.0] * self.n_tiles
+    def simulate_batch_trace(
+        self,
+        occupancy: Sequence[int],
+        round_duration_s: float,
+    ) -> DispatchStats:
+        """Replay a batched-execution occupancy trace against the tiles.
+
+        ``occupancy`` is the per-round active-lane count a
+        :class:`~repro.batch.BatchSDTWEngine` recorded during a real Read
+        Until session (``PipelineRunResult.streaming["batch_occupancy"]``):
+        round ``r``'s lanes all request classification simultaneously at
+        ``r * round_duration_s``, the bursty arrival pattern lockstep
+        execution actually produces — rather than the smooth synthetic
+        Poisson stream :meth:`simulate` assumes.
+        """
+        counts = np.asarray(occupancy, dtype=np.int64)
+        if counts.ndim != 1:
+            raise ValueError("occupancy must be a 1-D sequence of round counts")
+        if counts.size and counts.min() < 0:
+            raise ValueError("occupancy counts must be non-negative")
+        if round_duration_s <= 0:
+            raise ValueError("round_duration_s must be positive")
+        arrivals = np.repeat(np.arange(counts.size) * round_duration_s, counts)
+        duration_s = max(counts.size * round_duration_s, round_duration_s)
+        return self._serve(arrivals, float(duration_s))
+
+    def _serve(self, arrivals: np.ndarray, duration_s: float) -> DispatchStats:
+        """FIFO-serve a sorted arrival stream with the first free tile."""
         busy = np.zeros(self.n_tiles)
         waiting: List[float] = []
         heap = [(0.0, tile) for tile in range(self.n_tiles)]
@@ -108,7 +142,6 @@ class TileScheduler:
             waiting.append(start - arrival)
             end = start + self.classification_latency_s
             busy[tile] += self.classification_latency_s
-            tile_free_at[tile] = end
             heapq.heappush(heap, (end, tile))
         return DispatchStats(
             n_requests=int(arrivals.size),

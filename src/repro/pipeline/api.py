@@ -139,6 +139,15 @@ class ReadUntilClassifier(Protocol):
     ``min_decision_samples`` and ``max_decision_samples`` advertise the
     earliest and latest decision points so the pipeline can pick a chunk size
     and a chunk budget.
+
+    Classifiers that can advance many channels at once additionally expose
+    ``on_chunk_batch(chunks) -> List[Action]`` (one action per chunk, in
+    order) — the fast path :class:`~repro.pipeline.read_until.ReadUntilPipeline`
+    drives whole polling rounds through when
+    :func:`supports_chunk_batching` reports it, falling back to per-read
+    ``on_chunk`` otherwise. Batched and scalar calls must make identical
+    decisions; :class:`repro.batch.BatchSquiggleClassifier` is the reference
+    implementation.
     """
 
     name: str
@@ -315,6 +324,11 @@ class BasecallAlignAdapter:
         return Action.from_decision(decision)
 
 
+def supports_chunk_batching(classifier: Any) -> bool:
+    """Whether a streaming classifier advertises the ``on_chunk_batch`` fast path."""
+    return callable(getattr(classifier, "on_chunk_batch", None))
+
+
 def as_streaming_classifier(
     classifier: Any,
     prefix_samples: Optional[int] = None,
@@ -455,6 +469,36 @@ def build_multistage(
     )
 
 
+@register_classifier("batch_squigglefilter")
+def build_batch_squigglefilter(
+    *,
+    genome: Optional[str] = None,
+    reference: Optional[ReferenceSquiggle] = None,
+    kmer_model: Any = None,
+    include_reverse_complement: bool = True,
+    threshold: Optional[float] = None,
+    prefix_samples: int = 2000,
+    config: Any = None,
+    normalization: Any = None,
+    name: Optional[str] = None,
+    decision_latency_s: Optional[float] = None,
+) -> Any:
+    """Single-stage sDTW filter on the batched wavefront engine: every
+    undecided channel of a polling round advances in one matrix op."""
+    # Deferred: repro.batch.classifier imports this module for Action/registry.
+    from repro.batch.classifier import BatchSquiggleClassifier
+
+    return BatchSquiggleClassifier(
+        _resolve_reference(reference, genome, kmer_model, include_reverse_complement),
+        config=config,
+        normalization=normalization,
+        threshold=threshold,
+        prefix_samples=prefix_samples,
+        name=name,
+        decision_latency_s=decision_latency_s,
+    )
+
+
 @register_classifier("basecall_align")
 def build_basecall_align(
     *,
@@ -483,8 +527,10 @@ def build_pipeline(spec: Mapping[str, Any]) -> "Any":
         A prebuilt assembler or a kwargs mapping for
         :class:`ReferenceGuidedAssembler` over the target genome.
     Remaining keys (``prefix_samples``, ``chunk_samples``, ``n_channels``,
-    ``decision_latency_s``, ``assemble``, ...) are forwarded to
-    :class:`ReadUntilPipeline`.
+    ``decision_latency_s``, ``assemble``, ``batch``, ...) are forwarded to
+    :class:`ReadUntilPipeline`; ``batch: true`` requires the classifier's
+    ``on_chunk_batch`` fast path (one vectorized sDTW wavefront per polling
+    round, e.g. the ``"batch_squigglefilter"`` classifier).
     """
     from repro.pipeline.read_until import ReadUntilPipeline  # deferred: avoids an import cycle
 

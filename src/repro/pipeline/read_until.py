@@ -33,6 +33,7 @@ from repro.pipeline.api import (
     DEFAULT_HARDWARE_LATENCY_S,
     Action,
     as_streaming_classifier,
+    supports_chunk_batching,
 )
 from repro.sequencer.read_until_api import ReadUntilSimulator, SignalChunk
 from repro.sequencer.reads import Read
@@ -76,6 +77,13 @@ class ReadUntilPipeline:
     default it matches the classifier's earliest decision point so single-stage
     filters decide on their first chunk while multi-stage filters see one chunk
     per early stage.
+
+    ``batch`` selects the execution engine for a run: ``None`` (default) uses
+    the classifier's ``on_chunk_batch`` fast path whenever it is advertised —
+    every undecided channel's chunk of a polling round classified by one
+    vectorized wavefront — and falls back to per-read ``on_chunk`` otherwise;
+    ``True`` requires the fast path (raising if the classifier cannot batch);
+    ``False`` forces the per-read path. Both paths make identical decisions.
     """
 
     def __init__(
@@ -90,6 +98,7 @@ class ReadUntilPipeline:
         chunk_samples: Optional[int] = None,
         n_channels: int = 1,
         max_chunks_per_read: Optional[int] = None,
+        batch: Optional[bool] = None,
     ) -> None:
         if chunk_samples is not None and chunk_samples <= 0:
             raise ValueError("chunk_samples must be positive")
@@ -104,6 +113,7 @@ class ReadUntilPipeline:
         self.chunk_samples = chunk_samples
         self.n_channels = n_channels
         self.max_chunks_per_read = max_chunks_per_read
+        self.batch = batch
         if decision_latency_s is not None:
             self.decision_latency_s = decision_latency_s
         else:
@@ -150,16 +160,22 @@ class ReadUntilPipeline:
             max_chunks_per_read=max_chunks,
         )
 
+        batched = supports_chunk_batching(streaming)
+        if self.batch and not batched:
+            raise ValueError(
+                f"batch=True but {type(streaming).__name__} does not expose "
+                "on_chunk_batch; use a batch-capable classifier "
+                "(e.g. 'batch_squigglefilter') or batch=False"
+            )
+        use_batch = batched if self.batch is None else bool(self.batch)
+
         actions: Dict[str, Action] = {}
         started: Set[str] = set()
         goal_bases = 0
+        goal_hit = False
 
-        def decide(chunk: SignalChunk) -> str:
-            nonlocal goal_bases
-            if chunk.read_id not in started:
-                started.add(chunk.read_id)
-                streaming.begin_read(chunk.read_id)
-            action = streaming.on_chunk(chunk)
+        def record(chunk: SignalChunk, action: Action) -> str:
+            nonlocal goal_bases, goal_hit
             if action.is_terminal:
                 actions[chunk.read_id] = action
                 if action.kind == ACCEPT and target_bases_goal is not None:
@@ -167,8 +183,32 @@ class ReadUntilPipeline:
                     if read.is_target:
                         goal_bases += read.n_bases
                         if goal_bases >= target_bases_goal:
-                            raise _CoverageGoalReached
+                            goal_hit = True
             return action.to_simulator_action()
+
+        def begin(chunk: SignalChunk) -> None:
+            if chunk.read_id not in started:
+                started.add(chunk.read_id)
+                streaming.begin_read(chunk.read_id)
+
+        def decide(chunk: SignalChunk) -> str:
+            begin(chunk)
+            verb = record(chunk, streaming.on_chunk(chunk))
+            if goal_hit:
+                raise _CoverageGoalReached
+            return verb
+
+        def decide_batch(chunks: Sequence[SignalChunk]) -> List[str]:
+            # The goal check stops the session *between* rounds: every action
+            # of the round that hit the goal is still returned so the
+            # simulator applies it — aborting mid-round would record
+            # decisions whose effect never reached the pore state.
+            if goal_hit:
+                raise _CoverageGoalReached
+            for chunk in chunks:
+                begin(chunk)
+            round_actions = streaming.on_chunk_batch(chunks)
+            return [record(chunk, action) for chunk, action in zip(chunks, round_actions)]
 
         # Upper-bound the polls one read can consume (capture dead time,
         # chunk delivery of the whole read, ejection dead time, plus the
@@ -185,16 +225,22 @@ class ReadUntilPipeline:
         )
         max_iterations = (ceil(len(reads) / self.n_channels) + 1) * polls_per_read + 10
 
-        goal_reached = False
         try:
-            stream_summary = simulator.run_client(
-                decide,
-                decision_latency_s=self.decision_latency_s,
-                max_iterations=max_iterations,
-            )
+            if use_batch:
+                stream_summary = simulator.run_batch_client(
+                    decide_batch,
+                    decision_latency_s=self.decision_latency_s,
+                    max_iterations=max_iterations,
+                )
+            else:
+                stream_summary = simulator.run_client(
+                    decide,
+                    decision_latency_s=self.decision_latency_s,
+                    max_iterations=max_iterations,
+                )
         except _CoverageGoalReached:
-            goal_reached = True
             stream_summary = simulator.summary()
+        goal_reached = goal_hit
         if not goal_reached and not simulator.finished:
             raise RuntimeError(
                 f"Read Until session did not drain within {max_iterations} polls "
@@ -254,6 +300,16 @@ class ReadUntilPipeline:
             truths=[outcome.is_target for outcome in summary.outcomes],
             predictions=[not outcome.ejected for outcome in summary.outcomes],
         )
+        stream_summary = dict(stream_summary)
+        stream_summary["batched"] = use_batch
+        engine = getattr(streaming, "engine", None)
+        if engine is not None and hasattr(engine, "occupancy_trace"):
+            # The per-round batch occupancy is the classification request
+            # trace the ASIC multi-tile model replays
+            # (TileScheduler.simulate_batch_trace).
+            stream_summary["batch_occupancy"] = list(engine.occupancy_trace)
+            stream_summary["peak_batch_lanes"] = engine.peak_occupancy
+            stream_summary["chunk_duration_s"] = chunk_samples / params.sample_rate_hz
         assembly: Optional[AssemblyResult] = None
         if self.assemble and kept_reads:
             assembler = self.assembler or ReferenceGuidedAssembler(self.target_genome)

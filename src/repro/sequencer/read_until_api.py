@@ -258,13 +258,46 @@ class ReadUntilSimulator:
             iterations += 1
             for chunk in self.get_read_chunks():
                 action = decide(chunk)
-                if action == "unblock":
-                    self.unblock(chunk.channel, chunk.read_id, latency_s=decision_latency_s)
-                elif action == "stop_receiving":
-                    self.stop_receiving(chunk.channel, chunk.read_id)
-                elif action != "wait":
-                    raise ValueError(f"unknown Read Until action {action!r}")
+                self._apply_action(chunk, action, decision_latency_s)
         return self.summary()
+
+    def run_batch_client(
+        self,
+        decide_batch: Callable[[List[SignalChunk]], Sequence[str]],
+        decision_latency_s: float = 0.0,
+        max_iterations: int = 10_000,
+    ) -> Dict[str, object]:
+        """Drive the stream one whole polling round at a time.
+
+        ``decide_batch`` receives every undecided channel's chunk of the round
+        at once and returns one action verb per chunk, in order — the shape a
+        batched classifier wants (one vectorized wavefront per round) and the
+        shape ONT's real API delivers (``get_read_chunks`` returns the whole
+        round). Semantically equivalent to :meth:`run_client` with the same
+        per-chunk decisions.
+        """
+        iterations = 0
+        while not self.finished and iterations < max_iterations:
+            iterations += 1
+            chunks = self.get_read_chunks()
+            if not chunks:
+                continue
+            actions = list(decide_batch(chunks))
+            if len(actions) != len(chunks):
+                raise ValueError(
+                    f"decide_batch returned {len(actions)} actions for {len(chunks)} chunks"
+                )
+            for chunk, action in zip(chunks, actions):
+                self._apply_action(chunk, action, decision_latency_s)
+        return self.summary()
+
+    def _apply_action(self, chunk: SignalChunk, action: str, decision_latency_s: float) -> None:
+        if action == "unblock":
+            self.unblock(chunk.channel, chunk.read_id, latency_s=decision_latency_s)
+        elif action == "stop_receiving":
+            self.stop_receiving(chunk.channel, chunk.read_id)
+        elif action != "wait":
+            raise ValueError(f"unknown Read Until action {action!r}")
 
     def summary(self) -> Dict[str, object]:
         """Aggregate statistics of the actions taken so far."""
