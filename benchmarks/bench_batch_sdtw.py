@@ -1,37 +1,45 @@
-"""Supplementary benchmark: scalar per-read loop vs the batched sDTW wavefront.
+"""Supplementary benchmark: scalar per-read loop vs the batched sDTW backends.
 
 The batch execution engine's argument is that one ``(channels, reference)``
 matrix operation per wavefront step beats ``channels`` separate
 ``(reference,)`` operations issued from a Python loop — the same reason the
 accelerator advances all alignments in lockstep. This benchmark replays an
-identical chunk-round workload through both paths, checks the costs are
-bit-identical, and reports wavefront throughput (DP cells per second) for two
-deployment geometries:
+identical chunk-round workload through the per-read scalar path and through
+the engine on each requested execution backend, checks the costs are
+bit-identical, and reports wavefront throughput (DP cells per second).
 
-* ``amplicon`` — a qPCR-assay-scale target (~100 bp, both strands) across a
-  large channel count. Here each scalar kernel call does little arithmetic,
-  so the per-read Python loop is overhead-dominated and lockstep batching
-  pays maximally. This is the gated workload (``BATCH_SDTW_MIN_SPEEDUP``,
-  default 5x).
-* ``genome`` — a lambda-phage-scale reference, where every kernel call is
-  memory-bandwidth-bound and batching's win shrinks to the int32 data path
-  and pass-count savings (reported, not gated).
+Two entry points:
 
-Emits a machine-readable JSON report (``BATCH_SDTW_JSON`` chooses the path;
-unset or ``-`` prints to stdout only). Tunables: ``BATCH_SDTW_CHANNELS``,
-``BATCH_SDTW_ROUNDS``, ``BATCH_SDTW_CHUNK``, ``BATCH_SDTW_MIN_SPEEDUP``
-(the CI smoke invocation relaxes the gate — shared runners vary too much for
-a hard 5x assertion there).
+* **pytest** (the CI smoke path) measures the default ``numpy`` backend on
+  two deployment geometries: ``amplicon`` — a qPCR-assay-scale target across
+  a large channel count, where the per-read Python loop is
+  overhead-dominated and lockstep batching pays maximally (gated via
+  ``BATCH_SDTW_MIN_SPEEDUP``, default 5x) — and ``genome`` — a
+  lambda-phage-scale reference, where every kernel call is
+  memory-bandwidth-bound and one core's bandwidth is the ceiling (reported,
+  not gated).
+* **script mode** (``python benchmarks/bench_batch_sdtw.py --backend sharded
+  --workers 2 4``) measures any registered backend on one configurable
+  workload — by default 512 channels against a genome-scale reference, the
+  flowcell configuration the sharded backend exists for — and emits
+  per-backend JSON so throughput scaling with ``--workers`` is measurable.
+
+Both emit a machine-readable JSON report (``BATCH_SDTW_JSON`` / ``--json``
+choose the path; unset or ``-`` prints to stdout only). Pytest tunables:
+``BATCH_SDTW_CHANNELS``, ``BATCH_SDTW_ROUNDS``, ``BATCH_SDTW_CHUNK``,
+``BATCH_SDTW_MIN_SPEEDUP`` (the CI smoke invocation relaxes the gate —
+shared runners vary too much for a hard 5x assertion there).
 """
 
+import argparse
 import json
 import os
 import time
 
 import numpy as np
-import pytest
 from _bench_utils import print_rows
 
+from repro.batch import available_backends
 from repro.batch.engine import BatchSDTWEngine
 from repro.core.config import SDTWConfig
 from repro.core.reference import ReferenceSquiggle
@@ -60,71 +68,122 @@ def _chunk_rounds(rng, n_channels, n_rounds, chunk_samples):
     return rounds
 
 
-def _measure(reference, n_channels):
-    config = SDTWConfig.hardware()
-    rng = np.random.default_rng(20211025)
-    rounds = _chunk_rounds(rng, n_channels, ROUNDS, CHUNK_SAMPLES)
-    total_samples = sum(chunk.size for round_chunks in rounds for chunk in round_chunks)
-    dp_cells = total_samples * reference.size
-
-    # Scalar path: what the pipeline's per-read fallback does — one
-    # sdtw_resume call per channel per chunk round.
+def _measure_scalar(rounds, reference, config):
+    """The pipeline's per-read fallback: one sdtw_resume per channel per round."""
     start = time.perf_counter()
     states = {}
     for round_chunks in rounds:
         for channel, chunk in enumerate(round_chunks):
             states[channel] = sdtw_resume(chunk, reference, config, state=states.get(channel))
-    scalar_s = time.perf_counter() - start
+    return time.perf_counter() - start, states
 
-    # Batched path: one engine step per round across all channels.
-    engine = BatchSDTWEngine(reference, config)
-    start = time.perf_counter()
-    for round_chunks in rounds:
-        snapshots = engine.step(list(enumerate(round_chunks)))
-    batch_s = time.perf_counter() - start
 
-    # Same work, bit-identical outcome.
-    for channel, state in states.items():
-        assert snapshots[channel].cost == state.cost
-        assert np.array_equal(engine.state_of(channel).row, state.row)
+def _measure_engine(rounds, reference, config, backend, backend_options):
+    """One engine step per round across all channels, on the given backend.
 
+    Backend construction (worker-pool spawn for the sharded backend) happens
+    outside the timed region: pools are persistent in deployment, paid once
+    per run, not once per round.
+    """
+    engine = BatchSDTWEngine(
+        reference, config, backend=backend, backend_options=backend_options
+    )
+    try:
+        start = time.perf_counter()
+        for round_chunks in rounds:
+            snapshots = engine.step(list(enumerate(round_chunks)))
+        elapsed = time.perf_counter() - start
+        return elapsed, snapshots, engine
+    except BaseException:
+        engine.close()
+        raise
+
+
+def _measure(reference, n_channels, backend_specs=None, rounds=ROUNDS, chunk=CHUNK_SAMPLES):
+    """Measure scalar vs engine throughput; returns the per-workload report.
+
+    ``backend_specs`` is a list of ``(label, backend_name, options)``; the
+    default measures the in-process numpy backend only. Legacy top-level
+    keys (``batched_seconds``, ``speedup``, ...) describe the first listed
+    backend, keeping the CI gate stable; every backend gets an entry under
+    ``"backends"``.
+    """
+    if backend_specs is None:
+        backend_specs = [("numpy", "numpy", None)]
+    config = SDTWConfig.hardware()
+    rng = np.random.default_rng(20211025)
+    round_chunks = _chunk_rounds(rng, n_channels, rounds, chunk)
+    total_samples = sum(c.size for chunks in round_chunks for c in chunks)
+    dp_cells = total_samples * reference.size
+
+    scalar_s, states = _measure_scalar(round_chunks, reference, config)
+
+    backends = {}
+    for label, backend, options in backend_specs:
+        batch_s, snapshots, engine = _measure_engine(
+            round_chunks, reference, config, backend, options
+        )
+        try:
+            # Same work, bit-identical outcome — whatever executed it.
+            for channel, state in states.items():
+                assert snapshots[channel].cost == state.cost, (label, channel)
+                assert np.array_equal(engine.state_of(channel).row, state.row), (
+                    label,
+                    channel,
+                )
+        finally:
+            engine.close()
+        backends[label] = {
+            "backend": backend,
+            "options": dict(options or {}),
+            "seconds": batch_s,
+            "cells_per_s": dp_cells / batch_s,
+            "speedup_vs_scalar": scalar_s / batch_s,
+        }
+
+    first = backends[backend_specs[0][0]]
     return {
         "channels": n_channels,
-        "rounds": ROUNDS,
-        "chunk_samples": CHUNK_SAMPLES,
+        "rounds": rounds,
+        "chunk_samples": chunk,
         "reference_samples": int(reference.size),
         "dp_cells": int(dp_cells),
         "scalar_seconds": scalar_s,
-        "batched_seconds": batch_s,
         "scalar_cells_per_s": dp_cells / scalar_s,
-        "batched_cells_per_s": dp_cells / batch_s,
-        "speedup": scalar_s / batch_s,
+        "batched_seconds": first["seconds"],
+        "batched_cells_per_s": first["cells_per_s"],
+        "speedup": first["speedup_vs_scalar"],
+        "backends": backends,
     }
 
 
-def _emit():
+def _emit(destination=None):
     payload = json.dumps(_REPORTS, indent=2, sort_keys=True)
-    destination = os.environ.get("BATCH_SDTW_JSON", "-")
+    if destination is None:
+        destination = os.environ.get("BATCH_SDTW_JSON", "-")
     if destination and destination != "-":
         with open(destination, "w") as handle:
             handle.write(payload + "\n")
     print(payload)
     print_rows(
-        "Batched sDTW wavefront vs per-read scalar loop",
+        "Batched sDTW backends vs per-read scalar loop",
         [
             {
                 "workload": name,
+                "backend": label,
                 "channels": report["channels"],
                 "reference": report["reference_samples"],
                 "scalar_Mcells_s": report["scalar_cells_per_s"] / 1e6,
-                "batched_Mcells_s": report["batched_cells_per_s"] / 1e6,
-                "speedup": report["speedup"],
+                "batched_Mcells_s": entry["cells_per_s"] / 1e6,
+                "speedup": entry["speedup_vs_scalar"],
             }
             for name, report in _REPORTS.items()
+            for label, entry in report["backends"].items()
         ],
     )
 
 
+# ------------------------------------------------------------------ pytest
 def test_batch_wavefront_throughput_amplicon():
     """Gated workload: short amplicon target, full-flowcell channel count."""
     reference = ReferenceSquiggle.from_genome(random_genome(100, seed=3)).values(quantized=True)
@@ -146,3 +205,90 @@ def test_batch_wavefront_throughput_genome(lambda_reference):
     # In the bandwidth-bound regime the win is smaller; batching must still
     # never be slower than the loop it replaces.
     assert report["speedup"] >= 1.0
+
+
+# ------------------------------------------------------------------ script
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Measure batched-sDTW execution backends against the "
+        "per-read scalar loop and emit per-backend throughput JSON."
+    )
+    parser.add_argument(
+        "--backend",
+        action="append",
+        choices=available_backends(),
+        default=None,
+        help="execution backend to measure (repeatable; default: numpy; the "
+        "numpy baseline is always included)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        nargs="+",
+        default=[2],
+        help="worker-pool sizes to measure for the sharded backend (one "
+        "measurement per value, so scaling is visible in the JSON)",
+    )
+    parser.add_argument(
+        "--channels",
+        type=int,
+        default=512,
+        help="concurrently sequencing channels (default: a full flowcell)",
+    )
+    parser.add_argument(
+        "--genome-bases",
+        type=int,
+        default=2400,
+        help="target genome length; the reference squiggle covers both "
+        "strands (default: the lambda-phage-scale bench genome)",
+    )
+    parser.add_argument("--rounds", type=int, default=ROUNDS)
+    parser.add_argument("--chunk-samples", type=int, default=CHUNK_SAMPLES)
+    parser.add_argument("--seed", type=int, default=3)
+    parser.add_argument(
+        "--json",
+        default=None,
+        help="write the report here ('-' or unset: stdout only; falls back "
+        "to BATCH_SDTW_JSON)",
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=None,
+        help="fail unless every measured backend beats the scalar loop by "
+        "this factor (smoke-gate for CI)",
+    )
+    args = parser.parse_args(argv)
+
+    requested = args.backend or ["numpy"]
+    specs = [("numpy", "numpy", None)]
+    for backend in requested:
+        if backend == "numpy":
+            continue
+        for workers in args.workers:
+            specs.append((f"{backend}[workers={workers}]", backend, {"workers": workers}))
+
+    reference = ReferenceSquiggle.from_genome(
+        random_genome(args.genome_bases, seed=args.seed)
+    ).values(quantized=True)
+    report = _measure(
+        reference, args.channels, specs, rounds=args.rounds, chunk=args.chunk_samples
+    )
+    _REPORTS["flowcell"] = report
+    _emit(args.json)
+
+    if args.min_speedup is not None:
+        slowest = min(
+            report["backends"].items(), key=lambda item: item[1]["speedup_vs_scalar"]
+        )
+        if slowest[1]["speedup_vs_scalar"] < args.min_speedup:
+            raise SystemExit(
+                f"backend {slowest[0]} only reached "
+                f"{slowest[1]['speedup_vs_scalar']:.2f}x over the scalar loop "
+                f"(expected >= {args.min_speedup}x)"
+            )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -188,6 +188,42 @@ def main() -> None:
           f"mean tile utilization {stats.mean_utilization:.2%}, "
           f"max queueing delay {stats.max_waiting_ms:.3f} ms")
 
+    # ---- The same session on the sharded multi-process backend -------------
+    # Execution backends are pluggable behind the engine's lane manager:
+    # "sharded" stripes the lanes across a persistent pool of worker
+    # processes (shared-memory DP state, only query chunks and cost
+    # snapshots on the pipes), so genome-scale references scale with the
+    # core count. Decisions are bit-identical to the numpy backend — the
+    # assertion below checks exactly that on this session.
+    with BatchSquiggleClassifier(
+        reference,
+        prefix_samples=best_single[0],
+        threshold=batch_classifier.threshold,
+        backend="sharded",
+        backend_options={"workers": 2},
+    ) as sharded_classifier:
+        sharded_result = ReadUntilPipeline(
+            sharded_classifier,
+            target_genome,
+            chunk_samples=min(PREFIX_LENGTHS),
+            n_channels=8,
+            assemble=False,
+            batch=True,
+        ).run(reads)
+    numpy_decisions = {
+        o.read.read_id: (o.ejected, o.decision.cost if o.decision else None)
+        for o in batched_result.session.outcomes
+    }
+    sharded_decisions = {
+        o.read.read_id: (o.ejected, o.decision.cost if o.decision else None)
+        for o in sharded_result.session.outcomes
+    }
+    assert sharded_decisions == numpy_decisions
+    print("\n-- sharded execution backend (2 worker processes) --")
+    print(f"backend: {sharded_result.streaming['backend']}, "
+          f"recall {sharded_result.recall:.2f} — decisions bit-identical "
+          "to the numpy backend")
+
 
 if __name__ == "__main__":
     main()

@@ -6,25 +6,50 @@ the scalar hot path runs one :func:`~repro.core.sdtw.sdtw_resume` per read
 per chunk inside a Python loop, the batch subsystem stacks the resumable
 no-deletion recurrence into 2-D state (``channels × reference``) and advances
 every active alignment with one set of NumPy matrix operations per chunk
-round:
+round. The subsystem is split into three layers:
 
-* :class:`BatchSDTWEngine` — lane admission/retirement over the stacked
-  state, ragged per-round chunk lengths, and a per-round occupancy trace the
-  ASIC multi-tile dispatch model replays
+* :mod:`repro.batch.backends` — the pluggable **execution backends** behind a
+  string-keyed registry (:func:`~repro.batch.backends.available_backends`):
+  :class:`NumpyBackend` advances the lane-stacked state in-process,
+  :class:`ShardedProcessBackend` stripes lanes across a persistent pool of
+  worker processes with shared-memory state blocks, so genome-scale
+  references use every core instead of saturating one;
+* :class:`BatchSDTWEngine` — the backend-agnostic **lane manager**: admission
+  and retirement over recycled lanes, capacity growth, ragged per-round chunk
+  lengths, and the per-round occupancy trace the ASIC multi-tile dispatch
+  model replays
   (:meth:`~repro.hardware.scheduler.TileScheduler.simulate_batch_trace`);
 * :class:`BatchSquiggleClassifier` — the streaming Read Until classifier
   built on the engine, advertising the ``on_chunk_batch`` fast path
   :class:`~repro.pipeline.read_until.ReadUntilPipeline` drives whole polling
   rounds through (registered as ``"batch_squigglefilter"``).
 
-Per-lane costs are bit-identical to the per-read scalar kernels, so batching
-is purely an execution-engine change — the enabling layer for sharding and
-GPU/accelerator backends behind the same interface.
+Per-lane costs are bit-identical to the per-read scalar kernels — and across
+backends — so batching and sharding are purely execution-engine changes.
 """
 
+from repro.batch.backends import (
+    ExecutionBackend,
+    NumpyBackend,
+    ShardedProcessBackend,
+    available_backends,
+    create_backend,
+    register_backend,
+)
 from repro.batch.engine import BatchRound, BatchSDTWEngine, LaneSnapshot
 
-__all__ = ["BatchRound", "BatchSDTWEngine", "BatchSquiggleClassifier", "LaneSnapshot"]
+__all__ = [
+    "BatchRound",
+    "BatchSDTWEngine",
+    "BatchSquiggleClassifier",
+    "ExecutionBackend",
+    "LaneSnapshot",
+    "NumpyBackend",
+    "ShardedProcessBackend",
+    "available_backends",
+    "create_backend",
+    "register_backend",
+]
 
 
 def __getattr__(name: str):

@@ -1,0 +1,672 @@
+"""Pluggable execution backends for the batched sDTW engine.
+
+:class:`~repro.batch.engine.BatchSDTWEngine` is a *lane manager*: it decides
+which read occupies which lane, when lanes are recycled, and what the
+per-round occupancy trace looks like. *Where and how* the lane-stacked
+:class:`~repro.core.sdtw.BatchSDTWState` actually advances is this module's
+job. An :class:`ExecutionBackend` owns the resident DP state and exposes
+three data-movement verbs plus lane bookkeeping:
+
+* ``advance(lanes, queries)`` — the per-round hot path: feed each listed lane
+  its new (kernel-scale) query samples and return the post-advance cost and
+  end position per lane;
+* ``gather(lanes)`` / ``scatter(lanes, state)`` — stack lane state out of /
+  into the backend (snapshots, tests, interop); cold paths;
+* ``allocate`` / ``reset`` — capacity growth and lane recycling.
+
+Two implementations are registered, mirroring how UNCALLED exposes its DTW
+variants behind a string-keyed ``METHODS`` mapping:
+
+* :class:`NumpyBackend` (``"numpy"``) — the in-process path: one
+  :class:`BatchSDTWState` in this process, advanced by
+  :func:`~repro.core.sdtw.sdtw_resume_batch`. Exactly the execution PR 2's
+  monolithic engine performed.
+* :class:`ShardedProcessBackend` (``"sharded"``) — lanes striped across a
+  persistent pool of worker processes, one shard of the stacked state
+  resident per worker. Per round only the ragged query chunks travel down
+  the pipes and only the per-lane cost/end snapshots travel back; the rows
+  themselves never move. Each shard's state lives in a shared-memory block
+  (``int32`` rows for the all-integer hardware configurations — half the
+  footprint), so gather/scatter/reset are zero-copy parent-side reads and
+  writes, with no worker round trip.
+
+Both backends run the same kernel on the same per-lane state, so per-lane
+costs, rows and therefore Read Until decisions are bit-identical — backend
+selection is purely an execution concern, which is what lets
+``BatchSquiggleClassifier(..., backend="sharded")`` scale a full flowcell
+across cores without touching decision logic.
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing as mp
+import os
+import traceback
+from math import ceil
+from multiprocessing import shared_memory
+from typing import Any, Callable, Dict, List, Optional, Protocol, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.config import SDTWConfig
+from repro.core.sdtw import BatchSDTWState, sdtw_resume_batch
+
+__all__ = [
+    "ExecutionBackend",
+    "NumpyBackend",
+    "ShardedProcessBackend",
+    "available_backends",
+    "create_backend",
+    "register_backend",
+]
+
+
+class ExecutionBackend(Protocol):
+    """Where the lane-stacked sDTW state lives and how it advances.
+
+    Implementations own one logical ``(capacity, reference_length)``
+    :class:`BatchSDTWState` (however it is physically stored) and must keep
+    per-lane results bit-identical to per-read :func:`sdtw_resume` calls —
+    the lane manager and every layer above it treat backends as
+    interchangeable.
+    """
+
+    backend_name: str
+
+    @property
+    def capacity(self) -> int:
+        """Lanes currently allocated."""
+        ...
+
+    @property
+    def reference_length(self) -> int: ...
+
+    def allocate(self, min_capacity: int) -> None:
+        """Grow storage to at least ``min_capacity`` lanes (never shrinks).
+
+        Existing lane state is preserved; new lanes come up zeroed. The
+        backend may round the capacity up (e.g. to a multiple of its shard
+        count) — callers re-read :attr:`capacity` afterwards.
+        """
+        ...
+
+    def reset(self, lanes: np.ndarray) -> None:
+        """Return the given lanes to the fresh (no samples consumed) state."""
+        ...
+
+    def advance(
+        self, lanes: np.ndarray, queries: Sequence[np.ndarray]
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Advance each listed lane with its new query samples (the hot path).
+
+        Returns ``(costs, end_positions)`` aligned with ``lanes``. The
+        backend updates its resident rows/runs/samples in place.
+        """
+        ...
+
+    def gather(self, lanes: np.ndarray) -> BatchSDTWState:
+        """Stack the given lanes' state into a fresh :class:`BatchSDTWState`."""
+        ...
+
+    def scatter(self, lanes: np.ndarray, state: BatchSDTWState) -> None:
+        """Write stacked lane state back into the backend's resident storage."""
+        ...
+
+    def close(self) -> None:
+        """Release workers/storage. Idempotent; the backend is unusable after."""
+        ...
+
+
+# ------------------------------------------------------------------- registry
+BackendFactory = Callable[..., ExecutionBackend]
+
+_BACKENDS: Dict[str, BackendFactory] = {}
+
+
+def register_backend(name: str) -> Callable[[BackendFactory], BackendFactory]:
+    """Register an execution-backend factory under a string key (decorator).
+
+    Factories are called as ``factory(reference, config, capacity,
+    **options)`` and must return an object satisfying
+    :class:`ExecutionBackend`.
+    """
+
+    def wrap(factory: BackendFactory) -> BackendFactory:
+        key = name.lower()
+        if key in _BACKENDS:
+            raise ValueError(f"execution backend {name!r} is already registered")
+        _BACKENDS[key] = factory
+        return factory
+
+    return wrap
+
+
+def available_backends() -> Tuple[str, ...]:
+    """The registered backend names, sorted."""
+    return tuple(sorted(_BACKENDS))
+
+
+def create_backend(
+    name: str,
+    reference: np.ndarray,
+    config: SDTWConfig,
+    capacity: int,
+    **options: Any,
+) -> ExecutionBackend:
+    """Instantiate a registered execution backend by name."""
+    try:
+        factory = _BACKENDS[name.lower()]
+    except KeyError:
+        known = ", ".join(available_backends()) or "(none)"
+        raise KeyError(f"unknown execution backend {name!r}; registered: {known}") from None
+    return factory(reference, config, capacity, **options)
+
+
+def _state_dtypes(config: SDTWConfig) -> Tuple[np.dtype, np.dtype]:
+    """(rows, runs) storage dtypes for a backend's resident state.
+
+    The all-integer hardware data path (quantized, absolute distance,
+    whole-number bonus — the preconditions of the kernel's int32 fast path)
+    stores ``int32`` rows and runs: every intermediate the kernel produces on
+    that path fits comfortably, and the footprint halves. Other
+    configurations store the :class:`BatchSDTWState` dtypes directly.
+    """
+    if (
+        config.quantize
+        and config.distance == "absolute"
+        and float(config.match_bonus).is_integer()
+    ):
+        return np.dtype(np.int32), np.dtype(np.int32)
+    rows = np.dtype(np.int64) if config.quantize else np.dtype(np.float64)
+    return rows, np.dtype(np.int64)
+
+
+# --------------------------------------------------------------- numpy backend
+@register_backend("numpy")
+class NumpyBackend:
+    """In-process execution: one resident :class:`BatchSDTWState`.
+
+    This is PR 2's engine execution extracted verbatim: ``advance`` gathers
+    the listed lanes into a contiguous stacked state, runs one
+    :func:`sdtw_resume_batch` wavefront, and scatters the advanced rows back.
+    """
+
+    backend_name = "numpy"
+
+    def __init__(
+        self,
+        reference: np.ndarray,
+        config: Optional[SDTWConfig] = None,
+        capacity: int = 8,
+    ) -> None:
+        self.config = config if config is not None else SDTWConfig()
+        self.reference_values = np.asarray(
+            reference, dtype=np.int64 if self.config.quantize else np.float64
+        )
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self._state = BatchSDTWState.initial(
+            capacity, self.reference_values.size, self.config
+        )
+
+    @property
+    def capacity(self) -> int:
+        return self._state.n_lanes
+
+    @property
+    def reference_length(self) -> int:
+        return self._state.reference_length
+
+    def allocate(self, min_capacity: int) -> None:
+        old = self._state
+        if min_capacity <= old.n_lanes:
+            return
+        state = BatchSDTWState.initial(min_capacity, old.reference_length, self.config)
+        state.rows[: old.n_lanes] = old.rows
+        state.runs[: old.n_lanes] = old.runs
+        state.samples_processed[: old.n_lanes] = old.samples_processed
+        self._state = state
+
+    def reset(self, lanes: np.ndarray) -> None:
+        self._state.rows[lanes] = 0
+        self._state.runs[lanes] = 1
+        self._state.samples_processed[lanes] = 0
+
+    def advance(
+        self, lanes: np.ndarray, queries: Sequence[np.ndarray]
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        gathered = BatchSDTWState(
+            rows=self._state.rows[lanes],
+            runs=self._state.runs[lanes],
+            samples_processed=self._state.samples_processed[lanes],
+        )
+        # track_runs=False: the engine never reads raw dwell counters, and the
+        # capped counters the fast path keeps are lossless for resumption.
+        advanced = sdtw_resume_batch(
+            queries, self.reference_values, self.config, state=gathered, track_runs=False
+        )
+        self._state.rows[lanes] = advanced.rows
+        self._state.runs[lanes] = advanced.runs
+        self._state.samples_processed[lanes] = advanced.samples_processed
+        return advanced.costs, advanced.end_positions
+
+    def gather(self, lanes: np.ndarray) -> BatchSDTWState:
+        return BatchSDTWState(
+            rows=self._state.rows[lanes].copy(),
+            runs=self._state.runs[lanes].copy(),
+            samples_processed=self._state.samples_processed[lanes].copy(),
+        )
+
+    def scatter(self, lanes: np.ndarray, state: BatchSDTWState) -> None:
+        self._state.rows[lanes] = state.rows
+        self._state.runs[lanes] = state.runs
+        self._state.samples_processed[lanes] = state.samples_processed
+
+    def close(self) -> None:
+        return None
+
+
+# ------------------------------------------------------------- sharded backend
+def _attach_shm(name: str) -> shared_memory.SharedMemory:
+    """Attach to the parent's shared block without claiming ownership.
+
+    Workers are children of the creating process, so they share its resource
+    tracker: their attach re-adds the same name to the tracker's (set-based)
+    cache, which is a no-op, and the parent's ``unlink`` clears it exactly
+    once. No per-worker unregistering is needed — or safe.
+    """
+    return shared_memory.SharedMemory(name=name)
+
+
+class _ShardViews:
+    """Numpy views of one shard's state inside a shared-memory block.
+
+    Layout: ``rows (local_capacity, reference_length)`` then ``runs`` of the
+    same shape then ``samples_processed (local_capacity,)`` int64, padded to
+    alignment. Parent and worker both construct views over the same block,
+    so reset/gather/scatter are plain array operations with no pipe traffic.
+    """
+
+    _ALIGN = 16
+
+    def __init__(
+        self,
+        block: shared_memory.SharedMemory,
+        local_capacity: int,
+        reference_length: int,
+        rows_dtype: np.dtype,
+        runs_dtype: np.dtype,
+    ) -> None:
+        self.block = block
+        shape = (local_capacity, reference_length)
+        rows_bytes = self._padded(int(rows_dtype.itemsize) * local_capacity * reference_length)
+        runs_bytes = self._padded(int(runs_dtype.itemsize) * local_capacity * reference_length)
+        self.rows = np.ndarray(shape, dtype=rows_dtype, buffer=block.buf, offset=0)
+        self.runs = np.ndarray(shape, dtype=runs_dtype, buffer=block.buf, offset=rows_bytes)
+        self.samples = np.ndarray(
+            (local_capacity,), dtype=np.int64, buffer=block.buf, offset=rows_bytes + runs_bytes
+        )
+
+    @classmethod
+    def _padded(cls, nbytes: int) -> int:
+        return (nbytes + cls._ALIGN - 1) // cls._ALIGN * cls._ALIGN
+
+    @classmethod
+    def nbytes(
+        cls,
+        local_capacity: int,
+        reference_length: int,
+        rows_dtype: np.dtype,
+        runs_dtype: np.dtype,
+    ) -> int:
+        cells = local_capacity * reference_length
+        return (
+            cls._padded(int(rows_dtype.itemsize) * cells)
+            + cls._padded(int(runs_dtype.itemsize) * cells)
+            + 8 * local_capacity
+        )
+
+    def initialize(self, lanes: Optional[np.ndarray] = None) -> None:
+        """Fresh-lane state: zero rows/samples, unit runs."""
+        target = slice(None) if lanes is None else lanes
+        self.rows[target] = 0
+        self.runs[target] = 1
+        self.samples[target] = 0
+
+    def release(self) -> None:
+        """Drop the numpy views (they pin the buffer) and close the block."""
+        del self.rows, self.runs, self.samples
+        self.block.close()
+
+
+def _shard_worker(
+    conn,
+    shm_name: str,
+    local_capacity: int,
+    reference: np.ndarray,
+    config: SDTWConfig,
+) -> None:
+    """Worker loop: advance the resident shard state on request.
+
+    The shard's rows/runs/samples live in the parent-created shared block;
+    this process is the only writer between an ``advance`` request and its
+    reply, and the parent only touches the block while no request is in
+    flight, so no locking is needed.
+    """
+    rows_dtype, runs_dtype = _state_dtypes(config)
+    views = _ShardViews(
+        _attach_shm(shm_name), local_capacity, reference.size, rows_dtype, runs_dtype
+    )
+    int32_rows = rows_dtype == np.dtype(np.int32)
+    try:
+        while True:
+            message = conn.recv()
+            command = message[0]
+            try:
+                if command == "advance":
+                    _, local_lanes, queries = message
+                    state = BatchSDTWState(
+                        rows=views.rows[local_lanes],
+                        runs=views.runs[local_lanes],
+                        samples_processed=views.samples[local_lanes],
+                    )
+                    advanced = sdtw_resume_batch(
+                        queries, reference, config, state=state, track_runs=False
+                    )
+                    if int32_rows and advanced.rows.size:
+                        peak = int(np.abs(advanced.rows).max())
+                        if peak >= 2**31:
+                            raise OverflowError(
+                                f"advanced rows reach {peak}, beyond int32 shard storage; "
+                                "use the numpy backend for this configuration"
+                            )
+                    views.rows[local_lanes] = advanced.rows
+                    views.runs[local_lanes] = advanced.runs
+                    views.samples[local_lanes] = advanced.samples_processed
+                    conn.send(("ok", (advanced.costs, advanced.end_positions)))
+                elif command == "attach":
+                    _, shm_name, local_capacity = message
+                    old = views
+                    views = _ShardViews(
+                        _attach_shm(shm_name),
+                        local_capacity,
+                        reference.size,
+                        rows_dtype,
+                        runs_dtype,
+                    )
+                    old.release()
+                    conn.send(("ok", None))
+                elif command == "stop":
+                    conn.send(("ok", None))
+                    return
+                else:  # pragma: no cover - protocol violation
+                    raise ValueError(f"unknown shard command {command!r}")
+            except Exception:
+                conn.send(("error", traceback.format_exc()))
+    except (EOFError, KeyboardInterrupt):  # pragma: no cover - parent died
+        return
+    finally:
+        try:
+            views.release()
+        except BufferError:  # pragma: no cover - stray view reference
+            pass
+        conn.close()
+
+
+@register_backend("sharded")
+class ShardedProcessBackend:
+    """Lanes striped across a persistent pool of worker processes.
+
+    Lane ``l`` lives in shard ``l % workers`` at local slot ``l // workers``,
+    so consecutive lane admissions spread across shards and every shard's
+    occupancy stays within one lane of the others — the static striping keeps
+    per-round shard batches balanced without any migration machinery.
+
+    Each worker holds its shard of the stacked state resident in a
+    shared-memory block the parent allocates (``int32`` rows on the
+    all-integer hardware path). Per engine round the parent sends every busy
+    shard its ragged query chunks, the shards run their wavefronts
+    concurrently, and only the per-lane cost/end snapshots come back — the
+    DP rows never cross a pipe. ``gather``/``scatter``/``reset`` are
+    parent-side shared-memory reads and writes.
+    """
+
+    backend_name = "sharded"
+
+    def __init__(
+        self,
+        reference: np.ndarray,
+        config: Optional[SDTWConfig] = None,
+        capacity: int = 8,
+        workers: Optional[int] = None,
+    ) -> None:
+        self.config = config if config is not None else SDTWConfig()
+        self.reference_values = np.asarray(
+            reference, dtype=np.int64 if self.config.quantize else np.float64
+        )
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if workers is None:
+            workers = max(1, min(8, (os.cpu_count() or 2) - 1))
+        if workers <= 0:
+            raise ValueError("workers must be positive")
+        self.n_workers = int(workers)
+        self._rows_dtype, self._runs_dtype = _state_dtypes(self.config)
+        self._local_capacity = max(1, ceil(capacity / self.n_workers))
+        self._closed = False
+
+        # fork shares the parent's pages and starts in milliseconds; fall back
+        # to the default (spawn) where fork is unavailable. Workers only need
+        # picklable arguments, so both start methods work.
+        methods = mp.get_all_start_methods()
+        self._ctx = mp.get_context("fork" if "fork" in methods else None)
+
+        self._blocks: List[shared_memory.SharedMemory] = []
+        self._views: List[_ShardViews] = []
+        self._conns = []
+        self._processes = []
+        for shard in range(self.n_workers):
+            block = self._create_block(self._local_capacity)
+            views = _ShardViews(
+                block,
+                self._local_capacity,
+                self.reference_values.size,
+                self._rows_dtype,
+                self._runs_dtype,
+            )
+            views.initialize()
+            parent_conn, worker_conn = self._ctx.Pipe()
+            process = self._ctx.Process(
+                target=_shard_worker,
+                args=(
+                    worker_conn,
+                    block.name,
+                    self._local_capacity,
+                    self.reference_values,
+                    self.config,
+                ),
+                daemon=True,
+                name=f"sdtw-shard-{shard}",
+            )
+            process.start()
+            worker_conn.close()
+            self._blocks.append(block)
+            self._views.append(views)
+            self._conns.append(parent_conn)
+            self._processes.append(process)
+        # Daemon processes die with the interpreter, but the shared segments
+        # must be unlinked explicitly or they outlive the run.
+        self._finalizer = atexit.register(self.close)
+
+    # ----------------------------------------------------------- bookkeeping
+    @property
+    def capacity(self) -> int:
+        return self._local_capacity * self.n_workers
+
+    @property
+    def reference_length(self) -> int:
+        return int(self.reference_values.size)
+
+    def _create_block(self, local_capacity: int) -> shared_memory.SharedMemory:
+        size = _ShardViews.nbytes(
+            local_capacity, self.reference_values.size, self._rows_dtype, self._runs_dtype
+        )
+        return shared_memory.SharedMemory(create=True, size=size)
+
+    def _shard_of(self, lanes: np.ndarray) -> np.ndarray:
+        return np.asarray(lanes, dtype=np.intp) % self.n_workers
+
+    def _local_of(self, lanes: np.ndarray) -> np.ndarray:
+        return np.asarray(lanes, dtype=np.intp) // self.n_workers
+
+    def _recv(self, shard: int):
+        try:
+            status, payload = self._conns[shard].recv()
+        except EOFError:
+            raise RuntimeError(
+                f"sharded backend worker {shard} died unexpectedly"
+            ) from None
+        if status != "ok":
+            raise RuntimeError(f"sharded backend worker {shard} failed:\n{payload}")
+        return payload
+
+    def _request(self, shard: int, message) -> Any:
+        self._conns[shard].send(message)
+        return self._recv(shard)
+
+    # ------------------------------------------------------------- lifecycle
+    def allocate(self, min_capacity: int) -> None:
+        if self._closed:
+            raise RuntimeError("backend is closed")
+        if min_capacity <= self.capacity:
+            return
+        local_capacity = max(self._local_capacity + 1, ceil(min_capacity / self.n_workers))
+        for shard in range(self.n_workers):
+            block = self._create_block(local_capacity)
+            views = _ShardViews(
+                block,
+                local_capacity,
+                self.reference_values.size,
+                self._rows_dtype,
+                self._runs_dtype,
+            )
+            views.initialize()
+            old = self._views[shard]
+            views.rows[: self._local_capacity] = old.rows
+            views.runs[: self._local_capacity] = old.runs
+            views.samples[: self._local_capacity] = old.samples
+            self._request(shard, ("attach", block.name, local_capacity))
+            old_block = old.block
+            old.release()
+            old_block.unlink()
+            self._blocks[shard] = block
+            self._views[shard] = views
+        self._local_capacity = local_capacity
+
+    def reset(self, lanes: np.ndarray) -> None:
+        lanes = np.asarray(lanes, dtype=np.intp)
+        shards = self._shard_of(lanes)
+        local = self._local_of(lanes)
+        for shard in np.unique(shards):
+            self._views[shard].initialize(local[shards == shard])
+
+    def advance(
+        self, lanes: np.ndarray, queries: Sequence[np.ndarray]
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        if self._closed:
+            raise RuntimeError("backend is closed")
+        lanes = np.asarray(lanes, dtype=np.intp)
+        shards = self._shard_of(lanes)
+        local = self._local_of(lanes)
+        busy: List[Tuple[int, np.ndarray]] = []
+        for shard in np.unique(shards):
+            members = np.flatnonzero(shards == shard)
+            self._conns[shard].send(
+                ("advance", local[members], [queries[i] for i in members])
+            )
+            busy.append((int(shard), members))
+        costs = np.empty(lanes.size, dtype=np.float64 if not self.config.quantize else np.int64)
+        ends = np.empty(lanes.size, dtype=np.intp)
+        # Every busy shard's reply must be consumed even if an earlier one
+        # failed — an unread reply would desync the request/reply protocol
+        # and surface as a *stale* result on the next call.
+        errors: List[Exception] = []
+        for shard, members in busy:
+            try:
+                shard_costs, shard_ends = self._recv(shard)
+            except RuntimeError as error:
+                errors.append(error)
+                continue
+            costs[members] = shard_costs
+            ends[members] = shard_ends
+        if errors:
+            # Shards that succeeded have already applied the round; the
+            # failed shards have not. Callers should treat the backend's
+            # state as undefined for the lanes of this round.
+            raise errors[0]
+        return costs, ends
+
+    def gather(self, lanes: np.ndarray) -> BatchSDTWState:
+        lanes = np.asarray(lanes, dtype=np.intp)
+        shards = self._shard_of(lanes)
+        local = self._local_of(lanes)
+        rows = np.empty(
+            (lanes.size, self.reference_length),
+            dtype=np.int64 if self.config.quantize else np.float64,
+        )
+        runs = np.empty((lanes.size, self.reference_length), dtype=np.int64)
+        samples = np.empty(lanes.size, dtype=np.int64)
+        for index in range(lanes.size):
+            views = self._views[shards[index]]
+            rows[index] = views.rows[local[index]]
+            runs[index] = views.runs[local[index]]
+            samples[index] = views.samples[local[index]]
+        return BatchSDTWState(rows=rows, runs=runs, samples_processed=samples)
+
+    def scatter(self, lanes: np.ndarray, state: BatchSDTWState) -> None:
+        lanes = np.asarray(lanes, dtype=np.intp)
+        shards = self._shard_of(lanes)
+        local = self._local_of(lanes)
+        for index in range(lanes.size):
+            views = self._views[shards[index]]
+            views.rows[local[index]] = state.rows[index]
+            views.runs[local[index]] = state.runs[index]
+            views.samples[local[index]] = state.samples_processed[index]
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        atexit.unregister(self.close)
+        for shard, conn in enumerate(self._conns):
+            try:
+                conn.send(("stop",))
+                self._recv(shard)
+            except (OSError, RuntimeError, BrokenPipeError):
+                pass
+            finally:
+                conn.close()
+        for process in self._processes:
+            process.join(timeout=5.0)
+            if process.is_alive():  # pragma: no cover - stuck worker
+                process.terminate()
+                process.join(timeout=5.0)
+        for views in self._views:
+            try:
+                views.release()
+            except BufferError:  # pragma: no cover - stray view reference
+                pass
+        self._views.clear()
+        for block in self._blocks:
+            try:
+                block.unlink()
+            except FileNotFoundError:  # pragma: no cover - already unlinked
+                pass
+        self._blocks.clear()
+
+    def __del__(self) -> None:  # pragma: no cover - GC-order dependent
+        try:
+            self.close()
+        except Exception:
+            pass

@@ -17,10 +17,11 @@ per-read runs make bit-identical decisions.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
 
 import numpy as np
 
+from repro.batch.backends import ExecutionBackend
 from repro.batch.engine import BatchSDTWEngine
 from repro.core.config import SDTWConfig
 from repro.core.normalization import NormalizationConfig, SignalNormalizer
@@ -33,7 +34,14 @@ __all__ = ["BatchSquiggleClassifier"]
 
 
 class BatchSquiggleClassifier:
-    """Single-stage sDTW classifier that advances all channels in lockstep."""
+    """Single-stage sDTW classifier that advances all channels in lockstep.
+
+    ``backend`` / ``backend_options`` select the execution backend the
+    engine advances lanes on (``"numpy"`` in-process, ``"sharded"`` across a
+    worker-process pool — see :mod:`repro.batch.backends`); decisions are
+    bit-identical whichever backend runs. Call :meth:`close` (or use the
+    classifier as a context manager) to release a sharded backend's workers.
+    """
 
     supports_chunk_batching = True
 
@@ -46,6 +54,8 @@ class BatchSquiggleClassifier:
         prefix_samples: int = 2000,
         name: Optional[str] = None,
         decision_latency_s: Optional[float] = None,
+        backend: Union[str, ExecutionBackend] = "numpy",
+        backend_options: Optional[Mapping[str, Any]] = None,
     ) -> None:
         if prefix_samples <= 0:
             raise ValueError(f"prefix_samples must be positive, got {prefix_samples}")
@@ -58,9 +68,12 @@ class BatchSquiggleClassifier:
         self.threshold = threshold
         self.prefix_samples = int(prefix_samples)
         self.engine = BatchSDTWEngine(
-            reference.values(quantized=self.config.quantize), self.config
+            reference.values(quantized=self.config.quantize),
+            self.config,
+            backend=backend,
+            backend_options=backend_options,
         )
-        self.name = name if name is not None else "batch:SquiggleFilter"
+        self.name = name if name is not None else f"batch:SquiggleFilter[{self.engine.backend_name}]"
         self.decision_latency_s = (
             float(decision_latency_s)
             if decision_latency_s is not None
@@ -68,6 +81,21 @@ class BatchSquiggleClassifier:
         )
 
     # ------------------------------------------------------------- protocol
+    @property
+    def backend_name(self) -> str:
+        """Which execution backend the engine advances lanes on."""
+        return self.engine.backend_name
+
+    def close(self) -> None:
+        """Release the execution backend (worker processes, shared memory)."""
+        self.engine.close()
+
+    def __enter__(self) -> "BatchSquiggleClassifier":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
     @property
     def min_decision_samples(self) -> int:
         return self.prefix_samples
@@ -155,19 +183,23 @@ class BatchSquiggleClassifier:
         signals = [np.asarray(signal, dtype=np.float64)[:prefix] for signal in raw_signals]
         if any(signal.size == 0 for signal in signals):
             raise ValueError("cannot classify an empty signal")
-        engine = BatchSDTWEngine(self.engine.reference_values, self.config)
-        costs: Dict[int, float] = {}
-        offset = 0
-        while len(costs) < len(signals):
-            items = []
-            for index, signal in enumerate(signals):
-                if offset < signal.size:
-                    items.append((index, self._prepare(signal[offset : offset + chunk])))
-            snapshots = engine.step(items)
-            offset += chunk
-            for index, signal in enumerate(signals):
-                if index not in costs and offset >= signal.size:
-                    costs[index] = snapshots[index].cost
+        # Calibration always runs in-process: backends are bit-identical per
+        # lane, and a one-shot sweep should not spin up a second worker pool.
+        with BatchSDTWEngine(
+            self.engine.reference_values, self.config, backend="numpy"
+        ) as engine:
+            costs: Dict[int, float] = {}
+            offset = 0
+            while len(costs) < len(signals):
+                items = []
+                for index, signal in enumerate(signals):
+                    if offset < signal.size:
+                        items.append((index, self._prepare(signal[offset : offset + chunk])))
+                snapshots = engine.step(items)
+                offset += chunk
+                for index, signal in enumerate(signals):
+                    if index not in costs and offset >= signal.size:
+                        costs[index] = snapshots[index].cost
         return [costs[index] for index in range(len(signals))]
 
     def calibrate(

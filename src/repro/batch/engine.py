@@ -1,36 +1,54 @@
-"""The batched sDTW execution engine.
+"""The batched sDTW execution engine: lane management over a pluggable backend.
 
-:class:`BatchSDTWEngine` owns the lane-stacked resumable state behind one
-reference squiggle: reads are *admitted* to a free lane when their first
-chunk arrives, every polling round advances all lanes that received signal
-with a single :func:`~repro.core.sdtw.sdtw_resume_batch` wavefront, and
+:class:`BatchSDTWEngine` is the *lane manager* behind one reference squiggle:
+reads are *admitted* to a free lane when their first chunk arrives, every
+polling round advances all lanes that received signal with one wavefront, and
 decided reads are *retired* so their lane is recycled. Lane storage grows by
 doubling, so the engine serves any number of concurrent channels.
 
-The engine also records a :class:`BatchRound` per ``step`` call — how many
-lanes advanced and how many query samples they consumed. That occupancy
-trace is exactly the request stream the accelerator's multi-tile dispatch
-model wants: :meth:`repro.hardware.scheduler.TileScheduler.simulate_batch_trace`
-replays it against a tile count instead of assuming a synthetic Poisson
-request rate.
+Where the lane-stacked DP state physically lives — and how the wavefront
+executes — is delegated to an :class:`~repro.batch.backends.ExecutionBackend`:
+``"numpy"`` (default) keeps one in-process :class:`BatchSDTWState` and runs
+:func:`~repro.core.sdtw.sdtw_resume_batch` directly; ``"sharded"`` stripes
+lanes across a persistent pool of worker processes so genome-scale references
+use every core's memory bandwidth. Backends are bit-identical per lane, so
+admission, retirement, decisions and the occupancy trace never depend on the
+backend choice.
+
+The engine also records a :class:`BatchRound` per busy ``step`` call — how
+many lanes advanced and how many query samples they consumed, stamped with
+the poll index so idle polls (rounds where no lane received signal) leave a
+gap instead of a zero-lane entry that would deflate occupancy statistics.
+That occupancy trace is exactly the request stream the accelerator's
+multi-tile dispatch model wants:
+:meth:`repro.hardware.scheduler.TileScheduler.simulate_batch_trace` replays
+the dense trace and
+:meth:`~repro.hardware.scheduler.TileScheduler.simulate_engine_rounds` the
+sparse round records.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Hashable, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.batch.backends import ExecutionBackend, create_backend
 from repro.core.config import SDTWConfig
-from repro.core.sdtw import BatchSDTWState, SDTWState, sdtw_resume_batch
+from repro.core.sdtw import SDTWState
 
 __all__ = ["BatchRound", "BatchSDTWEngine", "LaneSnapshot"]
 
 
 @dataclass(frozen=True)
 class BatchRound:
-    """Occupancy record of one engine step: the batch the wavefront advanced."""
+    """Occupancy record of one busy engine step.
+
+    ``index`` is the poll the round happened on (idle polls are counted but
+    not recorded, so indices may have gaps), ``n_lanes`` how many lanes the
+    wavefront advanced and ``n_samples`` how many query samples they consumed.
+    """
 
     index: int
     n_lanes: int
@@ -65,6 +83,15 @@ class BatchSDTWEngine:
         recurrence (the hardware recurrences).
     initial_capacity:
         Lanes preallocated up front; storage doubles on demand.
+    backend:
+        Execution backend: a registered name (``"numpy"``, ``"sharded"``; see
+        :func:`repro.batch.backends.available_backends`) or a prebuilt
+        :class:`~repro.batch.backends.ExecutionBackend` instance. The engine
+        owns backends it creates (``close`` shuts them down) but only borrows
+        prebuilt ones.
+    backend_options:
+        Extra keyword arguments for the backend factory (e.g.
+        ``{"workers": 4}`` for the sharded backend).
     """
 
     def __init__(
@@ -72,6 +99,8 @@ class BatchSDTWEngine:
         reference: np.ndarray,
         config: Optional[SDTWConfig] = None,
         initial_capacity: int = 8,
+        backend: Union[str, ExecutionBackend] = "numpy",
+        backend_options: Optional[Mapping[str, Any]] = None,
     ) -> None:
         self.config = config if config is not None else SDTWConfig()
         if self.config.allow_reference_deletions:
@@ -85,17 +114,49 @@ class BatchSDTWEngine:
         self.reference_values = np.asarray(reference, dtype=dtype)
         if self.reference_values.ndim != 1 or self.reference_values.size == 0:
             raise ValueError("reference must be a non-empty 1-D array")
-        self._state = BatchSDTWState.initial(
-            initial_capacity, self.reference_values.size, self.config
-        )
+        if isinstance(backend, str):
+            self._backend = create_backend(
+                backend,
+                self.reference_values,
+                self.config,
+                initial_capacity,
+                **dict(backend_options or {}),
+            )
+            self._owns_backend = True
+        else:
+            if backend_options:
+                raise ValueError("backend_options only apply when backend is a name")
+            if backend.reference_length != self.reference_values.size:
+                raise ValueError(
+                    f"backend holds a {backend.reference_length}-sample reference "
+                    f"but the engine was given {self.reference_values.size} samples"
+                )
+            self._backend = backend
+            self._owns_backend = False
+        capacity = self._backend.capacity
         self._lane_of: Dict[Hashable, int] = {}
-        self._free: List[int] = list(range(initial_capacity - 1, -1, -1))
+        self._free: List[int] = list(range(capacity - 1, -1, -1))
+        # Decision-relevant scalars cached lane-manager-side so snapshots and
+        # progress queries never round-trip to the backend: `advance` returns
+        # them every round and `reset` re-zeroes them.
+        self._costs = np.zeros(capacity, dtype=np.float64)
+        self._ends = np.zeros(capacity, dtype=np.intp)
+        self._samples = np.zeros(capacity, dtype=np.int64)
         self.rounds: List[BatchRound] = []
+        self._n_polls = 0
 
     # -------------------------------------------------------------- lane admin
     @property
+    def backend(self) -> ExecutionBackend:
+        return self._backend
+
+    @property
+    def backend_name(self) -> str:
+        return self._backend.backend_name
+
+    @property
     def capacity(self) -> int:
-        return self._state.n_lanes
+        return self._backend.capacity
 
     @property
     def n_active(self) -> int:
@@ -108,14 +169,19 @@ class BatchSDTWEngine:
         return tuple(self._lane_of)
 
     def _grow(self) -> None:
-        old = self._state
-        capacity = old.n_lanes * 2
-        state = BatchSDTWState.initial(capacity, self.reference_values.size, self.config)
-        state.rows[: old.n_lanes] = old.rows
-        state.runs[: old.n_lanes] = old.runs
-        state.samples_processed[: old.n_lanes] = old.samples_processed
-        self._state = state
-        self._free.extend(range(capacity - 1, old.n_lanes - 1, -1))
+        old_capacity = self._backend.capacity
+        self._backend.allocate(old_capacity * 2)
+        capacity = self._backend.capacity
+        self._free.extend(range(capacity - 1, old_capacity - 1, -1))
+        grown = np.zeros(capacity, dtype=np.float64)
+        grown[:old_capacity] = self._costs
+        self._costs = grown
+        grown_ends = np.zeros(capacity, dtype=np.intp)
+        grown_ends[:old_capacity] = self._ends
+        self._ends = grown_ends
+        grown_samples = np.zeros(capacity, dtype=np.int64)
+        grown_samples[:old_capacity] = self._samples
+        self._samples = grown_samples
 
     def admit(self, key: Hashable) -> int:
         """Assign ``key`` a fresh lane; returns the lane index."""
@@ -124,9 +190,10 @@ class BatchSDTWEngine:
         if not self._free:
             self._grow()
         lane = self._free.pop()
-        self._state.rows[lane] = 0
-        self._state.runs[lane] = 1
-        self._state.samples_processed[lane] = 0
+        self._backend.reset(np.array([lane], dtype=np.intp))
+        self._costs[lane] = 0.0
+        self._ends[lane] = 0
+        self._samples[lane] = 0
         self._lane_of[key] = lane
         return lane
 
@@ -138,21 +205,22 @@ class BatchSDTWEngine:
 
     def samples_processed(self, key: Hashable) -> int:
         """Query samples consumed so far by ``key``'s alignment."""
-        return int(self._state.samples_processed[self._lane_of[key]])
+        return int(self._samples[self._lane_of[key]])
 
     def snapshot(self, key: Hashable) -> LaneSnapshot:
         """Current cost/end-position of one active lane."""
         lane = self._lane_of[key]
         return LaneSnapshot(
             key=key,
-            cost=float(self._state.rows[lane].min()),
-            end_position=int(np.argmin(self._state.rows[lane])),
-            samples_processed=int(self._state.samples_processed[lane]),
+            cost=float(self._costs[lane]),
+            end_position=int(self._ends[lane]),
+            samples_processed=int(self._samples[lane]),
         )
 
     def state_of(self, key: Hashable) -> SDTWState:
         """Scalar :class:`SDTWState` view of one lane (tests / interop)."""
-        return self._state.lane(self._lane_of[key])
+        lane = self._lane_of[key]
+        return self._backend.gather(np.array([lane], dtype=np.intp)).lane(0)
 
     # ------------------------------------------------------------------- step
     def step(
@@ -163,10 +231,18 @@ class BatchSDTWEngine:
         ``items`` pairs each read key with its new (kernel-scale) query
         samples for this round; lengths may be ragged. Unknown keys are
         admitted automatically. Returns the post-step snapshot per key.
+
+        Every call counts as one poll; only polls that actually advance
+        lanes append a :class:`BatchRound` (idle polls would otherwise
+        deflate the occupancy statistics the dispatch models consume).
         """
         keys = [key for key, _ in items]
         if len(set(keys)) != len(keys):
             raise ValueError("duplicate read keys in one batch round")
+        poll = self._n_polls
+        self._n_polls += 1
+        if not keys:
+            return {}
         for key in keys:
             if key not in self._lane_of:
                 self.admit(key)
@@ -174,46 +250,66 @@ class BatchSDTWEngine:
             (self._lane_of[key] for key in keys), dtype=np.intp, count=len(keys)
         )
         queries = [np.asarray(query) for _, query in items]
+        lengths = np.fromiter(
+            (query.size for query in queries), dtype=np.int64, count=len(queries)
+        )
 
-        n_samples = int(sum(query.size for query in queries))
         self.rounds.append(
-            BatchRound(index=len(self.rounds), n_lanes=len(keys), n_samples=n_samples)
+            BatchRound(index=poll, n_lanes=len(keys), n_samples=int(lengths.sum()))
         )
-        if not keys:
-            return {}
 
-        gathered = BatchSDTWState(
-            rows=self._state.rows[lanes],
-            runs=self._state.runs[lanes],
-            samples_processed=self._state.samples_processed[lanes],
-        )
-        # track_runs=False: the engine never reads raw dwell counters, and the
-        # capped counters the fast path keeps are lossless for resumption.
-        advanced = sdtw_resume_batch(
-            queries, self.reference_values, self.config, state=gathered, track_runs=False
-        )
-        self._state.rows[lanes] = advanced.rows
-        self._state.runs[lanes] = advanced.runs
-        self._state.samples_processed[lanes] = advanced.samples_processed
+        costs, ends = self._backend.advance(lanes, queries)
+        self._costs[lanes] = costs
+        self._ends[lanes] = ends
+        self._samples[lanes] += lengths
 
-        costs = advanced.costs
-        ends = advanced.end_positions
         return {
             key: LaneSnapshot(
                 key=key,
                 cost=float(costs[index]),
                 end_position=int(ends[index]),
-                samples_processed=int(advanced.samples_processed[index]),
+                samples_processed=int(self._samples[lanes[index]]),
             )
             for index, key in enumerate(keys)
         }
 
+    # -------------------------------------------------------------- lifecycle
+    def close(self) -> None:
+        """Shut down a backend the engine created (borrowed backends survive)."""
+        if self._owns_backend:
+            self._backend.close()
+
+    def __enter__(self) -> "BatchSDTWEngine":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
     # -------------------------------------------------------------- occupancy
     @property
+    def n_polls(self) -> int:
+        """Total ``step`` calls, idle polls included."""
+        return self._n_polls
+
+    @property
     def occupancy_trace(self) -> List[int]:
-        """Per-round active-lane counts — the multi-tile dispatch request trace."""
-        return [entry.n_lanes for entry in self.rounds]
+        """Per-poll active-lane counts — the multi-tile dispatch request trace.
+
+        Dense over every poll (idle polls contribute a zero), so index ``r``
+        maps to time ``r * round_duration`` when the trace is replayed.
+        """
+        trace = [0] * self._n_polls
+        for entry in self.rounds:
+            trace[entry.index] = entry.n_lanes
+        return trace
 
     @property
     def peak_occupancy(self) -> int:
-        return max(self.occupancy_trace, default=0)
+        return max((entry.n_lanes for entry in self.rounds), default=0)
+
+    @property
+    def mean_occupancy(self) -> float:
+        """Mean lanes per *busy* round (idle polls excluded)."""
+        if not self.rounds:
+            return 0.0
+        return float(np.mean([entry.n_lanes for entry in self.rounds]))

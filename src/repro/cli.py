@@ -14,7 +14,9 @@ Five subcommands cover the library's main workflows without writing Python:
   with any registered streaming classifier (``--classifier`` picks one from
   :func:`repro.pipeline.api.available_classifiers`); ``--batch`` switches the
   squigglefilter onto the batched wavefront engine, classifying every
-  undecided channel of a polling round in one vectorized sDTW advance.
+  undecided channel of a polling round in one vectorized sDTW advance, and
+  ``--backend {numpy,sharded}`` (with ``--workers N``) picks the execution
+  backend that engine advances lanes on.
 
 The CLI is intentionally thin: it parses arguments, calls the same public API
 the examples use, and prints human-readable reports via
@@ -35,6 +37,7 @@ from repro.core.thresholds import choose_threshold
 from repro.genomes.sequences import random_genome
 from repro.io.fast5 import Fast5Read, Fast5Store
 from repro.io.fasta import FastaRecord, read_fasta, write_fasta
+from repro.batch import available_backends
 from repro.pipeline.api import available_classifiers, build_pipeline, create_classifier
 from repro.pipeline.runtime_model import ReadUntilModelConfig, sequencing_runtime_s
 from repro.pore_model.kmer_model import KmerModel
@@ -109,6 +112,22 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="concurrently sequencing channels to simulate (batching pays "
         "off as this grows)",
+    )
+    read_until.add_argument(
+        "--backend",
+        choices=available_backends(),
+        default=None,
+        help="execution backend for the batched wavefront engine: 'numpy' "
+        "advances all lanes in-process, 'sharded' stripes them across a "
+        "worker-process pool (implies the batch classifier; decisions are "
+        "identical either way)",
+    )
+    read_until.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes for the sharded backend (requires "
+        "--backend sharded; default: one per spare core, capped at 8)",
     )
     read_until.add_argument("--target-length", type=int, default=2400)
     read_until.add_argument("--background-length", type=int, default=16000)
@@ -269,8 +288,19 @@ def _command_read_until(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.backend and args.classifier not in squigglefilter_family:
+        print(
+            "--backend requires the squigglefilter classifier "
+            f"(got {args.classifier!r})",
+            file=sys.stderr,
+        )
+        return 2
+    if args.workers is not None and args.backend != "sharded":
+        print("--workers requires --backend sharded", file=sys.stderr)
+        return 2
     use_batch_classifier = args.classifier == "batch_squigglefilter" or (
-        args.batch is True and args.classifier == "squigglefilter"
+        args.classifier == "squigglefilter"
+        and (args.batch is True or args.backend is not None)
     )
     if use_batch_classifier:
         # The batched classifier normalizes per chunk, so its threshold is
@@ -290,6 +320,10 @@ def _command_read_until(args: argparse.Namespace) -> int:
             "prefix_samples": args.prefix_samples,
             "threshold": threshold,
         }
+        if args.backend:
+            params["backend"] = args.backend
+            if args.workers is not None:
+                params["backend_options"] = {"workers": args.workers}
     elif args.classifier == "squigglefilter":
         reference = ReferenceSquiggle.from_genome(target, kmer_model=kmer_model)
         helper = SquiggleFilter(reference, prefix_samples=args.prefix_samples)
@@ -326,7 +360,12 @@ def _command_read_until(args: argparse.Namespace) -> int:
         }
     )
     reads = generator.generate(args.n_reads)
-    result = pipeline.run(reads)
+    try:
+        result = pipeline.run(reads)
+    finally:
+        close = getattr(pipeline.classifier, "close", None)
+        if close is not None:
+            close()
     rows = [
         {"metric": "classifier", "value": classifier_name},
         {"metric": "reads_processed", "value": result.session.n_reads},
@@ -338,6 +377,7 @@ def _command_read_until(args: argparse.Namespace) -> int:
         {"metric": "pore_minutes", "value": result.runtime_s / 60.0},
     ]
     if result.streaming.get("batched"):
+        rows.append({"metric": "backend", "value": result.streaming.get("backend", "numpy")})
         rows.append({"metric": "batch_rounds", "value": len(result.streaming["batch_occupancy"])})
         rows.append({"metric": "peak_batch_lanes", "value": result.streaming["peak_batch_lanes"]})
     print(format_table(rows))

@@ -15,10 +15,11 @@ sequencing while low-confidence reads get more signal before the decision.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import List, Optional, Sequence
+from typing import Any, List, Mapping, Optional, Sequence, Union
 
 import numpy as np
 
+from repro.batch.backends import ExecutionBackend, create_backend
 from repro.batch.engine import BatchSDTWEngine
 from repro.core.config import SDTWConfig
 from repro.core.normalization import NormalizationConfig, SignalNormalizer
@@ -145,37 +146,55 @@ class SquiggleFilter:
         )
 
     def _batch_states(
-        self, raw_signals: Sequence[np.ndarray], prefix_samples: Optional[int]
+        self,
+        raw_signals: Sequence[np.ndarray],
+        prefix_samples: Optional[int],
+        backend: Union[str, ExecutionBackend] = "numpy",
+        backend_options: Optional[Mapping[str, Any]] = None,
     ):
         """Align many prepared prefixes with one batched wavefront.
 
         Returns ``(queries, snapshots)`` where snapshot ``i`` carries the same
         cost/end-position :meth:`alignment` computes for signal ``i``. Only
         the resumable (no-reference-deletion) recurrences batch; callers fall
-        back to the per-read loop for the vanilla recurrence.
+        back to the per-read loop for the vanilla recurrence. ``backend``
+        picks the execution backend the one-shot engine advances on: a name
+        spins the backend up and tears it down inside this call (a whole
+        worker pool for ``"sharded"``), a prebuilt
+        :class:`~repro.batch.backends.ExecutionBackend` instance is borrowed
+        and survives the call — pass an instance when classifying repeatedly.
         """
         queries = [self.prepare_query(signal, prefix_samples) for signal in raw_signals]
-        engine = BatchSDTWEngine(self._reference_values, self.config)
-        snapshots = engine.step(list(enumerate(queries)))
+        with BatchSDTWEngine(
+            self._reference_values,
+            self.config,
+            backend=backend,
+            backend_options=backend_options,
+        ) as engine:
+            snapshots = engine.step(list(enumerate(queries)))
         return queries, [snapshots[index] for index in range(len(queries))]
 
     def cost_batch(
         self,
         raw_signals: Sequence[np.ndarray],
         prefix_samples: Optional[int] = None,
+        backend: Union[str, ExecutionBackend] = "numpy",
+        backend_options: Optional[Mapping[str, Any]] = None,
     ) -> List[float]:
         """Alignment costs for many reads via one batched wavefront.
 
-        Identical values to calling :meth:`cost` per read; the calibration
-        and sweep helpers use this so experiments stop looping the kernel in
-        Python.
+        Identical values to calling :meth:`cost` per read — whatever
+        ``backend`` executes the wavefront; the calibration and sweep helpers
+        use this so experiments stop looping the kernel in Python.
         """
         if not raw_signals:
             return []
         if self.config.allow_reference_deletions:
             # The vanilla recurrence is not resumable, hence not batchable.
             return [self.cost(signal, prefix_samples) for signal in raw_signals]
-        _, snapshots = self._batch_states(raw_signals, prefix_samples)
+        _, snapshots = self._batch_states(
+            raw_signals, prefix_samples, backend, backend_options
+        )
         return [float(snapshot.cost) for snapshot in snapshots]
 
     def classify_batch(
@@ -183,12 +202,16 @@ class SquiggleFilter:
         raw_signals: Sequence[np.ndarray],
         threshold: Optional[float] = None,
         prefix_samples: Optional[int] = None,
+        backend: Union[str, ExecutionBackend] = "numpy",
+        backend_options: Optional[Mapping[str, Any]] = None,
     ) -> List[FilterDecision]:
         """Classify a batch of reads with one batched sDTW wavefront.
 
         Decisions are identical to per-read :meth:`classify` calls; the work
         runs through :class:`~repro.batch.BatchSDTWEngine` (one set of matrix
         ops per wavefront step across all reads) instead of a Python loop.
+        ``backend`` selects the execution backend (``"numpy"`` in-process,
+        ``"sharded"`` across worker processes) without changing any decision.
         """
         effective_threshold = threshold if threshold is not None else self.threshold
         if effective_threshold is None:
@@ -200,7 +223,9 @@ class SquiggleFilter:
         if self.config.allow_reference_deletions:
             return [self.classify(signal, threshold, prefix_samples) for signal in raw_signals]
         used = prefix_samples if prefix_samples is not None else self.prefix_samples
-        queries, snapshots = self._batch_states(raw_signals, prefix_samples)
+        queries, snapshots = self._batch_states(
+            raw_signals, prefix_samples, backend, backend_options
+        )
         decisions: List[FilterDecision] = []
         for signal, query, snapshot in zip(raw_signals, queries, snapshots):
             samples_used = min(int(np.asarray(signal).size), used)
@@ -307,35 +332,59 @@ class MultiStageSquiggleFilter:
         assert last_decision is not None
         return last_decision
 
-    def classify_batch(self, raw_signals: Sequence[np.ndarray]) -> List[FilterDecision]:
+    def classify_batch(
+        self,
+        raw_signals: Sequence[np.ndarray],
+        backend: Union[str, ExecutionBackend] = "numpy",
+        backend_options: Optional[Mapping[str, Any]] = None,
+    ) -> List[FilterDecision]:
         """Stage-by-stage batched classification.
 
         Each stage advances every still-undecided read with one batched
         wavefront (:meth:`SquiggleFilter.classify_batch`), so a calibration
         sweep over N reads costs ``n_stages`` kernel launches instead of up
         to ``N * n_stages``. Decisions are identical to per-read
-        :meth:`classify` calls.
+        :meth:`classify` calls, on whichever execution ``backend``. A
+        backend named by string is instantiated **once** and reused across
+        every stage (one worker-pool spawn per call for ``"sharded"``, not
+        one per stage), then released.
         """
         signals = [np.asarray(signal, dtype=np.float64) for signal in raw_signals]
-        decisions: List[Optional[FilterDecision]] = [None] * len(signals)
-        pending = list(range(len(signals)))
-        for index, stage in enumerate(self.stages):
-            if not pending:
-                break
-            staged = self._filter.classify_batch(
-                [signals[i] for i in pending],
-                threshold=stage.threshold,
-                prefix_samples=stage.prefix_samples,
+        owned: Optional[ExecutionBackend] = None
+        if isinstance(backend, str) and backend != "numpy" and signals:
+            owned = create_backend(
+                backend,
+                self._filter._reference_values,
+                self.config,
+                max(len(signals), 1),
+                **dict(backend_options or {}),
             )
-            is_last = index == len(self.stages) - 1
-            survivors: List[int] = []
-            for i, decision in zip(pending, staged):
-                decision = replace(decision, stage=index)
-                if not decision.accept or is_last:
-                    decisions[i] = decision
-                else:
-                    survivors.append(i)
-            pending = survivors
+            backend, backend_options = owned, None
+        try:
+            decisions: List[Optional[FilterDecision]] = [None] * len(signals)
+            pending = list(range(len(signals)))
+            for index, stage in enumerate(self.stages):
+                if not pending:
+                    break
+                staged = self._filter.classify_batch(
+                    [signals[i] for i in pending],
+                    threshold=stage.threshold,
+                    prefix_samples=stage.prefix_samples,
+                    backend=backend,
+                    backend_options=backend_options,
+                )
+                is_last = index == len(self.stages) - 1
+                survivors: List[int] = []
+                for i, decision in zip(pending, staged):
+                    decision = replace(decision, stage=index)
+                    if not decision.accept or is_last:
+                        decisions[i] = decision
+                    else:
+                        survivors.append(i)
+                pending = survivors
+        finally:
+            if owned is not None:
+                owned.close()
         assert all(decision is not None for decision in decisions)
         return decisions  # type: ignore[return-value]
 

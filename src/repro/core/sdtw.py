@@ -23,9 +23,11 @@ kernel so the systolic array is bit-compatible with the software filter.
 The resumable recurrence also comes in a **batched** form:
 :func:`sdtw_resume_batch` stacks many lanes into a ``(lanes, reference)``
 state (:class:`BatchSDTWState`) and advances all of them with one set of
-matrix operations per wavefront step — the kernel behind
-:class:`repro.batch.BatchSDTWEngine`. Per-lane results are bit-identical to
-per-read :func:`sdtw_resume` calls.
+matrix operations per wavefront step — the kernel every execution backend of
+:class:`repro.batch.BatchSDTWEngine` runs (in-process for the ``numpy``
+backend, once per shard inside each worker for the ``sharded`` backend; see
+:mod:`repro.batch.backends`). Per-lane results are bit-identical to per-read
+:func:`sdtw_resume` calls, which is what makes the backends interchangeable.
 """
 
 from __future__ import annotations

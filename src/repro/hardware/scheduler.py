@@ -9,17 +9,21 @@ latency, and we measure tile utilization, queueing delay and the maximum
 sequencer scale a given tile count sustains.
 
 Arrivals come from either a synthetic rate (:meth:`TileScheduler.simulate`)
-or a **real batch trace** (:meth:`TileScheduler.simulate_batch_trace`): the
-per-round occupancy a :class:`~repro.batch.BatchSDTWEngine` recorded while
-driving a Read Until session, where every undecided channel requests
-classification at the same instant of each polling round.
+or a **real batch trace**: the per-round occupancy a
+:class:`~repro.batch.BatchSDTWEngine` recorded while driving a Read Until
+session, where every undecided channel requests classification at the same
+instant of each polling round. :meth:`TileScheduler.simulate_batch_trace`
+consumes the dense per-poll trace (idle polls as zeros);
+:meth:`TileScheduler.simulate_engine_rounds` consumes the engine's sparse
+:class:`~repro.batch.engine.BatchRound` records directly, where idle polls
+are index gaps.
 """
 
 from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import Any, List, Optional, Sequence
 
 import numpy as np
 
@@ -128,6 +132,42 @@ class TileScheduler:
             raise ValueError("round_duration_s must be positive")
         arrivals = np.repeat(np.arange(counts.size) * round_duration_s, counts)
         duration_s = max(counts.size * round_duration_s, round_duration_s)
+        return self._serve(arrivals, float(duration_s))
+
+    def simulate_engine_rounds(
+        self,
+        rounds: Sequence[Any],
+        round_duration_s: float,
+        n_polls: Optional[int] = None,
+    ) -> DispatchStats:
+        """Replay a batch engine's sparse round records against the tiles.
+
+        ``rounds`` are :class:`~repro.batch.engine.BatchRound` records (or any
+        objects with ``index`` and ``n_lanes``): the engine only records
+        *busy* polls, stamped with their poll index, so idle polls appear as
+        index gaps rather than zero-lane entries. Each round's lanes request
+        classification simultaneously at ``round.index * round_duration_s``
+        — identical arrivals to :meth:`simulate_batch_trace` on the dense
+        ``occupancy_trace``, without materializing the idle zeros. ``n_polls``
+        (``BatchSDTWEngine.n_polls``) extends the simulated duration over
+        trailing idle polls; by default the timeline ends after the last busy
+        round.
+        """
+        if round_duration_s <= 0:
+            raise ValueError("round_duration_s must be positive")
+        indices = np.asarray([entry.index for entry in rounds], dtype=np.int64)
+        counts = np.asarray([entry.n_lanes for entry in rounds], dtype=np.int64)
+        if counts.size and counts.min() < 0:
+            raise ValueError("round lane counts must be non-negative")
+        if indices.size and (indices.min() < 0 or np.any(np.diff(indices) <= 0)):
+            raise ValueError("round indices must be non-negative and strictly increasing")
+        total_polls = int(indices[-1]) + 1 if indices.size else 0
+        if n_polls is not None:
+            if n_polls < total_polls:
+                raise ValueError(f"n_polls={n_polls} is before the last recorded round")
+            total_polls = int(n_polls)
+        arrivals = np.repeat(indices * round_duration_s, counts)
+        duration_s = max(total_polls * round_duration_s, round_duration_s)
         return self._serve(arrivals, float(duration_s))
 
     def _serve(self, arrivals: np.ndarray, duration_s: float) -> DispatchStats:

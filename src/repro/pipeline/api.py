@@ -482,9 +482,13 @@ def build_batch_squigglefilter(
     normalization: Any = None,
     name: Optional[str] = None,
     decision_latency_s: Optional[float] = None,
+    backend: Any = "numpy",
+    backend_options: Optional[Mapping[str, Any]] = None,
 ) -> Any:
     """Single-stage sDTW filter on the batched wavefront engine: every
-    undecided channel of a polling round advances in one matrix op."""
+    undecided channel of a polling round advances in one matrix op.
+    ``backend`` picks the execution backend the engine advances lanes on
+    (:func:`repro.batch.available_backends`)."""
     # Deferred: repro.batch.classifier imports this module for Action/registry.
     from repro.batch.classifier import BatchSquiggleClassifier
 
@@ -496,6 +500,8 @@ def build_batch_squigglefilter(
         prefix_samples=prefix_samples,
         name=name,
         decision_latency_s=decision_latency_s,
+        backend=backend,
+        backend_options=backend_options,
     )
 
 
@@ -526,6 +532,12 @@ def build_pipeline(spec: Mapping[str, Any]) -> "Any":
     ``assembler``
         A prebuilt assembler or a kwargs mapping for
         :class:`ReferenceGuidedAssembler` over the target genome.
+    ``backend`` / ``backend_options``
+        Execution backend for a batch-capable classifier's engine
+        (``"numpy"`` in-process, ``"sharded"`` across a worker-process pool;
+        ``backend_options: {"workers": N}`` sizes the pool). Forwarded into
+        the classifier factory, so the chosen classifier must accept them
+        (``"batch_squigglefilter"`` does).
     Remaining keys (``prefix_samples``, ``chunk_samples``, ``n_channels``,
     ``decision_latency_s``, ``assemble``, ``batch``, ...) are forwarded to
     :class:`ReadUntilPipeline`; ``batch: true`` requires the classifier's
@@ -550,6 +562,12 @@ def build_pipeline(spec: Mapping[str, Any]) -> "Any":
         if nested:
             params.update(nested)
     params.setdefault("genome", target_genome)
+    backend = config.pop("backend", None)
+    if backend is not None:
+        params.setdefault("backend", backend)
+    backend_options = config.pop("backend_options", None)
+    if backend_options is not None:
+        params.setdefault("backend_options", backend_options)
     classifier = create_classifier(name, **params)
 
     parameters = config.pop("parameters", None)

@@ -309,7 +309,9 @@ class ReadUntilPipeline:
             # (TileScheduler.simulate_batch_trace).
             stream_summary["batch_occupancy"] = list(engine.occupancy_trace)
             stream_summary["peak_batch_lanes"] = engine.peak_occupancy
+            stream_summary["mean_batch_lanes"] = engine.mean_occupancy
             stream_summary["chunk_duration_s"] = chunk_samples / params.sample_rate_hz
+            stream_summary["backend"] = getattr(engine, "backend_name", "numpy")
         assembly: Optional[AssemblyResult] = None
         if self.assemble and kept_reads:
             assembler = self.assembler or ReferenceGuidedAssembler(self.target_genome)
