@@ -1,12 +1,16 @@
 #!/usr/bin/env python3
 """End-to-end portable virus detection run (paper Figure 4 / Section 5).
 
-Simulates the full scenario the paper targets: a specimen containing a novel
-SARS-CoV-2-like strain at low abundance in host background, sequenced on a
-MinION-class device with Read Until driven by the SquiggleFilter hardware
-accelerator model. Reads that survive the filter are basecalled, aligned and
-assembled into the strain's consensus genome, and the strain's mutations
-relative to the on-device reference are reported.
+Simulates the deployment the paper targets — upgraded to the programmable
+multi-target scenario: the device is programmed with a **3-virus
+TargetPanel** (a coronavirus-like reference plus two decoy respiratory
+viruses), a specimen containing a novel strain of one panel member at low
+abundance is sequenced with Read Until, and every read prefix is classified
+against *all three* targets in a single batched sDTW pass (per-target costs
+are bit-identical to three independent filters). The session reports which
+panel member the accepted reads attribute to; reads that survive are
+assembled into the circulating strain's consensus and its mutations relative
+to the on-device reference are reported.
 
 Run with:  python examples/virus_detection_run.py
 """
@@ -14,11 +18,10 @@ Run with:  python examples/virus_detection_run.py
 from __future__ import annotations
 
 from repro.assembly.consensus import ReferenceGuidedAssembler
-from repro.core.reference import ReferenceSquiggle
+from repro.batch.classifier import BatchSquiggleClassifier
+from repro.core.panel import TargetPanel
 from repro.genomes.mutate import apply_mutations, random_mutations
 from repro.genomes.sequences import random_genome
-from repro.hardware.accelerator import AcceleratorConfig, SquiggleFilterAccelerator
-from repro.hardware.performance import accelerator_performance
 from repro.pipeline.read_until import ReadUntilPipeline
 from repro.pore_model.kmer_model import KmerModel
 from repro.sequencer.reads import ReadGenerator, ReadLengthModel, SpecimenMixture
@@ -26,36 +29,40 @@ from repro.sequencer.reads import ReadGenerator, ReadLengthModel, SpecimenMixtur
 N_STRAIN_MUTATIONS = 20          # Table 2: strains carry ~17-23 substitutions
 VIRAL_FRACTION = 0.05            # enriched specimen so the example reaches useful depth quickly
 PREFIX_SAMPLES = 1200
+CHUNK_SAMPLES = 400
 N_READS = 500
 
 
 def main() -> None:
     kmer_model = KmerModel(seed=941)
 
-    # Reference genome known ahead of time (what gets programmed on the device).
+    # The panel programmed on the device: the reference genome of the virus
+    # we are hunting plus two other circulating respiratory viruses. All
+    # three are screened at once — several small genomes share the same
+    # 100 KB reference buffer one SARS-CoV-2 genome occupies.
     reference_genome = random_genome(2000, seed=2021)
-    # The strain actually circulating differs by a handful of substitutions.
+    panel_genomes = {
+        "coronavirus_like": reference_genome,
+        "influenza_like": random_genome(1400, seed=2023),
+        "rsv_like": random_genome(1700, seed=2024),
+    }
+    panel = TargetPanel.from_genomes(panel_genomes, kmer_model=kmer_model)
+
+    # The strain actually circulating differs from the on-device reference by
+    # a handful of substitutions.
     mutations = random_mutations(reference_genome, substitutions=N_STRAIN_MUTATIONS, seed=5)
     strain_genome = apply_mutations(reference_genome, mutations)
     background_genome = random_genome(16_000, seed=2022)
 
-    print("== Portable virus detection run ==")
-    print(f"on-device reference : {len(reference_genome)} bases")
+    print("== Portable virus detection run (3-virus panel) ==")
+    for name, length in zip(panel.names, panel.lengths):
+        print(f"panel target {name:18s}: {len(panel_genomes[name])} bases "
+              f"({int(length)} reference columns)")
     print(f"circulating strain  : {len(strain_genome)} bases, "
-          f"{len(mutations)} substitutions vs reference")
+          f"{len(mutations)} substitutions vs the coronavirus_like reference")
     print(f"specimen viral load : {VIRAL_FRACTION:.1%}")
-
-    # --- The accelerator -----------------------------------------------------
-    reference = ReferenceSquiggle.from_genome(reference_genome, kmer_model=kmer_model)
-    accelerator = SquiggleFilterAccelerator(
-        reference, config=AcceleratorConfig(n_tiles=5, n_pes_per_tile=PREFIX_SAMPLES)
-    )
-    performance = accelerator_performance(len(reference_genome), query_samples=PREFIX_SAMPLES)
-    print("\n-- SquiggleFilter accelerator --")
-    print(f"area  : {accelerator.area_mm2():.2f} mm^2   power: {accelerator.power_w():.2f} W")
-    print(f"classification latency : {performance.latency_ms:.3f} ms")
-    print(f"aggregate throughput   : {performance.total_throughput_samples_per_s / 1e6:.1f} M samples/s "
-          f"({performance.minion_headroom:.0f}x a MinION's maximum output)")
+    print(f"panel buffer        : {panel.buffer_bytes() / 1024:.1f} KB "
+          f"({'fits' if panel.fits_buffer() else 'exceeds'} the 100 KB per-tile budget)")
 
     # --- The specimen and sequencing run ------------------------------------
     mixture = SpecimenMixture.two_component(
@@ -72,47 +79,61 @@ def main() -> None:
         seed=99,
     )
 
-    # Calibrate the ejection threshold with labelled calibration reads (in
-    # practice: a quick software sweep on the first minutes of sequencing).
+    # Calibrate one shared ejection threshold on the panel's best-target cost
+    # with labelled calibration reads (in practice: a quick software sweep on
+    # the first minutes of sequencing). The classifier streams chunks through
+    # the batched engine, scoring all three targets per wavefront.
     calibration = generator.generate_balanced(15)
-    threshold = accelerator.calibrate_threshold(
+    classifier = BatchSquiggleClassifier(
+        panel, prefix_samples=PREFIX_SAMPLES, name="panel:SquiggleFilter"
+    )
+    threshold = classifier.calibrate(
         [read.signal_pa for read in calibration if read.is_target],
         [read.signal_pa for read in calibration if not read.is_target],
-        prefix_samples=PREFIX_SAMPLES,
+        chunk_samples=CHUNK_SAMPLES,
     )
     print(f"\nprogrammed ejection threshold: {threshold:,.0f}")
 
-    # The pipeline streams raw-signal chunks through the Read Until simulator;
-    # the accelerator model exposes `classify(signal, prefix_samples=...)`, so
-    # the streaming API adapts it automatically (wait until the prefix has
-    # arrived on the wire, then decide in one accelerator pass).
     reads = generator.generate(N_READS)
     n_target = sum(1 for read in reads if read.is_target)
     print(f"sequencing {len(reads)} reads ({n_target} from the target strain)...")
 
     pipeline = ReadUntilPipeline(
-        accelerator,
+        classifier,
         target_genome=reference_genome,
         prefix_samples=PREFIX_SAMPLES,
-        chunk_samples=400,
-        assembler=ReferenceGuidedAssembler(reference_genome, seed=11),
+        chunk_samples=CHUNK_SAMPLES,
+        assemble=False,  # assembled below, against the attributed member
+        batch=True,
     )
-    result = pipeline.run(reads)
+    try:
+        result = pipeline.run(reads)
+    finally:
+        classifier.close()
 
-    print("\n-- Read Until session (chunk-driven) --")
+    print("\n-- Read Until session (chunk-driven, one wavefront per round) --")
     print(f"reads processed : {result.session.n_reads}")
     print(f"reads ejected   : {result.session.n_ejected}")
     print(f"target recall   : {result.recall:.3f}")
     print(f"false positive rate: {result.false_positive_rate:.3f}")
     print(f"sequencing pore-time: {result.runtime_s / 60:.1f} pore-minutes")
-    print(f"simulator wall-clock: {result.streaming['wall_clock_s'] / 60:.1f} minutes "
-          f"({result.streaming['reads_finished']} reads streamed)")
 
-    # --- Assembly / variant report -------------------------------------------
-    assembly = result.assembly
-    if assembly is None:
+    per_target = result.streaming.get("per_target_accepts", {})
+    print("\naccepted reads per panel target:")
+    for name in panel.names:
+        print(f"  {name:18s}: {per_target.get(name, 0)}")
+    if not per_target:
         print("no reads survived the filter; nothing to assemble")
         return
+    detected = max(per_target, key=per_target.get)
+    print(f"detected panel member: {detected}")
+
+    # --- Assembly / variant report vs the attributed reference ---------------
+    kept_reads = [
+        outcome.read for outcome in result.session.outcomes if not outcome.ejected
+    ]
+    assembler = ReferenceGuidedAssembler(panel_genomes[detected], seed=11)
+    assembly = assembler.assemble(kept_reads)
     print("\n-- Reference-guided assembly (off the critical path) --")
     print(f"reads used      : {assembly.n_reads_used} "
           f"(+{assembly.n_reads_unaligned} discarded as unalignable)")
@@ -124,9 +145,7 @@ def main() -> None:
     called_positions = {variant.position for variant in assembly.variants}
     recovered = len(true_positions & called_positions)
     print(f"strain mutations recovered: {recovered}/{len(true_positions)}")
-    comparison = ReferenceGuidedAssembler(reference_genome).compare_to_truth(
-        assembly, strain_genome
-    )
+    comparison = assembler.compare_to_truth(assembly, strain_genome)
     print(f"consensus identity vs true strain: {comparison['identity']:.4%}")
 
 

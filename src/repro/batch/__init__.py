@@ -10,10 +10,14 @@ round. The subsystem is split into three layers:
 
 * :mod:`repro.batch.backends` — the pluggable **execution backends** behind a
   string-keyed registry (:func:`~repro.batch.backends.available_backends`):
-  :class:`NumpyBackend` advances the lane-stacked state in-process,
-  :class:`ShardedProcessBackend` stripes lanes across a persistent pool of
-  worker processes with shared-memory state blocks, so genome-scale
-  references use every core instead of saturating one;
+  :class:`NumpyBackend` advances the lane-stacked state in-process (with
+  optional cache-sized column tiling), :class:`ShardedProcessBackend` stripes
+  *lanes* across a persistent pool of worker processes with shared-memory
+  state blocks, and :class:`ColumnShardedBackend` stripes *reference columns*
+  across the pool so even a single-channel genome-scale workload uses every
+  core. All backends are panel-aware: a multi-target
+  :class:`~repro.core.panel.TargetPanel` advances in the same wavefront and
+  reduces per target;
 * :class:`BatchSDTWEngine` — the backend-agnostic **lane manager**: admission
   and retirement over recycled lanes, capacity growth, ragged per-round chunk
   lengths, and the per-round occupancy trace the ASIC multi-tile dispatch
@@ -29,6 +33,7 @@ backends — so batching and sharding are purely execution-engine changes.
 """
 
 from repro.batch.backends import (
+    ColumnShardedBackend,
     ExecutionBackend,
     NumpyBackend,
     ShardedProcessBackend,
@@ -42,6 +47,7 @@ __all__ = [
     "BatchRound",
     "BatchSDTWEngine",
     "BatchSquiggleClassifier",
+    "ColumnShardedBackend",
     "ExecutionBackend",
     "LaneSnapshot",
     "NumpyBackend",

@@ -14,25 +14,44 @@ three data-movement verbs plus lane bookkeeping:
   into the backend (snapshots, tests, interop); cold paths;
 * ``allocate`` / ``reset`` — capacity growth and lane recycling.
 
-Two implementations are registered, mirroring how UNCALLED exposes its DTW
+Backends are **panel-aware**: the reference they hold may be a
+:class:`~repro.core.panel.TargetPanel`'s concatenated column space, whose
+per-target offsets arrive as ``block_starts``. ``advance`` returns
+``(costs, ends)`` of shape ``(n_lanes, n_blocks)`` — one per-target
+cost/local-end pair per lane, bit-identical to independent single-reference
+runs (a plain single reference is one block, so the arrays are just
+``(n_lanes, 1)``).
+
+Three implementations are registered, mirroring how UNCALLED exposes its DTW
 variants behind a string-keyed ``METHODS`` mapping:
 
 * :class:`NumpyBackend` (``"numpy"``) — the in-process path: one
   :class:`BatchSDTWState` in this process, advanced by
   :func:`~repro.core.sdtw.sdtw_resume_batch`. Exactly the execution PR 2's
-  monolithic engine performed.
-* :class:`ShardedProcessBackend` (``"sharded"``) — lanes striped across a
+  monolithic engine performed. ``tile_columns`` optionally advances the
+  columns in cache-sized blocks (same results; fewer full-row memory sweeps
+  on genome-scale references).
+* :class:`ShardedProcessBackend` (``"sharded"``) — **lanes** striped across a
   persistent pool of worker processes, one shard of the stacked state
   resident per worker. Per round only the ragged query chunks travel down
   the pipes and only the per-lane cost/end snapshots travel back; the rows
   themselves never move. Each shard's state lives in a shared-memory block
   (``int32`` rows for the all-integer hardware configurations — half the
   footprint), so gather/scatter/reset are zero-copy parent-side reads and
-  writes, with no worker round trip.
+  writes, with no worker round trip. Scales with the *channel* count.
+* :class:`ColumnShardedBackend` (``"colsharded"``) — **reference columns**
+  striped across the worker pool: every worker holds all lanes but only its
+  contiguous column tile. Per round the parent snapshots each tile's left
+  *halo* (the last ``max(chunk)`` columns of its left neighbour, read from
+  shared memory) and ships it with the chunks; workers advance their tile
+  exactly (the halo re-computation is discarded) and return per-target
+  partial minima, which the parent merges left-to-right. This is the shape
+  that parallelizes a **single-channel genome-scale** workload, where lane
+  sharding has nothing to stripe.
 
-Both backends run the same kernel on the same per-lane state, so per-lane
-costs, rows and therefore Read Until decisions are bit-identical — backend
-selection is purely an execution concern, which is what lets
+All backends run the same kernel on the same per-lane state, so per-lane,
+per-target costs, rows and therefore Read Until decisions are bit-identical —
+backend selection is purely an execution concern, which is what lets
 ``BatchSquiggleClassifier(..., backend="sharded")`` scale a full flowcell
 across cores without touching decision logic.
 """
@@ -50,9 +69,17 @@ from typing import Any, Callable, Dict, List, Optional, Protocol, Sequence, Tupl
 import numpy as np
 
 from repro.core.config import SDTWConfig
-from repro.core.sdtw import BatchSDTWState, sdtw_resume_batch
+from repro.core.sdtw import (
+    BatchSDTWState,
+    normalize_block_starts,
+    reduce_block_minima,
+    sdtw_resume_batch,
+    tile_block_starts,
+    tile_halo_start,
+)
 
 __all__ = [
+    "ColumnShardedBackend",
     "ExecutionBackend",
     "NumpyBackend",
     "ShardedProcessBackend",
@@ -82,6 +109,11 @@ class ExecutionBackend(Protocol):
     @property
     def reference_length(self) -> int: ...
 
+    @property
+    def n_blocks(self) -> int:
+        """Targets in the panel this backend's reference concatenates (>= 1)."""
+        ...
+
     def allocate(self, min_capacity: int) -> None:
         """Grow storage to at least ``min_capacity`` lanes (never shrinks).
 
@@ -100,8 +132,11 @@ class ExecutionBackend(Protocol):
     ) -> Tuple[np.ndarray, np.ndarray]:
         """Advance each listed lane with its new query samples (the hot path).
 
-        Returns ``(costs, end_positions)`` aligned with ``lanes``. The
-        backend updates its resident rows/runs/samples in place.
+        Returns ``(costs, end_positions)`` of shape ``(len(lanes),
+        n_blocks)``: the post-advance cost and block-local end position per
+        lane **per panel target**, bit-identical to independent
+        single-reference runs. The backend updates its resident
+        rows/runs/samples in place.
         """
         ...
 
@@ -128,7 +163,7 @@ def register_backend(name: str) -> Callable[[BackendFactory], BackendFactory]:
     """Register an execution-backend factory under a string key (decorator).
 
     Factories are called as ``factory(reference, config, capacity,
-    **options)`` and must return an object satisfying
+    block_starts=..., **options)`` and must return an object satisfying
     :class:`ExecutionBackend`.
     """
 
@@ -154,12 +189,19 @@ def create_backend(
     capacity: int,
     **options: Any,
 ) -> ExecutionBackend:
-    """Instantiate a registered execution backend by name."""
+    """Instantiate a registered execution backend by name.
+
+    An unknown name raises :class:`ValueError` listing
+    :func:`available_backends`, so callers (CLI ``--backend`` choices, spec
+    validation) can surface the registry verbatim.
+    """
     try:
         factory = _BACKENDS[name.lower()]
     except KeyError:
         known = ", ".join(available_backends()) or "(none)"
-        raise KeyError(f"unknown execution backend {name!r}; registered: {known}") from None
+        raise ValueError(
+            f"unknown execution backend {name!r}; available backends: {known}"
+        ) from None
     return factory(reference, config, capacity, **options)
 
 
@@ -190,6 +232,9 @@ class NumpyBackend:
     This is PR 2's engine execution extracted verbatim: ``advance`` gathers
     the listed lanes into a contiguous stacked state, runs one
     :func:`sdtw_resume_batch` wavefront, and scatters the advanced rows back.
+    ``block_starts`` makes the reference a multi-target panel column space;
+    ``tile_columns`` advances the columns in cache-sized blocks (identical
+    results — see the kernel's tiling notes).
     """
 
     backend_name = "numpy"
@@ -199,6 +244,8 @@ class NumpyBackend:
         reference: np.ndarray,
         config: Optional[SDTWConfig] = None,
         capacity: int = 8,
+        block_starts: Optional[np.ndarray] = None,
+        tile_columns: Optional[int] = None,
     ) -> None:
         self.config = config if config is not None else SDTWConfig()
         self.reference_values = np.asarray(
@@ -206,6 +253,10 @@ class NumpyBackend:
         )
         if capacity <= 0:
             raise ValueError("capacity must be positive")
+        if tile_columns is not None and tile_columns <= 0:
+            raise ValueError("tile_columns must be positive")
+        self.block_starts = normalize_block_starts(block_starts, self.reference_values.size)
+        self.tile_columns = None if tile_columns is None else int(tile_columns)
         self._state = BatchSDTWState.initial(
             capacity, self.reference_values.size, self.config
         )
@@ -217,6 +268,10 @@ class NumpyBackend:
     @property
     def reference_length(self) -> int:
         return self._state.reference_length
+
+    @property
+    def n_blocks(self) -> int:
+        return int(self.block_starts.size)
 
     def allocate(self, min_capacity: int) -> None:
         old = self._state
@@ -244,12 +299,18 @@ class NumpyBackend:
         # track_runs=False: the engine never reads raw dwell counters, and the
         # capped counters the fast path keeps are lossless for resumption.
         advanced = sdtw_resume_batch(
-            queries, self.reference_values, self.config, state=gathered, track_runs=False
+            queries,
+            self.reference_values,
+            self.config,
+            state=gathered,
+            track_runs=False,
+            block_starts=self.block_starts,
+            tile_columns=self.tile_columns,
         )
         self._state.rows[lanes] = advanced.rows
         self._state.runs[lanes] = advanced.runs
         self._state.samples_processed[lanes] = advanced.samples_processed
-        return advanced.costs, advanced.end_positions
+        return reduce_block_minima(advanced.rows, self.block_starts)
 
     def gather(self, lanes: np.ndarray) -> BatchSDTWState:
         return BatchSDTWState(
@@ -340,12 +401,24 @@ class _ShardViews:
         self.block.close()
 
 
+def _check_int32_rows(rows: np.ndarray) -> None:
+    """Reject advanced rows that no longer fit the int32 shared storage."""
+    if rows.size:
+        peak = int(np.abs(rows).max())
+        if peak >= 2**31:
+            raise OverflowError(
+                f"advanced rows reach {peak}, beyond int32 shard storage; "
+                "use the numpy backend for this configuration"
+            )
+
+
 def _shard_worker(
     conn,
     shm_name: str,
     local_capacity: int,
     reference: np.ndarray,
     config: SDTWConfig,
+    block_starts: np.ndarray,
 ) -> None:
     """Worker loop: advance the resident shard state on request.
 
@@ -372,19 +445,19 @@ def _shard_worker(
                         samples_processed=views.samples[local_lanes],
                     )
                     advanced = sdtw_resume_batch(
-                        queries, reference, config, state=state, track_runs=False
+                        queries,
+                        reference,
+                        config,
+                        state=state,
+                        track_runs=False,
+                        block_starts=block_starts,
                     )
-                    if int32_rows and advanced.rows.size:
-                        peak = int(np.abs(advanced.rows).max())
-                        if peak >= 2**31:
-                            raise OverflowError(
-                                f"advanced rows reach {peak}, beyond int32 shard storage; "
-                                "use the numpy backend for this configuration"
-                            )
+                    if int32_rows:
+                        _check_int32_rows(advanced.rows)
                     views.rows[local_lanes] = advanced.rows
                     views.runs[local_lanes] = advanced.runs
                     views.samples[local_lanes] = advanced.samples_processed
-                    conn.send(("ok", (advanced.costs, advanced.end_positions)))
+                    conn.send(("ok", reduce_block_minima(advanced.rows, block_starts)))
                 elif command == "attach":
                     _, shm_name, local_capacity = message
                     old = views
@@ -414,8 +487,88 @@ def _shard_worker(
         conn.close()
 
 
+class _WorkerPoolBackend:
+    """Shared lifecycle of the multi-process backends.
+
+    Owns the worker pool plumbing both sharding shapes need: the start-method
+    choice, the request/reply pipes with error propagation, and the
+    close/atexit teardown of processes, parent-side views and shared blocks.
+    Subclasses populate ``_blocks``/``_views``/``_conns``/``_processes`` in
+    their constructors and call :meth:`_register_finalizer` once spawned.
+    """
+
+    def __init__(self) -> None:
+        self._closed = False
+        # fork shares the parent's pages and starts in milliseconds; fall back
+        # to the default (spawn) where fork is unavailable. Workers only need
+        # picklable arguments, so both start methods work.
+        methods = mp.get_all_start_methods()
+        self._ctx = mp.get_context("fork" if "fork" in methods else None)
+        self._blocks: List[shared_memory.SharedMemory] = []
+        self._views: List[_ShardViews] = []
+        self._conns = []
+        self._processes = []
+
+    def _register_finalizer(self) -> None:
+        # Daemon processes die with the interpreter, but the shared segments
+        # must be unlinked explicitly or they outlive the run.
+        self._finalizer = atexit.register(self.close)
+
+    def _recv(self, shard: int):
+        try:
+            status, payload = self._conns[shard].recv()
+        except EOFError:
+            raise RuntimeError(
+                f"{self.backend_name} backend worker {shard} died unexpectedly"
+            ) from None
+        if status != "ok":
+            raise RuntimeError(f"{self.backend_name} backend worker {shard} failed:\n{payload}")
+        return payload
+
+    def _request(self, shard: int, message) -> Any:
+        self._conns[shard].send(message)
+        return self._recv(shard)
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        atexit.unregister(self.close)
+        for shard, conn in enumerate(self._conns):
+            try:
+                conn.send(("stop",))
+                self._recv(shard)
+            except (OSError, RuntimeError, BrokenPipeError):
+                pass
+            finally:
+                conn.close()
+        for process in self._processes:
+            process.join(timeout=5.0)
+            if process.is_alive():  # pragma: no cover - stuck worker
+                process.terminate()
+                process.join(timeout=5.0)
+        for views in self._views:
+            try:
+                views.release()
+            except BufferError:  # pragma: no cover - stray view reference
+                pass
+        self._views.clear()
+        for block in self._blocks:
+            try:
+                block.unlink()
+            except FileNotFoundError:  # pragma: no cover - already unlinked
+                pass
+        self._blocks.clear()
+
+    def __del__(self) -> None:  # pragma: no cover - GC-order dependent
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
 @register_backend("sharded")
-class ShardedProcessBackend:
+class ShardedProcessBackend(_WorkerPoolBackend):
     """Lanes striped across a persistent pool of worker processes.
 
     Lane ``l`` lives in shard ``l % workers`` at local slot ``l // workers``,
@@ -440,7 +593,9 @@ class ShardedProcessBackend:
         config: Optional[SDTWConfig] = None,
         capacity: int = 8,
         workers: Optional[int] = None,
+        block_starts: Optional[np.ndarray] = None,
     ) -> None:
+        super().__init__()
         self.config = config if config is not None else SDTWConfig()
         self.reference_values = np.asarray(
             reference, dtype=np.int64 if self.config.quantize else np.float64
@@ -452,20 +607,10 @@ class ShardedProcessBackend:
         if workers <= 0:
             raise ValueError("workers must be positive")
         self.n_workers = int(workers)
+        self.block_starts = normalize_block_starts(block_starts, self.reference_values.size)
         self._rows_dtype, self._runs_dtype = _state_dtypes(self.config)
         self._local_capacity = max(1, ceil(capacity / self.n_workers))
-        self._closed = False
 
-        # fork shares the parent's pages and starts in milliseconds; fall back
-        # to the default (spawn) where fork is unavailable. Workers only need
-        # picklable arguments, so both start methods work.
-        methods = mp.get_all_start_methods()
-        self._ctx = mp.get_context("fork" if "fork" in methods else None)
-
-        self._blocks: List[shared_memory.SharedMemory] = []
-        self._views: List[_ShardViews] = []
-        self._conns = []
-        self._processes = []
         for shard in range(self.n_workers):
             block = self._create_block(self._local_capacity)
             views = _ShardViews(
@@ -485,6 +630,7 @@ class ShardedProcessBackend:
                     self._local_capacity,
                     self.reference_values,
                     self.config,
+                    self.block_starts,
                 ),
                 daemon=True,
                 name=f"sdtw-shard-{shard}",
@@ -495,9 +641,7 @@ class ShardedProcessBackend:
             self._views.append(views)
             self._conns.append(parent_conn)
             self._processes.append(process)
-        # Daemon processes die with the interpreter, but the shared segments
-        # must be unlinked explicitly or they outlive the run.
-        self._finalizer = atexit.register(self.close)
+        self._register_finalizer()
 
     # ----------------------------------------------------------- bookkeeping
     @property
@@ -507,6 +651,10 @@ class ShardedProcessBackend:
     @property
     def reference_length(self) -> int:
         return int(self.reference_values.size)
+
+    @property
+    def n_blocks(self) -> int:
+        return int(self.block_starts.size)
 
     def _create_block(self, local_capacity: int) -> shared_memory.SharedMemory:
         size = _ShardViews.nbytes(
@@ -519,21 +667,6 @@ class ShardedProcessBackend:
 
     def _local_of(self, lanes: np.ndarray) -> np.ndarray:
         return np.asarray(lanes, dtype=np.intp) // self.n_workers
-
-    def _recv(self, shard: int):
-        try:
-            status, payload = self._conns[shard].recv()
-        except EOFError:
-            raise RuntimeError(
-                f"sharded backend worker {shard} died unexpectedly"
-            ) from None
-        if status != "ok":
-            raise RuntimeError(f"sharded backend worker {shard} failed:\n{payload}")
-        return payload
-
-    def _request(self, shard: int, message) -> Any:
-        self._conns[shard].send(message)
-        return self._recv(shard)
 
     # ------------------------------------------------------------- lifecycle
     def allocate(self, min_capacity: int) -> None:
@@ -586,8 +719,11 @@ class ShardedProcessBackend:
                 ("advance", local[members], [queries[i] for i in members])
             )
             busy.append((int(shard), members))
-        costs = np.empty(lanes.size, dtype=np.float64 if not self.config.quantize else np.int64)
-        ends = np.empty(lanes.size, dtype=np.intp)
+        costs = np.empty(
+            (lanes.size, self.n_blocks),
+            dtype=np.float64 if not self.config.quantize else np.int64,
+        )
+        ends = np.empty((lanes.size, self.n_blocks), dtype=np.intp)
         # Every busy shard's reply must be consumed even if an earlier one
         # failed — an unread reply would desync the request/reply protocol
         # and surface as a *stale* result on the next call.
@@ -634,39 +770,343 @@ class ShardedProcessBackend:
             views.runs[local[index]] = state.runs[index]
             views.samples[local[index]] = state.samples_processed[index]
 
-    def close(self) -> None:
-        if self._closed:
-            return
-        self._closed = True
-        atexit.unregister(self.close)
-        for shard, conn in enumerate(self._conns):
-            try:
-                conn.send(("stop",))
-                self._recv(shard)
-            except (OSError, RuntimeError, BrokenPipeError):
-                pass
-            finally:
-                conn.close()
-        for process in self._processes:
-            process.join(timeout=5.0)
-            if process.is_alive():  # pragma: no cover - stuck worker
-                process.terminate()
-                process.join(timeout=5.0)
-        for views in self._views:
-            try:
-                views.release()
-            except BufferError:  # pragma: no cover - stray view reference
-                pass
-        self._views.clear()
-        for block in self._blocks:
-            try:
-                block.unlink()
-            except FileNotFoundError:  # pragma: no cover - already unlinked
-                pass
-        self._blocks.clear()
 
-    def __del__(self) -> None:  # pragma: no cover - GC-order dependent
+# -------------------------------------------------------- column-sharded backend
+def _column_worker(
+    conn,
+    shm_name: str,
+    capacity: int,
+    reference: np.ndarray,
+    config: SDTWConfig,
+    tile_start: int,
+    tile_end: int,
+    block_starts: np.ndarray,
+) -> None:
+    """Worker loop owning one contiguous column tile for **all** lanes.
+
+    Every advance request carries the tile's left halo — the last
+    ``max(chunk)`` columns of the pre-advance state to the tile's left, read
+    from shared memory by the parent before any worker starts writing. The
+    worker re-runs the wavefront over ``[halo_start, tile_end)`` and keeps
+    only its own columns; because information moves at most one column per
+    query step, those columns are bit-identical to the untiled advance.
+    """
+    rows_dtype, runs_dtype = _state_dtypes(config)
+    tile_width = tile_end - tile_start
+    views = _ShardViews(_attach_shm(shm_name), capacity, tile_width, rows_dtype, runs_dtype)
+    int32_rows = rows_dtype == np.dtype(np.int32)
+    try:
+        while True:
+            message = conn.recv()
+            command = message[0]
+            try:
+                if command == "advance":
+                    _, lanes, queries, halo_rows, halo_runs, halo_start = message
+                    rows = views.rows[lanes]
+                    runs = views.runs[lanes]
+                    if halo_start < tile_start:
+                        rows = np.concatenate([halo_rows, rows], axis=1)
+                        runs = np.concatenate([halo_runs, runs], axis=1)
+                    state = BatchSDTWState(
+                        rows=rows, runs=runs, samples_processed=views.samples[lanes]
+                    )
+                    sub_starts = tile_block_starts(block_starts, halo_start, tile_end)
+                    advanced = sdtw_resume_batch(
+                        queries,
+                        reference[halo_start:tile_end],
+                        config,
+                        state=state,
+                        track_runs=False,
+                        block_starts=sub_starts,
+                    )
+                    keep = tile_start - halo_start
+                    tile_rows = advanced.rows[:, keep:]
+                    if int32_rows:
+                        _check_int32_rows(tile_rows)
+                    views.rows[lanes] = tile_rows
+                    views.runs[lanes] = advanced.runs[:, keep:]
+                    views.samples[lanes] = advanced.samples_processed
+                    conn.send(("ok", _tile_block_minima(
+                        tile_rows, tile_start, tile_end, block_starts, reference.size
+                    )))
+                elif command == "attach":
+                    _, shm_name, capacity = message
+                    old = views
+                    views = _ShardViews(
+                        _attach_shm(shm_name), capacity, tile_width, rows_dtype, runs_dtype
+                    )
+                    old.release()
+                    conn.send(("ok", None))
+                elif command == "stop":
+                    conn.send(("ok", None))
+                    return
+                else:  # pragma: no cover - protocol violation
+                    raise ValueError(f"unknown column-shard command {command!r}")
+            except Exception:
+                conn.send(("error", traceback.format_exc()))
+    except (EOFError, KeyboardInterrupt):  # pragma: no cover - parent died
+        return
+    finally:
         try:
-            self.close()
-        except Exception:
+            views.release()
+        except BufferError:  # pragma: no cover - stray view reference
             pass
+        conn.close()
+
+
+def _tile_block_minima(
+    tile_rows: np.ndarray,
+    tile_start: int,
+    tile_end: int,
+    block_starts: np.ndarray,
+    reference_length: int,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-block partial minima of one tile's advanced rows.
+
+    Blocks not overlapping the tile report the dtype's 'never wins' sentinel
+    so the parent's strictly-smaller merge keeps the leftmost argmin — the
+    tie-breaking :func:`np.argmin` uses over the full row. ``ends`` are
+    block-local, matching :func:`reduce_block_minima`.
+    """
+    n_lanes = tile_rows.shape[0]
+    n_blocks = block_starts.size
+    sentinel = (
+        np.iinfo(np.int64).max
+        if np.issubdtype(tile_rows.dtype, np.integer)
+        else np.inf
+    )
+    bounds = np.append(block_starts, reference_length)
+    costs = np.full((n_lanes, n_blocks), sentinel, dtype=tile_rows.dtype)
+    ends = np.zeros((n_lanes, n_blocks), dtype=np.intp)
+    for block in range(n_blocks):
+        overlap_start = max(int(bounds[block]), tile_start)
+        overlap_end = min(int(bounds[block + 1]), tile_end)
+        if overlap_start >= overlap_end:
+            continue
+        segment = tile_rows[:, overlap_start - tile_start : overlap_end - tile_start]
+        local = np.argmin(segment, axis=1)
+        costs[:, block] = segment[np.arange(n_lanes), local]
+        ends[:, block] = local + (overlap_start - int(bounds[block]))
+    return costs, ends
+
+
+@register_backend("colsharded")
+class ColumnShardedBackend(_WorkerPoolBackend):
+    """Reference **columns** striped across a persistent worker pool.
+
+    The dual of :class:`ShardedProcessBackend`: every worker holds *all*
+    lanes but only a contiguous tile of the reference columns, so a workload
+    with one (or few) channels against a genome-scale reference — where lane
+    striping has nothing to distribute — still engages every core. Tiles are
+    an equal contiguous partition of the concatenated panel column space;
+    ragged panel targets simply fall across tile boundaries, since panel
+    block boundaries and tile boundaries are independent.
+
+    Per round the parent snapshots each tile's left halo (the last
+    ``max(chunk)`` pre-advance columns, a parent-side shared-memory read)
+    **before** dispatching any work, sends every worker its chunks + halo,
+    and merges the returned per-target partial minima left to right —
+    strictly-smaller updates, so ties resolve to the leftmost column exactly
+    like ``np.argmin`` over the full row. Rows never cross a pipe;
+    ``gather``/``scatter``/``reset`` are parent-side column-slice reads and
+    writes across the tiles.
+    """
+
+    backend_name = "colsharded"
+
+    def __init__(
+        self,
+        reference: np.ndarray,
+        config: Optional[SDTWConfig] = None,
+        capacity: int = 8,
+        workers: Optional[int] = None,
+        block_starts: Optional[np.ndarray] = None,
+    ) -> None:
+        super().__init__()
+        self.config = config if config is not None else SDTWConfig()
+        self.reference_values = np.asarray(
+            reference, dtype=np.int64 if self.config.quantize else np.float64
+        )
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if workers is None:
+            workers = max(1, min(8, (os.cpu_count() or 2) - 1))
+        if workers <= 0:
+            raise ValueError("workers must be positive")
+        # A tile must hold at least one column.
+        self.n_workers = int(min(workers, self.reference_values.size))
+        self.block_starts = normalize_block_starts(block_starts, self.reference_values.size)
+        self._rows_dtype, self._runs_dtype = _state_dtypes(self.config)
+        self._capacity = int(capacity)
+
+        # Equal contiguous column tiles (the last one may be narrower).
+        edges = np.linspace(0, self.reference_values.size, self.n_workers + 1, dtype=np.int64)
+        self._tiles: List[Tuple[int, int]] = [
+            (int(edges[i]), int(edges[i + 1])) for i in range(self.n_workers)
+        ]
+
+        for shard, (tile_start, tile_end) in enumerate(self._tiles):
+            block = self._create_block(self._capacity, tile_end - tile_start)
+            views = _ShardViews(
+                block, self._capacity, tile_end - tile_start, self._rows_dtype, self._runs_dtype
+            )
+            views.initialize()
+            parent_conn, worker_conn = self._ctx.Pipe()
+            process = self._ctx.Process(
+                target=_column_worker,
+                args=(
+                    worker_conn,
+                    block.name,
+                    self._capacity,
+                    self.reference_values,
+                    self.config,
+                    tile_start,
+                    tile_end,
+                    self.block_starts,
+                ),
+                daemon=True,
+                name=f"sdtw-coltile-{shard}",
+            )
+            process.start()
+            worker_conn.close()
+            self._blocks.append(block)
+            self._views.append(views)
+            self._conns.append(parent_conn)
+            self._processes.append(process)
+        self._register_finalizer()
+
+    # ----------------------------------------------------------- bookkeeping
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def reference_length(self) -> int:
+        return int(self.reference_values.size)
+
+    @property
+    def n_blocks(self) -> int:
+        return int(self.block_starts.size)
+
+    def _create_block(self, capacity: int, tile_width: int) -> shared_memory.SharedMemory:
+        size = _ShardViews.nbytes(capacity, tile_width, self._rows_dtype, self._runs_dtype)
+        return shared_memory.SharedMemory(create=True, size=size)
+
+    def _halo_columns(
+        self, lanes: np.ndarray, column_start: int, column_end: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Copy pre-advance state columns ``[column_start, column_end)``.
+
+        The range may span several tiles (a chunk longer than a tile width);
+        pieces are assembled from the parent-side views.
+        """
+        width = column_end - column_start
+        rows = np.empty((lanes.size, width), dtype=self._rows_dtype)
+        runs = np.empty((lanes.size, width), dtype=self._runs_dtype)
+        for (tile_start, tile_end), views in zip(self._tiles, self._views):
+            piece_start = max(tile_start, column_start)
+            piece_end = min(tile_end, column_end)
+            if piece_start >= piece_end:
+                continue
+            destination = slice(piece_start - column_start, piece_end - column_start)
+            source = slice(piece_start - tile_start, piece_end - tile_start)
+            # Column-slice first (a view), then lane-index: copies only the
+            # halo-wide window, not the whole (lanes, tile_width) tile.
+            rows[:, destination] = views.rows[:, source][lanes]
+            runs[:, destination] = views.runs[:, source][lanes]
+        return rows, runs
+
+    # ------------------------------------------------------------- lifecycle
+    def allocate(self, min_capacity: int) -> None:
+        if self._closed:
+            raise RuntimeError("backend is closed")
+        if min_capacity <= self._capacity:
+            return
+        for shard, (tile_start, tile_end) in enumerate(self._tiles):
+            width = tile_end - tile_start
+            block = self._create_block(min_capacity, width)
+            views = _ShardViews(block, min_capacity, width, self._rows_dtype, self._runs_dtype)
+            views.initialize()
+            old = self._views[shard]
+            views.rows[: self._capacity] = old.rows
+            views.runs[: self._capacity] = old.runs
+            views.samples[: self._capacity] = old.samples
+            self._request(shard, ("attach", block.name, min_capacity))
+            old_block = old.block
+            old.release()
+            old_block.unlink()
+            self._blocks[shard] = block
+            self._views[shard] = views
+        self._capacity = int(min_capacity)
+
+    def reset(self, lanes: np.ndarray) -> None:
+        lanes = np.asarray(lanes, dtype=np.intp)
+        # Every tile holds a column slice of each lane; samples are replicated
+        # per tile, so all of them reset together.
+        for views in self._views:
+            views.initialize(lanes)
+
+    def advance(
+        self, lanes: np.ndarray, queries: Sequence[np.ndarray]
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        if self._closed:
+            raise RuntimeError("backend is closed")
+        lanes = np.asarray(lanes, dtype=np.intp)
+        halo_width = max((int(np.asarray(query).size) for query in queries), default=0)
+        # Snapshot every halo BEFORE dispatching: workers write their tiles
+        # concurrently, and a halo must be the pre-advance state.
+        requests = []
+        for tile_start, tile_end in self._tiles:
+            halo_start = tile_halo_start(self.block_starts, tile_start, halo_width)
+            if halo_start < tile_start:
+                halo_rows, halo_runs = self._halo_columns(lanes, halo_start, tile_start)
+            else:
+                halo_rows = halo_runs = None
+            requests.append(("advance", lanes, queries, halo_rows, halo_runs, halo_start))
+        for shard, request in enumerate(requests):
+            self._conns[shard].send(request)
+
+        costs = np.full(
+            (lanes.size, self.n_blocks),
+            np.iinfo(np.int64).max if self.config.quantize else np.inf,
+            dtype=np.int64 if self.config.quantize else np.float64,
+        )
+        ends = np.zeros((lanes.size, self.n_blocks), dtype=np.intp)
+        # Consume every reply even if an earlier shard failed (protocol sync),
+        # merging partial minima in tile order: strictly-smaller wins, so a
+        # tie keeps the leftmost tile — np.argmin's tie-breaking.
+        errors: List[Exception] = []
+        for shard in range(self.n_workers):
+            try:
+                tile_costs, tile_ends = self._recv(shard)
+            except RuntimeError as error:
+                errors.append(error)
+                continue
+            better = tile_costs < costs
+            costs[better] = tile_costs[better]
+            ends[better] = tile_ends[better]
+        if errors:
+            # Tiles that succeeded already applied the round; the failed
+            # tiles did not. The state is undefined for this round's lanes.
+            raise errors[0]
+        return costs, ends
+
+    def gather(self, lanes: np.ndarray) -> BatchSDTWState:
+        lanes = np.asarray(lanes, dtype=np.intp)
+        rows = np.empty(
+            (lanes.size, self.reference_length),
+            dtype=np.int64 if self.config.quantize else np.float64,
+        )
+        runs = np.empty((lanes.size, self.reference_length), dtype=np.int64)
+        for (tile_start, tile_end), views in zip(self._tiles, self._views):
+            rows[:, tile_start:tile_end] = views.rows[lanes]
+            runs[:, tile_start:tile_end] = views.runs[lanes]
+        samples = np.asarray(self._views[0].samples[lanes], dtype=np.int64)
+        return BatchSDTWState(rows=rows, runs=runs, samples_processed=samples)
+
+    def scatter(self, lanes: np.ndarray, state: BatchSDTWState) -> None:
+        lanes = np.asarray(lanes, dtype=np.intp)
+        for (tile_start, tile_end), views in zip(self._tiles, self._views):
+            views.rows[lanes] = state.rows[:, tile_start:tile_end]
+            views.runs[lanes] = state.runs[:, tile_start:tile_end]
+            views.samples[lanes] = state.samples_processed

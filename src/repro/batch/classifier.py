@@ -25,6 +25,7 @@ from repro.batch.backends import ExecutionBackend
 from repro.batch.engine import BatchSDTWEngine
 from repro.core.config import SDTWConfig
 from repro.core.normalization import NormalizationConfig, SignalNormalizer
+from repro.core.panel import TargetPanel
 from repro.core.reference import ReferenceSquiggle
 from repro.core.thresholds import choose_threshold
 from repro.pipeline.api import ACCEPT, DEFAULT_HARDWARE_LATENCY_S, EJECT, Action
@@ -36,18 +37,23 @@ __all__ = ["BatchSquiggleClassifier"]
 class BatchSquiggleClassifier:
     """Single-stage sDTW classifier that advances all channels in lockstep.
 
-    ``backend`` / ``backend_options`` select the execution backend the
-    engine advances lanes on (``"numpy"`` in-process, ``"sharded"`` across a
-    worker-process pool — see :mod:`repro.batch.backends`); decisions are
-    bit-identical whichever backend runs. Call :meth:`close` (or use the
-    classifier as a context manager) to release a sharded backend's workers.
+    ``reference`` may be one :class:`ReferenceSquiggle` or a multi-target
+    :class:`TargetPanel`: with a panel, every chunk round scores all targets
+    in the same wavefront and terminal actions carry the per-target argmin
+    (``Action.target`` / ``Action.target_costs``). ``backend`` /
+    ``backend_options`` select the execution backend the engine advances
+    lanes on (``"numpy"`` in-process, ``"sharded"`` lanes across a
+    worker-process pool, ``"colsharded"`` reference columns across the pool —
+    see :mod:`repro.batch.backends`); decisions are bit-identical whichever
+    backend runs. Call :meth:`close` (or use the classifier as a context
+    manager) to release a multi-process backend's workers.
     """
 
     supports_chunk_batching = True
 
     def __init__(
         self,
-        reference: ReferenceSquiggle,
+        reference: Union[ReferenceSquiggle, TargetPanel],
         config: Optional[SDTWConfig] = None,
         normalization: Optional[NormalizationConfig] = None,
         threshold: Optional[float] = None,
@@ -59,16 +65,17 @@ class BatchSquiggleClassifier:
     ) -> None:
         if prefix_samples <= 0:
             raise ValueError(f"prefix_samples must be positive, got {prefix_samples}")
-        self.reference = reference
+        self.panel = TargetPanel.coerce(reference)
+        self.reference = self.panel.primary
         self.config = config if config is not None else SDTWConfig.hardware()
         self.normalization = (
-            normalization if normalization is not None else reference.normalization
+            normalization if normalization is not None else self.panel.normalization
         )
         self.normalizer = SignalNormalizer(self.normalization)
         self.threshold = threshold
         self.prefix_samples = int(prefix_samples)
         self.engine = BatchSDTWEngine(
-            reference.values(quantized=self.config.quantize),
+            self.panel,
             self.config,
             backend=backend,
             backend_options=backend_options,
@@ -151,6 +158,8 @@ class BatchSquiggleClassifier:
                     stage=0,
                     threshold=float(self.threshold),
                     end_position=int(snapshot.end_position),
+                    target=snapshot.target,
+                    target_costs=snapshot.target_costs,
                 )
             )
         return actions
@@ -185,9 +194,7 @@ class BatchSquiggleClassifier:
             raise ValueError("cannot classify an empty signal")
         # Calibration always runs in-process: backends are bit-identical per
         # lane, and a one-shot sweep should not spin up a second worker pool.
-        with BatchSDTWEngine(
-            self.engine.reference_values, self.config, backend="numpy"
-        ) as engine:
+        with BatchSDTWEngine(self.panel, self.config, backend="numpy") as engine:
             costs: Dict[int, float] = {}
             offset = 0
             while len(costs) < len(signals):

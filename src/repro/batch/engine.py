@@ -36,6 +36,8 @@ import numpy as np
 
 from repro.batch.backends import ExecutionBackend, create_backend
 from repro.core.config import SDTWConfig
+from repro.core.panel import TargetPanel
+from repro.core.reference import ReferenceSquiggle
 from repro.core.sdtw import SDTWState
 
 __all__ = ["BatchRound", "BatchSDTWEngine", "LaneSnapshot"]
@@ -57,12 +59,23 @@ class BatchRound:
 
 @dataclass(frozen=True)
 class LaneSnapshot:
-    """One lane's alignment progress after a step."""
+    """One lane's alignment progress after a step.
+
+    ``cost``/``end_position`` describe the best-matching panel target
+    (``target`` names it; ties go to the first target in panel order, the
+    same tie-breaking ``np.argmin`` applies within a row). ``target_costs``
+    and ``target_ends`` carry the full per-target breakdown, ordered like the
+    panel — for a single-reference engine they are 1-tuples and ``cost`` is
+    exactly the pre-panel behaviour.
+    """
 
     key: Hashable
     cost: float
     end_position: int
     samples_processed: int
+    target: Optional[str] = None
+    target_costs: Tuple[float, ...] = ()
+    target_ends: Tuple[int, ...] = ()
 
     @property
     def per_sample_cost(self) -> float:
@@ -75,8 +88,12 @@ class BatchSDTWEngine:
     Parameters
     ----------
     reference:
-        The reference squiggle values on the kernel's scale — quantized
-        integers for a quantized config, normalized floats otherwise
+        What to align against: a :class:`~repro.core.panel.TargetPanel`
+        (N named targets advanced in one wavefront, per-target costs
+        reduced every round), a :class:`~repro.core.reference.ReferenceSquiggle`
+        (coerced to a 1-entry panel), or raw reference values on the
+        kernel's scale — quantized integers for a quantized config,
+        normalized floats otherwise
         (``ReferenceSquiggle.values(quantized=config.quantize)``).
     config:
         Kernel configuration; must use the resumable no-reference-deletion
@@ -111,16 +128,33 @@ class BatchSDTWEngine:
         if initial_capacity <= 0:
             raise ValueError("initial_capacity must be positive")
         dtype = np.int64 if self.config.quantize else np.float64
-        self.reference_values = np.asarray(reference, dtype=dtype)
+        if isinstance(reference, ReferenceSquiggle):
+            reference = TargetPanel.single(reference)
+        if isinstance(reference, TargetPanel):
+            self.panel: Optional[TargetPanel] = reference
+            self.reference_values = np.asarray(
+                reference.values(quantized=self.config.quantize), dtype=dtype
+            )
+            self.target_names: Tuple[str, ...] = reference.names
+            self._block_starts = reference.offsets
+        else:
+            self.panel = None
+            self.reference_values = np.asarray(reference, dtype=dtype)
+            self.target_names = ("target",)
+            self._block_starts = None
         if self.reference_values.ndim != 1 or self.reference_values.size == 0:
             raise ValueError("reference must be a non-empty 1-D array")
+        n_targets = len(self.target_names)
         if isinstance(backend, str):
+            options = dict(backend_options or {})
+            if self._block_starts is not None:
+                options.setdefault("block_starts", self._block_starts)
             self._backend = create_backend(
                 backend,
                 self.reference_values,
                 self.config,
                 initial_capacity,
-                **dict(backend_options or {}),
+                **options,
             )
             self._owns_backend = True
         else:
@@ -131,6 +165,11 @@ class BatchSDTWEngine:
                     f"backend holds a {backend.reference_length}-sample reference "
                     f"but the engine was given {self.reference_values.size} samples"
                 )
+            if getattr(backend, "n_blocks", 1) != n_targets:
+                raise ValueError(
+                    f"backend reduces {getattr(backend, 'n_blocks', 1)} panel blocks "
+                    f"but the engine serves {n_targets} targets"
+                )
             self._backend = backend
             self._owns_backend = False
         capacity = self._backend.capacity
@@ -138,9 +177,10 @@ class BatchSDTWEngine:
         self._free: List[int] = list(range(capacity - 1, -1, -1))
         # Decision-relevant scalars cached lane-manager-side so snapshots and
         # progress queries never round-trip to the backend: `advance` returns
-        # them every round and `reset` re-zeroes them.
-        self._costs = np.zeros(capacity, dtype=np.float64)
-        self._ends = np.zeros(capacity, dtype=np.intp)
+        # them every round and `reset` re-zeroes them. One column per panel
+        # target; the best-target view is reduced on demand.
+        self._costs = np.zeros((capacity, n_targets), dtype=np.float64)
+        self._ends = np.zeros((capacity, n_targets), dtype=np.intp)
         self._samples = np.zeros(capacity, dtype=np.int64)
         self.rounds: List[BatchRound] = []
         self._n_polls = 0
@@ -159,6 +199,11 @@ class BatchSDTWEngine:
         return self._backend.capacity
 
     @property
+    def n_targets(self) -> int:
+        """Panel targets this engine classifies against (1 for a plain reference)."""
+        return len(self.target_names)
+
+    @property
     def n_active(self) -> int:
         return len(self._lane_of)
 
@@ -173,10 +218,10 @@ class BatchSDTWEngine:
         self._backend.allocate(old_capacity * 2)
         capacity = self._backend.capacity
         self._free.extend(range(capacity - 1, old_capacity - 1, -1))
-        grown = np.zeros(capacity, dtype=np.float64)
+        grown = np.zeros((capacity, self.n_targets), dtype=np.float64)
         grown[:old_capacity] = self._costs
         self._costs = grown
-        grown_ends = np.zeros(capacity, dtype=np.intp)
+        grown_ends = np.zeros((capacity, self.n_targets), dtype=np.intp)
         grown_ends[:old_capacity] = self._ends
         self._ends = grown_ends
         grown_samples = np.zeros(capacity, dtype=np.int64)
@@ -207,15 +252,22 @@ class BatchSDTWEngine:
         """Query samples consumed so far by ``key``'s alignment."""
         return int(self._samples[self._lane_of[key]])
 
-    def snapshot(self, key: Hashable) -> LaneSnapshot:
-        """Current cost/end-position of one active lane."""
-        lane = self._lane_of[key]
+    def _lane_snapshot(self, key: Hashable, lane: int) -> LaneSnapshot:
+        lane_costs = self._costs[lane]
+        best = int(np.argmin(lane_costs))  # ties: first target in panel order
         return LaneSnapshot(
             key=key,
-            cost=float(self._costs[lane]),
-            end_position=int(self._ends[lane]),
+            cost=float(lane_costs[best]),
+            end_position=int(self._ends[lane, best]),
             samples_processed=int(self._samples[lane]),
+            target=self.target_names[best],
+            target_costs=tuple(float(cost) for cost in lane_costs),
+            target_ends=tuple(int(end) for end in self._ends[lane]),
         )
+
+    def snapshot(self, key: Hashable) -> LaneSnapshot:
+        """Current cost/end-position of one active lane (best panel target)."""
+        return self._lane_snapshot(key, self._lane_of[key])
 
     def state_of(self, key: Hashable) -> SDTWState:
         """Scalar :class:`SDTWState` view of one lane (tests / interop)."""
@@ -264,12 +316,7 @@ class BatchSDTWEngine:
         self._samples[lanes] += lengths
 
         return {
-            key: LaneSnapshot(
-                key=key,
-                cost=float(costs[index]),
-                end_position=int(ends[index]),
-                samples_processed=int(self._samples[lanes[index]]),
-            )
+            key: self._lane_snapshot(key, int(lanes[index]))
             for index, key in enumerate(keys)
         }
 

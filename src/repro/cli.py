@@ -14,9 +14,13 @@ Five subcommands cover the library's main workflows without writing Python:
   with any registered streaming classifier (``--classifier`` picks one from
   :func:`repro.pipeline.api.available_classifiers`); ``--batch`` switches the
   squigglefilter onto the batched wavefront engine, classifying every
-  undecided channel of a polling round in one vectorized sDTW advance, and
-  ``--backend {numpy,sharded}`` (with ``--workers N``) picks the execution
-  backend that engine advances lanes on.
+  undecided channel of a polling round in one vectorized sDTW advance;
+  ``--backend`` (choices generated from
+  :func:`repro.batch.available_backends`, with ``--workers N`` for the
+  multi-process backends) picks the execution backend that engine runs on;
+  and ``--target-panel N`` screens N synthesized viral targets at once
+  through one :class:`~repro.core.panel.TargetPanel`, reporting per-target
+  accept counts.
 
 The CLI is intentionally thin: it parses arguments, calls the same public API
 the examples use, and prints human-readable reports via
@@ -32,6 +36,7 @@ from typing import List, Optional, Sequence
 from repro.analysis.metrics import confusion_from_labels
 from repro.analysis.report import format_table
 from repro.core.filter import MultiStageSquiggleFilter, SquiggleFilter
+from repro.core.panel import TargetPanel
 from repro.core.reference import ReferenceSquiggle
 from repro.core.thresholds import choose_threshold
 from repro.genomes.sequences import random_genome
@@ -117,17 +122,31 @@ def build_parser() -> argparse.ArgumentParser:
         "--backend",
         choices=available_backends(),
         default=None,
-        help="execution backend for the batched wavefront engine: 'numpy' "
-        "advances all lanes in-process, 'sharded' stripes them across a "
-        "worker-process pool (implies the batch classifier; decisions are "
-        "identical either way)",
+        help="execution backend for the batched wavefront engine (choices "
+        "come straight from the backend registry): 'numpy' advances all "
+        "lanes in-process, 'sharded' stripes lanes across a worker-process "
+        "pool, 'colsharded' stripes reference columns across the pool for "
+        "genome-scale references (implies the batch classifier; decisions "
+        "are identical whichever backend runs)",
     )
     read_until.add_argument(
         "--workers",
         type=int,
         default=None,
-        help="worker processes for the sharded backend (requires "
-        "--backend sharded; default: one per spare core, capped at 8)",
+        help="worker processes for the multi-process backends (requires "
+        "--backend sharded or colsharded; default: one per spare core, "
+        "capped at 8)",
+    )
+    read_until.add_argument(
+        "--target-panel",
+        type=int,
+        default=None,
+        metavar="N",
+        help="screen N synthesized viral targets at once through one "
+        "TargetPanel (lengths staggered around --target-length); the "
+        "session classifies every read against all members in one "
+        "wavefront and reports per-target accepts (squigglefilter "
+        "family only; implies the batch classifier)",
     )
     read_until.add_argument("--target-length", type=int, default=2400)
     read_until.add_argument("--background-length", type=int, default=16000)
@@ -261,11 +280,36 @@ def _command_classify(args: argparse.Namespace) -> int:
 
 def _command_read_until(args: argparse.Namespace) -> int:
     kmer_model = KmerModel()
-    target = random_genome(args.target_length, seed=args.seed)
     background = random_genome(args.background_length, seed=args.seed + 1)
-    mixture = SpecimenMixture.two_component(
-        "target", target, "background", background, args.viral_fraction
-    )
+    panel_genomes = None
+    if args.target_panel:
+        if args.target_panel < 2:
+            print("--target-panel needs at least 2 targets", file=sys.stderr)
+            return 2
+        # Staggered lengths exercise ragged panel members deliberately.
+        factors = (1.0, 0.6, 1.4, 0.8, 1.2, 0.7, 1.3, 0.9)
+        panel_genomes = {
+            f"virus{index + 1}": random_genome(
+                max(300, int(args.target_length * factors[index % len(factors)])),
+                seed=args.seed + 101 * (index + 1),
+            )
+            for index in range(args.target_panel)
+        }
+        per_member = args.viral_fraction / args.target_panel
+        mixture = SpecimenMixture(
+            genomes={**panel_genomes, "background": background},
+            fractions={
+                **{name: per_member for name in panel_genomes},
+                "background": 1.0 - args.viral_fraction,
+            },
+            target_names=tuple(panel_genomes),
+        )
+        target = next(iter(panel_genomes.values()))
+    else:
+        target = random_genome(args.target_length, seed=args.seed)
+        mixture = SpecimenMixture.two_component(
+            "target", target, "background", background, args.viral_fraction
+        )
     generator = ReadGenerator(
         mixture,
         kmer_model=kmer_model,
@@ -295,18 +339,28 @@ def _command_read_until(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
-    if args.workers is not None and args.backend != "sharded":
-        print("--workers requires --backend sharded", file=sys.stderr)
+    if args.target_panel and args.classifier not in squigglefilter_family:
+        print(
+            "--target-panel requires the squigglefilter classifier "
+            f"(got {args.classifier!r})",
+            file=sys.stderr,
+        )
+        return 2
+    if args.workers is not None and args.backend not in ("sharded", "colsharded"):
+        print("--workers requires --backend sharded or colsharded", file=sys.stderr)
         return 2
     use_batch_classifier = args.classifier == "batch_squigglefilter" or (
         args.classifier == "squigglefilter"
-        and (args.batch is True or args.backend is not None)
+        and (args.batch is True or args.backend is not None or panel_genomes is not None)
     )
     if use_batch_classifier:
         # The batched classifier normalizes per chunk, so its threshold is
         # calibrated on the same chunk geometry the session will stream at.
         classifier_name = "batch_squigglefilter"
-        reference = ReferenceSquiggle.from_genome(target, kmer_model=kmer_model)
+        if panel_genomes is not None:
+            reference = TargetPanel.from_genomes(panel_genomes, kmer_model=kmer_model)
+        else:
+            reference = ReferenceSquiggle.from_genome(target, kmer_model=kmer_model)
         helper = create_classifier(
             "batch_squigglefilter", reference=reference, prefix_samples=args.prefix_samples
         )
@@ -380,6 +434,10 @@ def _command_read_until(args: argparse.Namespace) -> int:
         rows.append({"metric": "backend", "value": result.streaming.get("backend", "numpy")})
         rows.append({"metric": "batch_rounds", "value": len(result.streaming["batch_occupancy"])})
         rows.append({"metric": "peak_batch_lanes", "value": result.streaming["peak_batch_lanes"]})
+    if panel_genomes is not None:
+        accepts = result.streaming.get("per_target_accepts", {})
+        for name in panel_genomes:
+            rows.append({"metric": f"accepts[{name}]", "value": accepts.get(name, 0)})
     print(format_table(rows))
     return 0
 

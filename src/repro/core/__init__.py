@@ -10,11 +10,13 @@ from repro.core.filter import (
     build_default_filter,
 )
 from repro.core.normalization import NormalizationConfig, SignalNormalizer
-from repro.core.panel import PanelDecision, ReferencePanelFilter
+from repro.core.panel import PanelDecision, ReferencePanelFilter, TargetPanel
 from repro.core.reference import ReferenceSquiggle
 from repro.core.sdtw import (
     BatchSDTWState,
     SDTWState,
+    normalize_block_starts,
+    reduce_block_minima,
     sdtw_cost,
     sdtw_cost_matrix,
     sdtw_last_row,
@@ -38,9 +40,12 @@ __all__ = [
     "SDTWState",
     "SignalNormalizer",
     "SquiggleFilter",
+    "TargetPanel",
     "ThresholdSweepResult",
     "build_default_filter",
     "choose_threshold",
+    "normalize_block_starts",
+    "reduce_block_minima",
     "dtw_cost",
     "dtw_path",
     "sdtw_cost",

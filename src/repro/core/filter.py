@@ -15,7 +15,7 @@ sequencing while low-confidence reads get more signal before the decision.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Any, List, Mapping, Optional, Sequence, Union
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -23,6 +23,7 @@ from repro.batch.backends import ExecutionBackend, create_backend
 from repro.batch.engine import BatchSDTWEngine
 from repro.core.config import SDTWConfig
 from repro.core.normalization import NormalizationConfig, SignalNormalizer
+from repro.core.panel import TargetPanel
 from repro.core.reference import ReferenceSquiggle
 from repro.core.sdtw import SDTWResult, sdtw_cost
 from repro.core.thresholds import choose_threshold
@@ -40,7 +41,11 @@ class FilterDecision:
     ``samples_used`` is how much signal was examined before the decision,
     which drives the Read Until runtime model. ``stage`` is the index of the
     multi-stage filter stage that made the decision (0 for a single-stage
-    filter).
+    filter). With a multi-target :class:`~repro.core.panel.TargetPanel`,
+    ``target`` names the best-matching panel member (the per-target argmin;
+    ties go to the first member in panel order) and ``target_costs`` carries
+    every member's cost in panel order; ``cost``/``end_position`` describe
+    the best member, the end position local to that member's own reference.
     """
 
     accept: bool
@@ -50,6 +55,8 @@ class FilterDecision:
     threshold: float
     end_position: int
     stage: int = 0
+    target: Optional[str] = None
+    target_costs: Tuple[float, ...] = ()
 
 
 @dataclass(frozen=True)
@@ -65,11 +72,18 @@ class FilterStage:
 
 
 class SquiggleFilter:
-    """Single-stage squiggle-level Read Until classifier."""
+    """Single-stage squiggle-level Read Until classifier.
+
+    ``reference`` may be one :class:`ReferenceSquiggle` or a multi-target
+    :class:`TargetPanel`; a single reference is coerced to a 1-entry panel,
+    so the panel path *is* the single-target path. With N targets, one
+    alignment pass scores every member and the decision carries the
+    per-target argmin (:attr:`FilterDecision.target`).
+    """
 
     def __init__(
         self,
-        reference: ReferenceSquiggle,
+        reference: Union[ReferenceSquiggle, TargetPanel],
         config: Optional[SDTWConfig] = None,
         normalization: Optional[NormalizationConfig] = None,
         threshold: Optional[float] = None,
@@ -77,18 +91,25 @@ class SquiggleFilter:
     ) -> None:
         if prefix_samples <= 0:
             raise ValueError(f"prefix_samples must be positive, got {prefix_samples}")
-        self.reference = reference
+        self.panel = TargetPanel.coerce(reference)
+        # Legacy accessor: the (first) reference squiggle.
+        self.reference = self.panel.primary
         self.config = config if config is not None else SDTWConfig.hardware()
         self.normalization = (
-            normalization if normalization is not None else reference.normalization
+            normalization if normalization is not None else self.panel.normalization
         )
         self.normalizer = SignalNormalizer(self.normalization)
         self.threshold = threshold
         self.prefix_samples = prefix_samples
-        # The reference profile never changes after construction; resolving it
-        # once keeps classify_batch and calibration sweeps off the attribute
-        # lookup in every alignment() call.
-        self._reference_values = self.reference.values(quantized=self.config.quantize)
+        # The panel profile never changes after construction; resolving the
+        # concatenated column space and the per-target views once keeps
+        # classify_batch and calibration sweeps off the attribute lookup in
+        # every alignment() call.
+        self._reference_values = self.panel.values(quantized=self.config.quantize)
+        self._target_values = [
+            self.panel.reference_for(name).values(quantized=self.config.quantize)
+            for name in self.panel.names
+        ]
 
     # ------------------------------------------------------------------ costs
     def prepare_query(self, raw_signal: np.ndarray, prefix_samples: Optional[int] = None) -> np.ndarray:
@@ -103,10 +124,31 @@ class SquiggleFilter:
             return self.normalizer.quantize(normalized)
         return normalized
 
-    def alignment(self, raw_signal: np.ndarray, prefix_samples: Optional[int] = None) -> SDTWResult:
-        """Align a read prefix against the reference squiggle."""
+    def target_alignments(
+        self, raw_signal: np.ndarray, prefix_samples: Optional[int] = None
+    ) -> Dict[str, SDTWResult]:
+        """Align one read prefix against every panel member independently.
+
+        This is the scalar reference semantics of panel mode: each member is
+        scored exactly as a standalone single-reference filter would score it
+        (the batched engine reproduces these values bit for bit through the
+        concatenated column space).
+        """
         query = self.prepare_query(raw_signal, prefix_samples)
-        return sdtw_cost(query, self._reference_values, self.config)
+        return {
+            name: sdtw_cost(query, values, self.config)
+            for name, values in zip(self.panel.names, self._target_values)
+        }
+
+    def alignment(self, raw_signal: np.ndarray, prefix_samples: Optional[int] = None) -> SDTWResult:
+        """Align a read prefix; with a panel, the best-matching member's result."""
+        if self.panel.n_targets == 1:
+            query = self.prepare_query(raw_signal, prefix_samples)
+            return sdtw_cost(query, self._reference_values, self.config)
+        alignments = self.target_alignments(raw_signal, prefix_samples)
+        # min() keeps the first minimal entry; dict order is panel order, so
+        # ties break like the engine's per-target argmin.
+        return alignments[min(alignments, key=lambda name: alignments[name].cost)]
 
     def cost(self, raw_signal: np.ndarray, prefix_samples: Optional[int] = None) -> float:
         """Alignment cost only (convenience for sweeps and distributions)."""
@@ -134,7 +176,9 @@ class SquiggleFilter:
                 "no threshold configured; call calibrate() or pass threshold explicitly"
             )
         used = prefix_samples if prefix_samples is not None else self.prefix_samples
-        result = self.alignment(raw_signal, used)
+        alignments = self.target_alignments(raw_signal, used)
+        best = min(alignments, key=lambda name: alignments[name].cost)
+        result = alignments[best]
         samples_used = min(int(np.asarray(raw_signal).size), used)
         return FilterDecision(
             accept=result.cost <= effective_threshold,
@@ -143,6 +187,8 @@ class SquiggleFilter:
             samples_used=samples_used,
             threshold=float(effective_threshold),
             end_position=result.end_position,
+            target=best,
+            target_costs=tuple(alignments[name].cost for name in self.panel.names),
         )
 
     def _batch_states(
@@ -166,7 +212,7 @@ class SquiggleFilter:
         """
         queries = [self.prepare_query(signal, prefix_samples) for signal in raw_signals]
         with BatchSDTWEngine(
-            self._reference_values,
+            self.panel,
             self.config,
             backend=backend,
             backend_options=backend_options,
@@ -237,6 +283,8 @@ class SquiggleFilter:
                     samples_used=samples_used,
                     threshold=float(effective_threshold),
                     end_position=int(snapshot.end_position),
+                    target=snapshot.target,
+                    target_costs=snapshot.target_costs,
                 )
             )
         return decisions
@@ -265,7 +313,7 @@ class MultiStageSquiggleFilter:
 
     def __init__(
         self,
-        reference: ReferenceSquiggle,
+        reference: Union[ReferenceSquiggle, TargetPanel],
         stages: Sequence[FilterStage],
         config: Optional[SDTWConfig] = None,
         normalization: Optional[NormalizationConfig] = None,
@@ -288,6 +336,10 @@ class MultiStageSquiggleFilter:
     @property
     def reference(self) -> ReferenceSquiggle:
         return self._filter.reference
+
+    @property
+    def panel(self) -> TargetPanel:
+        return self._filter.panel
 
     @property
     def config(self) -> SDTWConfig:
@@ -352,12 +404,14 @@ class MultiStageSquiggleFilter:
         signals = [np.asarray(signal, dtype=np.float64) for signal in raw_signals]
         owned: Optional[ExecutionBackend] = None
         if isinstance(backend, str) and backend != "numpy" and signals:
+            options = dict(backend_options or {})
+            options.setdefault("block_starts", self._filter.panel.offsets)
             owned = create_backend(
                 backend,
                 self._filter._reference_values,
                 self.config,
                 max(len(signals), 1),
-                **dict(backend_options or {}),
+                **options,
             )
             backend, backend_options = owned, None
         try:
@@ -423,20 +477,33 @@ class MultiStageSquiggleFilter:
 
 
 def build_default_filter(
-    genome: str,
+    genome: Union[str, Mapping[str, str]],
     kmer_model: Optional[KmerModel] = None,
     config: Optional[SDTWConfig] = None,
     prefix_samples: int = DEFAULT_PREFIX_SAMPLES,
     include_reverse_complement: bool = True,
 ) -> SquiggleFilter:
-    """Convenience constructor: build a reference squiggle and wrap it in a filter."""
+    """Convenience constructor: build reference squiggle(s) and wrap them in a filter.
+
+    ``genome`` is either one genome string (a single-target filter) or a
+    mapping of target names to genomes — a whole :class:`TargetPanel`
+    classified in one pass.
+    """
     normalization = NormalizationConfig()
-    reference = ReferenceSquiggle.from_genome(
-        genome,
-        kmer_model=kmer_model,
-        include_reverse_complement=include_reverse_complement,
-        normalization=normalization,
-    )
+    if isinstance(genome, Mapping):
+        reference: Union[ReferenceSquiggle, TargetPanel] = TargetPanel.from_genomes(
+            genome,
+            kmer_model=kmer_model,
+            include_reverse_complement=include_reverse_complement,
+            normalization=normalization,
+        )
+    else:
+        reference = ReferenceSquiggle.from_genome(
+            genome,
+            kmer_model=kmer_model,
+            include_reverse_complement=include_reverse_complement,
+            normalization=normalization,
+        )
     return SquiggleFilter(
         reference,
         config=config,

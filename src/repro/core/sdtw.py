@@ -42,6 +42,8 @@ __all__ = [
     "BatchSDTWState",
     "SDTWResult",
     "SDTWState",
+    "normalize_block_starts",
+    "reduce_block_minima",
     "sdtw_cost",
     "sdtw_cost_matrix",
     "sdtw_last_row",
@@ -136,6 +138,88 @@ def _accumulator_dtype(config: SDTWConfig):
 def _big_for(dtype):
     """A shifted-in boundary cost that is never selected by the minimum."""
     return np.int64(2**40) if dtype is np.int64 else np.inf
+
+
+def normalize_block_starts(block_starts, reference_length: int) -> np.ndarray:
+    """Validate per-target column offsets over a concatenated reference.
+
+    ``block_starts`` lists the column index where each target's reference
+    begins inside the concatenated column space (a
+    :class:`repro.core.panel.TargetPanel` layout). The result always starts
+    at 0 and is strictly increasing; ``None`` means one block spanning every
+    column.
+    """
+    if reference_length <= 0:
+        raise ValueError("reference_length must be positive")
+    if block_starts is None:
+        return np.zeros(1, dtype=np.int64)
+    starts = np.asarray(block_starts, dtype=np.int64).ravel()
+    if starts.size == 0 or starts[0] != 0:
+        raise ValueError("block_starts must begin with column 0")
+    if np.any(np.diff(starts) <= 0):
+        raise ValueError("block_starts must be strictly increasing")
+    if int(starts[-1]) >= reference_length:
+        raise ValueError(
+            f"block start {int(starts[-1])} is beyond the {reference_length}-column reference"
+        )
+    return starts
+
+
+def tile_halo_start(block_starts: np.ndarray, tile_start: int, halo_width: int) -> int:
+    """Leftmost column a tile's halo must reach back to for an exact advance.
+
+    Information moves at most one column rightward per query step, so
+    ``halo_width`` (the longest chunk this round) columns suffice — and a
+    block boundary severs the dependency entirely, so the halo never has to
+    cross the nearest block start at or before the tile. This is the single
+    definition of the tiling invariant; the in-process tiled kernel and the
+    column-sharded workers must use the same one.
+    """
+    nearest_block = int(
+        block_starts[np.searchsorted(block_starts, tile_start, side="right") - 1]
+    )
+    return max(tile_start - halo_width, nearest_block)
+
+
+def tile_block_starts(
+    block_starts: np.ndarray, halo_start: int, tile_end: int
+) -> np.ndarray:
+    """Block starts of the halo-extended tile ``[halo_start, tile_end)``.
+
+    Offsets are shifted into extended-tile coordinates; column 0 is always a
+    start (the kernel injects the boundary sentinel there regardless — when
+    ``halo_start`` is mid-block, the corruption that sentinel introduces dies
+    inside the discarded halo region).
+    """
+    inside = block_starts[
+        (block_starts >= halo_start) & (block_starts < tile_end)
+    ] - halo_start
+    return inside if inside.size and inside[0] == 0 else np.append(0, inside)
+
+
+def reduce_block_minima(
+    rows: np.ndarray, block_starts: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-block (per-target) cost and end-position reduction of DP rows.
+
+    ``rows`` is a ``(n_lanes, reference_length)`` stack of last DP rows over a
+    concatenated column space and ``block_starts`` the per-target offsets.
+    Returns ``(costs, ends)`` of shape ``(n_lanes, n_blocks)`` where
+    ``costs[l, b]`` is the row minimum inside block ``b`` and ``ends[l, b]``
+    its argmin *local to the block* — exactly the cost/end an independent
+    single-reference run over that target would report.
+    """
+    rows = np.asarray(rows)
+    n_lanes, n_columns = rows.shape
+    starts = normalize_block_starts(block_starts, n_columns)
+    bounds = np.append(starts, n_columns)
+    costs = np.empty((n_lanes, starts.size), dtype=rows.dtype)
+    ends = np.empty((n_lanes, starts.size), dtype=np.intp)
+    for block in range(starts.size):
+        segment = rows[:, bounds[block] : bounds[block + 1]]
+        ends[:, block] = np.argmin(segment, axis=1)
+        costs[:, block] = segment[np.arange(n_lanes), ends[:, block]]
+    return costs, ends
 
 
 class SDTWState:
@@ -313,6 +397,8 @@ def sdtw_resume_batch(
     config: Optional[SDTWConfig] = None,
     state: Optional[BatchSDTWState] = None,
     track_runs: bool = True,
+    block_starts: Optional[np.ndarray] = None,
+    tile_columns: Optional[int] = None,
 ) -> BatchSDTWState:
     """Advance many resumable alignments with one vectorized wavefront.
 
@@ -344,6 +430,24 @@ def sdtw_resume_batch(
     carries the saturating ``bonus * min(run, cap)`` table directly. All
     intermediate values are exact small integers on both paths, so the
     outputs remain bit-identical to the scalar kernel.
+
+    ``block_starts`` declares a multi-target **panel** layout: the reference
+    is N independent target references concatenated along the column axis,
+    each beginning at one of the listed offsets. The recurrence's only
+    cross-column dependency is the diagonal shift, so injecting the boundary
+    sentinel at every block start makes each block's columns bit-identical to
+    an independent single-reference run over that target — one wavefront
+    advances the whole panel. Reduce per target afterwards with
+    :func:`reduce_block_minima`.
+
+    ``tile_columns`` advances the columns in blocks of (at most) that width
+    instead of sweeping the whole row every wavefront step. Because
+    information moves at most one column rightward per query step, each tile
+    extended with a left *halo* of ``max(chunk length)`` columns of the
+    pre-advance state computes its own columns exactly; the halo region is
+    recomputed and discarded. Outputs are bit-identical to the untiled
+    advance — tiling is purely an execution-locality knob (keep a hot tile in
+    cache across all steps of a chunk; stripe tiles across workers).
     """
     cfg = config if config is not None else SDTWConfig()
     if cfg.allow_reference_deletions:
@@ -370,12 +474,20 @@ def sdtw_resume_batch(
             f"reference length {reference_values.size}"
         )
 
+    starts = normalize_block_starts(block_starts, reference_values.size)
+
     bonus = float(cfg.match_bonus)
     cap = cfg.match_bonus_cap
     processed = state.samples_processed + lengths
     if n_lanes == 0 or int(lengths.max(initial=0)) == 0:
         return BatchSDTWState(
             rows=state.rows.copy(), runs=state.runs.copy(), samples_processed=processed
+        )
+
+    if tile_columns is not None and 0 < int(tile_columns) < reference_values.size:
+        return _resume_batch_tiled(
+            lanes, reference_values, cfg, state, track_runs, starts,
+            int(tile_columns), processed, int(lengths.max()),
         )
 
     # A fresh lane consumes its first sample as the initial DP row and joins
@@ -420,6 +532,7 @@ def sdtw_resume_batch(
         growth = (2 * value_bound + int(bonus) + 1) * int(lengths.max())
         use_int_path = rows_bound + growth < 2**28
 
+    inner_starts = starts[1:]
     if use_int_path:
         rows, runs = _advance_batch_int32(
             padded,
@@ -433,6 +546,7 @@ def sdtw_resume_batch(
             int(bonus),
             cap,
             track_runs,
+            inner_starts,
         )
         out_rows = rows.astype(np.int64)[inverse]
         out_runs = runs.astype(np.int64)[inverse]
@@ -447,11 +561,58 @@ def sdtw_resume_batch(
             state.runs[order],
             reference_values,
             cfg,
+            inner_starts,
         )
         if cfg.quantize and cfg.uses_bonus:
             rows = np.rint(rows).astype(np.int64)
         out_rows = rows[inverse]
         out_runs = runs[inverse]
+    return BatchSDTWState(rows=out_rows, runs=out_runs, samples_processed=processed)
+
+
+def _resume_batch_tiled(
+    lanes: List[np.ndarray],
+    reference_values: np.ndarray,
+    cfg: SDTWConfig,
+    state: BatchSDTWState,
+    track_runs: bool,
+    starts: np.ndarray,
+    tile_columns: int,
+    processed: np.ndarray,
+    halo_width: int,
+) -> BatchSDTWState:
+    """Column-tiled advance: identical outputs, one cache-sized tile at a time.
+
+    Each tile re-runs the wavefront over ``[tile_start - halo, tile_end)``
+    using the *pre-advance* state; only the tile's own columns are kept. A
+    halo of ``max(chunk length)`` columns is sufficient because the
+    recurrence moves information at most one column rightward per query
+    step, and a tile starting exactly at a block boundary needs no halo at
+    all (the boundary sentinel cuts the dependency).
+    """
+    n_columns = int(reference_values.size)
+    out_rows = np.empty_like(state.rows)
+    out_runs = np.empty_like(state.runs)
+    edges = list(range(0, n_columns, tile_columns)) + [n_columns]
+    for tile_start, tile_end in zip(edges[:-1], edges[1:]):
+        halo_start = tile_halo_start(starts, tile_start, halo_width)
+        sub_state = BatchSDTWState(
+            rows=state.rows[:, halo_start:tile_end],
+            runs=state.runs[:, halo_start:tile_end],
+            samples_processed=state.samples_processed,
+        )
+        sub_starts = tile_block_starts(starts, halo_start, tile_end)
+        advanced = sdtw_resume_batch(
+            lanes,
+            reference_values[halo_start:tile_end],
+            cfg,
+            state=sub_state,
+            track_runs=track_runs,
+            block_starts=sub_starts,
+        )
+        keep = tile_start - halo_start
+        out_rows[:, tile_start:tile_end] = advanced.rows[:, keep:]
+        out_runs[:, tile_start:tile_end] = advanced.runs[:, keep:]
     return BatchSDTWState(rows=out_rows, runs=out_runs, samples_processed=processed)
 
 
@@ -467,6 +628,7 @@ def _advance_batch_int32(
     bonus: int,
     cap: int,
     track_runs: bool,
+    inner_starts: np.ndarray,
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Integer wavefront over lane-sorted state (the hardware data path).
 
@@ -476,6 +638,8 @@ def _advance_batch_int32(
     cap)``, which is carried directly as a saturating per-column table —
     turning the scalar kernel's shift/minimum/multiply/where cascade into
     in-place ``minimum``/``add`` passes over contiguous prefixes.
+    ``inner_starts`` are the non-zero panel block boundaries; they receive
+    the same sentinel as column 0, severing the diagonal between targets.
     """
     n_lanes, reference_length = rows_in.shape
     big = np.int32(2**29)
@@ -512,6 +676,8 @@ def _advance_batch_int32(
         else:
             diagonal_view[:, 1:] = row_view[:, :-1]
         diagonal_view[:, 0] = big
+        if inner_starts.size:
+            diagonal_view[:, inner_starts] = big
         if track_runs or bonus:
             np.less(diagonal_view, row_view, out=take_view)
         np.minimum(row_view, diagonal_view, out=row_view)
@@ -541,12 +707,14 @@ def _advance_batch_generic(
     runs_in: np.ndarray,
     reference_values: np.ndarray,
     cfg: SDTWConfig,
+    inner_starts: np.ndarray,
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Reference wavefront over lane-sorted state, any resumable config.
 
     Mirrors :func:`sdtw_resume` operation for operation (same accumulator
     dtype, same ``np.where`` selections), stacked over the active lane
-    prefix.
+    prefix. ``inner_starts`` (non-zero panel block boundaries) get the same
+    boundary treatment as column 0.
     """
     n_lanes, reference_length = rows_in.shape
     bonus = float(cfg.match_bonus)
@@ -574,9 +742,13 @@ def _advance_batch_generic(
         ).astype(accumulator)
         cost_shift[:k, 0] = big
         cost_shift[:k, 1:] = previous[:, :-1]
+        if inner_starts.size:
+            cost_shift[:k, inner_starts] = big
         if bonus:
             run_shift[:k, 0] = 0
             run_shift[:k, 1:] = runs[:k, :-1]
+            if inner_starts.size:
+                run_shift[:k, inner_starts] = 0
             diagonal = cost_shift[:k] - bonus * np.minimum(run_shift[:k], cap)
         else:
             diagonal = cost_shift[:k]

@@ -40,6 +40,7 @@ import numpy as np
 from repro.assembly.consensus import ReferenceGuidedAssembler
 from repro.baselines.basecall_align import BasecallAlignClassifier
 from repro.core.filter import FilterDecision, FilterStage, MultiStageSquiggleFilter, SquiggleFilter
+from repro.core.panel import TargetPanel
 from repro.core.reference import ReferenceSquiggle
 from repro.sequencer.read_until_api import ChunkAccumulator, SignalChunk
 from repro.sequencer.reads import Read
@@ -68,7 +69,9 @@ class Action:
     signal yet). Terminal actions carry the accounting the runtime and cost
     models consume: the alignment (or mapping) cost, the threshold it was
     compared against, the stage that fired, and how many samples were examined
-    before the decision.
+    before the decision. Panel-mode classifiers additionally report which
+    target the read matched (``target``, the per-target argmin) and the full
+    per-target cost breakdown (``target_costs``, in panel order).
     """
 
     kind: str
@@ -77,6 +80,8 @@ class Action:
     stage: int = 0
     threshold: float = 0.0
     end_position: int = 0
+    target: Optional[str] = None
+    target_costs: Tuple[float, ...] = ()
 
     def __post_init__(self) -> None:
         if self.kind not in _KINDS:
@@ -105,6 +110,8 @@ class Action:
             stage=decision.stage,
             threshold=decision.threshold,
             end_position=decision.end_position,
+            target=decision.target,
+            target_costs=decision.target_costs,
         )
 
     def as_filter_decision(self) -> FilterDecision:
@@ -119,6 +126,8 @@ class Action:
             threshold=self.threshold,
             end_position=self.end_position,
             stage=self.stage,
+            target=self.target,
+            target_costs=self.target_costs,
         )
 
     def to_simulator_action(self) -> str:
@@ -401,15 +410,27 @@ def create_classifier(name: str, **params: Any) -> Any:
 
 
 def _resolve_reference(
-    reference: Optional[ReferenceSquiggle],
-    genome: Optional[str],
+    reference: Optional[Any],
+    genome: Optional[Any],
     kmer_model: Any = None,
     include_reverse_complement: bool = True,
-) -> ReferenceSquiggle:
+) -> Any:
+    """Resolve a classifier's alignment target.
+
+    Accepts a prebuilt :class:`ReferenceSquiggle` or
+    :class:`~repro.core.panel.TargetPanel`, one genome string, or a mapping
+    of target names to genomes (built into a panel).
+    """
     if reference is not None:
         return reference
     if genome is None:
-        raise ValueError("either a prebuilt reference or a genome is required")
+        raise ValueError("either a prebuilt reference/panel or a genome is required")
+    if isinstance(genome, Mapping):
+        return TargetPanel.from_genomes(
+            genome,
+            kmer_model=kmer_model,
+            include_reverse_complement=include_reverse_complement,
+        )
     return ReferenceSquiggle.from_genome(
         genome,
         kmer_model=kmer_model,
@@ -420,8 +441,8 @@ def _resolve_reference(
 @register_classifier("squigglefilter")
 def build_squigglefilter(
     *,
-    genome: Optional[str] = None,
-    reference: Optional[ReferenceSquiggle] = None,
+    genome: Optional[Any] = None,
+    reference: Optional[Any] = None,
     kmer_model: Any = None,
     include_reverse_complement: bool = True,
     threshold: Optional[float] = None,
@@ -429,7 +450,9 @@ def build_squigglefilter(
     config: Any = None,
     normalization: Any = None,
 ) -> SquiggleFilter:
-    """Single-stage sDTW filter (the paper's default operating point)."""
+    """Single-stage sDTW filter (the paper's default operating point).
+    ``reference``/``genome`` accept a multi-target panel (see
+    :class:`~repro.core.panel.TargetPanel`) as well as one reference."""
     return SquiggleFilter(
         _resolve_reference(reference, genome, kmer_model, include_reverse_complement),
         config=config,
@@ -472,8 +495,8 @@ def build_multistage(
 @register_classifier("batch_squigglefilter")
 def build_batch_squigglefilter(
     *,
-    genome: Optional[str] = None,
-    reference: Optional[ReferenceSquiggle] = None,
+    genome: Optional[Any] = None,
+    reference: Optional[Any] = None,
     kmer_model: Any = None,
     include_reverse_complement: bool = True,
     threshold: Optional[float] = None,
@@ -487,7 +510,9 @@ def build_batch_squigglefilter(
 ) -> Any:
     """Single-stage sDTW filter on the batched wavefront engine: every
     undecided channel of a polling round advances in one matrix op.
-    ``backend`` picks the execution backend the engine advances lanes on
+    ``reference``/``genome`` accept a multi-target panel, classified by
+    per-target argmin in the same wavefront. ``backend`` picks the
+    execution backend the engine advances lanes on
     (:func:`repro.batch.available_backends`)."""
     # Deferred: repro.batch.classifier imports this module for Action/registry.
     from repro.batch.classifier import BatchSquiggleClassifier
@@ -532,12 +557,20 @@ def build_pipeline(spec: Mapping[str, Any]) -> "Any":
     ``assembler``
         A prebuilt assembler or a kwargs mapping for
         :class:`ReferenceGuidedAssembler` over the target genome.
+    ``targets``
+        A multi-target panel for the classifier: a mapping of target names
+        to genome strings (built into a :class:`TargetPanel`) or a prebuilt
+        panel. Becomes the classifier's ``reference``, so one session
+        screens every panel member at once and the streaming summary
+        reports per-target accept counts.
     ``backend`` / ``backend_options``
-        Execution backend for a batch-capable classifier's engine
-        (``"numpy"`` in-process, ``"sharded"`` across a worker-process pool;
-        ``backend_options: {"workers": N}`` sizes the pool). Forwarded into
-        the classifier factory, so the chosen classifier must accept them
-        (``"batch_squigglefilter"`` does).
+        Execution backend for a batch-capable classifier's engine (any name
+        in :func:`repro.batch.available_backends`: ``"numpy"`` in-process,
+        ``"sharded"`` lanes across a worker-process pool, ``"colsharded"``
+        reference columns across the pool; ``backend_options: {"workers":
+        N}`` sizes the pool). Forwarded into the classifier factory, so the
+        chosen classifier must accept them (``"batch_squigglefilter"``
+        does).
     Remaining keys (``prefix_samples``, ``chunk_samples``, ``n_channels``,
     ``decision_latency_s``, ``assemble``, ``batch``, ...) are forwarded to
     :class:`ReadUntilPipeline`; ``batch: true`` requires the classifier's
@@ -561,6 +594,16 @@ def build_pipeline(spec: Mapping[str, Any]) -> "Any":
         nested = params.pop("params", None)
         if nested:
             params.update(nested)
+    targets = config.pop("targets", None)
+    if targets is not None:
+        if isinstance(targets, Mapping):
+            # A genome mapping becomes the factory's `genome`, so
+            # _resolve_reference builds the panel with the classifier's own
+            # kmer_model / include_reverse_complement / normalization params
+            # — exactly like the single-genome path.
+            params["genome"] = dict(targets)
+        else:
+            params["reference"] = TargetPanel.coerce(targets)
     params.setdefault("genome", target_genome)
     backend = config.pop("backend", None)
     if backend is not None:

@@ -302,6 +302,17 @@ class ReadUntilPipeline:
         )
         stream_summary = dict(stream_summary)
         stream_summary["batched"] = use_batch
+        # Panel-mode classifiers tag terminal actions with the matched
+        # target; surface the per-target accept tally so multi-virus runs
+        # report which panel members were actually seen.
+        if any(action.target is not None for action in actions.values()):
+            per_target_accepts: Dict[str, int] = {}
+            for action in actions.values():
+                if action.kind == ACCEPT and action.target is not None:
+                    per_target_accepts[action.target] = (
+                        per_target_accepts.get(action.target, 0) + 1
+                    )
+            stream_summary["per_target_accepts"] = per_target_accepts
         engine = getattr(streaming, "engine", None)
         if engine is not None and hasattr(engine, "occupancy_trace"):
             # The per-round batch occupancy is the classification request
@@ -312,6 +323,8 @@ class ReadUntilPipeline:
             stream_summary["mean_batch_lanes"] = engine.mean_occupancy
             stream_summary["chunk_duration_s"] = chunk_samples / params.sample_rate_hz
             stream_summary["backend"] = getattr(engine, "backend_name", "numpy")
+            if getattr(engine, "n_targets", 1) > 1:
+                stream_summary["targets"] = list(engine.target_names)
         assembly: Optional[AssemblyResult] = None
         if self.assemble and kept_reads:
             assembler = self.assembler or ReferenceGuidedAssembler(self.target_genome)

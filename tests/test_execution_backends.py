@@ -50,9 +50,9 @@ def make_engine(reference, config=None, backend="numpy", options=None, **kwargs)
 
 # ------------------------------------------------------------------ registry
 class TestBackendRegistry:
-    def test_both_backends_registered(self):
+    def test_all_backends_registered(self):
         names = available_backends()
-        assert "numpy" in names and "sharded" in names
+        assert "numpy" in names and "sharded" in names and "colsharded" in names
 
     def test_create_by_name(self, rng):
         reference = rng.integers(-127, 128, 30)
@@ -61,10 +61,12 @@ class TestBackendRegistry:
         assert backend.capacity == 4
         assert backend.reference_length == 30
 
-    def test_unknown_backend_rejected(self, rng):
-        with pytest.raises(KeyError, match="unknown execution backend"):
-            create_backend("gpu", rng.integers(-127, 128, 30), SDTWConfig.hardware(), 4)
-        with pytest.raises(KeyError, match="unknown execution backend"):
+    def test_unknown_backend_rejected_listing_registry(self, rng):
+        """An unknown name is a ValueError naming every registered backend."""
+        for name in available_backends():
+            with pytest.raises(ValueError, match=name):
+                create_backend("gpu", rng.integers(-127, 128, 30), SDTWConfig.hardware(), 4)
+        with pytest.raises(ValueError, match="unknown execution backend"):
             make_engine(rng.integers(-127, 128, 30), backend="gpu")
 
     def test_duplicate_registration_rejected(self):
@@ -345,7 +347,7 @@ class TestBackendLifecycle:
         engine = make_engine(reference, backend=backend)
         engine.close()  # borrowed: must NOT shut the backend down
         costs, _ = backend.advance(np.array([0]), [rng.integers(-127, 128, 3)])
-        assert costs.shape == (1,)
+        assert costs.shape == (1, 1)  # (lanes, panel blocks)
         backend.close()
 
     def test_classifier_close_releases_engine(self, reference_squiggle):
@@ -380,8 +382,8 @@ class TestBackendLifecycle:
             expected = sdtw_resume(
                 follow_up, reference, config, state=sdtw_resume(good, reference, config)
             )
-            assert costs[0] == expected.cost
-            assert ends[0] == expected.end_position
+            assert costs[0, 0] == expected.cost
+            assert ends[0, 0] == expected.end_position
         finally:
             backend.close()
 
