@@ -26,9 +26,13 @@ Two entry points:
   configuration **column** sharding exists for (lane striping has nothing to
   distribute there; ``numpy`` vs ``sharded`` vs ``colsharded`` on that row is
   the reference-axis-tiling story) — and emits per-backend JSON so throughput
-  scaling with ``--workers`` is measurable. The committed
-  ``BENCH_batch_sdtw.json`` at the repository root records this script's
-  output per PR, the performance trajectory baseline.
+  scaling with ``--workers`` is measurable. ``--config run.json`` loads a
+  :class:`repro.runtime.RunConfig`: its backend/workers/tile_columns become
+  the measured backend (when no ``--backend`` flags are given) and the
+  serialized config is recorded under the report's ``run_config`` key, so a
+  benchmark JSON documents exactly the configuration that produced it. The
+  committed ``BENCH_batch_sdtw.json`` at the repository root records this
+  script's output per PR, the performance trajectory baseline.
 
 Both emit a machine-readable JSON report (``BATCH_SDTW_JSON`` / ``--json``
 choose the path; unset or ``-`` prints to stdout only). Pytest tunables:
@@ -184,6 +188,7 @@ def _emit(destination=None):
                 "speedup": entry["speedup_vs_scalar"],
             }
             for name, report in _REPORTS.items()
+            if isinstance(report, dict) and "backends" in report
             for label, entry in report["backends"].items()
         ],
     )
@@ -226,6 +231,15 @@ def main(argv=None):
         default=None,
         help="execution backend to measure (repeatable; default: numpy; the "
         "numpy baseline is always included)",
+    )
+    parser.add_argument(
+        "--config",
+        default=None,
+        metavar="PATH",
+        help="load a repro.runtime.RunConfig (JSON/YAML): its backend, "
+        "workers and tile_columns become the measured backend when no "
+        "--backend flags are given, and the serialized config is recorded "
+        "under the report's 'run_config' key for reproducibility",
     )
     parser.add_argument(
         "--workers",
@@ -281,13 +295,30 @@ def main(argv=None):
     )
     args = parser.parse_args(argv)
 
-    requested = args.backend or ["numpy"]
+    run_config = None
+    if args.config:
+        from repro.runtime import RunConfig
+
+        run_config = RunConfig.from_file(args.config)
+        _REPORTS["run_config"] = run_config.to_dict()
+
     specs = [("numpy", "numpy", None)]
-    for backend in requested:
-        if backend == "numpy":
-            continue
-        for workers in args.workers:
-            specs.append((f"{backend}[workers={workers}]", backend, {"workers": workers}))
+    if args.backend is None and run_config is not None:
+        # The config names the backend under measurement; the numpy baseline
+        # stays as the comparison row.
+        options = run_config.resolved_backend_options()
+        if run_config.backend != "numpy":
+            specs.append((f"{run_config.backend}[config]", run_config.backend, options))
+        elif options:
+            specs.append(("numpy[config]", "numpy", options))
+    else:
+        for backend in args.backend or ["numpy"]:
+            if backend == "numpy":
+                continue
+            for workers in args.workers:
+                specs.append(
+                    (f"{backend}[workers={workers}]", backend, {"workers": workers})
+                )
 
     reference = ReferenceSquiggle.from_genome(
         random_genome(args.genome_bases, seed=args.seed)
@@ -315,6 +346,8 @@ def main(argv=None):
 
     if args.min_speedup is not None:
         for workload, measured in _REPORTS.items():
+            if not (isinstance(measured, dict) and "backends" in measured):
+                continue
             slowest = min(
                 measured["backends"].items(),
                 key=lambda item: item[1]["speedup_vs_scalar"],

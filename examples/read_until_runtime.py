@@ -22,12 +22,12 @@ Run with:  python examples/read_until_runtime.py
 from __future__ import annotations
 
 from repro.analysis.sweeps import accuracy_sweep
-from repro.batch.classifier import BatchSquiggleClassifier
 from repro.hardware.scheduler import TileScheduler
 from repro.pipeline.read_until import ReadUntilPipeline
 from repro.core.filter import MultiStageSquiggleFilter, SquiggleFilter
 from repro.core.reference import ReferenceSquiggle
 from repro.genomes.sequences import random_genome
+from repro.runtime import RunConfig, open_session
 from repro.pipeline.runtime_model import (
     ReadUntilModelConfig,
     best_runtime,
@@ -154,28 +154,24 @@ def main() -> None:
           f"(recall {result.recall:.2f})")
 
     # ---- Batched wavefront: all channels advance in lockstep ---------------
-    # The batch_squigglefilter classifier advertises on_chunk_batch, so the
-    # pipeline classifies every undecided channel of a polling round with one
-    # vectorized sDTW wavefront (repro.batch) instead of a per-read Python
-    # loop — decisions are identical to the scalar path. The engine's
-    # per-round occupancy trace then drives the ASIC multi-tile dispatch
-    # model with the bursty request pattern lockstep execution really
-    # produces.
-    batch_classifier = BatchSquiggleClassifier(
-        reference, prefix_samples=best_single[0]
-    )
-    batch_classifier.calibrate(
-        target_signals, background_signals, chunk_samples=min(PREFIX_LENGTHS)
-    )
-    batched_pipeline = ReadUntilPipeline(
-        batch_classifier,
-        target_genome,
+    # One declarative RunConfig describes the whole run — reference, prefix,
+    # chunk geometry, channel count, execution backend — and open_session
+    # turns it into the runtime object that owns calibration, lazy backend
+    # spawn and teardown. The session classifies every undecided channel of
+    # a polling round with one vectorized sDTW wavefront (repro.batch);
+    # decisions are identical to the scalar path. The engine's per-round
+    # occupancy trace then drives the ASIC multi-tile dispatch model with
+    # the bursty request pattern lockstep execution really produces.
+    run_config = RunConfig(
+        reference=reference,
+        prefix_samples=best_single[0],
         chunk_samples=min(PREFIX_LENGTHS),
         n_channels=8,
-        assemble=False,
         batch=True,
     )
-    batched_result = batched_pipeline.run(reads)
+    with open_session(run_config) as session:
+        threshold = session.calibrate(target_signals, background_signals)
+        batched_result = session.run(reads, target_genome=target_genome)
     occupancy = batched_result.streaming["batch_occupancy"]
     print("\n-- batched wavefront across 8 channels --")
     print(f"recall {batched_result.recall:.2f}, {len(occupancy)} chunk rounds, "
@@ -193,23 +189,12 @@ def main() -> None:
     # "sharded" stripes the lanes across a persistent pool of worker
     # processes (shared-memory DP state, only query chunks and cost
     # snapshots on the pipes), so genome-scale references scale with the
-    # core count. Decisions are bit-identical to the numpy backend — the
-    # assertion below checks exactly that on this session.
-    with BatchSquiggleClassifier(
-        reference,
-        prefix_samples=best_single[0],
-        threshold=batch_classifier.threshold,
-        backend="sharded",
-        backend_options={"workers": 2},
-    ) as sharded_classifier:
-        sharded_result = ReadUntilPipeline(
-            sharded_classifier,
-            target_genome,
-            chunk_samples=min(PREFIX_LENGTHS),
-            n_channels=8,
-            assemble=False,
-            batch=True,
-        ).run(reads)
+    # core count. Switching is one with_() on the config — decisions are
+    # bit-identical to the numpy backend; the assertion below checks
+    # exactly that on this session.
+    sharded_config = run_config.with_(backend="sharded", workers=2, threshold=threshold)
+    with open_session(sharded_config) as sharded_session:
+        sharded_result = sharded_session.run(reads, target_genome=target_genome)
     numpy_decisions = {
         o.read.read_id: (o.ejected, o.decision.cost if o.decision else None)
         for o in batched_result.session.outcomes

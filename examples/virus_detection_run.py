@@ -18,12 +18,11 @@ Run with:  python examples/virus_detection_run.py
 from __future__ import annotations
 
 from repro.assembly.consensus import ReferenceGuidedAssembler
-from repro.batch.classifier import BatchSquiggleClassifier
 from repro.core.panel import TargetPanel
 from repro.genomes.mutate import apply_mutations, random_mutations
 from repro.genomes.sequences import random_genome
-from repro.pipeline.read_until import ReadUntilPipeline
 from repro.pore_model.kmer_model import KmerModel
+from repro.runtime import RunConfig, open_session
 from repro.sequencer.reads import ReadGenerator, ReadLengthModel, SpecimenMixture
 
 N_STRAIN_MUTATIONS = 20          # Table 2: strains carry ~17-23 substitutions
@@ -79,37 +78,33 @@ def main() -> None:
         seed=99,
     )
 
-    # Calibrate one shared ejection threshold on the panel's best-target cost
-    # with labelled calibration reads (in practice: a quick software sweep on
-    # the first minutes of sequencing). The classifier streams chunks through
-    # the batched engine, scoring all three targets per wavefront.
+    # One declarative RunConfig describes the whole session: the panel, the
+    # decision prefix, the chunk geometry, the execution backend. Calibrate
+    # one shared ejection threshold on the panel's best-target cost with
+    # labelled calibration reads (in practice: a quick software sweep on the
+    # first minutes of sequencing); the session streams chunks through the
+    # batched engine, scoring all three targets per wavefront, and owns the
+    # backend lifecycle end to end.
     calibration = generator.generate_balanced(15)
-    classifier = BatchSquiggleClassifier(
-        panel, prefix_samples=PREFIX_SAMPLES, name="panel:SquiggleFilter"
-    )
-    threshold = classifier.calibrate(
-        [read.signal_pa for read in calibration if read.is_target],
-        [read.signal_pa for read in calibration if not read.is_target],
-        chunk_samples=CHUNK_SAMPLES,
-    )
-    print(f"\nprogrammed ejection threshold: {threshold:,.0f}")
-
-    reads = generator.generate(N_READS)
-    n_target = sum(1 for read in reads if read.is_target)
-    print(f"sequencing {len(reads)} reads ({n_target} from the target strain)...")
-
-    pipeline = ReadUntilPipeline(
-        classifier,
-        target_genome=reference_genome,
+    run_config = RunConfig(
+        reference=panel,
         prefix_samples=PREFIX_SAMPLES,
         chunk_samples=CHUNK_SAMPLES,
-        assemble=False,  # assembled below, against the attributed member
         batch=True,
     )
-    try:
-        result = pipeline.run(reads)
-    finally:
-        classifier.close()
+    with open_session(run_config) as session:
+        threshold = session.calibrate(
+            [read.signal_pa for read in calibration if read.is_target],
+            [read.signal_pa for read in calibration if not read.is_target],
+        )
+        print(f"\nprogrammed ejection threshold: {threshold:,.0f}")
+
+        reads = generator.generate(N_READS)
+        n_target = sum(1 for read in reads if read.is_target)
+        print(f"sequencing {len(reads)} reads ({n_target} from the target strain)...")
+
+        # assembled below, against the attributed member
+        result = session.run(reads, target_genome=reference_genome)
 
     print("\n-- Read Until session (chunk-driven, one wavefront per round) --")
     print(f"reads processed : {result.session.n_reads}")

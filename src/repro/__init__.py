@@ -36,6 +36,7 @@ from repro.pipeline.api import (
 )
 from repro.pipeline.read_until import ReadUntilPipeline
 from repro.pore_model.kmer_model import KmerModel
+from repro.runtime import ReadUntilSession, RunConfig, open_session
 from repro.pore_model.synthesis import SquiggleSimulator, SquiggleSynthesisConfig
 from repro.sequencer.read_until_api import ReadUntilSimulator, SignalChunk
 from repro.sequencer.reads import Read, ReadGenerator, SpecimenMixture
@@ -50,8 +51,10 @@ __all__ = [
     "ReadGenerator",
     "ReadUntilClassifier",
     "ReadUntilPipeline",
+    "ReadUntilSession",
     "ReadUntilSimulator",
     "ReferenceSquiggle",
+    "RunConfig",
     "SDTWConfig",
     "SignalChunk",
     "SignalNormalizer",
@@ -63,6 +66,7 @@ __all__ = [
     "available_classifiers",
     "build_pipeline",
     "create_classifier",
+    "open_session",
     "random_genome",
     "register_classifier",
     "reverse_complement",

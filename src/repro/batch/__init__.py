@@ -13,9 +13,11 @@ round. The subsystem is split into three layers:
   :class:`NumpyBackend` advances the lane-stacked state in-process (with
   optional cache-sized column tiling), :class:`ShardedProcessBackend` stripes
   *lanes* across a persistent pool of worker processes with shared-memory
-  state blocks, and :class:`ColumnShardedBackend` stripes *reference columns*
+  state blocks, :class:`ColumnShardedBackend` stripes *reference columns*
   across the pool so even a single-channel genome-scale workload uses every
-  core. All backends are panel-aware: a multi-target
+  core, and :class:`GpuArrayBackend` keeps the whole state in device memory
+  behind an :class:`~repro.core.array_module.ArrayModule` (CuPy/Torch).
+  All backends are panel-aware: a multi-target
   :class:`~repro.core.panel.TargetPanel` advances in the same wavefront and
   reduces per target;
 * :class:`BatchSDTWEngine` — the backend-agnostic **lane manager**: admission
@@ -35,6 +37,7 @@ backends — so batching and sharding are purely execution-engine changes.
 from repro.batch.backends import (
     ColumnShardedBackend,
     ExecutionBackend,
+    GpuArrayBackend,
     NumpyBackend,
     ShardedProcessBackend,
     available_backends,
@@ -49,6 +52,7 @@ __all__ = [
     "BatchSquiggleClassifier",
     "ColumnShardedBackend",
     "ExecutionBackend",
+    "GpuArrayBackend",
     "LaneSnapshot",
     "NumpyBackend",
     "ShardedProcessBackend",

@@ -48,6 +48,14 @@ variants behind a string-keyed ``METHODS`` mapping:
   partial minima, which the parent merges left-to-right. This is the shape
   that parallelizes a **single-channel genome-scale** workload, where lane
   sharding has nothing to stripe.
+* :class:`GpuArrayBackend` (``"gpu"``) — the lane-stacked state resident in
+  **device memory**, advanced by the same wavefront kernel through a
+  :class:`~repro.core.array_module.ArrayModule` (CuPy preferred, Torch as a
+  fallback). The name is always registered; instantiating it without a GPU
+  array library raises a :class:`RuntimeError` with an install hint, and
+  ``array_module="numpy"`` runs the device code path on the host (how CI
+  covers it without a GPU). ``tile_columns`` bounds the per-advance working
+  set — device-memory micro-batching over the exact halo-tiled advance.
 
 All backends run the same kernel on the same per-lane state, so per-lane,
 per-target costs, rows and therefore Read Until decisions are bit-identical —
@@ -61,19 +69,22 @@ from __future__ import annotations
 import atexit
 import multiprocessing as mp
 import os
+import time
 import traceback
 from math import ceil
 from multiprocessing import shared_memory
-from typing import Any, Callable, Dict, List, Optional, Protocol, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Protocol, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.core.array_module import ArrayModule, get_array_module, gpu_array_module
 from repro.core.config import SDTWConfig
 from repro.core.sdtw import (
     BatchSDTWState,
     normalize_block_starts,
     reduce_block_minima,
     sdtw_resume_batch,
+    sdtw_resume_batch_arrays,
     tile_block_starts,
     tile_halo_start,
 )
@@ -81,6 +92,7 @@ from repro.core.sdtw import (
 __all__ = [
     "ColumnShardedBackend",
     "ExecutionBackend",
+    "GpuArrayBackend",
     "NumpyBackend",
     "ShardedProcessBackend",
     "available_backends",
@@ -529,23 +541,54 @@ class _WorkerPoolBackend:
         self._conns[shard].send(message)
         return self._recv(shard)
 
+    # Bounded wait for the stop handshake (shared across all shards); an
+    # instance attribute so tests can shrink it for dead-worker scenarios.
+    stop_timeout_s = 5.0
+
     def close(self) -> None:
+        """Shut the pool down; safe whatever state a round left the pipes in.
+
+        A session abandoned mid-round — an advance dispatched whose replies
+        were never consumed, a worker that raised, a worker that died — must
+        neither hang teardown nor leak the shared-memory segments. Stale
+        replies are drained first (so the stop ack is not mistaken for
+        them), the stop handshake waits a bounded time, workers still alive
+        after the deadline are terminated, and every segment is unlinked
+        unconditionally.
+        """
         if self._closed:
             return
         self._closed = True
         atexit.unregister(self.close)
-        for shard, conn in enumerate(self._conns):
+        deadline = time.monotonic() + self.stop_timeout_s
+        for conn in self._conns:
             try:
+                while conn.poll(0):  # leftovers of an abandoned round
+                    conn.recv()
                 conn.send(("stop",))
-                self._recv(shard)
-            except (OSError, RuntimeError, BrokenPipeError):
+            except (OSError, ValueError, EOFError, BrokenPipeError):
+                pass
+        for conn in self._conns:
+            try:
+                # Anything arriving before the ack is a late reply to the
+                # abandoned round; consume until the ack or the deadline.
+                while True:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0 or not conn.poll(remaining):
+                        break
+                    if conn.recv() == ("ok", None):
+                        break
+            except (OSError, ValueError, EOFError, BrokenPipeError):
                 pass
             finally:
                 conn.close()
         for process in self._processes:
-            process.join(timeout=5.0)
-            if process.is_alive():  # pragma: no cover - stuck worker
+            process.join(timeout=max(deadline - time.monotonic(), 0.1))
+            if process.is_alive():
                 process.terminate()
+                process.join(timeout=5.0)
+            if process.is_alive():  # pragma: no cover - unkillable worker
+                process.kill()
                 process.join(timeout=5.0)
         for views in self._views:
             try:
@@ -1110,3 +1153,161 @@ class ColumnShardedBackend(_WorkerPoolBackend):
             views.rows[lanes] = state.rows[:, tile_start:tile_end]
             views.runs[lanes] = state.runs[:, tile_start:tile_end]
             views.samples[lanes] = state.samples_processed
+
+
+# ----------------------------------------------------------------- gpu backend
+@register_backend("gpu")
+class GpuArrayBackend:
+    """Lane-stacked state resident in device memory, advanced on the device.
+
+    The wavefront is ``(lanes, reference)`` matrix operations, so the whole
+    advance maps onto a GPU array library unchanged: this backend holds
+    rows/runs/samples as device arrays and calls
+    :func:`~repro.core.sdtw.sdtw_resume_batch_arrays` with the resolved
+    :class:`~repro.core.array_module.ArrayModule` — CuPy when importable,
+    Torch as a fallback (:func:`~repro.core.array_module.gpu_array_module`).
+    Only the ragged query chunks go up and the ``(lanes, n_blocks)``
+    per-target cost/end reductions come back per round; the DP rows never
+    leave the device. ``tile_columns`` bounds the per-advance working set by
+    running the exact halo-tiled advance tile by tile — device-memory
+    micro-batching over the same interface the in-process backend tiles
+    with.
+
+    The registry entry always exists so configs naming ``"gpu"`` validate
+    everywhere; construction without a GPU array library raises a
+    :class:`RuntimeError` with an install hint. ``array_module`` overrides
+    the resolution — an :class:`ArrayModule`, or a registered name;
+    ``array_module="numpy"`` runs this exact code path on host arrays,
+    which is how the test suite covers the backend bit-for-bit on machines
+    (and CI runners) without a GPU.
+    """
+
+    backend_name = "gpu"
+
+    def __init__(
+        self,
+        reference: np.ndarray,
+        config: Optional[SDTWConfig] = None,
+        capacity: int = 8,
+        block_starts: Optional[np.ndarray] = None,
+        tile_columns: Optional[int] = None,
+        array_module: Union[None, str, ArrayModule] = None,
+    ) -> None:
+        self.config = config if config is not None else SDTWConfig()
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if tile_columns is not None and tile_columns <= 0:
+            raise ValueError("tile_columns must be positive")
+        if array_module is None:
+            xp = gpu_array_module(required=True)
+        elif isinstance(array_module, str):
+            xp = get_array_module(array_module)
+        else:
+            xp = array_module
+        self.xp = xp
+        host_reference = np.asarray(
+            reference, dtype=np.int64 if self.config.quantize else np.float64
+        )
+        self.block_starts = normalize_block_starts(block_starts, host_reference.size)
+        self.tile_columns = None if tile_columns is None else int(tile_columns)
+        self._reference_length = int(host_reference.size)
+        self._rows_dtype = xp.int64 if self.config.quantize else xp.float64
+        self.reference_values = xp.asarray(host_reference, dtype=self._rows_dtype)
+        self._rows = xp.zeros((capacity, self._reference_length), dtype=self._rows_dtype)
+        self._runs = xp.ones((capacity, self._reference_length), dtype=xp.int64)
+        self._samples = xp.zeros(capacity, dtype=xp.int64)
+        self._closed = False
+
+    # ----------------------------------------------------------- bookkeeping
+    @property
+    def capacity(self) -> int:
+        return int(self._rows.shape[0])
+
+    @property
+    def reference_length(self) -> int:
+        return self._reference_length
+
+    @property
+    def n_blocks(self) -> int:
+        return int(self.block_starts.size)
+
+    def _device_lanes(self, lanes: np.ndarray):
+        return self.xp.asarray([int(lane) for lane in np.asarray(lanes).ravel()], dtype=self.xp.intp)
+
+    # ------------------------------------------------------------- lifecycle
+    def allocate(self, min_capacity: int) -> None:
+        if self._closed:
+            raise RuntimeError("backend is closed")
+        xp = self.xp
+        old_capacity = self.capacity
+        if min_capacity <= old_capacity:
+            return
+        rows = xp.zeros((min_capacity, self._reference_length), dtype=self._rows_dtype)
+        runs = xp.ones((min_capacity, self._reference_length), dtype=xp.int64)
+        samples = xp.zeros(min_capacity, dtype=xp.int64)
+        rows[:old_capacity] = self._rows
+        runs[:old_capacity] = self._runs
+        samples[:old_capacity] = self._samples
+        self._rows, self._runs, self._samples = rows, runs, samples
+
+    def reset(self, lanes: np.ndarray) -> None:
+        if self._closed:
+            raise RuntimeError("backend is closed")
+        index = self._device_lanes(lanes)
+        self._rows[index] = 0
+        self._runs[index] = 1
+        self._samples[index] = 0
+
+    def advance(
+        self, lanes: np.ndarray, queries: Sequence[np.ndarray]
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        if self._closed:
+            raise RuntimeError("backend is closed")
+        xp = self.xp
+        index = self._device_lanes(lanes)
+        device_queries = [xp.asarray(query, dtype=self._rows_dtype) for query in queries]
+        rows, runs, samples = sdtw_resume_batch_arrays(
+            device_queries,
+            self.reference_values,
+            self.config,
+            self._rows[index],
+            self._runs[index],
+            self._samples[index],
+            track_runs=False,
+            block_starts=self.block_starts,
+            tile_columns=self.tile_columns,
+            xp=xp,
+        )
+        self._rows[index] = rows
+        self._runs[index] = runs
+        self._samples[index] = samples
+        costs, ends = reduce_block_minima(rows, self.block_starts, xp=xp)
+        return xp.to_numpy(costs), xp.to_numpy(ends)
+
+    def gather(self, lanes: np.ndarray) -> BatchSDTWState:
+        if self._closed:
+            raise RuntimeError("backend is closed")
+        xp = self.xp
+        index = self._device_lanes(lanes)
+        return BatchSDTWState(
+            rows=xp.to_numpy(self._rows[index]),
+            runs=xp.to_numpy(self._runs[index]),
+            samples_processed=xp.to_numpy(self._samples[index]),
+        )
+
+    def scatter(self, lanes: np.ndarray, state: BatchSDTWState) -> None:
+        if self._closed:
+            raise RuntimeError("backend is closed")
+        xp = self.xp
+        index = self._device_lanes(lanes)
+        self._rows[index] = xp.asarray(state.rows, dtype=self._rows_dtype)
+        self._runs[index] = xp.asarray(state.runs, dtype=xp.int64)
+        self._samples[index] = xp.asarray(state.samples_processed, dtype=xp.int64)
+
+    def close(self) -> None:
+        """Release the device allocations. Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        self._rows = self._runs = self._samples = None
+        self.reference_values = None

@@ -17,7 +17,8 @@ per-read runs make bit-identical decisions.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
+import warnings
+from typing import TYPE_CHECKING, Any, Dict, List, Mapping, Optional, Sequence, Union
 
 import numpy as np
 
@@ -31,7 +32,14 @@ from repro.core.thresholds import choose_threshold
 from repro.pipeline.api import ACCEPT, DEFAULT_HARDWARE_LATENCY_S, EJECT, Action
 from repro.sequencer.read_until_api import SignalChunk
 
+if TYPE_CHECKING:  # duck-typed at runtime; avoids a hard runtime dependency
+    from repro.runtime.config import RunConfig
+
 __all__ = ["BatchSquiggleClassifier"]
+
+# Sentinel distinguishing "kwarg not passed" from any explicit value, so the
+# deprecation shim only fires when the legacy backend kwargs are really used.
+_UNSET: Any = object()
 
 
 class BatchSquiggleClassifier:
@@ -40,13 +48,17 @@ class BatchSquiggleClassifier:
     ``reference`` may be one :class:`ReferenceSquiggle` or a multi-target
     :class:`TargetPanel`: with a panel, every chunk round scores all targets
     in the same wavefront and terminal actions carry the per-target argmin
-    (``Action.target`` / ``Action.target_costs``). ``backend`` /
-    ``backend_options`` select the execution backend the engine advances
-    lanes on (``"numpy"`` in-process, ``"sharded"`` lanes across a
-    worker-process pool, ``"colsharded"`` reference columns across the pool —
-    see :mod:`repro.batch.backends`); decisions are bit-identical whichever
-    backend runs. Call :meth:`close` (or use the classifier as a context
-    manager) to release a multi-process backend's workers.
+    (``Action.target`` / ``Action.target_costs``). ``run_config`` — a
+    :class:`repro.runtime.RunConfig` — selects the execution backend the
+    engine advances lanes on (``"numpy"`` in-process, ``"sharded"`` /
+    ``"colsharded"`` across a worker-process pool, ``"gpu"`` on a device
+    array module — see :mod:`repro.batch.backends`); decisions are
+    bit-identical whichever backend runs. The pre-``RunConfig`` ``backend``
+    / ``backend_options`` kwargs still work but emit a
+    :class:`DeprecationWarning`. Call :meth:`close` (or use the classifier
+    as a context manager) to release a multi-process backend's workers —
+    or, better, let a :class:`repro.runtime.ReadUntilSession` own the
+    lifecycle.
     """
 
     supports_chunk_batching = True
@@ -57,12 +69,44 @@ class BatchSquiggleClassifier:
         config: Optional[SDTWConfig] = None,
         normalization: Optional[NormalizationConfig] = None,
         threshold: Optional[float] = None,
-        prefix_samples: int = 2000,
+        prefix_samples: Optional[int] = None,
         name: Optional[str] = None,
         decision_latency_s: Optional[float] = None,
-        backend: Union[str, ExecutionBackend] = "numpy",
-        backend_options: Optional[Mapping[str, Any]] = None,
+        backend: Union[str, ExecutionBackend] = _UNSET,
+        backend_options: Optional[Mapping[str, Any]] = _UNSET,
+        run_config: Optional["RunConfig"] = None,
     ) -> None:
+        if run_config is not None:
+            if backend is not _UNSET or backend_options is not _UNSET:
+                raise ValueError(
+                    "pass either run_config or the legacy backend/backend_options "
+                    "kwargs, not both"
+                )
+            # The config is the declarative description of the run: any field
+            # not explicitly overridden by a kwarg comes from it.
+            resolved_backend: Union[str, ExecutionBackend] = run_config.backend
+            resolved_options: Optional[Mapping[str, Any]] = (
+                run_config.resolved_backend_options()
+            )
+            if config is None:
+                config = run_config.hardware
+            if threshold is None:
+                threshold = run_config.threshold
+            if prefix_samples is None:
+                prefix_samples = run_config.prefix_samples
+        elif backend is _UNSET and backend_options is _UNSET:
+            resolved_backend, resolved_options = "numpy", None
+        else:
+            warnings.warn(
+                "BatchSquiggleClassifier(backend=..., backend_options=...) is "
+                "deprecated; describe the run with a repro.runtime.RunConfig and "
+                "pass run_config= (or drive it through repro.runtime.open_session)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            resolved_backend = "numpy" if backend is _UNSET else backend
+            resolved_options = None if backend_options is _UNSET else backend_options
+        prefix_samples = 2000 if prefix_samples is None else prefix_samples
         if prefix_samples <= 0:
             raise ValueError(f"prefix_samples must be positive, got {prefix_samples}")
         self.panel = TargetPanel.coerce(reference)
@@ -74,11 +118,12 @@ class BatchSquiggleClassifier:
         self.normalizer = SignalNormalizer(self.normalization)
         self.threshold = threshold
         self.prefix_samples = int(prefix_samples)
+        self.run_config = run_config
         self.engine = BatchSDTWEngine(
             self.panel,
             self.config,
-            backend=backend,
-            backend_options=backend_options,
+            backend=resolved_backend,
+            backend_options=resolved_options,
         )
         self.name = name if name is not None else f"batch:SquiggleFilter[{self.engine.backend_name}]"
         self.decision_latency_s = (

@@ -1,6 +1,6 @@
 """Command-line interface for the SquiggleFilter reproduction.
 
-Five subcommands cover the library's main workflows without writing Python:
+Six subcommands cover the library's main workflows without writing Python:
 
 * ``simulate-specimen`` — synthesize a target + background specimen and save
   the genomes (FASTA) and raw reads (FAST5-like ``.npz``).
@@ -12,15 +12,21 @@ Five subcommands cover the library's main workflows without writing Python:
   a given operating point.
 * ``read-until``        — run a chunk-driven Read Until session end to end
   with any registered streaming classifier (``--classifier`` picks one from
-  :func:`repro.pipeline.api.available_classifiers`); ``--batch`` switches the
-  squigglefilter onto the batched wavefront engine, classifying every
-  undecided channel of a polling round in one vectorized sDTW advance;
-  ``--backend`` (choices generated from
+  :func:`repro.pipeline.api.available_classifiers`). The run is described by
+  a :class:`repro.runtime.RunConfig` — load one with ``--config run.json``
+  (``.yaml`` works when PyYAML is installed) and/or override its fields with
+  explicit flags (flags win): ``--batch`` switches onto the batched
+  wavefront engine, ``--backend`` (choices generated from
   :func:`repro.batch.available_backends`, with ``--workers N`` for the
-  multi-process backends) picks the execution backend that engine runs on;
-  and ``--target-panel N`` screens N synthesized viral targets at once
-  through one :class:`~repro.core.panel.TargetPanel`, reporting per-target
-  accept counts.
+  multi-process backends and ``--tile-columns`` for the in-process/device
+  ones) picks the execution backend, and ``--target-panel N`` screens N
+  synthesized viral targets at once through one
+  :class:`~repro.core.panel.TargetPanel`, reporting per-target accept
+  counts. The squigglefilter-family session itself is driven through
+  :func:`repro.runtime.open_session` — the same code path the examples and
+  benchmarks use.
+* ``config-dump``       — print the fully resolved :class:`RunConfig`
+  (file + flag overlay) as JSON, the reproducibility record of a run.
 
 The CLI is intentionally thin: it parses arguments, calls the same public API
 the examples use, and prints human-readable reports via
@@ -31,7 +37,7 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro.analysis.metrics import confusion_from_labels
 from repro.analysis.report import format_table
@@ -46,7 +52,101 @@ from repro.batch import available_backends
 from repro.pipeline.api import available_classifiers, build_pipeline, create_classifier
 from repro.pipeline.runtime_model import ReadUntilModelConfig, sequencing_runtime_s
 from repro.pore_model.kmer_model import KmerModel
+from repro.runtime import RunConfig, load_config_mapping, open_session
 from repro.sequencer.reads import ReadGenerator, ReadLengthModel, SpecimenMixture
+
+
+def _add_run_config_arguments(parser: argparse.ArgumentParser) -> None:
+    """The RunConfig-shaped flags shared by ``read-until`` and ``config-dump``.
+
+    Every flag defaults to ``None`` ("not given") so resolution order is
+    explicit flag > config file > built-in default — what
+    :func:`_resolve_run_config` implements.
+    """
+    parser.add_argument(
+        "--config",
+        default=None,
+        metavar="PATH",
+        help="load a RunConfig from this JSON (or, with PyYAML installed, "
+        "YAML) file; explicit flags override the file's values",
+    )
+    parser.add_argument(
+        "--batch",
+        dest="batch",
+        action="store_true",
+        default=None,
+        help="drive the session through the batched wavefront engine: one "
+        "vectorized sDTW advance across all undecided channels per chunk "
+        "round (squigglefilter classifier only)",
+    )
+    parser.add_argument(
+        "--no-batch",
+        dest="batch",
+        action="store_false",
+        help="force the per-read scalar classification path even for a "
+        "batch-capable classifier (default: auto)",
+    )
+    parser.add_argument(
+        "--n-channels",
+        type=int,
+        default=None,
+        help="concurrently sequencing channels to simulate (batching pays "
+        "off as this grows; default: 1)",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=available_backends(),
+        default=None,
+        help="execution backend for the batched wavefront engine (choices "
+        "come straight from the backend registry): 'numpy' advances all "
+        "lanes in-process, 'sharded' stripes lanes across a worker-process "
+        "pool, 'colsharded' stripes reference columns across the pool for "
+        "genome-scale references, 'gpu' keeps the state in device memory "
+        "via CuPy/Torch (implies the batch classifier; decisions are "
+        "identical whichever backend runs)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes for the multi-process backends (requires "
+        "--backend sharded or colsharded; default: one per spare core, "
+        "capped at 8)",
+    )
+    parser.add_argument(
+        "--tile-columns",
+        type=int,
+        default=None,
+        help="column tile width for the in-process/device backends "
+        "(cache-sized or device-memory micro-batched advance; exact "
+        "results either way)",
+    )
+    parser.add_argument(
+        "--prefix-samples",
+        type=int,
+        default=None,
+        help="signal prefix examined before the decision (default: 1000)",
+    )
+    parser.add_argument("--chunk-samples", type=int, default=None)
+
+
+def _resolve_run_config(args: argparse.Namespace) -> RunConfig:
+    """Resolve the run configuration: flag > config file > CLI default."""
+    data: Dict[str, Any] = dict(load_config_mapping(args.config)) if args.config else {}
+    overrides = {
+        "backend": args.backend,
+        "workers": args.workers,
+        "tile_columns": args.tile_columns,
+        "batch": args.batch,
+        "n_channels": args.n_channels,
+        "prefix_samples": args.prefix_samples,
+        "chunk_samples": args.chunk_samples,
+    }
+    for key, value in overrides.items():
+        if value is not None:
+            data[key] = value
+    data.setdefault("prefix_samples", 1000)
+    return RunConfig.from_dict(data)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -95,48 +195,7 @@ def build_parser() -> argparse.ArgumentParser:
         default="squigglefilter",
         help="registered streaming classifier to drive the session with",
     )
-    read_until.add_argument(
-        "--batch",
-        dest="batch",
-        action="store_true",
-        default=None,
-        help="drive the session through the batched wavefront engine: one "
-        "vectorized sDTW advance across all undecided channels per chunk "
-        "round (squigglefilter classifier only)",
-    )
-    read_until.add_argument(
-        "--no-batch",
-        dest="batch",
-        action="store_false",
-        help="force the per-read scalar classification path even for a "
-        "batch-capable classifier (default: auto)",
-    )
-    read_until.add_argument(
-        "--n-channels",
-        type=int,
-        default=1,
-        help="concurrently sequencing channels to simulate (batching pays "
-        "off as this grows)",
-    )
-    read_until.add_argument(
-        "--backend",
-        choices=available_backends(),
-        default=None,
-        help="execution backend for the batched wavefront engine (choices "
-        "come straight from the backend registry): 'numpy' advances all "
-        "lanes in-process, 'sharded' stripes lanes across a worker-process "
-        "pool, 'colsharded' stripes reference columns across the pool for "
-        "genome-scale references (implies the batch classifier; decisions "
-        "are identical whichever backend runs)",
-    )
-    read_until.add_argument(
-        "--workers",
-        type=int,
-        default=None,
-        help="worker processes for the multi-process backends (requires "
-        "--backend sharded or colsharded; default: one per spare core, "
-        "capped at 8)",
-    )
+    _add_run_config_arguments(read_until)
     read_until.add_argument(
         "--target-panel",
         type=int,
@@ -153,8 +212,6 @@ def build_parser() -> argparse.ArgumentParser:
     read_until.add_argument("--viral-fraction", type=float, default=0.05)
     read_until.add_argument("--n-reads", type=int, default=60)
     read_until.add_argument("--calibration-reads-per-class", type=int, default=15)
-    read_until.add_argument("--prefix-samples", type=int, default=1000)
-    read_until.add_argument("--chunk-samples", type=int, default=None)
     read_until.add_argument(
         "--stage-prefixes",
         type=int,
@@ -163,6 +220,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="stage decision points in samples (multistage classifier only)",
     )
     read_until.add_argument("--seed", type=int, default=17)
+
+    config_dump = subparsers.add_parser(
+        "config-dump",
+        help="print the resolved RunConfig (config file + flag overrides) as "
+        "JSON — the reproducibility record of a read-until invocation",
+    )
+    _add_run_config_arguments(config_dump)
 
     runtime = subparsers.add_parser(
         "runtime-model", help="evaluate the analytical Read Until runtime model"
@@ -279,9 +343,17 @@ def _command_classify(args: argparse.Namespace) -> int:
 
 
 def _command_read_until(args: argparse.Namespace) -> int:
+    # Workers-vs-backend (and every other cross-field) validation lives in
+    # RunConfig so a config file naming the backend satisfies it too.
+    try:
+        run_config = _resolve_run_config(args)
+    except (ValueError, RuntimeError, OSError) as error:
+        print(f"invalid run configuration: {error}", file=sys.stderr)
+        return 2
+
     kmer_model = KmerModel()
     background = random_genome(args.background_length, seed=args.seed + 1)
-    panel_genomes = None
+    panel_genomes = dict(run_config.targets) if run_config.targets is not None else None
     if args.target_panel:
         if args.target_panel < 2:
             print("--target-panel needs at least 2 targets", file=sys.stderr)
@@ -295,7 +367,8 @@ def _command_read_until(args: argparse.Namespace) -> int:
             )
             for index in range(args.target_panel)
         }
-        per_member = args.viral_fraction / args.target_panel
+    if panel_genomes is not None:
+        per_member = args.viral_fraction / len(panel_genomes)
         mixture = SpecimenMixture(
             genomes={**panel_genomes, "background": background},
             fractions={
@@ -306,7 +379,12 @@ def _command_read_until(args: argparse.Namespace) -> int:
         )
         target = next(iter(panel_genomes.values()))
     else:
-        target = random_genome(args.target_length, seed=args.seed)
+        # A config file naming a genome pins the target; otherwise synthesize.
+        target = (
+            run_config.genome
+            if run_config.genome is not None
+            else random_genome(args.target_length, seed=args.seed)
+        )
         mixture = SpecimenMixture.two_component(
             "target", target, "background", background, args.viral_fraction
         )
@@ -320,106 +398,105 @@ def _command_read_until(args: argparse.Namespace) -> int:
     target_signals = [read.signal_pa for read in calibration if read.is_target]
     background_signals = [read.signal_pa for read in calibration if not read.is_target]
 
-    # Build the classifier spec for the registry; sDTW classifiers need a
-    # reference squiggle and their ejection threshold(s) calibrated from the
-    # labelled reads first, the baseline needs neither.
     classifier_name = args.classifier
     squigglefilter_family = ("squigglefilter", "batch_squigglefilter")
-    if args.batch and args.classifier not in squigglefilter_family:
-        print(
-            "--batch requires the squigglefilter classifier "
-            f"(got {args.classifier!r})",
-            file=sys.stderr,
-        )
-        return 2
-    if args.backend and args.classifier not in squigglefilter_family:
-        print(
-            "--backend requires the squigglefilter classifier "
-            f"(got {args.classifier!r})",
-            file=sys.stderr,
-        )
-        return 2
-    if args.target_panel and args.classifier not in squigglefilter_family:
-        print(
-            "--target-panel requires the squigglefilter classifier "
-            f"(got {args.classifier!r})",
-            file=sys.stderr,
-        )
-        return 2
-    if args.workers is not None and args.backend not in ("sharded", "colsharded"):
-        print("--workers requires --backend sharded or colsharded", file=sys.stderr)
-        return 2
+    for flag, given in (
+        ("--batch", args.batch),
+        ("--backend", args.backend),
+        ("--target-panel", args.target_panel),
+        ("--config", args.config),
+    ):
+        if given and args.classifier not in squigglefilter_family:
+            print(
+                f"{flag} requires the squigglefilter classifier "
+                f"(got {args.classifier!r})",
+                file=sys.stderr,
+            )
+            return 2
     use_batch_classifier = args.classifier == "batch_squigglefilter" or (
         args.classifier == "squigglefilter"
-        and (args.batch is True or args.backend is not None or panel_genomes is not None)
-    )
-    if use_batch_classifier:
-        # The batched classifier normalizes per chunk, so its threshold is
-        # calibrated on the same chunk geometry the session will stream at.
-        classifier_name = "batch_squigglefilter"
-        if panel_genomes is not None:
-            reference = TargetPanel.from_genomes(panel_genomes, kmer_model=kmer_model)
-        else:
-            reference = ReferenceSquiggle.from_genome(target, kmer_model=kmer_model)
-        helper = create_classifier(
-            "batch_squigglefilter", reference=reference, prefix_samples=args.prefix_samples
+        and (
+            run_config.batch is True
+            or args.backend is not None
+            or args.config is not None
+            or panel_genomes is not None
         )
-        chunk = args.chunk_samples if args.chunk_samples else args.prefix_samples
-        threshold = choose_threshold(
-            helper.costs(target_signals, chunk_samples=chunk),
-            helper.costs(background_signals, chunk_samples=chunk),
-        )
-        params = {
-            "reference": reference,
-            "prefix_samples": args.prefix_samples,
-            "threshold": threshold,
-        }
-        if args.backend:
-            params["backend"] = args.backend
-            if args.workers is not None:
-                params["backend_options"] = {"workers": args.workers}
-    elif args.classifier == "squigglefilter":
-        reference = ReferenceSquiggle.from_genome(target, kmer_model=kmer_model)
-        helper = SquiggleFilter(reference, prefix_samples=args.prefix_samples)
-        threshold = choose_threshold(
-            helper.cost_batch(target_signals, args.prefix_samples),
-            helper.cost_batch(background_signals, args.prefix_samples),
-        )
-        params = {
-            "reference": reference,
-            "prefix_samples": args.prefix_samples,
-            "threshold": threshold,
-        }
-    elif args.classifier == "multistage":
-        reference = ReferenceSquiggle.from_genome(target, kmer_model=kmer_model)
-        calibrated = MultiStageSquiggleFilter.calibrated(
-            reference,
-            target_signals,
-            background_signals,
-            prefix_lengths=sorted(args.stage_prefixes),
-        )
-        params = {"reference": reference, "stages": calibrated.stages}
-    else:  # basecall_align
-        params = {"prefix_samples": args.prefix_samples, "seed": args.seed}
-
-    pipeline = build_pipeline(
-        {
-            "classifier": {"name": classifier_name, "params": params},
-            "target_genome": target,
-            "prefix_samples": args.prefix_samples,
-            "chunk_samples": args.chunk_samples,
-            "n_channels": args.n_channels,
-            "batch": args.batch,
-            "assemble": False,
-        }
     )
     reads = generator.generate(args.n_reads)
-    try:
-        result = pipeline.run(reads)
-    finally:
-        close = getattr(pipeline.classifier, "close", None)
-        if close is not None:
-            close()
+
+    if use_batch_classifier:
+        # The unified runtime path: one RunConfig describes the session, and
+        # open_session owns calibration geometry, lazy backend spawn and
+        # teardown. The threshold is calibrated on the same chunk geometry
+        # the session will stream at (the classifier normalizes per chunk).
+        classifier_name = "batch_squigglefilter"
+        if panel_genomes is not None:
+            reference = TargetPanel.from_genomes(
+                panel_genomes,
+                kmer_model=kmer_model,
+                include_reverse_complement=run_config.include_reverse_complement,
+            )
+        else:
+            reference = ReferenceSquiggle.from_genome(
+                target,
+                kmer_model=kmer_model,
+                include_reverse_complement=run_config.include_reverse_complement,
+            )
+        session_config = run_config.with_(genome=None, targets=None, reference=reference)
+        with open_session(session_config) as session:
+            if session.threshold is None:
+                session.calibrate(target_signals, background_signals)
+            result = session.run(reads, target_genome=target)
+    else:
+        if args.classifier == "squigglefilter":
+            reference = ReferenceSquiggle.from_genome(
+                target,
+                kmer_model=kmer_model,
+                include_reverse_complement=run_config.include_reverse_complement,
+            )
+            helper = SquiggleFilter(reference, prefix_samples=run_config.prefix_samples)
+            threshold = choose_threshold(
+                helper.cost_batch(target_signals, run_config.prefix_samples),
+                helper.cost_batch(background_signals, run_config.prefix_samples),
+            )
+            params = {
+                "reference": reference,
+                "prefix_samples": run_config.prefix_samples,
+                "threshold": threshold,
+            }
+        elif args.classifier == "multistage":
+            reference = ReferenceSquiggle.from_genome(
+                target,
+                kmer_model=kmer_model,
+                include_reverse_complement=run_config.include_reverse_complement,
+            )
+            calibrated = MultiStageSquiggleFilter.calibrated(
+                reference,
+                target_signals,
+                background_signals,
+                prefix_lengths=sorted(args.stage_prefixes),
+            )
+            params = {"reference": reference, "stages": calibrated.stages}
+        else:  # basecall_align
+            params = {"prefix_samples": run_config.prefix_samples, "seed": args.seed}
+
+        pipeline = build_pipeline(
+            {
+                "classifier": {"name": classifier_name, "params": params},
+                "target_genome": target,
+                "prefix_samples": run_config.prefix_samples,
+                "chunk_samples": run_config.chunk_samples,
+                "n_channels": run_config.n_channels,
+                "batch": run_config.batch,
+                "assemble": False,
+            }
+        )
+        try:
+            result = pipeline.run(reads)
+        finally:
+            close = getattr(pipeline.classifier, "close", None)
+            if close is not None:
+                close()
     rows = [
         {"metric": "classifier", "value": classifier_name},
         {"metric": "reads_processed", "value": result.session.n_reads},
@@ -439,6 +516,16 @@ def _command_read_until(args: argparse.Namespace) -> int:
         for name in panel_genomes:
             rows.append({"metric": f"accepts[{name}]", "value": accepts.get(name, 0)})
     print(format_table(rows))
+    return 0
+
+
+def _command_config_dump(args: argparse.Namespace) -> int:
+    try:
+        run_config = _resolve_run_config(args)
+    except (ValueError, RuntimeError, OSError) as error:
+        print(f"invalid run configuration: {error}", file=sys.stderr)
+        return 2
+    print(run_config.to_json())
     return 0
 
 
@@ -471,6 +558,7 @@ _COMMANDS = {
     "build-reference": _command_build_reference,
     "classify": _command_classify,
     "read-until": _command_read_until,
+    "config-dump": _command_config_dump,
     "runtime-model": _command_runtime,
 }
 

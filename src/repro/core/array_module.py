@@ -1,0 +1,273 @@
+"""Array-library indirection for the device-agnostic sDTW kernels.
+
+The batched wavefront (:func:`repro.core.sdtw.sdtw_resume_batch` and the
+column-tiled advance underneath it) is a sequence of ``(lanes, reference)``
+matrix operations with no NumPy-specific semantics. :class:`ArrayModule`
+("xp", after the SciPy convention) is the thin facade those kernels route
+every array operation through, so the same code advances state held in host
+memory (NumPy), in CUDA device memory (CuPy), or on any accelerator PyTorch
+drives — the execution backend picks the module, the kernel never changes.
+
+Three modules are built in:
+
+* ``"numpy"`` — the default; delegation to :mod:`numpy` verbatim, so the
+  host path is bit-identical to the pre-indirection kernels by construction.
+* ``"cupy"`` — resolved lazily; CuPy mirrors the NumPy API, so the same
+  delegation works with device arrays.
+* ``"torch"`` — resolved lazily through :class:`_TorchNamespace`, a
+  best-effort adapter mapping the kernel's operation surface onto
+  :mod:`torch` equivalents (tensors are not NumPy-compatible, so unlike
+  CuPy this path needs explicit translation).
+
+:func:`gpu_array_module` resolves whichever accelerator library is
+importable (CuPy preferred) — what the ``"gpu"`` execution backend in
+:mod:`repro.batch.backends` runs on. Additional modules can be registered
+with :func:`register_array_module` (e.g. a JAX adapter) without touching the
+kernels.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "ArrayModule",
+    "available_array_modules",
+    "get_array_module",
+    "gpu_array_module",
+    "numpy_module",
+    "register_array_module",
+]
+
+
+class ArrayModule:
+    """A numpy-like array namespace plus the few helpers the kernels need.
+
+    Attribute access falls through to the wrapped module, so ``xp.minimum``,
+    ``xp.int64`` or ``xp.searchsorted`` resolve to the library's own
+    implementations (NumPy and CuPy share that surface; the torch adapter
+    provides it explicitly). The methods below cover the operations that are
+    *not* uniform across libraries — dtype casts, host transfer, and stable
+    ordering — so kernel code never calls array methods that only exist on
+    ``numpy.ndarray``.
+    """
+
+    def __init__(
+        self,
+        module: Any,
+        name: str,
+        to_host: Optional[Callable[[Any], np.ndarray]] = None,
+    ) -> None:
+        self.module = module
+        self.name = name
+        self._to_host = to_host
+
+    def __getattr__(self, attribute: str) -> Any:
+        return getattr(self.module, attribute)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"ArrayModule({self.name})"
+
+    @property
+    def is_numpy(self) -> bool:
+        return self.module is np
+
+    # ------------------------------------------------------------- helpers
+    def astype(self, array: Any, dtype: Any) -> Any:
+        """A *copying* dtype cast (``ndarray.astype`` / ``Tensor.to``)."""
+        cast = getattr(self.module, "cast_copy", None)
+        if cast is not None:  # torch adapter
+            return cast(array, dtype)
+        return array.astype(dtype, copy=True)
+
+    def copy(self, array: Any) -> Any:
+        clone = getattr(array, "clone", None)
+        if clone is not None:  # torch tensors
+            return clone()
+        return array.copy()
+
+    def to_numpy(self, array: Any) -> np.ndarray:
+        """Transfer to host memory as a NumPy array (identity for NumPy)."""
+        if self._to_host is not None:
+            return self._to_host(array)
+        return np.asarray(array)
+
+    def stable_argsort_descending(self, values) -> list:
+        """Host-side stable ordering of a small metadata sequence.
+
+        Returns plain Python ints (the kernels use the order for view
+        slicing and padding layout, never as device data), sorted by
+        descending value with ties kept in input order — the semantics of
+        ``np.argsort(-values, kind="stable")``.
+        """
+        values = [int(value) for value in values]
+        return sorted(range(len(values)), key=lambda index: -values[index])
+
+
+# ------------------------------------------------------------------- registry
+_LOADERS: Dict[str, Callable[[], ArrayModule]] = {}
+_CACHE: Dict[str, ArrayModule] = {}
+
+
+def register_array_module(name: str, loader: Callable[[], ArrayModule]) -> None:
+    """Register a lazy :class:`ArrayModule` loader under a string key.
+
+    The loader runs at most once (the resolved module is cached) and should
+    raise :class:`RuntimeError` with an install hint when the underlying
+    library is not importable.
+    """
+    key = name.lower()
+    if key in _LOADERS:
+        raise ValueError(f"array module {name!r} is already registered")
+    _LOADERS[key] = loader
+
+
+def available_array_modules() -> Tuple[str, ...]:
+    """The registered array-module names, sorted (not all need be importable)."""
+    return tuple(sorted(_LOADERS))
+
+
+def get_array_module(name: str = "numpy") -> ArrayModule:
+    """Resolve a registered array module by name.
+
+    Unknown names raise :class:`ValueError` listing the registry; known names
+    whose library is missing raise :class:`RuntimeError` from the loader.
+    """
+    key = name.lower()
+    if key in _CACHE:
+        return _CACHE[key]
+    try:
+        loader = _LOADERS[key]
+    except KeyError:
+        known = ", ".join(available_array_modules()) or "(none)"
+        raise ValueError(
+            f"unknown array module {name!r}; registered modules: {known}"
+        ) from None
+    module = loader()
+    _CACHE[key] = module
+    return module
+
+
+def numpy_module() -> ArrayModule:
+    """The default host array module."""
+    return get_array_module("numpy")
+
+
+def gpu_array_module(required: bool = False) -> Optional[ArrayModule]:
+    """The first importable GPU array library (CuPy, then PyTorch).
+
+    Returns ``None`` when neither is installed, unless ``required`` — then a
+    :class:`RuntimeError` with an install hint is raised (what the ``"gpu"``
+    execution backend surfaces when selected on a host without a GPU stack).
+    """
+    for name in ("cupy", "torch"):
+        try:
+            return get_array_module(name)
+        except RuntimeError:
+            continue
+    if required:
+        raise RuntimeError(
+            "no GPU array library is importable; install CuPy (preferred) or "
+            "PyTorch to use the 'gpu' execution backend, or pass "
+            "array_module='numpy' to run the device code path on the host"
+        )
+    return None
+
+
+register_array_module("numpy", lambda: ArrayModule(np, "numpy"))
+
+
+def _load_cupy() -> ArrayModule:
+    try:
+        import cupy  # noqa: PLC0415 - optional dependency, resolved lazily
+    except ImportError as error:  # pragma: no cover - depends on environment
+        raise RuntimeError(
+            "the 'cupy' array module requires CuPy (pip install cupy-cuda12x "
+            "matching your CUDA toolkit)"
+        ) from error
+    return ArrayModule(cupy, "cupy", to_host=cupy.asnumpy)
+
+
+register_array_module("cupy", _load_cupy)
+
+
+class _TorchNamespace:  # pragma: no cover - exercised only with torch installed
+    """Best-effort numpy-surface adapter over :mod:`torch`.
+
+    Implements exactly the operations the batched sDTW wavefront issues.
+    Dtype attributes resolve to torch dtypes so ``xp.int64``-style kernel
+    code works unchanged; ``cast_copy`` backs :meth:`ArrayModule.astype`.
+    """
+
+    def __init__(self, torch: Any) -> None:
+        self._torch = torch
+        self.int32 = torch.int32
+        self.int64 = torch.int64
+        self.float64 = torch.float64
+        self.bool_ = torch.bool
+        self.intp = torch.int64
+        self.inf = float("inf")
+
+    def __getattr__(self, attribute: str) -> Any:
+        # subtract, abs, minimum, less, where, searchsorted, argmin, arange,
+        # zeros, empty, empty_like, rint (via round below), any, max, ...
+        if attribute == "rint":
+            return self._torch.round
+        return getattr(self._torch, attribute)
+
+    def asarray(self, values: Any, dtype: Any = None) -> Any:
+        if isinstance(dtype, type) or isinstance(dtype, np.dtype):
+            dtype = getattr(self, np.dtype(dtype).name, None)
+        return self._torch.asarray(values, dtype=dtype)
+
+    def _tensor_operand(self, value: Any, like: Any) -> Any:
+        """Torch binary ops reject Python scalars; wrap them like numpy does."""
+        if isinstance(value, self._torch.Tensor):
+            return value
+        return self._torch.as_tensor(value, dtype=like.dtype, device=like.device)
+
+    def minimum(self, a: Any, b: Any, out: Any = None) -> Any:
+        b = self._tensor_operand(b, a)
+        if out is not None:
+            return self._torch.minimum(a, b, out=out)
+        return self._torch.minimum(a, b)
+
+    def where(self, condition: Any, a: Any, b: Any) -> Any:
+        # The kernels call where(cond, scalar, tensor); wrap the scalar arm.
+        like = b if isinstance(b, self._torch.Tensor) else a
+        return self._torch.where(
+            condition, self._tensor_operand(a, like), self._tensor_operand(b, like)
+        )
+
+    def cast_copy(self, array: Any, dtype: Any) -> Any:
+        if isinstance(dtype, type) or isinstance(dtype, np.dtype):
+            dtype = getattr(self, np.dtype(dtype).name)
+        return array.to(dtype=dtype, copy=True)
+
+    def copyto(self, destination: Any, value: Any, where: Any = None) -> None:
+        if where is None:
+            destination.copy_(value)
+        else:
+            destination[where] = value
+
+    def iinfo(self, dtype: Any) -> Any:
+        return self._torch.iinfo(dtype)
+
+
+def _load_torch() -> ArrayModule:  # pragma: no cover - depends on environment
+    try:
+        import torch  # noqa: PLC0415 - optional dependency, resolved lazily
+    except ImportError as error:
+        raise RuntimeError(
+            "the 'torch' array module requires PyTorch (pip install torch)"
+        ) from error
+    return ArrayModule(
+        _TorchNamespace(torch),
+        "torch",
+        to_host=lambda tensor: tensor.detach().cpu().numpy(),
+    )
+
+
+register_array_module("torch", _load_torch)

@@ -14,8 +14,9 @@ sequencing while low-confidence reads get more signal before the decision.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field, replace
-from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import TYPE_CHECKING, Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -29,8 +30,42 @@ from repro.core.sdtw import SDTWResult, sdtw_cost
 from repro.core.thresholds import choose_threshold
 from repro.pore_model.kmer_model import KmerModel
 
+if TYPE_CHECKING:  # duck-typed at runtime; avoids a hard runtime dependency
+    from repro.runtime.config import RunConfig
+
 # The paper's default operating point: one stage examining 2000 samples.
 DEFAULT_PREFIX_SAMPLES = 2000
+
+
+def _resolve_batch_backend(
+    backend: Union[None, str, ExecutionBackend],
+    backend_options: Optional[Mapping[str, Any]],
+    run_config: Optional["RunConfig"],
+    method: str,
+) -> Tuple[Union[str, ExecutionBackend], Optional[Mapping[str, Any]]]:
+    """Shared shim resolving the execution backend of a batch method.
+
+    The modern spelling is ``run_config=RunConfig(...)``; the pre-``RunConfig``
+    ``backend=``/``backend_options=`` kwargs still work but emit a
+    :class:`DeprecationWarning` (decisions are identical either way).
+    """
+    if run_config is not None:
+        if backend is not None or backend_options is not None:
+            raise ValueError(
+                f"{method}: pass either run_config or the legacy "
+                "backend/backend_options kwargs, not both"
+            )
+        return run_config.backend, run_config.resolved_backend_options()
+    if backend is None and backend_options is None:
+        return "numpy", None
+    warnings.warn(
+        f"{method}(backend=..., backend_options=...) is deprecated; describe "
+        "the run with a repro.runtime.RunConfig and pass run_config= (or "
+        "drive it through repro.runtime.open_session)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    return (backend if backend is not None else "numpy"), backend_options
 
 
 @dataclass(frozen=True)
@@ -224,15 +259,32 @@ class SquiggleFilter:
         self,
         raw_signals: Sequence[np.ndarray],
         prefix_samples: Optional[int] = None,
-        backend: Union[str, ExecutionBackend] = "numpy",
+        backend: Union[None, str, ExecutionBackend] = None,
         backend_options: Optional[Mapping[str, Any]] = None,
+        run_config: Optional["RunConfig"] = None,
     ) -> List[float]:
         """Alignment costs for many reads via one batched wavefront.
 
         Identical values to calling :meth:`cost` per read — whatever
-        ``backend`` executes the wavefront; the calibration and sweep helpers
-        use this so experiments stop looping the kernel in Python.
+        execution backend runs the wavefront; the calibration and sweep
+        helpers use this so experiments stop looping the kernel in Python.
+        ``run_config`` (a :class:`repro.runtime.RunConfig`) names the
+        backend; the legacy ``backend=`` kwarg still works behind a
+        :class:`DeprecationWarning`.
         """
+        backend, backend_options = _resolve_batch_backend(
+            backend, backend_options, run_config, "SquiggleFilter.cost_batch"
+        )
+        return self._cost_batch(raw_signals, prefix_samples, backend, backend_options)
+
+    def _cost_batch(
+        self,
+        raw_signals: Sequence[np.ndarray],
+        prefix_samples: Optional[int] = None,
+        backend: Union[str, ExecutionBackend] = "numpy",
+        backend_options: Optional[Mapping[str, Any]] = None,
+    ) -> List[float]:
+        """:meth:`cost_batch` minus the shim (internal call sites)."""
         if not raw_signals:
             return []
         if self.config.allow_reference_deletions:
@@ -248,17 +300,35 @@ class SquiggleFilter:
         raw_signals: Sequence[np.ndarray],
         threshold: Optional[float] = None,
         prefix_samples: Optional[int] = None,
-        backend: Union[str, ExecutionBackend] = "numpy",
+        backend: Union[None, str, ExecutionBackend] = None,
         backend_options: Optional[Mapping[str, Any]] = None,
+        run_config: Optional["RunConfig"] = None,
     ) -> List[FilterDecision]:
         """Classify a batch of reads with one batched sDTW wavefront.
 
         Decisions are identical to per-read :meth:`classify` calls; the work
         runs through :class:`~repro.batch.BatchSDTWEngine` (one set of matrix
         ops per wavefront step across all reads) instead of a Python loop.
-        ``backend`` selects the execution backend (``"numpy"`` in-process,
-        ``"sharded"`` across worker processes) without changing any decision.
+        ``run_config`` (a :class:`repro.runtime.RunConfig`) selects the
+        execution backend without changing any decision; the legacy
+        ``backend=`` kwarg still works behind a :class:`DeprecationWarning`.
         """
+        backend, backend_options = _resolve_batch_backend(
+            backend, backend_options, run_config, "SquiggleFilter.classify_batch"
+        )
+        return self._classify_batch(
+            raw_signals, threshold, prefix_samples, backend, backend_options
+        )
+
+    def _classify_batch(
+        self,
+        raw_signals: Sequence[np.ndarray],
+        threshold: Optional[float] = None,
+        prefix_samples: Optional[int] = None,
+        backend: Union[str, ExecutionBackend] = "numpy",
+        backend_options: Optional[Mapping[str, Any]] = None,
+    ) -> List[FilterDecision]:
+        """:meth:`classify_batch` minus the shim (internal call sites)."""
         effective_threshold = threshold if threshold is not None else self.threshold
         if effective_threshold is None:
             raise ValueError(
@@ -300,8 +370,8 @@ class SquiggleFilter:
     ) -> float:
         """Choose and store a threshold from labelled calibration reads."""
         self.threshold = choose_threshold(
-            self.cost_batch(target_signals, prefix_samples),
-            self.cost_batch(nontarget_signals, prefix_samples),
+            self._cost_batch(target_signals, prefix_samples),
+            self._cost_batch(nontarget_signals, prefix_samples),
             objective=objective,
             target_recall=target_recall,
         )
@@ -387,8 +457,9 @@ class MultiStageSquiggleFilter:
     def classify_batch(
         self,
         raw_signals: Sequence[np.ndarray],
-        backend: Union[str, ExecutionBackend] = "numpy",
+        backend: Union[None, str, ExecutionBackend] = None,
         backend_options: Optional[Mapping[str, Any]] = None,
+        run_config: Optional["RunConfig"] = None,
     ) -> List[FilterDecision]:
         """Stage-by-stage batched classification.
 
@@ -396,11 +467,15 @@ class MultiStageSquiggleFilter:
         wavefront (:meth:`SquiggleFilter.classify_batch`), so a calibration
         sweep over N reads costs ``n_stages`` kernel launches instead of up
         to ``N * n_stages``. Decisions are identical to per-read
-        :meth:`classify` calls, on whichever execution ``backend``. A
-        backend named by string is instantiated **once** and reused across
-        every stage (one worker-pool spawn per call for ``"sharded"``, not
-        one per stage), then released.
+        :meth:`classify` calls, on whichever execution backend —
+        ``run_config`` names it; the legacy ``backend=`` kwarg still works
+        behind a :class:`DeprecationWarning`. A backend named by string is
+        instantiated **once** and reused across every stage (one worker-pool
+        spawn per call for ``"sharded"``, not one per stage), then released.
         """
+        backend, backend_options = _resolve_batch_backend(
+            backend, backend_options, run_config, "MultiStageSquiggleFilter.classify_batch"
+        )
         signals = [np.asarray(signal, dtype=np.float64) for signal in raw_signals]
         owned: Optional[ExecutionBackend] = None
         if isinstance(backend, str) and backend != "numpy" and signals:
@@ -420,7 +495,7 @@ class MultiStageSquiggleFilter:
             for index, stage in enumerate(self.stages):
                 if not pending:
                     break
-                staged = self._filter.classify_batch(
+                staged = self._filter._classify_batch(
                     [signals[i] for i in pending],
                     threshold=stage.threshold,
                     prefix_samples=stage.prefix_samples,
@@ -463,8 +538,8 @@ class MultiStageSquiggleFilter:
         helper = SquiggleFilter(reference, config=config, normalization=normalization)
         stages: List[FilterStage] = []
         for index, prefix in enumerate(prefix_lengths):
-            target_costs = helper.cost_batch(target_signals, prefix)
-            nontarget_costs = helper.cost_batch(nontarget_signals, prefix)
+            target_costs = helper._cost_batch(target_signals, prefix)
+            nontarget_costs = helper._cost_batch(nontarget_signals, prefix)
             is_last = index == len(prefix_lengths) - 1
             threshold = choose_threshold(
                 target_costs,

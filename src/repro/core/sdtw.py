@@ -28,14 +28,24 @@ matrix operations per wavefront step — the kernel every execution backend of
 backend, once per shard inside each worker for the ``sharded`` backend; see
 :mod:`repro.batch.backends`). Per-lane results are bit-identical to per-read
 :func:`sdtw_resume` calls, which is what makes the backends interchangeable.
+
+The batched wavefront is **device-agnostic**: every array operation on that
+path is routed through an :class:`~repro.core.array_module.ArrayModule`
+("xp") instead of calling NumPy directly, so the same kernel advances state
+held in host memory or on an accelerator (CuPy / Torch — the ``"gpu"``
+execution backend). :func:`sdtw_resume_batch` is the NumPy-facing wrapper;
+:func:`sdtw_resume_batch_arrays` is the raw-array core device backends call
+with their own ``xp``.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.core.array_module import ArrayModule, numpy_module
 from repro.core.config import SDTWConfig
 
 __all__ = [
@@ -49,6 +59,7 @@ __all__ = [
     "sdtw_last_row",
     "sdtw_resume",
     "sdtw_resume_batch",
+    "sdtw_resume_batch_arrays",
 ]
 
 
@@ -198,7 +209,7 @@ def tile_block_starts(
 
 
 def reduce_block_minima(
-    rows: np.ndarray, block_starts: np.ndarray
+    rows: np.ndarray, block_starts: np.ndarray, xp: Optional[ArrayModule] = None
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Per-block (per-target) cost and end-position reduction of DP rows.
 
@@ -207,18 +218,23 @@ def reduce_block_minima(
     Returns ``(costs, ends)`` of shape ``(n_lanes, n_blocks)`` where
     ``costs[l, b]`` is the row minimum inside block ``b`` and ``ends[l, b]``
     its argmin *local to the block* — exactly the cost/end an independent
-    single-reference run over that target would report.
+    single-reference run over that target would report. ``xp`` selects the
+    array module the reduction runs on (the module holding ``rows``); the
+    outputs stay in that module's memory space.
     """
-    rows = np.asarray(rows)
+    xp = xp if xp is not None else numpy_module()
+    rows = xp.asarray(rows)
     n_lanes, n_columns = rows.shape
-    starts = normalize_block_starts(block_starts, n_columns)
-    bounds = np.append(starts, n_columns)
-    costs = np.empty((n_lanes, starts.size), dtype=rows.dtype)
-    ends = np.empty((n_lanes, starts.size), dtype=np.intp)
+    starts = normalize_block_starts(block_starts, int(n_columns))
+    bounds = [int(start) for start in starts] + [int(n_columns)]
+    costs = xp.empty((n_lanes, starts.size), dtype=rows.dtype)
+    ends = xp.empty((n_lanes, starts.size), dtype=xp.intp)
+    lane_index = xp.arange(n_lanes)
     for block in range(starts.size):
         segment = rows[:, bounds[block] : bounds[block + 1]]
-        ends[:, block] = np.argmin(segment, axis=1)
-        costs[:, block] = segment[np.arange(n_lanes), ends[:, block]]
+        block_ends = xp.argmin(segment, 1)
+        ends[:, block] = block_ends
+        costs[:, block] = segment[lane_index, block_ends]
     return costs, ends
 
 
@@ -453,66 +469,117 @@ def sdtw_resume_batch(
     if cfg.allow_reference_deletions:
         raise ValueError("sdtw_resume_batch requires allow_reference_deletions=False")
 
-    input_dtype = np.int64 if cfg.quantize else np.float64
-    reference_values = np.asarray(reference, dtype=input_dtype)
-    if reference_values.ndim != 1 or reference_values.size == 0:
+    xp = numpy_module()
+    input_dtype = xp.int64 if cfg.quantize else xp.float64
+    reference_values = xp.asarray(reference, dtype=input_dtype)
+    if reference_values.ndim != 1 or reference_values.shape[0] == 0:
         raise ValueError("reference must be a non-empty 1-D array")
 
-    lanes = [np.asarray(q, dtype=input_dtype) for q in queries]
+    lanes = [xp.asarray(q, dtype=input_dtype) for q in queries]
     if any(lane.ndim != 1 for lane in lanes):
         raise ValueError("every lane query must be a 1-D array")
     n_lanes = len(lanes)
-    lengths = np.fromiter((lane.size for lane in lanes), dtype=np.int64, count=n_lanes)
 
     if state is None:
-        state = BatchSDTWState.initial(n_lanes, reference_values.size, cfg)
+        state = BatchSDTWState.initial(n_lanes, int(reference_values.shape[0]), cfg)
     if state.n_lanes != n_lanes:
         raise ValueError(f"state has {state.n_lanes} lanes but {n_lanes} queries were given")
-    if state.reference_length != reference_values.size:
+    if state.reference_length != int(reference_values.shape[0]):
         raise ValueError(
             f"state reference length {state.reference_length} does not match "
-            f"reference length {reference_values.size}"
+            f"reference length {int(reference_values.shape[0])}"
         )
 
-    starts = normalize_block_starts(block_starts, reference_values.size)
+    rows, runs, processed = sdtw_resume_batch_arrays(
+        lanes,
+        reference_values,
+        cfg,
+        state.rows,
+        state.runs,
+        state.samples_processed,
+        track_runs=track_runs,
+        block_starts=block_starts,
+        tile_columns=tile_columns,
+        xp=xp,
+    )
+    return BatchSDTWState(rows=rows, runs=runs, samples_processed=processed)
+
+
+def sdtw_resume_batch_arrays(
+    lanes: Sequence[np.ndarray],
+    reference_values: np.ndarray,
+    config: SDTWConfig,
+    rows: np.ndarray,
+    runs: np.ndarray,
+    samples_processed: np.ndarray,
+    track_runs: bool = True,
+    block_starts: Optional[np.ndarray] = None,
+    tile_columns: Optional[int] = None,
+    xp: Optional[ArrayModule] = None,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """The batched wavefront on raw, possibly device-resident, arrays.
+
+    This is the device-agnostic core of :func:`sdtw_resume_batch`: every
+    array operation is issued through the
+    :class:`~repro.core.array_module.ArrayModule` ``xp`` (NumPy by default),
+    so the identical kernel advances CuPy or Torch arrays when an
+    accelerator backend supplies them — the ``"gpu"`` execution backend
+    calls this function directly with its device state. ``lanes``,
+    ``reference_values``, ``rows``, ``runs`` and ``samples_processed`` must
+    already live in ``xp``'s memory space on the kernel scale (shaped as in
+    :class:`BatchSDTWState`); the inputs are never mutated and three new
+    arrays ``(rows, runs, samples_processed)`` come back in the same memory
+    space. Ordering metadata (the lane sort, each wavefront step's active
+    prefix width) is computed host-side with plain Python — it is control
+    flow, not data, and keeping it off the device avoids a sync per step.
+    """
+    cfg = config
+    xp = xp if xp is not None else numpy_module()
+    n_lanes = len(lanes)
+    reference_length = int(reference_values.shape[0])
+    starts = normalize_block_starts(block_starts, reference_length)
 
     bonus = float(cfg.match_bonus)
     cap = cfg.match_bonus_cap
-    processed = state.samples_processed + lengths
-    if n_lanes == 0 or int(lengths.max(initial=0)) == 0:
-        return BatchSDTWState(
-            rows=state.rows.copy(), runs=state.runs.copy(), samples_processed=processed
-        )
+    lengths = [int(lane.shape[0]) for lane in lanes]
+    processed = samples_processed + xp.asarray(lengths, dtype=xp.int64)
+    if n_lanes == 0 or max(lengths, default=0) == 0:
+        return xp.copy(rows), xp.copy(runs), processed
 
-    if tile_columns is not None and 0 < int(tile_columns) < reference_values.size:
+    if tile_columns is not None and 0 < int(tile_columns) < reference_length:
         return _resume_batch_tiled(
-            lanes, reference_values, cfg, state, track_runs, starts,
-            int(tile_columns), processed, int(lengths.max()),
+            lanes, reference_values, cfg, rows, runs, samples_processed,
+            track_runs, starts, int(tile_columns), processed, max(lengths), xp,
         )
 
     # A fresh lane consumes its first sample as the initial DP row and joins
     # the wavefront afterwards, so its effective step count is one shorter.
-    fresh = (state.samples_processed == 0) & (lengths > 0)
-    effective = lengths - fresh.astype(np.int64)
-    order = np.argsort(-effective, kind="stable")
-    inverse = np.empty(n_lanes, dtype=np.intp)
-    inverse[order] = np.arange(n_lanes, dtype=np.intp)
-    effective_sorted = effective[order]
-    neg_sorted = -effective_sorted
-    max_steps = int(effective_sorted[0])
+    samples_host = xp.to_numpy(samples_processed)
+    fresh = [lengths[i] > 0 and int(samples_host[i]) == 0 for i in range(n_lanes)]
+    effective = [lengths[i] - (1 if fresh[i] else 0) for i in range(n_lanes)]
+    order = xp.stable_argsort_descending(effective)
+    inverse = [0] * n_lanes
+    for position, lane_index in enumerate(order):
+        inverse[lane_index] = position
+    neg_sorted = [-effective[i] for i in order]
+    max_steps = effective[order[0]]
 
-    padded = np.zeros((n_lanes, max(max_steps, 1)), dtype=input_dtype)
-    first_values = np.zeros(n_lanes, dtype=input_dtype)
+    input_dtype = xp.int64 if cfg.quantize else xp.float64
+    padded = xp.zeros((n_lanes, max(max_steps, 1)), dtype=input_dtype)
+    first_values = xp.zeros(n_lanes, dtype=input_dtype)
     for position, lane_index in enumerate(order):
         lane = lanes[lane_index]
-        if lane.size == 0:
+        size = lengths[lane_index]
+        if size == 0:
             continue
         if fresh[lane_index]:
             first_values[position] = lane[0]
-            padded[position, : lane.size - 1] = lane[1:]
+            padded[position, : size - 1] = lane[1:]
         else:
-            padded[position, : lane.size] = lane
-    fresh_sorted = fresh[order]
+            padded[position, :size] = lane
+    fresh_sorted = xp.asarray([fresh[i] for i in order], dtype=xp.bool_)
+    order_index = xp.asarray(order, dtype=xp.intp)
+    inverse_index = xp.asarray(inverse, dtype=xp.intp)
 
     use_int_path = (
         cfg.quantize
@@ -524,63 +591,74 @@ def sdtw_resume_batch(
         # The int32 path needs every intermediate cost to stay far from the
         # sentinel; bound it by what this call can add to what the state holds.
         value_bound = max(
-            int(np.abs(padded).max(initial=0)),
-            int(np.abs(first_values).max(initial=0)),
-            int(np.abs(reference_values).max()),
+            int(xp.max(xp.abs(padded))),
+            int(xp.max(xp.abs(first_values))),
+            int(xp.max(xp.abs(reference_values))),
         )
-        rows_bound = int(np.abs(state.rows).max(initial=0))
-        growth = (2 * value_bound + int(bonus) + 1) * int(lengths.max())
+        rows_bound = int(xp.max(xp.abs(rows)))
+        growth = (2 * value_bound + int(bonus) + 1) * max(lengths)
         use_int_path = rows_bound + growth < 2**28
 
-    inner_starts = starts[1:]
+    # Non-zero panel block boundaries, as an index array in xp's space (None
+    # for the single-block case so the kernels skip the sentinel writes).
+    inner_index = (
+        xp.asarray([int(start) for start in starts[1:]], dtype=xp.intp)
+        if starts.size > 1
+        else None
+    )
     if use_int_path:
-        rows, runs = _advance_batch_int32(
+        out_rows, out_runs = _advance_batch_int32(
             padded,
             first_values,
             fresh_sorted,
             neg_sorted,
             max_steps,
-            state.rows[order],
-            state.runs[order],
+            rows[order_index],
+            runs[order_index],
             reference_values,
             int(bonus),
             cap,
             track_runs,
-            inner_starts,
+            inner_index,
+            xp,
         )
-        out_rows = rows.astype(np.int64)[inverse]
-        out_runs = runs.astype(np.int64)[inverse]
+        out_rows = xp.astype(out_rows, xp.int64)[inverse_index]
+        out_runs = xp.astype(out_runs, xp.int64)[inverse_index]
     else:
-        rows, runs = _advance_batch_generic(
+        out_rows, out_runs = _advance_batch_generic(
             padded,
             first_values,
             fresh_sorted,
             neg_sorted,
             max_steps,
-            state.rows[order],
-            state.runs[order],
+            rows[order_index],
+            runs[order_index],
             reference_values,
             cfg,
-            inner_starts,
+            inner_index,
+            xp,
         )
         if cfg.quantize and cfg.uses_bonus:
-            rows = np.rint(rows).astype(np.int64)
-        out_rows = rows[inverse]
-        out_runs = runs[inverse]
-    return BatchSDTWState(rows=out_rows, runs=out_runs, samples_processed=processed)
+            out_rows = xp.astype(xp.rint(out_rows), xp.int64)
+        out_rows = out_rows[inverse_index]
+        out_runs = out_runs[inverse_index]
+    return out_rows, out_runs, processed
 
 
 def _resume_batch_tiled(
     lanes: List[np.ndarray],
     reference_values: np.ndarray,
     cfg: SDTWConfig,
-    state: BatchSDTWState,
+    rows: np.ndarray,
+    runs: np.ndarray,
+    samples_processed: np.ndarray,
     track_runs: bool,
     starts: np.ndarray,
     tile_columns: int,
     processed: np.ndarray,
     halo_width: int,
-) -> BatchSDTWState:
+    xp: ArrayModule,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Column-tiled advance: identical outputs, one cache-sized tile at a time.
 
     Each tile re-runs the wavefront over ``[tile_start - halo, tile_end)``
@@ -588,39 +666,39 @@ def _resume_batch_tiled(
     halo of ``max(chunk length)`` columns is sufficient because the
     recurrence moves information at most one column rightward per query
     step, and a tile starting exactly at a block boundary needs no halo at
-    all (the boundary sentinel cuts the dependency).
+    all (the boundary sentinel cuts the dependency). On a device array
+    module this is the micro-batching knob: each halo-extended tile is a
+    bounded working set advanced end to end before the next tile streams in.
     """
-    n_columns = int(reference_values.size)
-    out_rows = np.empty_like(state.rows)
-    out_runs = np.empty_like(state.runs)
+    n_columns = int(reference_values.shape[0])
+    out_rows = xp.empty_like(rows)
+    out_runs = xp.empty_like(runs)
     edges = list(range(0, n_columns, tile_columns)) + [n_columns]
     for tile_start, tile_end in zip(edges[:-1], edges[1:]):
         halo_start = tile_halo_start(starts, tile_start, halo_width)
-        sub_state = BatchSDTWState(
-            rows=state.rows[:, halo_start:tile_end],
-            runs=state.runs[:, halo_start:tile_end],
-            samples_processed=state.samples_processed,
-        )
         sub_starts = tile_block_starts(starts, halo_start, tile_end)
-        advanced = sdtw_resume_batch(
+        advanced_rows, advanced_runs, _ = sdtw_resume_batch_arrays(
             lanes,
             reference_values[halo_start:tile_end],
             cfg,
-            state=sub_state,
+            rows[:, halo_start:tile_end],
+            runs[:, halo_start:tile_end],
+            samples_processed,
             track_runs=track_runs,
             block_starts=sub_starts,
+            xp=xp,
         )
         keep = tile_start - halo_start
-        out_rows[:, tile_start:tile_end] = advanced.rows[:, keep:]
-        out_runs[:, tile_start:tile_end] = advanced.runs[:, keep:]
-    return BatchSDTWState(rows=out_rows, runs=out_runs, samples_processed=processed)
+        out_rows[:, tile_start:tile_end] = advanced_rows[:, keep:]
+        out_runs[:, tile_start:tile_end] = advanced_runs[:, keep:]
+    return out_rows, out_runs, processed
 
 
 def _advance_batch_int32(
     padded: np.ndarray,
     first_values: np.ndarray,
     fresh: np.ndarray,
-    neg_sorted: np.ndarray,
+    neg_sorted: List[int],
     max_steps: int,
     rows_in: np.ndarray,
     runs_in: np.ndarray,
@@ -628,7 +706,8 @@ def _advance_batch_int32(
     bonus: int,
     cap: int,
     track_runs: bool,
-    inner_starts: np.ndarray,
+    inner_index: Optional[np.ndarray],
+    xp: ArrayModule,
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Integer wavefront over lane-sorted state (the hardware data path).
 
@@ -638,123 +717,140 @@ def _advance_batch_int32(
     cap)``, which is carried directly as a saturating per-column table —
     turning the scalar kernel's shift/minimum/multiply/where cascade into
     in-place ``minimum``/``add`` passes over contiguous prefixes.
-    ``inner_starts`` are the non-zero panel block boundaries; they receive
+    ``inner_index`` holds the non-zero panel block boundaries; they receive
     the same sentinel as column 0, severing the diagonal between targets.
+    Scalars stay plain Python ints: both NumPy and the device modules keep
+    the array's ``int32`` dtype when combining with weak Python scalars.
     """
     n_lanes, reference_length = rows_in.shape
-    big = np.int32(2**29)
-    bonus32 = np.int32(bonus)
-    cap_bonus = np.int32(bonus * cap)
+    big = 2**29
+    cap_bonus = bonus * cap
 
-    rows = rows_in.astype(np.int32)
-    runs = runs_in.astype(np.int32)
-    query = padded.astype(np.int32)
-    reference32 = reference_values.astype(np.int32)
-    if fresh.any():
-        firsts = first_values.astype(np.int32)
-        rows[fresh] = np.abs(firsts[fresh][:, None] - reference32[None, :])
+    rows = xp.astype(rows_in, xp.int32)
+    runs = xp.astype(runs_in, xp.int32)
+    query = xp.astype(padded, xp.int32)
+    reference32 = xp.astype(reference_values, xp.int32)
+    if bool(xp.any(fresh)):
+        firsts = xp.astype(first_values, xp.int32)
+        rows[fresh] = xp.abs(firsts[fresh][:, None] - reference32[None, :])
         runs[fresh] = 1
     bonus_of = None
     if bonus:
-        bonus_of = bonus32 * np.minimum(runs, np.int32(cap))
+        bonus_of = bonus * xp.minimum(runs, cap)
 
-    local = np.empty((n_lanes, reference_length), dtype=np.int32)
-    diagonal = np.empty((n_lanes, reference_length), dtype=np.int32)
-    take = np.empty((n_lanes, reference_length), dtype=bool)
+    local = xp.empty((n_lanes, reference_length), dtype=xp.int32)
+    diagonal = xp.empty((n_lanes, reference_length), dtype=xp.int32)
+    take = xp.empty((n_lanes, reference_length), dtype=xp.bool_)
     for step in range(max_steps):
-        k = int(np.searchsorted(neg_sorted, -step, side="left"))
+        k = bisect_left(neg_sorted, -step)
         if k == 0:
             break
         row_view = rows[:k]
         local_view = local[:k]
         diagonal_view = diagonal[:k]
         take_view = take[:k]
-        np.subtract(query[:k, step][:, None], reference32[None, :], out=local_view)
-        np.abs(local_view, out=local_view)
+        xp.subtract(query[:k, step][:, None], reference32[None, :], out=local_view)
+        xp.abs(local_view, out=local_view)
         if bonus:
-            np.subtract(row_view[:, :-1], bonus_of[:k, :-1], out=diagonal_view[:, 1:])
+            xp.subtract(row_view[:, :-1], bonus_of[:k, :-1], out=diagonal_view[:, 1:])
         else:
             diagonal_view[:, 1:] = row_view[:, :-1]
         diagonal_view[:, 0] = big
-        if inner_starts.size:
-            diagonal_view[:, inner_starts] = big
+        if inner_index is not None:
+            diagonal_view[:, inner_index] = big
         if track_runs or bonus:
-            np.less(diagonal_view, row_view, out=take_view)
-        np.minimum(row_view, diagonal_view, out=row_view)
+            xp.less(diagonal_view, row_view, out=take_view)
+        xp.minimum(row_view, diagonal_view, out=row_view)
         row_view += local_view
         if track_runs:
             runs[:k] += 1
-            np.copyto(runs[:k], np.int32(1), where=take_view)
+            xp.copyto(runs[:k], 1, where=take_view)
         if bonus:
             bonus_view = bonus_of[:k]
-            bonus_view += bonus32
-            np.minimum(bonus_view, cap_bonus, out=bonus_view)
-            np.copyto(bonus_view, bonus32, where=take_view)
+            bonus_view += bonus
+            xp.minimum(bonus_view, cap_bonus, out=bonus_view)
+            xp.copyto(bonus_view, bonus, where=take_view)
     if not track_runs and bonus:
         # Recover the capped counters the bonus table carries; resumption
         # only ever consumes min(run, cap), so this is lossless.
-        runs = bonus_of // bonus32
+        runs = bonus_of // bonus
     return rows, runs
+
+
+def _local_distance_xp(value, reference, config: SDTWConfig, xp: ArrayModule):
+    """:func:`_local_distance` for the device-agnostic batched path."""
+    diff = value - reference
+    if config.distance == "squared":
+        return diff * diff
+    return xp.abs(diff)
 
 
 def _advance_batch_generic(
     padded: np.ndarray,
     first_values: np.ndarray,
     fresh: np.ndarray,
-    neg_sorted: np.ndarray,
+    neg_sorted: List[int],
     max_steps: int,
     rows_in: np.ndarray,
     runs_in: np.ndarray,
     reference_values: np.ndarray,
     cfg: SDTWConfig,
-    inner_starts: np.ndarray,
+    inner_index: Optional[np.ndarray],
+    xp: ArrayModule,
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Reference wavefront over lane-sorted state, any resumable config.
 
     Mirrors :func:`sdtw_resume` operation for operation (same accumulator
-    dtype, same ``np.where`` selections), stacked over the active lane
-    prefix. ``inner_starts`` (non-zero panel block boundaries) get the same
-    boundary treatment as column 0.
+    dtype, same ``where`` selections), stacked over the active lane prefix.
+    ``inner_index`` (non-zero panel block boundaries) gets the same boundary
+    treatment as column 0.
     """
     n_lanes, reference_length = rows_in.shape
     bonus = float(cfg.match_bonus)
     cap = cfg.match_bonus_cap
-    accumulator = _accumulator_dtype(cfg)
-    big = _big_for(accumulator)
+    integer_accumulator = cfg.quantize and not cfg.uses_bonus
+    accumulator = xp.int64 if integer_accumulator else xp.float64
+    big = 2**40 if integer_accumulator else xp.inf
 
-    rows = rows_in.astype(accumulator)
-    runs = runs_in.copy()
-    if fresh.any():
-        rows[fresh] = _local_distance(
-            first_values[fresh][:, None], reference_values[None, :], cfg
-        ).astype(accumulator)
+    rows = xp.astype(rows_in, accumulator)
+    runs = xp.copy(runs_in)
+    if bool(xp.any(fresh)):
+        rows[fresh] = xp.astype(
+            _local_distance_xp(
+                first_values[fresh][:, None], reference_values[None, :], cfg, xp
+            ),
+            accumulator,
+        )
         runs[fresh] = 1
 
-    cost_shift = np.empty((n_lanes, reference_length), dtype=accumulator)
-    run_shift = np.empty((n_lanes, reference_length), dtype=np.int64)
+    cost_shift = xp.empty((n_lanes, reference_length), dtype=accumulator)
+    run_shift = xp.empty((n_lanes, reference_length), dtype=xp.int64)
     for step in range(max_steps):
-        k = int(np.searchsorted(neg_sorted, -step, side="left"))
+        k = bisect_left(neg_sorted, -step)
         if k == 0:
             break
         previous = rows[:k]
-        local = _local_distance(
-            padded[:k, step][:, None], reference_values[None, :], cfg
-        ).astype(accumulator)
+        local = xp.astype(
+            _local_distance_xp(
+                padded[:k, step][:, None], reference_values[None, :], cfg, xp
+            ),
+            accumulator,
+        )
         cost_shift[:k, 0] = big
         cost_shift[:k, 1:] = previous[:, :-1]
-        if inner_starts.size:
-            cost_shift[:k, inner_starts] = big
+        if inner_index is not None:
+            cost_shift[:k, inner_index] = big
         if bonus:
             run_shift[:k, 0] = 0
             run_shift[:k, 1:] = runs[:k, :-1]
-            if inner_starts.size:
-                run_shift[:k, inner_starts] = 0
-            diagonal = cost_shift[:k] - bonus * np.minimum(run_shift[:k], cap)
+            if inner_index is not None:
+                run_shift[:k, inner_index] = 0
+            diagonal = cost_shift[:k] - bonus * xp.minimum(run_shift[:k], cap)
         else:
             diagonal = cost_shift[:k]
         take_diagonal = diagonal < previous
-        rows[:k] = local + np.where(take_diagonal, diagonal, previous)
-        runs[:k] = np.where(take_diagonal, 1, runs[:k] + 1)
+        rows[:k] = local + xp.where(take_diagonal, diagonal, previous)
+        runs[:k] = xp.where(take_diagonal, 1, runs[:k] + 1)
     return rows, runs
 
 

@@ -505,18 +505,28 @@ def build_batch_squigglefilter(
     normalization: Any = None,
     name: Optional[str] = None,
     decision_latency_s: Optional[float] = None,
-    backend: Any = "numpy",
+    backend: Any = None,
     backend_options: Optional[Mapping[str, Any]] = None,
+    run_config: Any = None,
 ) -> Any:
     """Single-stage sDTW filter on the batched wavefront engine: every
     undecided channel of a polling round advances in one matrix op.
     ``reference``/``genome`` accept a multi-target panel, classified by
-    per-target argmin in the same wavefront. ``backend`` picks the
-    execution backend the engine advances lanes on
-    (:func:`repro.batch.available_backends`)."""
+    per-target argmin in the same wavefront. ``run_config`` (a
+    :class:`repro.runtime.RunConfig`) picks the execution backend the
+    engine advances lanes on (:func:`repro.batch.available_backends`); the
+    legacy ``backend``/``backend_options`` kwargs still work behind the
+    classifier's :class:`DeprecationWarning`."""
     # Deferred: repro.batch.classifier imports this module for Action/registry.
     from repro.batch.classifier import BatchSquiggleClassifier
 
+    extra: Dict[str, Any] = {}
+    if backend is not None:
+        extra["backend"] = backend
+    if backend_options is not None:
+        extra["backend_options"] = backend_options
+    if run_config is not None:
+        extra["run_config"] = run_config
     return BatchSquiggleClassifier(
         _resolve_reference(reference, genome, kmer_model, include_reverse_complement),
         config=config,
@@ -525,8 +535,7 @@ def build_batch_squigglefilter(
         prefix_samples=prefix_samples,
         name=name,
         decision_latency_s=decision_latency_s,
-        backend=backend,
-        backend_options=backend_options,
+        **extra,
     )
 
 
@@ -541,10 +550,19 @@ def build_basecall_align(
 
 
 # ---------------------------------------------------------------------- factory
-def build_pipeline(spec: Mapping[str, Any]) -> "Any":
-    """Construct a fully wired :class:`ReadUntilPipeline` from a plain mapping.
+def build_pipeline(spec: Any) -> "Any":
+    """Construct a fully wired :class:`ReadUntilPipeline` from a config.
 
-    Recognized keys:
+    ``spec`` may be a :class:`repro.runtime.RunConfig` — the preferred,
+    declarative form: the pipeline is wired around a
+    :class:`repro.runtime.ReadUntilSession` opened on it (lazy backend,
+    owned lifecycle), with the config's genome/targets, channel count,
+    chunk geometry, threshold and execution backend all taken from the one
+    object — or the pre-``RunConfig`` plain mapping, whose recognized keys
+    are below. Both construct the same runtime objects and make identical
+    decisions.
+
+    Recognized mapping keys:
 
     ``classifier`` (required)
         A registry name, or a mapping ``{"name": ..., **params}`` (an optional
@@ -567,10 +585,11 @@ def build_pipeline(spec: Mapping[str, Any]) -> "Any":
         Execution backend for a batch-capable classifier's engine (any name
         in :func:`repro.batch.available_backends`: ``"numpy"`` in-process,
         ``"sharded"`` lanes across a worker-process pool, ``"colsharded"``
-        reference columns across the pool; ``backend_options: {"workers":
-        N}`` sizes the pool). Forwarded into the classifier factory, so the
-        chosen classifier must accept them (``"batch_squigglefilter"``
-        does).
+        reference columns across the pool, ``"gpu"`` on a device array
+        module; ``backend_options: {"workers": N}`` sizes the pools). These
+        keys are folded into a :class:`repro.runtime.RunConfig` handed to
+        the classifier factory as ``run_config``, so the chosen classifier
+        must accept it (``"batch_squigglefilter"`` does).
     Remaining keys (``prefix_samples``, ``chunk_samples``, ``n_channels``,
     ``decision_latency_s``, ``assemble``, ``batch``, ...) are forwarded to
     :class:`ReadUntilPipeline`; ``batch: true`` requires the classifier's
@@ -578,6 +597,21 @@ def build_pipeline(spec: Mapping[str, Any]) -> "Any":
     round, e.g. the ``"batch_squigglefilter"`` classifier).
     """
     from repro.pipeline.read_until import ReadUntilPipeline  # deferred: avoids an import cycle
+    from repro.runtime.config import RunConfig  # deferred: same cycle
+
+    if isinstance(spec, RunConfig):
+        from repro.runtime.session import open_session  # deferred: same cycle
+
+        session = open_session(spec)
+        return ReadUntilPipeline(
+            session,
+            spec.genome,
+            prefix_samples=spec.prefix_samples,
+            chunk_samples=spec.chunk_samples,
+            n_channels=spec.n_channels,
+            batch=spec.batch if spec.batch is not None else True,
+            assemble=spec.genome is not None,
+        )
 
     config = dict(spec)
     try:
@@ -606,11 +640,17 @@ def build_pipeline(spec: Mapping[str, Any]) -> "Any":
             params["reference"] = TargetPanel.coerce(targets)
     params.setdefault("genome", target_genome)
     backend = config.pop("backend", None)
-    if backend is not None:
-        params.setdefault("backend", backend)
     backend_options = config.pop("backend_options", None)
-    if backend_options is not None:
-        params.setdefault("backend_options", backend_options)
+    if (backend is not None or backend_options is not None) and "run_config" not in params:
+        # Fold the spec's execution keys into a RunConfig so the classifier
+        # takes the modern path (no deprecation shim for spec users).
+        options = dict(backend_options or {})
+        params["run_config"] = RunConfig(
+            backend=backend if backend is not None else "numpy",
+            workers=options.pop("workers", None),
+            tile_columns=options.pop("tile_columns", None),
+            backend_options=options,
+        )
     classifier = create_classifier(name, **params)
 
     parameters = config.pop("parameters", None)

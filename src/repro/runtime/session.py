@@ -1,0 +1,308 @@
+"""The Read Until session: one lifecycle object over one configured run.
+
+:func:`open_session` turns a :class:`~repro.runtime.config.RunConfig` into a
+:class:`ReadUntilSession` — the single runtime object pipelines, benchmarks
+and the CLI drive. The session owns what used to be managed ad hoc at every
+call site:
+
+* **lazy backend creation** — nothing is spawned at ``open_session``; the
+  classifier, engine and execution backend (worker pools, shared memory,
+  device allocations) come up on the first chunk submitted;
+* **engine lifecycle** — the session is a context manager, ``close()`` is
+  idempotent, a failure inside a round closes the session (no leaked worker
+  pools when a run dies mid-stream), and any use after ``close()`` raises;
+* **one streaming interface** — ``submit(round_chunks) -> decisions`` feeds
+  one polling round through the batched wavefront; ``summary()`` reports the
+  session's decision tallies and engine occupancy.
+
+The session also speaks the
+:class:`~repro.pipeline.api.ReadUntilClassifier` protocol (``begin_read`` /
+``on_chunk`` / ``on_chunk_batch`` / ``end_read``), so
+:class:`~repro.pipeline.read_until.ReadUntilPipeline` accepts it directly —
+the pipeline, a benchmark loop calling :meth:`submit`, and the CLI are all
+the same code path underneath. Decisions are bit-identical to driving the
+pre-session entry points with the same configuration, whichever execution
+backend the config names.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.runtime.config import RunConfig
+
+if TYPE_CHECKING:  # imported lazily at runtime to keep open_session cheap
+    from repro.batch.classifier import BatchSquiggleClassifier
+    from repro.pipeline.api import Action
+    from repro.pipeline.read_until import PipelineRunResult
+    from repro.sequencer.read_until_api import SignalChunk
+    from repro.sequencer.reads import Read
+
+__all__ = ["ReadUntilSession", "open_session"]
+
+
+def open_session(config: RunConfig) -> "ReadUntilSession":
+    """Open a :class:`ReadUntilSession` for one declarative run configuration.
+
+    Cheap by design: the reference panel, classifier and execution backend
+    are all created lazily when the first chunks arrive, so opening a
+    session to validate a config (or to calibrate) costs nothing.
+    """
+    return ReadUntilSession(config)
+
+
+class ReadUntilSession:
+    """Streaming Read Until runtime for one :class:`RunConfig`.
+
+    Use as a context manager (the backend's worker pools and shared memory
+    are released on exit, including exceptional exit), or call
+    :meth:`close` explicitly. A session whose round raises is closed on the
+    spot — abandoning it cannot leak backend resources — and every
+    interaction after ``close()`` raises :class:`RuntimeError`.
+    """
+
+    supports_chunk_batching = True
+
+    def __init__(self, config: RunConfig) -> None:
+        self.config = config
+        self._classifier: Optional["BatchSquiggleClassifier"] = None
+        self._panel = None
+        self._threshold = config.threshold
+        self._closed = False
+        self._n_rounds = 0
+        self._decisions: Dict[str, int] = {"accept": 0, "eject": 0}
+        self._per_target_accepts: Dict[str, int] = {}
+        self._begun: set = set()
+
+    # -------------------------------------------------------------- protocol
+    @property
+    def name(self) -> str:
+        return f"session:{self.config.backend}"
+
+    @property
+    def decision_latency_s(self) -> float:
+        from repro.pipeline.api import DEFAULT_HARDWARE_LATENCY_S
+
+        return DEFAULT_HARDWARE_LATENCY_S
+
+    @property
+    def min_decision_samples(self) -> int:
+        return self.config.prefix_samples
+
+    @property
+    def max_decision_samples(self) -> int:
+        return self.config.prefix_samples
+
+    @property
+    def started(self) -> bool:
+        """Whether the first submission has spawned the execution backend."""
+        return self._classifier is not None
+
+    @property
+    def backend_name(self) -> str:
+        return self.config.backend
+
+    @property
+    def threshold(self) -> Optional[float]:
+        return self._threshold
+
+    @property
+    def classifier(self) -> "BatchSquiggleClassifier":
+        """The underlying batched classifier (spawning it if needed)."""
+        return self._ensure_classifier()
+
+    @property
+    def engine(self):
+        """The lane-manager engine once started (``None`` before the first
+        submission) — what the pipeline's streaming summary reads occupancy
+        from."""
+        return self._classifier.engine if self._classifier is not None else None
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError(
+                "session is closed; open_session(config) creates a fresh one"
+            )
+
+    def _resolve_panel(self):
+        if self._panel is None:
+            self._panel = self.config.resolve_panel()
+        return self._panel
+
+    def _ensure_classifier(self) -> "BatchSquiggleClassifier":
+        self._check_open()
+        if self._classifier is None:
+            from repro.batch.classifier import BatchSquiggleClassifier
+
+            self._classifier = BatchSquiggleClassifier(
+                self._resolve_panel(),
+                config=self.config.hardware,
+                threshold=self._threshold,
+                prefix_samples=self.config.prefix_samples,
+                name=self.name,
+                run_config=self.config,
+            )
+        return self._classifier
+
+    # -------------------------------------------------------- streaming verbs
+    def begin_read(self, read_id: str) -> None:
+        self._begun.add(read_id)
+        self._ensure_classifier().begin_read(read_id)
+
+    def end_read(self, read_id: str) -> None:
+        self._begun.discard(read_id)
+        if self._classifier is not None and not self._closed:
+            self._classifier.end_read(read_id)
+
+    def on_chunk(self, chunk: "SignalChunk") -> "Action":
+        return self.on_chunk_batch([chunk])[0]
+
+    def on_chunk_batch(self, chunks: Sequence["SignalChunk"]) -> List["Action"]:
+        """Classify one polling round (the pipeline's fast path).
+
+        Any failure inside the round — a worker crash, an overflow, a bad
+        chunk — closes the session before propagating, so an abandoned run
+        never leaks worker pools or shared memory.
+        """
+        classifier = self._ensure_classifier()
+        try:
+            actions = classifier.on_chunk_batch(chunks)
+        except Exception:
+            self.close()
+            raise
+        self._n_rounds += 1
+        for chunk, action in zip(chunks, actions):
+            if not action.is_terminal:
+                continue
+            self._begun.discard(chunk.read_id)
+            self._decisions[action.kind] = self._decisions.get(action.kind, 0) + 1
+            if action.kind == "accept" and action.target is not None:
+                self._per_target_accepts[action.target] = (
+                    self._per_target_accepts.get(action.target, 0) + 1
+                )
+        return actions
+
+    def submit(self, round_chunks: Sequence["SignalChunk"]) -> List["Action"]:
+        """Feed one polling round of chunks; returns one action per chunk.
+
+        The direct-drive verb for benchmarks and custom loops: unseen read
+        ids are begun automatically, then the whole round advances through
+        one batched wavefront exactly as the pipeline's fast path would.
+        """
+        self._check_open()
+        for chunk in round_chunks:
+            if chunk.read_id not in self._begun:
+                self.begin_read(chunk.read_id)
+        return self.on_chunk_batch(round_chunks)
+
+    # ------------------------------------------------------------ calibration
+    def calibrate(
+        self,
+        target_signals: Sequence[np.ndarray],
+        nontarget_signals: Sequence[np.ndarray],
+        objective: str = "f1",
+        target_recall: float = 0.95,
+        chunk_samples: Optional[int] = None,
+    ) -> float:
+        """Choose the ejection threshold from labelled reads and store it.
+
+        Runs in-process on a throwaway numpy-backend classifier (calibration
+        is a one-shot sweep; costs are bit-identical on every backend), so
+        calibrating never spawns the configured execution backend early.
+        """
+        self._check_open()
+        from repro.batch.classifier import BatchSquiggleClassifier
+
+        chunk = chunk_samples if chunk_samples is not None else self.config.chunk_samples
+        with BatchSquiggleClassifier(
+            self._resolve_panel(),
+            config=self.config.hardware,
+            prefix_samples=self.config.prefix_samples,
+            run_config=self.config.with_(backend="numpy", workers=None, tile_columns=None, backend_options={}),
+        ) as helper:
+            self._threshold = helper.calibrate(
+                target_signals,
+                nontarget_signals,
+                objective=objective,
+                target_recall=target_recall,
+                chunk_samples=chunk,
+            )
+        if self._classifier is not None:
+            self._classifier.threshold = self._threshold
+        return self._threshold
+
+    # -------------------------------------------------------------- reporting
+    def summary(self) -> Dict[str, Any]:
+        """Decision tallies plus engine occupancy for everything submitted."""
+        summary: Dict[str, Any] = {
+            "backend": self.config.backend,
+            "prefix_samples": self.config.prefix_samples,
+            "n_channels": self.config.n_channels,
+            "threshold": self._threshold,
+            "rounds": self._n_rounds,
+            "accepts": self._decisions.get("accept", 0),
+            "ejects": self._decisions.get("eject", 0),
+            "closed": self._closed,
+        }
+        if self._per_target_accepts:
+            summary["per_target_accepts"] = dict(self._per_target_accepts)
+        if self._classifier is not None:
+            engine = self._classifier.engine
+            summary["targets"] = list(engine.target_names)
+            summary["batch_occupancy"] = list(engine.occupancy_trace)
+            summary["peak_batch_lanes"] = engine.peak_occupancy
+            summary["mean_batch_lanes"] = engine.mean_occupancy
+        return summary
+
+    # ------------------------------------------------------------- lifecycle
+    def close(self) -> None:
+        """Release the classifier and its execution backend. Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._classifier is not None:
+            self._classifier.close()
+
+    def __enter__(self) -> "ReadUntilSession":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------ convenience
+    def run(
+        self,
+        reads: Sequence["Read"],
+        target_genome: Optional[str] = None,
+        target_bases_goal: Optional[int] = None,
+        assemble: bool = False,
+        assembler: Any = None,
+    ) -> "PipelineRunResult":
+        """Stream ``reads`` through a full Read Until simulation.
+
+        Builds a :class:`~repro.pipeline.read_until.ReadUntilPipeline` from
+        this session's config (channel count, chunk geometry, batch mode)
+        with the session itself as the classifier, so the pipeline and
+        :meth:`submit` exercise the identical code path. ``target_genome``
+        defaults to the config's ``genome`` and is only required when
+        ``assemble`` is on.
+        """
+        self._check_open()
+        from repro.pipeline.read_until import ReadUntilPipeline
+
+        genome = target_genome if target_genome is not None else self.config.genome
+        if assemble and genome is None:
+            raise ValueError("assemble=True needs a target_genome to assemble against")
+        pipeline = ReadUntilPipeline(
+            self,
+            genome,
+            prefix_samples=self.config.prefix_samples,
+            chunk_samples=self.config.chunk_samples,
+            n_channels=self.config.n_channels,
+            batch=self.config.batch if self.config.batch is not None else True,
+            assemble=assemble,
+            assembler=assembler,
+        )
+        return pipeline.run(reads, target_bases_goal=target_bases_goal)

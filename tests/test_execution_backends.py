@@ -13,6 +13,7 @@ from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.batch.backends import (
+    ColumnShardedBackend,
     NumpyBackend,
     ShardedProcessBackend,
     available_backends,
@@ -65,9 +66,26 @@ class TestBackendRegistry:
         """An unknown name is a ValueError naming every registered backend."""
         for name in available_backends():
             with pytest.raises(ValueError, match=name):
-                create_backend("gpu", rng.integers(-127, 128, 30), SDTWConfig.hardware(), 4)
+                create_backend("tpu", rng.integers(-127, 128, 30), SDTWConfig.hardware(), 4)
         with pytest.raises(ValueError, match="unknown execution backend"):
-            make_engine(rng.integers(-127, 128, 30), backend="gpu")
+            make_engine(rng.integers(-127, 128, 30), backend="tpu")
+
+    def test_gpu_backend_registered_even_without_gpu_stack(self, rng):
+        """The 'gpu' name always validates; without CuPy/Torch construction
+        raises a RuntimeError carrying an install hint, not a KeyError."""
+        assert "gpu" in available_backends()
+        try:
+            import cupy  # noqa: F401
+            pytest.skip("CuPy installed; the unavailable-library path cannot fire")
+        except ImportError:
+            pass
+        try:
+            import torch  # noqa: F401
+            pytest.skip("Torch installed; the unavailable-library path cannot fire")
+        except ImportError:
+            pass
+        with pytest.raises(RuntimeError, match="CuPy"):
+            create_backend("gpu", rng.integers(-127, 128, 30), SDTWConfig.hardware(), 4)
 
     def test_duplicate_registration_rejected(self):
         with pytest.raises(ValueError, match="already registered"):
@@ -393,6 +411,52 @@ class TestBackendLifecycle:
                 rng.integers(-127, 128, 20), SDTWConfig.hardware(), capacity=2, workers=0
             )
 
+    @pytest.mark.parametrize("cls", [ShardedProcessBackend, ColumnShardedBackend])
+    def test_close_after_abandoned_round_and_dead_worker(self, cls, rng):
+        """Regression (teardown robustness): a session abandoned mid-round —
+        one shard holding an unconsumed (error) reply, another shard's
+        process dead — must close without hanging and unlink every
+        shared-memory segment."""
+        import time
+        from multiprocessing import shared_memory
+
+        reference = rng.integers(-127, 128, 40)
+        backend = cls(reference, SDTWConfig.hardware(), capacity=4, workers=2)
+        backend.stop_timeout_s = 3.0
+        block_names = [block.name for block in backend._blocks]
+        # Abandon a round mid-flight: a malformed request the worker answers
+        # with an error reply nobody consumes...
+        backend._conns[0].send(("advance", "garbage"))
+        time.sleep(0.2)
+        # ...while the other worker dies outright.
+        backend._processes[1].kill()
+        backend._processes[1].join(timeout=5.0)
+        start = time.monotonic()
+        backend.close()
+        assert time.monotonic() - start < 10.0
+        for name in block_names:
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=name)
+        backend.close()  # still idempotent after the messy teardown
+
+    def test_close_after_worker_exception_mid_round(self, rng):
+        """A shard that raised during advance leaves the protocol desynced
+        for that round; close() must still drain it and release cleanly."""
+        from multiprocessing import shared_memory
+
+        reference = rng.integers(-127, 128, 40)
+        backend = ShardedProcessBackend(
+            reference, SDTWConfig.hardware(), capacity=2, workers=2
+        )
+        block_names = [block.name for block in backend._blocks]
+        bad = rng.integers(-127, 128, (2, 2))  # 2-D: the kernel rejects it
+        with pytest.raises(RuntimeError, match="failed"):
+            backend.advance(np.array([0, 1]), [bad, bad])
+        backend.close()
+        for name in block_names:
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=name)
+
 
 # ------------------------------------------------------- pipeline + spec + CLI
 @pytest.fixture(scope="module")
@@ -507,8 +571,25 @@ class TestCliBackend:
     def test_workers_require_sharded_backend(self, capsys):
         from repro.cli import main
 
+        # RunConfig validation owns the cross-field check now, so the error
+        # names the offending field instead of a flag.
         assert main(self.CLI_ARGS + ["--workers", "2"]) == 2
-        assert "--workers requires" in capsys.readouterr().err
+        assert "workers" in capsys.readouterr().err
+
+    def test_workers_flag_combines_with_config_file_backend(self, tmp_path, capsys):
+        """Regression: --workers without --backend is valid when the config
+        file names a multi-process backend."""
+        import json
+
+        from repro.cli import main
+
+        path = tmp_path / "run.json"
+        path.write_text(json.dumps({"backend": "sharded"}))
+        exit_code = main(
+            self.CLI_ARGS + ["--config", str(path), "--workers", "2"]
+        )
+        assert exit_code == 0
+        assert "sharded" in capsys.readouterr().out
 
     def test_backend_requires_squigglefilter_family(self, capsys):
         from repro.cli import main

@@ -549,5 +549,7 @@ class TestCliTargetPanel:
     def test_workers_accepts_colsharded(self, capsys):
         from repro.cli import main
 
+        # RunConfig validation owns the workers-vs-backend check now; the
+        # error names the offending field.
         assert main(self.CLI_ARGS + ["--workers", "2"]) == 2
-        assert "--workers requires" in capsys.readouterr().err
+        assert "workers" in capsys.readouterr().err
