@@ -27,6 +27,12 @@ Six subcommands cover the library's main workflows without writing Python:
   benchmarks use.
 * ``config-dump``       — print the fully resolved :class:`RunConfig`
   (file + flag overlay) as JSON, the reproducibility record of a run.
+* ``serve``             — run the multi-tenant classification service
+  (:mod:`repro.serve`): tenants create sessions over HTTP (each a named
+  ``RunConfig``, optionally overlaid on ``--config`` as the server's
+  default template), rounds multiplex over a shared bounded backend pool
+  with 429/Retry-After backpressure, ``/health`` + Prometheus ``/metrics``
+  are exposed, and SIGTERM drains gracefully.
 
 The CLI is intentionally thin: it parses arguments, calls the same public API
 the examples use, and prints human-readable reports via
@@ -227,6 +233,42 @@ def build_parser() -> argparse.ArgumentParser:
         "JSON — the reproducibility record of a read-until invocation",
     )
     _add_run_config_arguments(config_dump)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the multi-tenant async classification service "
+        "(repro.serve): HTTP sessions over a shared bounded backend pool "
+        "with /health, Prometheus /metrics and graceful draining",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8093)
+    serve.add_argument(
+        "--config",
+        default=None,
+        metavar="PATH",
+        help="RunConfig file used as the default session template; tenant "
+        "configs overlay it field by field (validated at startup)",
+    )
+    serve.add_argument(
+        "--max-concurrency",
+        type=int,
+        default=2,
+        help="execution slots in the shared backend pool: at most this many "
+        "classification rounds advance at once (default: 2)",
+    )
+    serve.add_argument(
+        "--max-queue",
+        type=int,
+        default=32,
+        help="rounds allowed to wait for a slot before the service sheds "
+        "load with 429 + Retry-After (default: 32)",
+    )
+    serve.add_argument(
+        "--max-sessions",
+        type=int,
+        default=256,
+        help="open-session admission limit (default: 256)",
+    )
 
     runtime = subparsers.add_parser(
         "runtime-model", help="evaluate the analytical Read Until runtime model"
@@ -529,6 +571,29 @@ def _command_config_dump(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_serve(args: argparse.Namespace) -> int:
+    from repro.serve import serve_forever
+
+    default_config = None
+    if args.config:
+        try:
+            default_config = dict(load_config_mapping(args.config))
+            # Validate the template at startup: a bad default should fail
+            # here with the field-naming message, not on the first tenant.
+            RunConfig.from_dict(default_config)
+        except (ValueError, RuntimeError, OSError) as error:
+            print(f"invalid run configuration: {error}", file=sys.stderr)
+            return 2
+    return serve_forever(
+        host=args.host,
+        port=args.port,
+        max_concurrency=args.max_concurrency,
+        max_queue=args.max_queue,
+        default_config=default_config,
+        max_sessions=args.max_sessions,
+    )
+
+
 def _command_runtime(args: argparse.Namespace) -> int:
     config = ReadUntilModelConfig(
         genome_length_bases=args.genome_length,
@@ -559,6 +624,7 @@ _COMMANDS = {
     "classify": _command_classify,
     "read-until": _command_read_until,
     "config-dump": _command_config_dump,
+    "serve": _command_serve,
     "runtime-model": _command_runtime,
 }
 

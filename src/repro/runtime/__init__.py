@@ -26,6 +26,12 @@ remain as thin shims over this layer and make bit-identical decisions.
 """
 
 from repro.runtime.config import RunConfig, load_config_mapping
-from repro.runtime.session import ReadUntilSession, open_session
+from repro.runtime.session import ReadUntilSession, SessionClosedError, open_session
 
-__all__ = ["ReadUntilSession", "RunConfig", "load_config_mapping", "open_session"]
+__all__ = [
+    "ReadUntilSession",
+    "RunConfig",
+    "SessionClosedError",
+    "load_config_mapping",
+    "open_session",
+]

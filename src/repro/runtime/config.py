@@ -63,6 +63,11 @@ class RunConfig:
         Simulator chunk granularity (``None``: one chunk per decision point).
     n_channels:
         Concurrently sequencing channels the session serves.
+    label:
+        Optional tenant/run name. Purely descriptive — it flows through
+        ``to_dict``/``from_dict``, session ``summary()`` output, benchmark
+        report JSON and the ``repro.serve`` session ids, but never affects
+        classification.
     batch:
         Pipeline execution mode: ``None`` auto-selects the batched fast path
         when available, ``True`` requires it, ``False`` forces per-read.
@@ -84,6 +89,7 @@ class RunConfig:
     chunk_samples: Optional[int] = None
     n_channels: int = 1
     batch: Optional[bool] = None
+    label: Optional[str] = None
     backend: str = "numpy"
     workers: Optional[int] = None
     tile_columns: Optional[int] = None
@@ -140,6 +146,13 @@ class RunConfig:
             raise ValueError(f"chunk_samples: must be positive, got {self.chunk_samples}")
         if self.n_channels <= 0:
             raise ValueError(f"n_channels: must be positive, got {self.n_channels}")
+        if self.label is not None and (
+            not isinstance(self.label, str) or not self.label.strip()
+        ):
+            raise ValueError(
+                f"label: must be a non-empty string naming the tenant/run, "
+                f"got {self.label!r}"
+            )
 
     # ------------------------------------------------------------ derivation
     def with_(self, **changes: Any) -> "RunConfig":

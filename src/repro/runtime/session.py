@@ -27,6 +27,7 @@ backend the config names.
 
 from __future__ import annotations
 
+import threading
 from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence
 
 import numpy as np
@@ -40,7 +41,18 @@ if TYPE_CHECKING:  # imported lazily at runtime to keep open_session cheap
     from repro.sequencer.read_until_api import SignalChunk
     from repro.sequencer.reads import Read
 
-__all__ = ["ReadUntilSession", "open_session"]
+__all__ = ["ReadUntilSession", "SessionClosedError", "open_session"]
+
+
+class SessionClosedError(RuntimeError):
+    """Raised by every interaction with a closed :class:`ReadUntilSession`.
+
+    The after-close contract is uniform across all registered execution
+    backends: ``submit``, ``summary``, ``calibrate`` and ``classifier`` on a
+    closed session raise this (a :class:`RuntimeError` subclass, so existing
+    ``except RuntimeError`` callers keep working). Open a fresh session with
+    :func:`open_session` instead of resurrecting a closed one.
+    """
 
 
 def open_session(config: RunConfig) -> "ReadUntilSession":
@@ -60,7 +72,15 @@ class ReadUntilSession:
     are released on exit, including exceptional exit), or call
     :meth:`close` explicitly. A session whose round raises is closed on the
     spot — abandoning it cannot leak backend resources — and every
-    interaction after ``close()`` raises :class:`RuntimeError`.
+    interaction after ``close()`` raises :class:`SessionClosedError`.
+
+    Sessions are **single-writer**: lane state advances in submission order,
+    so one round must finish before the next begins. Submitting from a
+    second thread while a round is in flight raises :class:`RuntimeError`
+    immediately (it can never corrupt lane state), while :meth:`close` from
+    another thread waits for the in-flight round — what a draining service
+    wants. Callers that need concurrency open one session per tenant (see
+    :mod:`repro.serve`).
     """
 
     supports_chunk_batching = True
@@ -75,6 +95,18 @@ class ReadUntilSession:
         self._decisions: Dict[str, int] = {"accept": 0, "eject": 0}
         self._per_target_accepts: Dict[str, int] = {}
         self._begun: set = set()
+        # Reentrant so the close-on-error path inside a round can take it
+        # again from the same thread; a *different* thread mid-round fails
+        # the non-blocking acquire and raises instead of corrupting lanes.
+        self._io_lock = threading.RLock()
+
+    def _acquire_writer(self, verb: str) -> None:
+        if not self._io_lock.acquire(blocking=False):
+            raise RuntimeError(
+                f"concurrent {verb} on one ReadUntilSession: sessions are "
+                "single-writer (rounds advance lane state in order); "
+                "serialize submissions or open one session per tenant"
+            )
 
     # -------------------------------------------------------------- protocol
     @property
@@ -120,9 +152,17 @@ class ReadUntilSession:
         from."""
         return self._classifier.engine if self._classifier is not None else None
 
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def label(self) -> Optional[str]:
+        return self.config.label
+
     def _check_open(self) -> None:
         if self._closed:
-            raise RuntimeError(
+            raise SessionClosedError(
                 "session is closed; open_session(config) creates a fresh one"
             )
 
@@ -166,12 +206,16 @@ class ReadUntilSession:
         chunk — closes the session before propagating, so an abandoned run
         never leaks worker pools or shared memory.
         """
-        classifier = self._ensure_classifier()
+        self._acquire_writer("round submission")
         try:
-            actions = classifier.on_chunk_batch(chunks)
-        except Exception:
-            self.close()
-            raise
+            classifier = self._ensure_classifier()
+            try:
+                actions = classifier.on_chunk_batch(chunks)
+            except Exception:
+                self.close()
+                raise
+        finally:
+            self._io_lock.release()
         self._n_rounds += 1
         for chunk, action in zip(chunks, actions):
             if not action.is_terminal:
@@ -192,10 +236,14 @@ class ReadUntilSession:
         one batched wavefront exactly as the pipeline's fast path would.
         """
         self._check_open()
-        for chunk in round_chunks:
-            if chunk.read_id not in self._begun:
-                self.begin_read(chunk.read_id)
-        return self.on_chunk_batch(round_chunks)
+        self._acquire_writer("submit")
+        try:
+            for chunk in round_chunks:
+                if chunk.read_id not in self._begun:
+                    self.begin_read(chunk.read_id)
+            return self.on_chunk_batch(round_chunks)
+        finally:
+            self._io_lock.release()
 
     # ------------------------------------------------------------ calibration
     def calibrate(
@@ -235,7 +283,13 @@ class ReadUntilSession:
 
     # -------------------------------------------------------------- reporting
     def summary(self) -> Dict[str, Any]:
-        """Decision tallies plus engine occupancy for everything submitted."""
+        """Decision tallies plus engine occupancy for everything submitted.
+
+        Raises :class:`SessionClosedError` on a closed session — capture the
+        summary before :meth:`close` (the serving layer does exactly that
+        when a tenant deletes a session).
+        """
+        self._check_open()
         summary: Dict[str, Any] = {
             "backend": self.config.backend,
             "prefix_samples": self.config.prefix_samples,
@@ -246,6 +300,8 @@ class ReadUntilSession:
             "ejects": self._decisions.get("eject", 0),
             "closed": self._closed,
         }
+        if self.config.label is not None:
+            summary["label"] = self.config.label
         if self._per_target_accepts:
             summary["per_target_accepts"] = dict(self._per_target_accepts)
         if self._classifier is not None:
@@ -258,12 +314,17 @@ class ReadUntilSession:
 
     # ------------------------------------------------------------- lifecycle
     def close(self) -> None:
-        """Release the classifier and its execution backend. Idempotent."""
-        if self._closed:
-            return
-        self._closed = True
-        if self._classifier is not None:
-            self._classifier.close()
+        """Release the classifier and its execution backend. Idempotent.
+
+        From another thread, blocks until an in-flight round finishes — a
+        draining service never tears a backend down under a live wavefront.
+        """
+        with self._io_lock:
+            if self._closed:
+                return
+            self._closed = True
+            if self._classifier is not None:
+                self._classifier.close()
 
     def __enter__(self) -> "ReadUntilSession":
         return self

@@ -1,0 +1,305 @@
+"""Clients for the classification service (stdlib only, sync and async).
+
+Both clients speak the wire format defined in :mod:`repro.serve.manager`
+and implement the **backpressure contract**: a ``429 Too Many Requests``
+response is admission control, not failure — the client sleeps for the
+server's ``Retry-After`` hint and resubmits the same round, so saturation
+never drops a round. The number of backpressure retries is counted on
+``backpressure_retries`` (the load generator reports it).
+
+* :class:`ServeClient` — blocking, built on :mod:`http.client` with a
+  persistent connection; what scripts and examples use.
+* :class:`AsyncServeClient` — coroutine-based, built on
+  ``asyncio.open_connection`` with HTTP/1.1 keep-alive; what the asyncio
+  load generator's concurrent tenants use.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import http.client
+import json
+import time
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.pipeline.api import Action
+from repro.runtime import RunConfig
+from repro.serve.manager import action_from_payload, chunk_to_payload
+from repro.sequencer.read_until_api import SignalChunk
+
+__all__ = ["AsyncServeClient", "ServeClient", "ServeClientError"]
+
+
+class ServeClientError(RuntimeError):
+    """A non-retryable error response from the service."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.message = message
+
+
+def _config_payload(config: Union[RunConfig, Mapping[str, Any], None]) -> Dict[str, Any]:
+    if config is None:
+        return {}
+    if isinstance(config, RunConfig):
+        return {"config": config.to_dict()}
+    return {"config": dict(config)}
+
+
+def _chunks_payload(chunks: Sequence[Union[SignalChunk, Mapping[str, Any]]]) -> Dict[str, Any]:
+    serialized = [
+        chunk_to_payload(chunk) if isinstance(chunk, SignalChunk) else dict(chunk)
+        for chunk in chunks
+    ]
+    return {"chunks": serialized}
+
+
+def _parse_actions(payload: Mapping[str, Any]) -> List[Action]:
+    return [action_from_payload(entry) for entry in payload.get("actions", [])]
+
+
+def _retry_after(headers: Mapping[str, str], payload: Any) -> float:
+    header = headers.get("retry-after") or headers.get("Retry-After")
+    if header:
+        try:
+            return max(0.01, float(header))
+        except ValueError:
+            pass
+    if isinstance(payload, Mapping) and "retry_after_s" in payload:
+        return max(0.01, float(payload["retry_after_s"]))
+    return 0.05
+
+
+def _error_message(payload: Any, raw: bytes) -> str:
+    if isinstance(payload, Mapping) and "error" in payload:
+        return str(payload["error"])
+    return raw.decode(errors="replace")[:200]
+
+
+class ServeClient:
+    """Blocking client over one persistent HTTP connection."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout_s: float = 60.0,
+        max_retries: int = 256,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout_s = timeout_s
+        self.max_retries = int(max_retries)
+        self.backpressure_retries = 0
+        self._connection: Optional[http.client.HTTPConnection] = None
+
+    # -------------------------------------------------------------- plumbing
+    def _request(
+        self, method: str, path: str, payload: Optional[Mapping[str, Any]] = None
+    ) -> Any:
+        body = json.dumps(payload).encode() if payload is not None else b""
+        for _attempt in range(self.max_retries + 1):
+            if self._connection is None:
+                self._connection = http.client.HTTPConnection(
+                    self.host, self.port, timeout=self.timeout_s
+                )
+            try:
+                self._connection.request(
+                    method,
+                    path,
+                    body=body,
+                    headers={"Content-Type": "application/json"},
+                )
+                response = self._connection.getresponse()
+                data = response.read()
+            except (http.client.HTTPException, ConnectionError, OSError):
+                # Stale keep-alive connection: rebuild once and resend.
+                self.close()
+                self._connection = http.client.HTTPConnection(
+                    self.host, self.port, timeout=self.timeout_s
+                )
+                self._connection.request(
+                    method,
+                    path,
+                    body=body,
+                    headers={"Content-Type": "application/json"},
+                )
+                response = self._connection.getresponse()
+                data = response.read()
+            headers = {name.lower(): value for name, value in response.getheaders()}
+            parsed: Any
+            if headers.get("content-type", "").startswith("application/json"):
+                parsed = json.loads(data.decode()) if data else {}
+            else:
+                parsed = data.decode()
+            if response.status == 429:
+                self.backpressure_retries += 1
+                time.sleep(_retry_after(headers, parsed))
+                continue
+            if response.status >= 400:
+                raise ServeClientError(response.status, _error_message(parsed, data))
+            return parsed
+        raise ServeClientError(429, f"still saturated after {self.max_retries} retries")
+
+    # ------------------------------------------------------------------- api
+    def health(self) -> Dict[str, Any]:
+        return self._request("GET", "/health")
+
+    def metrics_text(self) -> str:
+        return self._request("GET", "/metrics")
+
+    def create_session(
+        self, config: Union[RunConfig, Mapping[str, Any], None] = None
+    ) -> str:
+        return self._request("POST", "/v1/sessions", _config_payload(config))[
+            "session_id"
+        ]
+
+    def list_sessions(self) -> List[Dict[str, Any]]:
+        return self._request("GET", "/v1/sessions")["sessions"]
+
+    def submit_round(
+        self,
+        session_id: str,
+        chunks: Sequence[Union[SignalChunk, Mapping[str, Any]]],
+    ) -> Tuple[List[Action], Dict[str, Any]]:
+        """One classification round; returns (actions, round metadata)."""
+        payload = self._request(
+            "POST", f"/v1/sessions/{session_id}/rounds", _chunks_payload(chunks)
+        )
+        return _parse_actions(payload), payload
+
+    def summary(self, session_id: str) -> Dict[str, Any]:
+        return self._request("GET", f"/v1/sessions/{session_id}/summary")
+
+    def close_session(self, session_id: str) -> Dict[str, Any]:
+        return self._request("DELETE", f"/v1/sessions/{session_id}")
+
+    def shutdown_server(self) -> Dict[str, Any]:
+        return self._request("POST", "/shutdown")
+
+    def close(self) -> None:
+        if self._connection is not None:
+            self._connection.close()
+            self._connection = None
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class AsyncServeClient:
+    """Coroutine client over one keep-alive connection (one per tenant)."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        max_retries: int = 256,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.max_retries = int(max_retries)
+        self.backpressure_retries = 0
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+
+    async def _connect(self) -> None:
+        self._reader, self._writer = await asyncio.open_connection(self.host, self.port)
+
+    async def _roundtrip(self, method: str, path: str, body: bytes) -> Tuple[int, Dict[str, str], bytes]:
+        if self._writer is None:
+            await self._connect()
+        assert self._reader is not None and self._writer is not None
+        head = (
+            f"{method} {path} HTTP/1.1\r\n"
+            f"Host: {self.host}:{self.port}\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            "Connection: keep-alive\r\n\r\n"
+        )
+        self._writer.write(head.encode() + body)
+        await self._writer.drain()
+        status_line = await self._reader.readline()
+        if not status_line:
+            raise ConnectionError("server closed the connection")
+        status = int(status_line.decode("latin-1").split()[1])
+        headers: Dict[str, str] = {}
+        while True:
+            line = await self._reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0") or 0)
+        data = await self._reader.readexactly(length) if length else b""
+        if headers.get("connection", "keep-alive").lower() == "close":
+            await self.close()
+        return status, headers, data
+
+    async def _request(
+        self, method: str, path: str, payload: Optional[Mapping[str, Any]] = None
+    ) -> Any:
+        body = json.dumps(payload).encode() if payload is not None else b""
+        for _attempt in range(self.max_retries + 1):
+            try:
+                status, headers, data = await self._roundtrip(method, path, body)
+            except (ConnectionError, asyncio.IncompleteReadError, OSError):
+                await self.close()
+                await self._connect()
+                status, headers, data = await self._roundtrip(method, path, body)
+            parsed: Any
+            if headers.get("content-type", "").startswith("application/json"):
+                parsed = json.loads(data.decode()) if data else {}
+            else:
+                parsed = data.decode()
+            if status == 429:
+                self.backpressure_retries += 1
+                await asyncio.sleep(_retry_after(headers, parsed))
+                continue
+            if status >= 400:
+                raise ServeClientError(status, _error_message(parsed, data))
+            return parsed
+        raise ServeClientError(429, f"still saturated after {self.max_retries} retries")
+
+    # ------------------------------------------------------------------- api
+    async def health(self) -> Dict[str, Any]:
+        return await self._request("GET", "/health")
+
+    async def metrics_text(self) -> str:
+        return await self._request("GET", "/metrics")
+
+    async def create_session(
+        self, config: Union[RunConfig, Mapping[str, Any], None] = None
+    ) -> str:
+        payload = await self._request("POST", "/v1/sessions", _config_payload(config))
+        return payload["session_id"]
+
+    async def submit_round(
+        self,
+        session_id: str,
+        chunks: Sequence[Union[SignalChunk, Mapping[str, Any]]],
+    ) -> Tuple[List[Action], Dict[str, Any]]:
+        payload = await self._request(
+            "POST", f"/v1/sessions/{session_id}/rounds", _chunks_payload(chunks)
+        )
+        return _parse_actions(payload), payload
+
+    async def summary(self, session_id: str) -> Dict[str, Any]:
+        return await self._request("GET", f"/v1/sessions/{session_id}/summary")
+
+    async def close_session(self, session_id: str) -> Dict[str, Any]:
+        return await self._request("DELETE", f"/v1/sessions/{session_id}")
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+        self._reader = None
+        self._writer = None

@@ -1,0 +1,206 @@
+"""Seeded flowcell workloads and round-by-round replay for the service.
+
+The load generator (``benchmarks/bench_serve.py``), the serve tests and the
+example client all need the same two things:
+
+* a **deterministic tenant workload** — a serializable
+  :class:`~repro.runtime.RunConfig` (genome + calibrated threshold +
+  ``label``) plus a seeded read stream, so any two executions of the same
+  tenant decide identically;
+* a **closed-loop replay** — drive a
+  :class:`~repro.sequencer.read_until_api.ReadUntilSimulator` one polling
+  round at a time, feeding each round's chunks to a submit callable and
+  applying the returned actions back to the simulator (ejections free
+  pores, accepts stop streaming), exactly how a real Read Until client
+  behaves.
+
+Because the replay is deterministic given the decisions, and decisions are
+bit-identical between a local :func:`~repro.runtime.open_session` and the
+service (JSON floats round-trip exactly), replaying the same tenant through
+both paths must produce identical decision records — the acceptance
+property ``bench_serve.py`` asserts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Awaitable, Callable, Dict, List, Sequence, Tuple
+
+from repro.batch.classifier import BatchSquiggleClassifier
+from repro.core.reference import ReferenceSquiggle
+from repro.genomes.sequences import random_genome
+from repro.pipeline.api import Action
+from repro.pore_model.kmer_model import KmerModel
+from repro.runtime import RunConfig
+from repro.sequencer.read_until_api import ReadUntilSimulator, SignalChunk
+from repro.sequencer.reads import Read, ReadGenerator, ReadLengthModel, SpecimenMixture
+
+__all__ = [
+    "DecisionRecord",
+    "TenantWorkload",
+    "build_tenant_workloads",
+    "replay_flowcell",
+    "replay_flowcell_async",
+]
+
+# One terminal decision, in the exact fields the bit-identity check compares.
+DecisionRecord = Tuple[str, float, int, int, Any]
+
+
+@dataclass
+class TenantWorkload:
+    """One tenant: a serializable config plus its seeded read stream."""
+
+    label: str
+    config: RunConfig
+    reads: List[Read]
+    n_channels: int
+    chunk_samples: int
+
+    def simulator(self) -> ReadUntilSimulator:
+        return ReadUntilSimulator(
+            list(self.reads),
+            chunk_samples=self.chunk_samples,
+            n_channels=self.n_channels,
+        )
+
+
+def build_tenant_workloads(
+    n_tenants: int,
+    *,
+    seed: int = 20210823,
+    reads_per_tenant: int = 12,
+    viral_fraction: float = 0.3,
+    target_bases: int = 900,
+    background_bases: int = 4000,
+    prefix_samples: int = 800,
+    chunk_samples: int = 400,
+    n_channels: int = 4,
+    calibration_reads_per_class: int = 6,
+) -> List[TenantWorkload]:
+    """N tenants over one shared genome pair, each with its own read stream.
+
+    The target/background genomes and the calibrated threshold are shared
+    (calibration runs once, in-process); each tenant gets an independent
+    seeded read mixture and a distinct ``label``, so the service multiplexes
+    genuinely different streams that are each fully reproducible.
+    """
+    if n_tenants <= 0:
+        raise ValueError(f"n_tenants must be positive, got {n_tenants}")
+    kmer_model = KmerModel()
+    target = random_genome(target_bases, seed=seed)
+    background = random_genome(background_bases, seed=seed + 1)
+    mixture = SpecimenMixture.two_component(
+        "target", target, "background", background, viral_fraction
+    )
+    length_model = ReadLengthModel(
+        mean_bases=300, sigma=0.2, min_bases=220, max_bases=520
+    )
+
+    calibration = ReadGenerator(
+        mixture, kmer_model=kmer_model, length_model=length_model, seed=seed + 2
+    ).generate_balanced(calibration_reads_per_class)
+    reference = ReferenceSquiggle.from_genome(target, kmer_model=kmer_model)
+    helper = BatchSquiggleClassifier(reference, prefix_samples=prefix_samples)
+    threshold = helper.calibrate(
+        [read.signal_pa for read in calibration if read.is_target],
+        [read.signal_pa for read in calibration if not read.is_target],
+        chunk_samples=chunk_samples,
+    )
+    helper.close()
+
+    workloads = []
+    for index in range(n_tenants):
+        label = f"client{index:02d}"
+        config = RunConfig(
+            genome=target,
+            threshold=threshold,
+            prefix_samples=prefix_samples,
+            chunk_samples=chunk_samples,
+            n_channels=n_channels,
+            label=label,
+        )
+        generator = ReadGenerator(
+            mixture,
+            kmer_model=kmer_model,
+            length_model=length_model,
+            seed=seed + 1000 + 17 * index,
+        )
+        workloads.append(
+            TenantWorkload(
+                label=label,
+                config=config,
+                reads=generator.generate(reads_per_tenant),
+                n_channels=n_channels,
+                chunk_samples=chunk_samples,
+            )
+        )
+    return workloads
+
+
+def _record(decisions: Dict[str, DecisionRecord], chunks, actions) -> None:
+    for chunk, action in zip(chunks, actions):
+        if action.is_terminal:
+            decisions[chunk.read_id] = (
+                action.kind,
+                action.cost,
+                action.samples_used,
+                action.end_position,
+                action.target,
+            )
+
+
+def replay_flowcell(
+    submit: Callable[[List[SignalChunk]], Sequence[Action]],
+    workload: TenantWorkload,
+    max_iterations: int = 10_000,
+) -> Tuple[Dict[str, DecisionRecord], int]:
+    """Replay one tenant's flowcell through a blocking submit callable.
+
+    Returns the per-read decision records and the number of non-empty
+    polling rounds submitted.
+    """
+    simulator = workload.simulator()
+    decisions: Dict[str, DecisionRecord] = {}
+    rounds = 0
+    for _ in range(max_iterations):
+        if simulator.finished:
+            break
+        chunks = simulator.get_read_chunks()
+        if not chunks:
+            continue
+        actions = list(submit(chunks))
+        rounds += 1
+        _record(decisions, chunks, actions)
+        for chunk, action in zip(chunks, actions):
+            simulator._apply_action(chunk, action.to_simulator_action(), 0.0)
+    return decisions, rounds
+
+
+async def replay_flowcell_async(
+    submit: Callable[[List[SignalChunk]], Awaitable[Sequence[Action]]],
+    workload: TenantWorkload,
+    max_iterations: int = 10_000,
+) -> Tuple[Dict[str, DecisionRecord], int, List[float]]:
+    """Async replay; additionally returns per-round client-observed latency
+    in seconds (what the load generator aggregates into percentiles)."""
+    import time
+
+    simulator = workload.simulator()
+    decisions: Dict[str, DecisionRecord] = {}
+    rounds = 0
+    latencies: List[float] = []
+    for _ in range(max_iterations):
+        if simulator.finished:
+            break
+        chunks = simulator.get_read_chunks()
+        if not chunks:
+            continue
+        start = time.perf_counter()
+        actions = list(await submit(chunks))
+        latencies.append(time.perf_counter() - start)
+        rounds += 1
+        _record(decisions, chunks, actions)
+        for chunk, action in zip(chunks, actions):
+            simulator._apply_action(chunk, action.to_simulator_action(), 0.0)
+    return decisions, rounds, latencies

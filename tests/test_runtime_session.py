@@ -9,6 +9,7 @@ shims safe.
 """
 
 import json
+import threading
 import warnings
 
 import numpy as np
@@ -19,7 +20,12 @@ from repro.core.config import SDTWConfig
 from repro.core.sdtw import sdtw_resume
 from repro.pipeline.api import build_pipeline
 from repro.pipeline.read_until import ReadUntilPipeline
-from repro.runtime import ReadUntilSession, RunConfig, open_session
+from repro.runtime import (
+    ReadUntilSession,
+    RunConfig,
+    SessionClosedError,
+    open_session,
+)
 from repro.sequencer.read_until_api import SignalChunk
 from repro.sequencer.reads import ReadGenerator, ReadLengthModel
 
@@ -62,6 +68,9 @@ class TestRunConfigValidation:
             (dict(chunk_samples=-1), "chunk_samples"),
             (dict(n_channels=0), "n_channels"),
             (dict(targets={}), "targets"),
+            (dict(label=""), "label"),
+            (dict(label="   "), "label"),
+            (dict(label=7), "label"),
         ],
     )
     def test_invalid_field_named_in_error(self, kwargs, field):
@@ -105,9 +114,11 @@ class TestRunConfigSerialization:
             chunk_samples=320,
             n_channels=16,
             batch=True,
+            label="flowcell-A",
             backend="sharded",
             workers=4,
         )
+        assert config.to_dict()["label"] == "flowcell-A"
         assert RunConfig.from_dict(config.to_dict()) == config
 
     def test_hardware_accepts_mapping(self):
@@ -183,7 +194,7 @@ class TestSessionLifecycle:
         session = open_session(self._config(reference_squiggle))
         session.close()
         session.close()
-        assert session.summary()["closed"] is True
+        assert session.closed is True
 
     def test_reuse_after_close_raises(self, reference_squiggle, target_signals):
         session = open_session(self._config(reference_squiggle))
@@ -232,6 +243,82 @@ class TestSessionLifecycle:
         with open_session(RunConfig(threshold=1e9)) as session:
             with pytest.raises(ValueError, match="reference"):
                 session.submit([_chunk("r0", np.ones(10), last=True)])
+
+    def test_summary_reports_the_config_label(
+        self, reference_squiggle, target_signals
+    ):
+        with open_session(
+            self._config(reference_squiggle, label="flowcell-A")
+        ) as session:
+            session.submit([_chunk("r0", target_signals[0][:400], last=True)])
+            assert session.label == "flowcell-A"
+            assert session.summary()["label"] == "flowcell-A"
+        # Unlabeled sessions don't grow the key.
+        with open_session(self._config(reference_squiggle)) as session:
+            assert "label" not in session.summary()
+
+    @pytest.mark.parametrize("backend,extra", SESSION_BACKENDS)
+    def test_use_after_close_raises_session_closed_error(
+        self, reference_squiggle, target_signals, backend, extra
+    ):
+        """Satellite contract: after close(), submit() and summary() raise
+        the same documented SessionClosedError on every registered backend
+        (which is-a RuntimeError, so existing handlers keep working)."""
+        config = self._config(reference_squiggle, backend=backend, **extra)
+        session = open_session(config)
+        try:
+            session.submit([_chunk("r0", target_signals[0][:400], last=True)])
+        finally:
+            session.close()
+        assert session.closed
+        with pytest.raises(SessionClosedError, match="closed"):
+            session.submit([_chunk("r1", target_signals[0][:400], last=True)])
+        with pytest.raises(SessionClosedError, match="closed"):
+            session.summary()
+        assert issubclass(SessionClosedError, RuntimeError)
+
+    def test_concurrent_submit_from_second_thread_raises(
+        self, reference_squiggle, target_signals
+    ):
+        """Sessions are single-writer: while one thread's round is in
+        flight, a second thread's submit fails loudly instead of corrupting
+        lane state."""
+        session = open_session(self._config(reference_squiggle))
+        in_round = threading.Event()
+        release = threading.Event()
+
+        real_on_chunk_batch = type(session).on_chunk_batch
+
+        def slow_round(self_, chunks):
+            result = real_on_chunk_batch(self_, chunks)
+            in_round.set()
+            release.wait(timeout=10.0)
+            return result
+
+        try:
+            type(session).on_chunk_batch = slow_round  # type: ignore[method-assign]
+
+            def first_submit():
+                session.submit([_chunk("r0", target_signals[0][:400], last=True)])
+
+            worker = threading.Thread(target=first_submit)
+            worker.start()
+            assert in_round.wait(timeout=10.0)
+            with pytest.raises(RuntimeError, match="single-writer"):
+                session.submit(
+                    [_chunk("r1", target_signals[1][:400], last=True)]
+                )
+            release.set()
+            worker.join(timeout=10.0)
+            assert not worker.is_alive()
+        finally:
+            release.set()
+            type(session).on_chunk_batch = real_on_chunk_batch  # type: ignore[method-assign]
+            session.close()
+        # The lock is released once the in-flight round finished: a fresh
+        # session accepts submissions again (closed above, so just re-open).
+        with open_session(self._config(reference_squiggle)) as fresh:
+            fresh.submit([_chunk("r2", target_signals[0][:400], last=True)])
 
 
 # ------------------------------------------------------ acceptance property
