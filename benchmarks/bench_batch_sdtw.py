@@ -26,7 +26,10 @@ Two entry points:
   configuration **column** sharding exists for (lane striping has nothing to
   distribute there; ``numpy`` vs ``sharded`` vs ``colsharded`` on that row is
   the reference-axis-tiling story) — and emits per-backend JSON so throughput
-  scaling with ``--workers`` is measurable. ``--config run.json`` loads a
+  scaling with ``--workers`` is measurable. Every engine run is traced
+  (:mod:`repro.obs`), so each backend entry carries a ``phases`` self-time
+  breakdown whose sum matches the measured seconds, plus per-worker-track
+  phase tables for the process-sharded backends. ``--config run.json`` loads a
   :class:`repro.runtime.RunConfig`: its backend/workers/tile_columns become
   the measured backend (when no ``--backend`` flags are given) and the
   serialized config is recorded under the report's ``run_config`` key, so a
@@ -55,6 +58,7 @@ from repro.core.config import SDTWConfig
 from repro.core.reference import ReferenceSquiggle
 from repro.core.sdtw import sdtw_resume
 from repro.genomes.sequences import random_genome
+from repro.obs.trace import Tracer
 
 CHANNELS = int(os.environ.get("BATCH_SDTW_CHANNELS", "256"))
 ROUNDS = int(os.environ.get("BATCH_SDTW_ROUNDS", "2"))
@@ -93,20 +97,48 @@ def _measure_engine(rounds, reference, config, backend, backend_options):
 
     Backend construction (worker-pool spawn for the sharded backend) happens
     outside the timed region: pools are persistent in deployment, paid once
-    per run, not once per round.
+    per run, not once per round. The run is traced so the report can
+    attribute round time to execution phases; the tracer is one predicted
+    branch plus a perf_counter pair per span, far below measurement noise.
     """
+    tracer = Tracer(track="bench")
     engine = BatchSDTWEngine(
-        reference, config, backend=backend, backend_options=backend_options
+        reference, config, backend=backend, backend_options=backend_options,
+        tracer=tracer,
     )
     try:
         start = time.perf_counter()
         for round_chunks in rounds:
             snapshots = engine.step(list(enumerate(round_chunks)))
         elapsed = time.perf_counter() - start
-        return elapsed, snapshots, engine
+        return elapsed, snapshots, engine, tracer
     except BaseException:
         engine.close()
         raise
+
+
+def _phase_breakdown(tracer):
+    """Per-phase self-time tables: the parent track, then each worker track.
+
+    The parent track's self times decompose the traced wall clock exactly
+    (every root span's duration is distributed over its subtree), so
+    ``sum(self_s) ~= seconds`` per backend entry. Worker tracks run on
+    other processes and overlap the parent, so they are reported separately
+    rather than summed in.
+    """
+    tracks = tracer.tracks()
+    parent = {
+        name: stat.as_dict()
+        for name, stat in sorted(tracer.phase_totals(tracks[0]).items())
+    }
+    workers = {
+        track: {
+            name: stat.as_dict()
+            for name, stat in sorted(tracer.phase_totals(track).items())
+        }
+        for track in tracks[1:]
+    }
+    return parent, workers
 
 
 def _measure(reference, n_channels, backend_specs=None, rounds=ROUNDS, chunk=CHUNK_SAMPLES):
@@ -130,7 +162,7 @@ def _measure(reference, n_channels, backend_specs=None, rounds=ROUNDS, chunk=CHU
 
     backends = {}
     for label, backend, options in backend_specs:
-        batch_s, snapshots, engine = _measure_engine(
+        batch_s, snapshots, engine, tracer = _measure_engine(
             round_chunks, reference, config, backend, options
         )
         try:
@@ -143,13 +175,18 @@ def _measure(reference, n_channels, backend_specs=None, rounds=ROUNDS, chunk=CHU
                 )
         finally:
             engine.close()
+        phases, worker_phases = _phase_breakdown(tracer)
         backends[label] = {
             "backend": backend,
             "options": dict(options or {}),
             "seconds": batch_s,
             "cells_per_s": dp_cells / batch_s,
             "speedup_vs_scalar": scalar_s / batch_s,
+            "phases": phases,
+            "phase_self_seconds": sum(stat["self_s"] for stat in phases.values()),
         }
+        if worker_phases:
+            backends[label]["worker_phases"] = worker_phases
 
     first = backends[backend_specs[0][0]]
     return {

@@ -16,8 +16,11 @@ Three correctness properties are asserted, not just measured:
   slot, tiny admission queue) must produce ``429`` retries **and** the same
   decisions with zero dropped rounds: saturation is admission control, not
   failure.
-* **Clean service state** — ``/health`` stays green and the server's
-  ``repro_serve_rounds_total`` counters account for every submitted round.
+* **Clean service state** — ``/health`` stays green, the server's
+  ``repro_serve_rounds_total`` counters account for every submitted round,
+  and the per-phase ``repro_serve_round_phase_seconds`` series (fed by the
+  sessions' flight recorders) is present; its per-phase totals land in the
+  report under ``round_phases``.
 
 Modes:
 
@@ -43,6 +46,7 @@ import argparse
 import asyncio
 import json
 import math
+import re
 import sys
 import time
 from typing import Any, Dict, List, Optional, Sequence
@@ -155,6 +159,33 @@ def _aggregate(
     }
 
 
+_PHASE_LABEL = re.compile(r'phase="([^"]*)"')
+
+
+def _parse_phase_series(metrics: str) -> Dict[str, Dict[str, float]]:
+    """Aggregate ``repro_serve_round_phase_seconds`` across sessions."""
+    phases: Dict[str, Dict[str, float]] = {}
+    for line in metrics.splitlines():
+        if not line.startswith("repro_serve_round_phase_seconds_"):
+            continue
+        match = _PHASE_LABEL.search(line)
+        if match is None:
+            continue
+        entry = phases.setdefault(match.group(1), {"seconds": 0.0, "observations": 0})
+        value = float(line.rsplit(" ", 1)[1])
+        if line.startswith("repro_serve_round_phase_seconds_sum{"):
+            entry["seconds"] += value
+        elif line.startswith("repro_serve_round_phase_seconds_count{"):
+            entry["observations"] += int(value)
+    return {
+        phase: {
+            "seconds": round(entry["seconds"], 6),
+            "observations": int(entry["observations"]),
+        }
+        for phase, entry in sorted(phases.items())
+    }
+
+
 def _service_checks(host: str, port: int, expected_rounds: int) -> Dict[str, Any]:
     """Post-run /health and /metrics assertions (shared with --smoke)."""
     probe = ServeClient(host, port)
@@ -172,7 +203,17 @@ def _service_checks(host: str, port: int, expected_rounds: int) -> Dict[str, Any
                 f"/metrics accounts for {served} rounds, expected at least "
                 f"{expected_rounds}"
             )
-        return {"health": health.get("status"), "metrics_rounds_total": served}
+        phases = _parse_phase_series(metrics)
+        if not phases:
+            raise AssertionError(
+                "/metrics exposes no repro_serve_round_phase_seconds series — "
+                "served sessions should always run with the flight recorder on"
+            )
+        return {
+            "health": health.get("status"),
+            "metrics_rounds_total": served,
+            "round_phases": phases,
+        }
     finally:
         probe.close()
 

@@ -79,6 +79,7 @@ import numpy as np
 
 from repro.core.array_module import ArrayModule, get_array_module, gpu_array_module
 from repro.core.config import SDTWConfig
+from repro.obs.trace import NULL_TRACER, Tracer, worker_span
 from repro.core.sdtw import (
     BatchSDTWState,
     normalize_block_starts,
@@ -250,6 +251,9 @@ class NumpyBackend:
     """
 
     backend_name = "numpy"
+    # Observability hook the engine overwrites; the shared disabled tracer
+    # makes every span below a single `if` (same on every built-in backend).
+    tracer: Tracer = NULL_TRACER
 
     def __init__(
         self,
@@ -303,26 +307,32 @@ class NumpyBackend:
     def advance(
         self, lanes: np.ndarray, queries: Sequence[np.ndarray]
     ) -> Tuple[np.ndarray, np.ndarray]:
-        gathered = BatchSDTWState(
-            rows=self._state.rows[lanes],
-            runs=self._state.runs[lanes],
-            samples_processed=self._state.samples_processed[lanes],
-        )
-        # track_runs=False: the engine never reads raw dwell counters, and the
-        # capped counters the fast path keeps are lossless for resumption.
-        advanced = sdtw_resume_batch(
-            queries,
-            self.reference_values,
-            self.config,
-            state=gathered,
-            track_runs=False,
-            block_starts=self.block_starts,
-            tile_columns=self.tile_columns,
-        )
-        self._state.rows[lanes] = advanced.rows
-        self._state.runs[lanes] = advanced.runs
-        self._state.samples_processed[lanes] = advanced.samples_processed
-        return reduce_block_minima(advanced.rows, self.block_starts)
+        tracer = self.tracer
+        with tracer.span("backend.advance", backend="numpy", n_lanes=int(np.size(lanes))):
+            with tracer.span("backend.gather"):
+                gathered = BatchSDTWState(
+                    rows=self._state.rows[lanes],
+                    runs=self._state.runs[lanes],
+                    samples_processed=self._state.samples_processed[lanes],
+                )
+            # track_runs=False: the engine never reads raw dwell counters, and the
+            # capped counters the fast path keeps are lossless for resumption.
+            with tracer.span("backend.wavefront"):
+                advanced = sdtw_resume_batch(
+                    queries,
+                    self.reference_values,
+                    self.config,
+                    state=gathered,
+                    track_runs=False,
+                    block_starts=self.block_starts,
+                    tile_columns=self.tile_columns,
+                )
+            with tracer.span("backend.scatter"):
+                self._state.rows[lanes] = advanced.rows
+                self._state.runs[lanes] = advanced.runs
+                self._state.samples_processed[lanes] = advanced.samples_processed
+            with tracer.span("backend.reduce"):
+                return reduce_block_minima(advanced.rows, self.block_starts)
 
     def gather(self, lanes: np.ndarray) -> BatchSDTWState:
         return BatchSDTWState(
@@ -438,24 +448,32 @@ def _shard_worker(
     this process is the only writer between an ``advance`` request and its
     reply, and the parent only touches the block while no request is in
     flight, so no locking is needed.
+
+    Advance requests carry a trace flag; when set, the worker stamps its own
+    span tuples on the shared monotonic clock (workers are forked children,
+    so parent and worker ``perf_counter`` readings share one timeline) and
+    ships them back inside the reply for the parent tracer to merge.
     """
     rows_dtype, runs_dtype = _state_dtypes(config)
     views = _ShardViews(
         _attach_shm(shm_name), local_capacity, reference.size, rows_dtype, runs_dtype
     )
     int32_rows = rows_dtype == np.dtype(np.int32)
+    clock = time.perf_counter
     try:
         while True:
             message = conn.recv()
             command = message[0]
             try:
                 if command == "advance":
-                    _, local_lanes, queries = message
+                    _, local_lanes, queries, trace = message
+                    start_s = clock() if trace else 0.0
                     state = BatchSDTWState(
                         rows=views.rows[local_lanes],
                         runs=views.runs[local_lanes],
                         samples_processed=views.samples[local_lanes],
                     )
+                    wave_start_s = clock() if trace else 0.0
                     advanced = sdtw_resume_batch(
                         queries,
                         reference,
@@ -464,12 +482,25 @@ def _shard_worker(
                         track_runs=False,
                         block_starts=block_starts,
                     )
+                    wave_end_s = clock() if trace else 0.0
                     if int32_rows:
                         _check_int32_rows(advanced.rows)
                     views.rows[local_lanes] = advanced.rows
                     views.runs[local_lanes] = advanced.runs
                     views.samples[local_lanes] = advanced.samples_processed
-                    conn.send(("ok", reduce_block_minima(advanced.rows, block_starts)))
+                    payload = reduce_block_minima(advanced.rows, block_starts)
+                    records = None
+                    if trace:
+                        records = [
+                            worker_span("worker.wavefront", wave_start_s, wave_end_s, depth=1),
+                            worker_span(
+                                "worker.advance",
+                                start_s,
+                                clock(),
+                                child_s=wave_end_s - wave_start_s,
+                            ),
+                        ]
+                    conn.send(("ok", (payload, records)))
                 elif command == "attach":
                     _, shm_name, local_capacity = message
                     old = views
@@ -629,6 +660,7 @@ class ShardedProcessBackend(_WorkerPoolBackend):
     """
 
     backend_name = "sharded"
+    tracer: Tracer = NULL_TRACER
 
     def __init__(
         self,
@@ -752,39 +784,45 @@ class ShardedProcessBackend(_WorkerPoolBackend):
     ) -> Tuple[np.ndarray, np.ndarray]:
         if self._closed:
             raise RuntimeError("backend is closed")
-        lanes = np.asarray(lanes, dtype=np.intp)
-        shards = self._shard_of(lanes)
-        local = self._local_of(lanes)
-        busy: List[Tuple[int, np.ndarray]] = []
-        for shard in np.unique(shards):
-            members = np.flatnonzero(shards == shard)
-            self._conns[shard].send(
-                ("advance", local[members], [queries[i] for i in members])
+        tracer = self.tracer
+        trace = tracer.enabled
+        with tracer.span("backend.advance", backend="sharded", n_lanes=int(np.size(lanes))):
+            lanes = np.asarray(lanes, dtype=np.intp)
+            shards = self._shard_of(lanes)
+            local = self._local_of(lanes)
+            busy: List[Tuple[int, np.ndarray]] = []
+            with tracer.span("backend.dispatch"):
+                for shard in np.unique(shards):
+                    members = np.flatnonzero(shards == shard)
+                    self._conns[shard].send(
+                        ("advance", local[members], [queries[i] for i in members], trace)
+                    )
+                    busy.append((int(shard), members))
+            costs = np.empty(
+                (lanes.size, self.n_blocks),
+                dtype=np.float64 if not self.config.quantize else np.int64,
             )
-            busy.append((int(shard), members))
-        costs = np.empty(
-            (lanes.size, self.n_blocks),
-            dtype=np.float64 if not self.config.quantize else np.int64,
-        )
-        ends = np.empty((lanes.size, self.n_blocks), dtype=np.intp)
-        # Every busy shard's reply must be consumed even if an earlier one
-        # failed — an unread reply would desync the request/reply protocol
-        # and surface as a *stale* result on the next call.
-        errors: List[Exception] = []
-        for shard, members in busy:
-            try:
-                shard_costs, shard_ends = self._recv(shard)
-            except RuntimeError as error:
-                errors.append(error)
-                continue
-            costs[members] = shard_costs
-            ends[members] = shard_ends
-        if errors:
-            # Shards that succeeded have already applied the round; the
-            # failed shards have not. Callers should treat the backend's
-            # state as undefined for the lanes of this round.
-            raise errors[0]
-        return costs, ends
+            ends = np.empty((lanes.size, self.n_blocks), dtype=np.intp)
+            # Every busy shard's reply must be consumed even if an earlier one
+            # failed — an unread reply would desync the request/reply protocol
+            # and surface as a *stale* result on the next call.
+            errors: List[Exception] = []
+            with tracer.span("backend.collect"):
+                for shard, members in busy:
+                    try:
+                        (shard_costs, shard_ends), records = self._recv(shard)
+                    except RuntimeError as error:
+                        errors.append(error)
+                        continue
+                    tracer.merge_worker_records(records, track=f"sharded-worker-{shard}")
+                    costs[members] = shard_costs
+                    ends[members] = shard_ends
+            if errors:
+                # Shards that succeeded have already applied the round; the
+                # failed shards have not. Callers should treat the backend's
+                # state as undefined for the lanes of this round.
+                raise errors[0]
+            return costs, ends
 
     def gather(self, lanes: np.ndarray) -> BatchSDTWState:
         lanes = np.asarray(lanes, dtype=np.intp)
@@ -838,13 +876,15 @@ def _column_worker(
     tile_width = tile_end - tile_start
     views = _ShardViews(_attach_shm(shm_name), capacity, tile_width, rows_dtype, runs_dtype)
     int32_rows = rows_dtype == np.dtype(np.int32)
+    clock = time.perf_counter
     try:
         while True:
             message = conn.recv()
             command = message[0]
             try:
                 if command == "advance":
-                    _, lanes, queries, halo_rows, halo_runs, halo_start = message
+                    _, lanes, queries, halo_rows, halo_runs, halo_start, trace = message
+                    start_s = clock() if trace else 0.0
                     rows = views.rows[lanes]
                     runs = views.runs[lanes]
                     if halo_start < tile_start:
@@ -854,6 +894,7 @@ def _column_worker(
                         rows=rows, runs=runs, samples_processed=views.samples[lanes]
                     )
                     sub_starts = tile_block_starts(block_starts, halo_start, tile_end)
+                    wave_start_s = clock() if trace else 0.0
                     advanced = sdtw_resume_batch(
                         queries,
                         reference[halo_start:tile_end],
@@ -862,6 +903,7 @@ def _column_worker(
                         track_runs=False,
                         block_starts=sub_starts,
                     )
+                    wave_end_s = clock() if trace else 0.0
                     keep = tile_start - halo_start
                     tile_rows = advanced.rows[:, keep:]
                     if int32_rows:
@@ -869,9 +911,21 @@ def _column_worker(
                     views.rows[lanes] = tile_rows
                     views.runs[lanes] = advanced.runs[:, keep:]
                     views.samples[lanes] = advanced.samples_processed
-                    conn.send(("ok", _tile_block_minima(
+                    payload = _tile_block_minima(
                         tile_rows, tile_start, tile_end, block_starts, reference.size
-                    )))
+                    )
+                    records = None
+                    if trace:
+                        records = [
+                            worker_span("worker.wavefront", wave_start_s, wave_end_s, depth=1),
+                            worker_span(
+                                "worker.advance",
+                                start_s,
+                                clock(),
+                                child_s=wave_end_s - wave_start_s,
+                            ),
+                        ]
+                    conn.send(("ok", (payload, records)))
                 elif command == "attach":
                     _, shm_name, capacity = message
                     old = views
@@ -956,6 +1010,7 @@ class ColumnShardedBackend(_WorkerPoolBackend):
     """
 
     backend_name = "colsharded"
+    tracer: Tracer = NULL_TRACER
 
     def __init__(
         self,
@@ -1094,45 +1149,56 @@ class ColumnShardedBackend(_WorkerPoolBackend):
     ) -> Tuple[np.ndarray, np.ndarray]:
         if self._closed:
             raise RuntimeError("backend is closed")
-        lanes = np.asarray(lanes, dtype=np.intp)
-        halo_width = max((int(np.asarray(query).size) for query in queries), default=0)
-        # Snapshot every halo BEFORE dispatching: workers write their tiles
-        # concurrently, and a halo must be the pre-advance state.
-        requests = []
-        for tile_start, tile_end in self._tiles:
-            halo_start = tile_halo_start(self.block_starts, tile_start, halo_width)
-            if halo_start < tile_start:
-                halo_rows, halo_runs = self._halo_columns(lanes, halo_start, tile_start)
-            else:
-                halo_rows = halo_runs = None
-            requests.append(("advance", lanes, queries, halo_rows, halo_runs, halo_start))
-        for shard, request in enumerate(requests):
-            self._conns[shard].send(request)
+        tracer = self.tracer
+        trace = tracer.enabled
+        with tracer.span("backend.advance", backend="colsharded", n_lanes=int(np.size(lanes))):
+            lanes = np.asarray(lanes, dtype=np.intp)
+            halo_width = max((int(np.asarray(query).size) for query in queries), default=0)
+            # Snapshot every halo BEFORE dispatching: workers write their tiles
+            # concurrently, and a halo must be the pre-advance state.
+            requests = []
+            with tracer.span("backend.halo"):
+                for tile_start, tile_end in self._tiles:
+                    halo_start = tile_halo_start(self.block_starts, tile_start, halo_width)
+                    if halo_start < tile_start:
+                        halo_rows, halo_runs = self._halo_columns(lanes, halo_start, tile_start)
+                    else:
+                        halo_rows = halo_runs = None
+                    requests.append(
+                        ("advance", lanes, queries, halo_rows, halo_runs, halo_start, trace)
+                    )
+            with tracer.span("backend.dispatch"):
+                for shard, request in enumerate(requests):
+                    self._conns[shard].send(request)
 
-        costs = np.full(
-            (lanes.size, self.n_blocks),
-            np.iinfo(np.int64).max if self.config.quantize else np.inf,
-            dtype=np.int64 if self.config.quantize else np.float64,
-        )
-        ends = np.zeros((lanes.size, self.n_blocks), dtype=np.intp)
-        # Consume every reply even if an earlier shard failed (protocol sync),
-        # merging partial minima in tile order: strictly-smaller wins, so a
-        # tie keeps the leftmost tile — np.argmin's tie-breaking.
-        errors: List[Exception] = []
-        for shard in range(self.n_workers):
-            try:
-                tile_costs, tile_ends = self._recv(shard)
-            except RuntimeError as error:
-                errors.append(error)
-                continue
-            better = tile_costs < costs
-            costs[better] = tile_costs[better]
-            ends[better] = tile_ends[better]
-        if errors:
-            # Tiles that succeeded already applied the round; the failed
-            # tiles did not. The state is undefined for this round's lanes.
-            raise errors[0]
-        return costs, ends
+            costs = np.full(
+                (lanes.size, self.n_blocks),
+                np.iinfo(np.int64).max if self.config.quantize else np.inf,
+                dtype=np.int64 if self.config.quantize else np.float64,
+            )
+            ends = np.zeros((lanes.size, self.n_blocks), dtype=np.intp)
+            # Consume every reply even if an earlier shard failed (protocol sync),
+            # merging partial minima in tile order: strictly-smaller wins, so a
+            # tie keeps the leftmost tile — np.argmin's tie-breaking.
+            errors: List[Exception] = []
+            with tracer.span("backend.collect"):
+                for shard in range(self.n_workers):
+                    try:
+                        (tile_costs, tile_ends), records = self._recv(shard)
+                    except RuntimeError as error:
+                        errors.append(error)
+                        continue
+                    tracer.merge_worker_records(
+                        records, track=f"colsharded-worker-{shard}"
+                    )
+                    better = tile_costs < costs
+                    costs[better] = tile_costs[better]
+                    ends[better] = tile_ends[better]
+            if errors:
+                # Tiles that succeeded already applied the round; the failed
+                # tiles did not. The state is undefined for this round's lanes.
+                raise errors[0]
+            return costs, ends
 
     def gather(self, lanes: np.ndarray) -> BatchSDTWState:
         lanes = np.asarray(lanes, dtype=np.intp)
@@ -1183,6 +1249,7 @@ class GpuArrayBackend:
     """
 
     backend_name = "gpu"
+    tracer: Tracer = NULL_TRACER
 
     def __init__(
         self,
@@ -1234,6 +1301,23 @@ class GpuArrayBackend:
     def _device_lanes(self, lanes: np.ndarray):
         return self.xp.asarray([int(lane) for lane in np.asarray(lanes).ravel()], dtype=self.xp.intp)
 
+    def _device_sync(self) -> None:
+        """Drain queued device work so span boundaries measure real time.
+
+        GPU array libraries enqueue asynchronously, so without a sync the
+        wavefront span would close after *launching* the kernels, not after
+        they ran. Only called when tracing (a sync changes timing, never
+        results); a no-op for host array modules.
+        """
+        cuda = getattr(getattr(self.xp, "module", None), "cuda", None)
+        if cuda is None:  # numpy or another host module
+            return
+        if hasattr(cuda, "synchronize"):  # torch
+            if getattr(cuda, "is_available", lambda: False)():
+                cuda.synchronize()
+        elif hasattr(cuda, "Stream"):  # cupy
+            cuda.Stream.null.synchronize()
+
     # ------------------------------------------------------------- lifecycle
     def allocate(self, min_capacity: int) -> None:
         if self._closed:
@@ -1264,25 +1348,41 @@ class GpuArrayBackend:
         if self._closed:
             raise RuntimeError("backend is closed")
         xp = self.xp
-        index = self._device_lanes(lanes)
-        device_queries = [xp.asarray(query, dtype=self._rows_dtype) for query in queries]
-        rows, runs, samples = sdtw_resume_batch_arrays(
-            device_queries,
-            self.reference_values,
-            self.config,
-            self._rows[index],
-            self._runs[index],
-            self._samples[index],
-            track_runs=False,
-            block_starts=self.block_starts,
-            tile_columns=self.tile_columns,
-            xp=xp,
-        )
-        self._rows[index] = rows
-        self._runs[index] = runs
-        self._samples[index] = samples
-        costs, ends = reduce_block_minima(rows, self.block_starts, xp=xp)
-        return xp.to_numpy(costs), xp.to_numpy(ends)
+        tracer = self.tracer
+        trace = tracer.enabled
+        with tracer.span("backend.advance", backend="gpu", n_lanes=int(np.size(lanes))):
+            with tracer.span("backend.upload"):
+                index = self._device_lanes(lanes)
+                device_queries = [
+                    xp.asarray(query, dtype=self._rows_dtype) for query in queries
+                ]
+                if trace:
+                    self._device_sync()
+            with tracer.span("backend.wavefront"):
+                rows, runs, samples = sdtw_resume_batch_arrays(
+                    device_queries,
+                    self.reference_values,
+                    self.config,
+                    self._rows[index],
+                    self._runs[index],
+                    self._samples[index],
+                    track_runs=False,
+                    block_starts=self.block_starts,
+                    tile_columns=self.tile_columns,
+                    xp=xp,
+                )
+                if trace:
+                    self._device_sync()
+            with tracer.span("backend.scatter"):
+                self._rows[index] = rows
+                self._runs[index] = runs
+                self._samples[index] = samples
+            with tracer.span("backend.reduce"):
+                costs, ends = reduce_block_minima(rows, self.block_starts, xp=xp)
+                if trace:
+                    self._device_sync()
+            with tracer.span("backend.download"):
+                return xp.to_numpy(costs), xp.to_numpy(ends)
 
     def gather(self, lanes: np.ndarray) -> BatchSDTWState:
         if self._closed:

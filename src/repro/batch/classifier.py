@@ -29,6 +29,7 @@ from repro.core.normalization import NormalizationConfig, SignalNormalizer
 from repro.core.panel import TargetPanel
 from repro.core.reference import ReferenceSquiggle
 from repro.core.thresholds import choose_threshold
+from repro.obs.trace import NULL_TRACER, Tracer
 from repro.pipeline.api import ACCEPT, DEFAULT_HARDWARE_LATENCY_S, EJECT, Action
 from repro.sequencer.read_until_api import SignalChunk
 
@@ -75,6 +76,7 @@ class BatchSquiggleClassifier:
         backend: Union[str, ExecutionBackend] = _UNSET,
         backend_options: Optional[Mapping[str, Any]] = _UNSET,
         run_config: Optional["RunConfig"] = None,
+        tracer: Tracer = NULL_TRACER,
     ) -> None:
         if run_config is not None:
             if backend is not _UNSET or backend_options is not _UNSET:
@@ -119,11 +121,13 @@ class BatchSquiggleClassifier:
         self.threshold = threshold
         self.prefix_samples = int(prefix_samples)
         self.run_config = run_config
+        self.tracer = tracer
         self.engine = BatchSDTWEngine(
             self.panel,
             self.config,
             backend=resolved_backend,
             backend_options=resolved_options,
+            tracer=tracer,
         )
         self.name = name if name is not None else f"batch:SquiggleFilter[{self.engine.backend_name}]"
         self.decision_latency_s = (
@@ -173,41 +177,43 @@ class BatchSquiggleClassifier:
             raise ValueError(
                 "no threshold configured; call calibrate() or pass threshold explicitly"
             )
-        items = []
-        for chunk in chunks:
-            if chunk.read_id not in self.engine:
-                self.engine.admit(chunk.read_id)
-            consumed = self.engine.samples_processed(chunk.read_id)
-            remaining = self.prefix_samples - consumed
-            if remaining > 0 and chunk.chunk_length > 0:
-                items.append(
-                    (chunk.read_id, self._prepare(chunk.signal_pa[:remaining]))
-                )
+        with self.tracer.span("round.prepare", n_chunks=len(chunks)):
+            items = []
+            for chunk in chunks:
+                if chunk.read_id not in self.engine:
+                    self.engine.admit(chunk.read_id)
+                consumed = self.engine.samples_processed(chunk.read_id)
+                remaining = self.prefix_samples - consumed
+                if remaining > 0 and chunk.chunk_length > 0:
+                    items.append(
+                        (chunk.read_id, self._prepare(chunk.signal_pa[:remaining]))
+                    )
         snapshots = self.engine.step(items)
 
-        actions: List[Action] = []
-        for chunk in chunks:
-            if chunk.samples_seen < self.prefix_samples and not chunk.is_last:
-                actions.append(Action.wait())
-                continue
-            snapshot = snapshots.get(chunk.read_id)
-            if snapshot is None:
-                snapshot = self.engine.snapshot(chunk.read_id)
-            accept = snapshot.cost <= self.threshold
-            self.end_read(chunk.read_id)
-            actions.append(
-                Action(
-                    kind=ACCEPT if accept else EJECT,
-                    cost=float(snapshot.cost),
-                    samples_used=int(snapshot.samples_processed),
-                    stage=0,
-                    threshold=float(self.threshold),
-                    end_position=int(snapshot.end_position),
-                    target=snapshot.target,
-                    target_costs=snapshot.target_costs,
+        with self.tracer.span("round.decide"):
+            actions: List[Action] = []
+            for chunk in chunks:
+                if chunk.samples_seen < self.prefix_samples and not chunk.is_last:
+                    actions.append(Action.wait())
+                    continue
+                snapshot = snapshots.get(chunk.read_id)
+                if snapshot is None:
+                    snapshot = self.engine.snapshot(chunk.read_id)
+                accept = snapshot.cost <= self.threshold
+                self.end_read(chunk.read_id)
+                actions.append(
+                    Action(
+                        kind=ACCEPT if accept else EJECT,
+                        cost=float(snapshot.cost),
+                        samples_used=int(snapshot.samples_processed),
+                        stage=0,
+                        threshold=float(self.threshold),
+                        end_position=int(snapshot.end_position),
+                        target=snapshot.target,
+                        target_costs=snapshot.target_costs,
+                    )
                 )
-            )
-        return actions
+            return actions
 
     # ---------------------------------------------------------- calibration
     def _prepare(self, raw_chunk: np.ndarray) -> np.ndarray:

@@ -39,6 +39,7 @@ from repro.core.config import SDTWConfig
 from repro.core.panel import TargetPanel
 from repro.core.reference import ReferenceSquiggle
 from repro.core.sdtw import SDTWState
+from repro.obs.trace import NULL_TRACER, Tracer
 
 __all__ = ["BatchRound", "BatchSDTWEngine", "LaneSnapshot"]
 
@@ -109,6 +110,14 @@ class BatchSDTWEngine:
     backend_options:
         Extra keyword arguments for the backend factory (e.g.
         ``{"workers": 4}`` for the sharded backend).
+    tracer:
+        Observability hook (:class:`repro.obs.Tracer`). Defaults to the
+        shared disabled tracer, making every span a single ``if``; an
+        enabled tracer records ``engine.step``/``engine.admit``/
+        ``engine.grow`` spans and is handed to the backend so advance
+        phases (scatter, wavefront, reduce, gather — and worker-side
+        spans for the multi-process backends) land on the same timeline.
+        Tracing never changes what the engine computes.
     """
 
     def __init__(
@@ -118,7 +127,9 @@ class BatchSDTWEngine:
         initial_capacity: int = 8,
         backend: Union[str, ExecutionBackend] = "numpy",
         backend_options: Optional[Mapping[str, Any]] = None,
+        tracer: Tracer = NULL_TRACER,
     ) -> None:
+        self.tracer = tracer
         self.config = config if config is not None else SDTWConfig()
         if self.config.allow_reference_deletions:
             raise ValueError(
@@ -172,6 +183,10 @@ class BatchSDTWEngine:
                 )
             self._backend = backend
             self._owns_backend = False
+        # Every built-in backend exposes a `tracer` attribute; user-registered
+        # backends without one simply run untraced at the advance level.
+        if hasattr(self._backend, "tracer"):
+            self._backend.tracer = tracer
         capacity = self._backend.capacity
         self._lane_of: Dict[Hashable, int] = {}
         self._free: List[int] = list(range(capacity - 1, -1, -1))
@@ -215,7 +230,8 @@ class BatchSDTWEngine:
 
     def _grow(self) -> None:
         old_capacity = self._backend.capacity
-        self._backend.allocate(old_capacity * 2)
+        with self.tracer.span("engine.grow", old_capacity=old_capacity):
+            self._backend.allocate(old_capacity * 2)
         capacity = self._backend.capacity
         self._free.extend(range(capacity - 1, old_capacity - 1, -1))
         grown = np.zeros((capacity, self.n_targets), dtype=np.float64)
@@ -232,14 +248,15 @@ class BatchSDTWEngine:
         """Assign ``key`` a fresh lane; returns the lane index."""
         if key in self._lane_of:
             raise ValueError(f"read {key!r} already occupies a lane")
-        if not self._free:
-            self._grow()
-        lane = self._free.pop()
-        self._backend.reset(np.array([lane], dtype=np.intp))
-        self._costs[lane] = 0.0
-        self._ends[lane] = 0
-        self._samples[lane] = 0
-        self._lane_of[key] = lane
+        with self.tracer.span("engine.admit"):
+            if not self._free:
+                self._grow()
+            lane = self._free.pop()
+            self._backend.reset(np.array([lane], dtype=np.intp))
+            self._costs[lane] = 0.0
+            self._ends[lane] = 0
+            self._samples[lane] = 0
+            self._lane_of[key] = lane
         return lane
 
     def retire(self, key: Hashable) -> None:
@@ -247,6 +264,7 @@ class BatchSDTWEngine:
         lane = self._lane_of.pop(key, None)
         if lane is not None:
             self._free.append(lane)
+            self.tracer.instant("engine.retire", lane=lane)
 
     def samples_processed(self, key: Hashable) -> int:
         """Query samples consumed so far by ``key``'s alignment."""
@@ -295,30 +313,31 @@ class BatchSDTWEngine:
         self._n_polls += 1
         if not keys:
             return {}
-        for key in keys:
-            if key not in self._lane_of:
-                self.admit(key)
-        lanes = np.fromiter(
-            (self._lane_of[key] for key in keys), dtype=np.intp, count=len(keys)
-        )
-        queries = [np.asarray(query) for _, query in items]
-        lengths = np.fromiter(
-            (query.size for query in queries), dtype=np.int64, count=len(queries)
-        )
+        with self.tracer.span("engine.step", poll=poll, n_lanes=len(keys)):
+            for key in keys:
+                if key not in self._lane_of:
+                    self.admit(key)
+            lanes = np.fromiter(
+                (self._lane_of[key] for key in keys), dtype=np.intp, count=len(keys)
+            )
+            queries = [np.asarray(query) for _, query in items]
+            lengths = np.fromiter(
+                (query.size for query in queries), dtype=np.int64, count=len(queries)
+            )
 
-        self.rounds.append(
-            BatchRound(index=poll, n_lanes=len(keys), n_samples=int(lengths.sum()))
-        )
+            self.rounds.append(
+                BatchRound(index=poll, n_lanes=len(keys), n_samples=int(lengths.sum()))
+            )
 
-        costs, ends = self._backend.advance(lanes, queries)
-        self._costs[lanes] = costs
-        self._ends[lanes] = ends
-        self._samples[lanes] += lengths
+            costs, ends = self._backend.advance(lanes, queries)
+            self._costs[lanes] = costs
+            self._ends[lanes] = ends
+            self._samples[lanes] += lengths
 
-        return {
-            key: self._lane_snapshot(key, int(lanes[index]))
-            for index, key in enumerate(keys)
-        }
+            return {
+                key: self._lane_snapshot(key, int(lanes[index]))
+                for index, key in enumerate(keys)
+            }
 
     # -------------------------------------------------------------- lifecycle
     def close(self) -> None:

@@ -33,6 +33,11 @@ Six subcommands cover the library's main workflows without writing Python:
   default template), rounds multiplex over a shared bounded backend pool
   with 429/Retry-After backpressure, ``/health`` + Prometheus ``/metrics``
   are exposed, and SIGTERM drains gracefully.
+* ``trace``             — inspect a Chrome trace-event JSON file written by
+  ``read-until --trace out.json`` (or ``RunConfig.trace_path``): validates
+  the shape and prints the per-phase self-time table sorted hottest first —
+  the terminal-only view for hosts without a browser (load the same file in
+  https://ui.perfetto.dev or ``chrome://tracing`` for the timeline).
 
 The CLI is intentionally thin: it parses arguments, calls the same public API
 the examples use, and prints human-readable reports via
@@ -134,6 +139,16 @@ def _add_run_config_arguments(parser: argparse.ArgumentParser) -> None:
         help="signal prefix examined before the decision (default: 1000)",
     )
     parser.add_argument("--chunk-samples", type=int, default=None)
+    parser.add_argument(
+        "--trace",
+        dest="trace_path",
+        default=None,
+        metavar="PATH",
+        help="record session/engine/backend spans (repro.obs) and write a "
+        "Chrome trace-event / Perfetto JSON file here when the session "
+        "closes; inspect it with `repro trace PATH` or load it in "
+        "https://ui.perfetto.dev (decisions are identical traced or not)",
+    )
 
 
 def _resolve_run_config(args: argparse.Namespace) -> RunConfig:
@@ -147,6 +162,7 @@ def _resolve_run_config(args: argparse.Namespace) -> RunConfig:
         "n_channels": args.n_channels,
         "prefix_samples": args.prefix_samples,
         "chunk_samples": args.chunk_samples,
+        "trace_path": args.trace_path,
     }
     for key, value in overrides.items():
         if value is not None:
@@ -268,6 +284,21 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=256,
         help="open-session admission limit (default: 256)",
+    )
+
+    trace = subparsers.add_parser(
+        "trace",
+        help="validate a Chrome trace-event JSON file (written by "
+        "`read-until --trace` or RunConfig.trace_path) and print the "
+        "per-phase self-time table, hottest phase first",
+    )
+    trace.add_argument("trace_file", metavar="FILE", help="trace JSON file to inspect")
+    trace.add_argument(
+        "--top",
+        type=int,
+        default=None,
+        metavar="N",
+        help="show only the N hottest phases (default: all)",
     )
 
     runtime = subparsers.add_parser(
@@ -447,6 +478,7 @@ def _command_read_until(args: argparse.Namespace) -> int:
         ("--backend", args.backend),
         ("--target-panel", args.target_panel),
         ("--config", args.config),
+        ("--trace", args.trace_path),
     ):
         if given and args.classifier not in squigglefilter_family:
             print(
@@ -462,6 +494,7 @@ def _command_read_until(args: argparse.Namespace) -> int:
             or args.backend is not None
             or args.config is not None
             or panel_genomes is not None
+            or run_config.tracing_enabled
         )
     )
     reads = generator.generate(args.n_reads)
@@ -558,6 +591,11 @@ def _command_read_until(args: argparse.Namespace) -> int:
         for name in panel_genomes:
             rows.append({"metric": f"accepts[{name}]", "value": accepts.get(name, 0)})
     print(format_table(rows))
+    if use_batch_classifier and run_config.trace_path is not None:
+        print(
+            f"wrote trace to {run_config.trace_path} "
+            f"(inspect: `repro trace {run_config.trace_path}`, or load in Perfetto)"
+        )
     return 0
 
 
@@ -594,6 +632,28 @@ def _command_serve(args: argparse.Namespace) -> int:
     )
 
 
+def _command_trace(args: argparse.Namespace) -> int:
+    from repro.obs import format_phase_table, load_trace, phase_table, validate_trace
+
+    try:
+        document = load_trace(args.trace_file)
+        spans = validate_trace(document)
+    except (OSError, ValueError) as error:
+        print(f"invalid trace file: {error}", file=sys.stderr)
+        return 2
+    rows = phase_table(document)
+    if args.top is not None:
+        rows = rows[: max(args.top, 0)]
+    tracks = {event["tid"] for event in spans}
+    total_self_ms = sum(row["self_us"] for row in phase_table(document)) / 1000.0
+    print(
+        f"{args.trace_file}: {len(spans)} spans on {len(tracks)} track(s), "
+        f"{total_self_ms:.3f} ms total self time"
+    )
+    print(format_phase_table(rows))
+    return 0
+
+
 def _command_runtime(args: argparse.Namespace) -> int:
     config = ReadUntilModelConfig(
         genome_length_bases=args.genome_length,
@@ -625,6 +685,7 @@ _COMMANDS = {
     "read-until": _command_read_until,
     "config-dump": _command_config_dump,
     "serve": _command_serve,
+    "trace": _command_trace,
     "runtime-model": _command_runtime,
 }
 

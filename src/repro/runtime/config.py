@@ -71,6 +71,12 @@ class RunConfig:
     batch:
         Pipeline execution mode: ``None`` auto-selects the batched fast path
         when available, ``True`` requires it, ``False`` forces per-read.
+    trace / trace_path:
+        Observability (:mod:`repro.obs`). ``trace=True`` enables the
+        in-memory flight recorder (``session.trace()``, per-phase breakdown
+        in ``summary()``); ``trace_path`` additionally writes a Chrome
+        trace-event / Perfetto JSON file when the session closes (and
+        implies ``trace=True``). Tracing never changes decisions.
     backend / workers / tile_columns / backend_options:
         Execution backend for the batched engine (any name in
         :func:`repro.batch.available_backends`). ``workers`` sizes the
@@ -90,6 +96,8 @@ class RunConfig:
     n_channels: int = 1
     batch: Optional[bool] = None
     label: Optional[str] = None
+    trace: bool = False
+    trace_path: Optional[str] = None
     backend: str = "numpy"
     workers: Optional[int] = None
     tile_columns: Optional[int] = None
@@ -153,6 +161,18 @@ class RunConfig:
                 f"label: must be a non-empty string naming the tenant/run, "
                 f"got {self.label!r}"
             )
+        if self.trace_path is not None and (
+            not isinstance(self.trace_path, str) or not self.trace_path.strip()
+        ):
+            raise ValueError(
+                f"trace_path: must be a non-empty file path for the exported "
+                f"Chrome trace JSON, got {self.trace_path!r}"
+            )
+
+    @property
+    def tracing_enabled(self) -> bool:
+        """Whether sessions built from this config record spans (``trace`` or ``trace_path``)."""
+        return bool(self.trace) or self.trace_path is not None
 
     # ------------------------------------------------------------ derivation
     def with_(self, **changes: Any) -> "RunConfig":

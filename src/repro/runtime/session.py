@@ -28,10 +28,12 @@ backend the config names.
 from __future__ import annotations
 
 import threading
+import time
 from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.obs.trace import NULL_TRACER, SpanRecord, Tracer
 from repro.runtime.config import RunConfig
 
 if TYPE_CHECKING:  # imported lazily at runtime to keep open_session cheap
@@ -95,6 +97,12 @@ class ReadUntilSession:
         self._decisions: Dict[str, int] = {"accept": 0, "eject": 0}
         self._per_target_accepts: Dict[str, int] = {}
         self._begun: set = set()
+        # Observability: an enabled tracer only when the config asks for it,
+        # so untraced sessions pay one `if` per hook. Round wall-clock is
+        # accumulated unconditionally (two clock reads per round) because
+        # summary() reports it in both modes.
+        self._tracer = Tracer(track="session") if config.tracing_enabled else NULL_TRACER
+        self._round_wall_s = 0.0
         # Reentrant so the close-on-error path inside a round can take it
         # again from the same thread; a *different* thread mid-round fails
         # the non-blocking acquire and raises instead of corrupting lanes.
@@ -183,6 +191,7 @@ class ReadUntilSession:
                 prefix_samples=self.config.prefix_samples,
                 name=self.name,
                 run_config=self.config,
+                tracer=self._tracer,
             )
         return self._classifier
 
@@ -210,7 +219,12 @@ class ReadUntilSession:
         try:
             classifier = self._ensure_classifier()
             try:
-                actions = classifier.on_chunk_batch(chunks)
+                round_start_s = time.perf_counter()
+                with self._tracer.span(
+                    "session.round", round=self._n_rounds, n_chunks=len(chunks)
+                ):
+                    actions = classifier.on_chunk_batch(chunks)
+                self._round_wall_s += time.perf_counter() - round_start_s
             except Exception:
                 self.close()
                 raise
@@ -282,8 +296,28 @@ class ReadUntilSession:
         return self._threshold
 
     # -------------------------------------------------------------- reporting
+    @property
+    def tracer(self) -> Tracer:
+        """The session's tracer (the shared disabled one unless the config traces)."""
+        return self._tracer
+
+    def trace(self) -> List[SpanRecord]:
+        """Flight-recorder snapshot: every recorded span/instant, oldest first.
+
+        Empty unless the config enables tracing (``trace=True`` or a
+        ``trace_path``). Worker-side spans of the multi-process backends
+        appear under their own track ids (``sharded-worker-0``, …).
+        """
+        return self._tracer.records()
+
     def summary(self) -> Dict[str, Any]:
-        """Decision tallies plus engine occupancy for everything submitted.
+        """Decision tallies, wall-clock and engine occupancy for everything submitted.
+
+        Always includes ``round_wall_s`` (total wall seconds spent inside
+        round submissions); once the engine has spawned, ``n_polls`` and
+        ``busy_rounds`` account idle vs busy polling rounds. With tracing
+        enabled, ``phase_totals`` breaks the wall time down per span name
+        (count / total / self seconds, from the tracer's accumulating view).
 
         Raises :class:`SessionClosedError` on a closed session — capture the
         summary before :meth:`close` (the serving layer does exactly that
@@ -299,6 +333,7 @@ class ReadUntilSession:
             "accepts": self._decisions.get("accept", 0),
             "ejects": self._decisions.get("eject", 0),
             "closed": self._closed,
+            "round_wall_s": self._round_wall_s,
         }
         if self.config.label is not None:
             summary["label"] = self.config.label
@@ -310,6 +345,13 @@ class ReadUntilSession:
             summary["batch_occupancy"] = list(engine.occupancy_trace)
             summary["peak_batch_lanes"] = engine.peak_occupancy
             summary["mean_batch_lanes"] = engine.mean_occupancy
+            summary["n_polls"] = engine.n_polls
+            summary["busy_rounds"] = len(engine.rounds)
+        if self._tracer.enabled:
+            summary["phase_totals"] = {
+                name: stat.as_dict()
+                for name, stat in sorted(self._tracer.phase_totals().items())
+            }
         return summary
 
     # ------------------------------------------------------------- lifecycle
@@ -323,8 +365,22 @@ class ReadUntilSession:
             if self._closed:
                 return
             self._closed = True
-            if self._classifier is not None:
-                self._classifier.close()
+            try:
+                if self.config.trace_path is not None and len(self._tracer):
+                    from repro.obs.export import write_chrome_trace
+
+                    metadata = {
+                        "backend": self.config.backend,
+                        "rounds": self._n_rounds,
+                    }
+                    if self.config.label is not None:
+                        metadata["label"] = self.config.label
+                    write_chrome_trace(self._tracer, self.config.trace_path, metadata=metadata)
+            finally:
+                # An unwritable trace path must never leak the backend's
+                # worker pools; the export error propagates after teardown.
+                if self._classifier is not None:
+                    self._classifier.close()
 
     def __enter__(self) -> "ReadUntilSession":
         return self

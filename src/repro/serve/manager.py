@@ -138,6 +138,9 @@ class _ManagedSession:
         self.lock = asyncio.Lock()
         self.created_at = time.time()
         self.rounds = 0
+        # Cumulative per-phase self time already folded into the metrics
+        # registry; _record_round observes the delta each round.
+        self.phase_seen: Dict[str, float] = {}
 
 
 class SessionManager:
@@ -164,6 +167,10 @@ class SessionManager:
         )
         self.metrics.describe(
             "repro_serve_rounds_total", "Classification rounds completed per session"
+        )
+        self.metrics.describe(
+            "repro_serve_round_phase_seconds",
+            "Per-phase self time spent inside one classification round",
         )
 
     # ---------------------------------------------------------------- create
@@ -198,6 +205,11 @@ class SessionManager:
         self._counter += 1
         slug = _ID_SANITIZER.sub("-", run_config.label or "session").strip("-") or "session"
         session_id = f"{slug}-{self._counter:04d}"
+        # Served sessions always run with the in-memory flight recorder on:
+        # the per-phase round series in /metrics comes straight from it, and
+        # the recorder is bounded so long-lived tenants cannot grow memory.
+        if not run_config.tracing_enabled:
+            run_config = run_config.with_(trace=True)
         self._sessions[session_id] = _ManagedSession(
             session_id, run_config, open_session(run_config)
         )
@@ -255,6 +267,15 @@ class SessionManager:
             session=sid,
         )
         metrics.observe("repro_serve_round_latency_seconds", latency_s, session=sid)
+        tracer = managed.session.tracer
+        if tracer.enabled:
+            for phase, stat in tracer.phase_totals().items():
+                delta = stat.self_s - managed.phase_seen.get(phase, 0.0)
+                managed.phase_seen[phase] = stat.self_s
+                if delta > 0.0:
+                    metrics.observe(
+                        "repro_serve_round_phase_seconds", delta, session=sid, phase=phase
+                    )
         for action in actions:
             if not action.is_terminal:
                 continue
