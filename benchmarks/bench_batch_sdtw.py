@@ -20,12 +20,20 @@ Two entry points:
   not gated).
 * **script mode** (``python benchmarks/bench_batch_sdtw.py --backend sharded
   --backend colsharded --workers 2 4``) measures any registered backend on
-  two workloads — ``flowcell``: by default 512 channels against a
-  genome-scale reference, the configuration lane sharding exists for, and
+  three workloads — ``flowcell``: by default 512 channels against a
+  genome-scale reference, the configuration lane sharding exists for;
   ``genome_single_channel``: one channel against a larger genome, the
   configuration **column** sharding exists for (lane striping has nothing to
   distribute there; ``numpy`` vs ``sharded`` vs ``colsharded`` on that row is
-  the reference-axis-tiling story) — and emits per-backend JSON so throughput
+  the reference-axis-tiling story); and ``flowcell_pruned``: a minority of
+  channels stream reads sampled from the reference plus noise while the
+  rest stream random signal, and every backend is measured brute-force
+  **and** with the pruning layer on (kill bounds from a threshold placed
+  between the two cost distributions) — the ``<backend>[pruned]`` entries
+  carry ``cells_advanced`` / ``cells_pruned`` / ``pruned_fraction`` and
+  ``speedup_vs_unpruned``, after asserting accept/eject decisions and every
+  below-threshold cost are bit-identical to brute force — and emits
+  per-backend JSON so throughput
   scaling with ``--workers`` is measurable. Every engine run is traced
   (:mod:`repro.obs`), so each backend entry carries a ``phases`` self-time
   breakdown whose sum matches the measured seconds, plus per-worker-track
@@ -36,6 +44,15 @@ Two entry points:
   benchmark JSON documents exactly the configuration that produced it. The
   committed ``BENCH_batch_sdtw.json`` at the repository root records this
   script's output per PR, the performance trajectory baseline.
+
+Every backend entry reports two cell rates. ``nominal_cells_per_s`` counts
+every cell of the full DP problem per second — pruned cells retire for free,
+so pruning raises it; it is the end-to-end throughput figure.
+``effective_cells_per_s`` counts only the cells the kernel actually advanced
+per second — the raw compute rate, roughly constant with or without pruning
+(the multi-process column backend's figure includes halo recompute, so its
+``cells_advanced`` can exceed the problem's ``dp_cells``). Without pruning
+the two coincide up to that halo term.
 
 Both emit a machine-readable JSON report (``BATCH_SDTW_JSON`` / ``--json``
 choose the path; unset or ``-`` prints to stdout only). Pytest tunables:
@@ -82,6 +99,36 @@ def _chunk_rounds(rng, n_channels, n_rounds, chunk_samples):
     return rounds
 
 
+def _pruned_chunk_rounds(rng, reference, n_channels, n_rounds, chunk_samples,
+                         on_target_fraction=0.25):
+    """Chunk rounds for the pruning workload, plus the on-target mask.
+
+    The first ``on_target_fraction`` of the channels stream reads sampled
+    from the reference itself plus small quantization noise (their costs land
+    far below any sensible threshold — the match bonus drives them strongly
+    negative); the rest stream random signal (costs far above). The gap is
+    what the pruning layer exploits: off-target lanes blow through the kill
+    bound early and freeze, on-target lanes stay fully alive.
+    """
+    total = n_rounds * chunk_samples
+    on_target = np.zeros(n_channels, dtype=bool)
+    on_target[: max(1, int(n_channels * on_target_fraction))] = True
+    prefixes = []
+    for channel in range(n_channels):
+        if on_target[channel]:
+            start = int(rng.integers(0, max(1, reference.size - total)))
+            base = np.tile(reference, total // reference.size + 2)[start : start + total]
+            noise = rng.integers(-2, 3, size=total)
+            prefixes.append(np.clip(base + noise, -127, 127).astype(np.int64))
+        else:
+            prefixes.append(rng.integers(-127, 128, size=total, dtype=np.int64))
+    rounds = [
+        [prefix[index * chunk_samples : (index + 1) * chunk_samples] for prefix in prefixes]
+        for index in range(n_rounds)
+    ]
+    return rounds, on_target
+
+
 def _measure_scalar(rounds, reference, config):
     """The pipeline's per-read fallback: one sdtw_resume per channel per round."""
     start = time.perf_counter()
@@ -92,7 +139,8 @@ def _measure_scalar(rounds, reference, config):
     return time.perf_counter() - start, states
 
 
-def _measure_engine(rounds, reference, config, backend, backend_options):
+def _measure_engine(rounds, reference, config, backend, backend_options,
+                    prune_threshold=None, prune_lifetime=None):
     """One engine step per round across all channels, on the given backend.
 
     Backend construction (worker-pool spawn for the sharded backend) happens
@@ -100,12 +148,22 @@ def _measure_engine(rounds, reference, config, backend, backend_options):
     per run, not once per round. The run is traced so the report can
     attribute round time to execution phases; the tracer is one predicted
     branch plus a perf_counter pair per span, far below measurement noise.
+
+    With ``prune_threshold`` set the engine runs its pruning layer the way
+    the streaming classifier drives it: the threshold is the decision bound,
+    ``prune_lifetime`` the most samples any lane will ever consume.
     """
     tracer = Tracer(track="bench")
+    prune = prune_threshold is not None
     engine = BatchSDTWEngine(
         reference, config, backend=backend, backend_options=backend_options,
         tracer=tracer,
+        prune=prune,
+        prune_margin=0.0,
+        prune_lifetime_samples=prune_lifetime if prune else None,
     )
+    if prune:
+        engine.prune_bound = float(prune_threshold)
     try:
         start = time.perf_counter()
         for round_chunks in rounds:
@@ -141,7 +199,31 @@ def _phase_breakdown(tracer):
     return parent, workers
 
 
-def _measure(reference, n_channels, backend_specs=None, rounds=ROUNDS, chunk=CHUNK_SAMPLES):
+def _backend_entry(backend, options, dp_cells, scalar_s, batch_s, engine, tracer):
+    """One report entry: timings, phase breakdown, and the cell counters."""
+    phases, worker_phases = _phase_breakdown(tracer)
+    advanced = engine.cells_advanced
+    pruned = engine.cells_pruned
+    entry = {
+        "backend": backend,
+        "options": dict(options or {}),
+        "seconds": batch_s,
+        "cells_advanced": int(advanced),
+        "cells_pruned": int(pruned),
+        "pruned_fraction": pruned / (advanced + pruned) if advanced + pruned else 0.0,
+        "nominal_cells_per_s": dp_cells / batch_s,
+        "effective_cells_per_s": advanced / batch_s,
+        "speedup_vs_scalar": scalar_s / batch_s,
+        "phases": phases,
+        "phase_self_seconds": sum(stat["self_s"] for stat in phases.values()),
+    }
+    if worker_phases:
+        entry["worker_phases"] = worker_phases
+    return entry
+
+
+def _measure(reference, n_channels, backend_specs=None, rounds=ROUNDS,
+             chunk=CHUNK_SAMPLES, round_chunks=None, prune_on_target=None):
     """Measure scalar vs engine throughput; returns the per-workload report.
 
     ``backend_specs`` is a list of ``(label, backend_name, options)``; the
@@ -149,16 +231,38 @@ def _measure(reference, n_channels, backend_specs=None, rounds=ROUNDS, chunk=CHU
     keys (``batched_seconds``, ``speedup``, ...) describe the first listed
     backend, keeping the CI gate stable; every backend gets an entry under
     ``"backends"``.
+
+    With ``prune_on_target`` (a per-channel boolean mask; pair with
+    ``round_chunks`` from :func:`_pruned_chunk_rounds`) every backend is
+    measured a second time with the pruning layer on, against a threshold
+    placed midway between the on- and off-target cost distributions; the
+    extra ``<label>[pruned]`` entries carry ``speedup_vs_unpruned`` and the
+    pruning counters, after asserting the decisions and every
+    below-threshold cost match brute force bit for bit.
     """
     if backend_specs is None:
         backend_specs = [("numpy", "numpy", None)]
     config = SDTWConfig.hardware()
-    rng = np.random.default_rng(20211025)
-    round_chunks = _chunk_rounds(rng, n_channels, rounds, chunk)
+    if round_chunks is None:
+        rng = np.random.default_rng(20211025)
+        round_chunks = _chunk_rounds(rng, n_channels, rounds, chunk)
     total_samples = sum(c.size for chunks in round_chunks for c in chunks)
     dp_cells = total_samples * reference.size
 
     scalar_s, states = _measure_scalar(round_chunks, reference, config)
+
+    threshold = None
+    lifetime = None
+    if prune_on_target is not None:
+        costs = np.array([states[ch].cost for ch in range(n_channels)], dtype=np.float64)
+        on, off = costs[prune_on_target], costs[~prune_on_target]
+        assert on.max() < off.min(), "pruning workload: cost distributions overlap"
+        threshold = float((on.max() + off.min()) / 2.0)
+        per_channel = np.zeros(n_channels, dtype=np.int64)
+        for chunks in round_chunks:
+            for channel, piece in enumerate(chunks):
+                per_channel[channel] += piece.size
+        lifetime = int(per_channel.max())
 
     backends = {}
     for label, backend, options in backend_specs:
@@ -173,23 +277,43 @@ def _measure(reference, n_channels, backend_specs=None, rounds=ROUNDS, chunk=CHU
                     label,
                     channel,
                 )
+            entry = _backend_entry(
+                backend, options, dp_cells, scalar_s, batch_s, engine, tracer
+            )
         finally:
             engine.close()
-        phases, worker_phases = _phase_breakdown(tracer)
-        backends[label] = {
-            "backend": backend,
-            "options": dict(options or {}),
-            "seconds": batch_s,
-            "cells_per_s": dp_cells / batch_s,
-            "speedup_vs_scalar": scalar_s / batch_s,
-            "phases": phases,
-            "phase_self_seconds": sum(stat["self_s"] for stat in phases.values()),
-        }
-        if worker_phases:
-            backends[label]["worker_phases"] = worker_phases
+        backends[label] = entry
+
+        if threshold is None:
+            continue
+        batch_s, snapshots, engine, tracer = _measure_engine(
+            round_chunks, reference, config, backend, options,
+            prune_threshold=threshold, prune_lifetime=lifetime,
+        )
+        try:
+            # The pruning exactness contract: accept/eject decisions are
+            # bit-identical, and every cost at or below the threshold is
+            # bit-exact (value and end position). Costs above the bound may
+            # be stale in either direction but can never falsely dip below.
+            for channel, state in states.items():
+                snapshot = snapshots[channel]
+                accepted = state.cost <= threshold
+                assert (snapshot.cost <= threshold) == accepted, (label, channel)
+                if accepted:
+                    assert snapshot.cost == state.cost, (label, channel)
+                    assert snapshot.end_position == state.end_position, (label, channel)
+            pruned_entry = _backend_entry(
+                backend, options, dp_cells, scalar_s, batch_s, engine, tracer
+            )
+        finally:
+            engine.close()
+        pruned_entry["prune_threshold"] = threshold
+        pruned_entry["prune_lifetime_samples"] = lifetime
+        pruned_entry["speedup_vs_unpruned"] = entry["seconds"] / pruned_entry["seconds"]
+        backends[f"{label}[pruned]"] = pruned_entry
 
     first = backends[backend_specs[0][0]]
-    return {
+    report = {
         "channels": n_channels,
         "rounds": rounds,
         "chunk_samples": chunk,
@@ -198,10 +322,14 @@ def _measure(reference, n_channels, backend_specs=None, rounds=ROUNDS, chunk=CHU
         "scalar_seconds": scalar_s,
         "scalar_cells_per_s": dp_cells / scalar_s,
         "batched_seconds": first["seconds"],
-        "batched_cells_per_s": first["cells_per_s"],
+        "batched_cells_per_s": first["nominal_cells_per_s"],
         "speedup": first["speedup_vs_scalar"],
         "backends": backends,
     }
+    if threshold is not None:
+        report["prune_threshold"] = threshold
+        report["on_target_channels"] = int(np.count_nonzero(prune_on_target))
+    return report
 
 
 def _emit(destination=None):
@@ -221,8 +349,10 @@ def _emit(destination=None):
                 "channels": report["channels"],
                 "reference": report["reference_samples"],
                 "scalar_Mcells_s": report["scalar_cells_per_s"] / 1e6,
-                "batched_Mcells_s": entry["cells_per_s"] / 1e6,
+                "nominal_Mcells_s": entry["nominal_cells_per_s"] / 1e6,
+                "effective_Mcells_s": entry["effective_cells_per_s"] / 1e6,
                 "speedup": entry["speedup_vs_scalar"],
+                "pruned_%": 100.0 * entry["pruned_fraction"],
             }
             for name, report in _REPORTS.items()
             if isinstance(report, dict) and "backends" in report
@@ -316,6 +446,36 @@ def main(argv=None):
     )
     parser.add_argument("--rounds", type=int, default=ROUNDS)
     parser.add_argument("--chunk-samples", type=int, default=CHUNK_SAMPLES)
+    parser.add_argument(
+        "--pruned-channels",
+        type=int,
+        default=128,
+        help="channels for the flowcell_pruned workload, which measures "
+        "every backend brute-force and with the pruning layer on "
+        "(0 skips it)",
+    )
+    parser.add_argument(
+        "--pruned-rounds",
+        type=int,
+        default=8,
+        help="chunk rounds for the flowcell_pruned workload (off-target "
+        "lanes freeze after round one, so more rounds mean a larger "
+        "pruned fraction — mirroring longer streamed prefixes)",
+    )
+    parser.add_argument(
+        "--on-target-fraction",
+        type=float,
+        default=0.25,
+        help="fraction of flowcell_pruned channels streaming reference-"
+        "derived (accepted) reads; the rest stream random signal the "
+        "pruning layer abandons early",
+    )
+    parser.add_argument(
+        "--require-pruning",
+        action="store_true",
+        help="fail unless the pruned entries actually pruned cells "
+        "(cells_pruned > 0) — the CI smoke gate for the pruning layer",
+    )
     parser.add_argument("--seed", type=int, default=3)
     parser.add_argument(
         "--json",
@@ -352,10 +512,15 @@ def main(argv=None):
         for backend in args.backend or ["numpy"]:
             if backend == "numpy":
                 continue
-            for workers in args.workers:
-                specs.append(
-                    (f"{backend}[workers={workers}]", backend, {"workers": workers})
-                )
+            if backend in ("sharded", "colsharded"):
+                for workers in args.workers:
+                    specs.append(
+                        (f"{backend}[workers={workers}]", backend, {"workers": workers})
+                    )
+            else:
+                # The in-process/device backends ("native", "gpu") take no
+                # worker count; measure each once with default options.
+                specs.append((backend, backend, None))
 
     reference = ReferenceSquiggle.from_genome(
         random_genome(args.genome_bases, seed=args.seed)
@@ -379,7 +544,49 @@ def main(argv=None):
             rounds=args.single_channel_rounds,
             chunk=args.chunk_samples,
         )
+
+    if args.pruned_channels:
+        # The pruning workload: mixed on-/off-target traffic, every backend
+        # measured brute-force and pruned against the same kill threshold.
+        pruned_rng = np.random.default_rng(args.seed + 2)
+        pruned_chunks, on_target = _pruned_chunk_rounds(
+            pruned_rng,
+            reference,
+            args.pruned_channels,
+            args.pruned_rounds,
+            args.chunk_samples,
+            on_target_fraction=args.on_target_fraction,
+        )
+        _REPORTS["flowcell_pruned"] = _measure(
+            reference,
+            args.pruned_channels,
+            specs,
+            rounds=args.pruned_rounds,
+            chunk=args.chunk_samples,
+            round_chunks=pruned_chunks,
+            prune_on_target=on_target,
+        )
     _emit(args.json)
+
+    if args.require_pruning:
+        pruned_entries = {
+            label: entry
+            for measured in _REPORTS.values()
+            if isinstance(measured, dict) and "backends" in measured
+            for label, entry in measured["backends"].items()
+            if "prune_threshold" in entry
+        }
+        if not pruned_entries:
+            raise SystemExit(
+                "--require-pruning: no pruned backend entries were measured "
+                "(is --pruned-channels 0?)"
+            )
+        for label, entry in pruned_entries.items():
+            if entry["cells_pruned"] <= 0:
+                raise SystemExit(
+                    f"--require-pruning: backend {label} advanced every cell "
+                    f"(cells_pruned == 0); the pruning layer never engaged"
+                )
 
     if args.min_speedup is not None:
         for workload, measured in _REPORTS.items():

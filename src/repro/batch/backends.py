@@ -56,12 +56,23 @@ variants behind a string-keyed ``METHODS`` mapping:
   ``array_module="numpy"`` runs the device code path on the host (how CI
   covers it without a GPU). ``tile_columns`` bounds the per-advance working
   set — device-memory micro-batching over the exact halo-tiled advance.
+* :class:`~repro.batch.native.NativeBackend` (``"native"``) — the int32 fast
+  path compiled to a Numba ``njit`` scalar loop, where pruning's early
+  abandoning is a real ``break`` instead of a masked vector op. Like
+  ``"gpu"`` without CuPy, the name is always registered and construction
+  without Numba raises with an install hint.
 
 All backends run the same kernel on the same per-lane state, so per-lane,
 per-target costs, rows and therefore Read Until decisions are bit-identical —
 backend selection is purely an execution concern, which is what lets
 ``BatchSquiggleClassifier(..., backend="sharded")`` scale a full flowcell
 across cores without touching decision logic.
+
+Every ``advance`` additionally accepts per-lane ``prune_bounds`` (kill
+thresholds for the kernel's pruning layer — see
+:func:`~repro.core.sdtw.sdtw_resume_batch`) and accumulates the
+advanced/pruned cell counts in :attr:`ExecutionBackend.stats`; worker
+backends ship the per-round deltas back inside their reply payloads.
 """
 
 from __future__ import annotations
@@ -81,6 +92,7 @@ from repro.core.array_module import ArrayModule, get_array_module, gpu_array_mod
 from repro.core.config import SDTWConfig
 from repro.obs.trace import NULL_TRACER, Tracer, worker_span
 from repro.core.sdtw import (
+    AdvanceStats,
     BatchSDTWState,
     normalize_block_starts,
     reduce_block_minima,
@@ -114,6 +126,10 @@ class ExecutionBackend(Protocol):
 
     backend_name: str
 
+    # Cumulative advanced/pruned cell counts across every ``advance`` call;
+    # the engine reads (and a fresh instance resets) these for telemetry.
+    stats: AdvanceStats
+
     @property
     def capacity(self) -> int:
         """Lanes currently allocated."""
@@ -141,7 +157,10 @@ class ExecutionBackend(Protocol):
         ...
 
     def advance(
-        self, lanes: np.ndarray, queries: Sequence[np.ndarray]
+        self,
+        lanes: np.ndarray,
+        queries: Sequence[np.ndarray],
+        prune_bounds: Optional[np.ndarray] = None,
     ) -> Tuple[np.ndarray, np.ndarray]:
         """Advance each listed lane with its new query samples (the hot path).
 
@@ -149,7 +168,11 @@ class ExecutionBackend(Protocol):
         n_blocks)``: the post-advance cost and block-local end position per
         lane **per panel target**, bit-identical to independent
         single-reference runs. The backend updates its resident
-        rows/runs/samples in place.
+        rows/runs/samples in place. ``prune_bounds`` (one kill threshold per
+        listed lane, ``inf`` = never prune) engages the kernel's pruning
+        layer; the engine only passes it to backends when pruning is
+        enabled, so implementations ignoring the kwarg stay compatible with
+        unpruned runs.
         """
         ...
 
@@ -273,6 +296,7 @@ class NumpyBackend:
             raise ValueError("tile_columns must be positive")
         self.block_starts = normalize_block_starts(block_starts, self.reference_values.size)
         self.tile_columns = None if tile_columns is None else int(tile_columns)
+        self.stats = AdvanceStats()
         self._state = BatchSDTWState.initial(
             capacity, self.reference_values.size, self.config
         )
@@ -305,7 +329,10 @@ class NumpyBackend:
         self._state.samples_processed[lanes] = 0
 
     def advance(
-        self, lanes: np.ndarray, queries: Sequence[np.ndarray]
+        self,
+        lanes: np.ndarray,
+        queries: Sequence[np.ndarray],
+        prune_bounds: Optional[np.ndarray] = None,
     ) -> Tuple[np.ndarray, np.ndarray]:
         tracer = self.tracer
         with tracer.span("backend.advance", backend="numpy", n_lanes=int(np.size(lanes))):
@@ -326,6 +353,8 @@ class NumpyBackend:
                     track_runs=False,
                     block_starts=self.block_starts,
                     tile_columns=self.tile_columns,
+                    prune_bounds=prune_bounds,
+                    stats=self.stats,
                 )
             with tracer.span("backend.scatter"):
                 self._state.rows[lanes] = advanced.rows
@@ -466,13 +495,14 @@ def _shard_worker(
             command = message[0]
             try:
                 if command == "advance":
-                    _, local_lanes, queries, trace = message
+                    _, local_lanes, queries, bounds, trace = message
                     start_s = clock() if trace else 0.0
                     state = BatchSDTWState(
                         rows=views.rows[local_lanes],
                         runs=views.runs[local_lanes],
                         samples_processed=views.samples[local_lanes],
                     )
+                    stats = AdvanceStats()
                     wave_start_s = clock() if trace else 0.0
                     advanced = sdtw_resume_batch(
                         queries,
@@ -481,6 +511,8 @@ def _shard_worker(
                         state=state,
                         track_runs=False,
                         block_starts=block_starts,
+                        prune_bounds=bounds,
+                        stats=stats,
                     )
                     wave_end_s = clock() if trace else 0.0
                     if int32_rows:
@@ -500,7 +532,8 @@ def _shard_worker(
                                 child_s=wave_end_s - wave_start_s,
                             ),
                         ]
-                    conn.send(("ok", (payload, records)))
+                    delta = (stats.cells_advanced, stats.cells_pruned)
+                    conn.send(("ok", (payload, records, delta)))
                 elif command == "attach":
                     _, shm_name, local_capacity = message
                     old = views
@@ -685,6 +718,7 @@ class ShardedProcessBackend(_WorkerPoolBackend):
         self.block_starts = normalize_block_starts(block_starts, self.reference_values.size)
         self._rows_dtype, self._runs_dtype = _state_dtypes(self.config)
         self._local_capacity = max(1, ceil(capacity / self.n_workers))
+        self.stats = AdvanceStats()
 
         for shard in range(self.n_workers):
             block = self._create_block(self._local_capacity)
@@ -780,7 +814,10 @@ class ShardedProcessBackend(_WorkerPoolBackend):
             self._views[shard].initialize(local[shards == shard])
 
     def advance(
-        self, lanes: np.ndarray, queries: Sequence[np.ndarray]
+        self,
+        lanes: np.ndarray,
+        queries: Sequence[np.ndarray],
+        prune_bounds: Optional[np.ndarray] = None,
     ) -> Tuple[np.ndarray, np.ndarray]:
         if self._closed:
             raise RuntimeError("backend is closed")
@@ -794,8 +831,9 @@ class ShardedProcessBackend(_WorkerPoolBackend):
             with tracer.span("backend.dispatch"):
                 for shard in np.unique(shards):
                     members = np.flatnonzero(shards == shard)
+                    bounds = None if prune_bounds is None else np.asarray(prune_bounds)[members]
                     self._conns[shard].send(
-                        ("advance", local[members], [queries[i] for i in members], trace)
+                        ("advance", local[members], [queries[i] for i in members], bounds, trace)
                     )
                     busy.append((int(shard), members))
             costs = np.empty(
@@ -810,11 +848,12 @@ class ShardedProcessBackend(_WorkerPoolBackend):
             with tracer.span("backend.collect"):
                 for shard, members in busy:
                     try:
-                        (shard_costs, shard_ends), records = self._recv(shard)
+                        (shard_costs, shard_ends), records, delta = self._recv(shard)
                     except RuntimeError as error:
                         errors.append(error)
                         continue
                     tracer.merge_worker_records(records, track=f"sharded-worker-{shard}")
+                    self.stats.add(*delta)
                     costs[members] = shard_costs
                     ends[members] = shard_ends
             if errors:
@@ -883,7 +922,7 @@ def _column_worker(
             command = message[0]
             try:
                 if command == "advance":
-                    _, lanes, queries, halo_rows, halo_runs, halo_start, trace = message
+                    _, lanes, queries, halo_rows, halo_runs, halo_start, bounds, trace = message
                     start_s = clock() if trace else 0.0
                     rows = views.rows[lanes]
                     runs = views.runs[lanes]
@@ -894,6 +933,7 @@ def _column_worker(
                         rows=rows, runs=runs, samples_processed=views.samples[lanes]
                     )
                     sub_starts = tile_block_starts(block_starts, halo_start, tile_end)
+                    stats = AdvanceStats()
                     wave_start_s = clock() if trace else 0.0
                     advanced = sdtw_resume_batch(
                         queries,
@@ -902,6 +942,8 @@ def _column_worker(
                         state=state,
                         track_runs=False,
                         block_starts=sub_starts,
+                        prune_bounds=bounds,
+                        stats=stats,
                     )
                     wave_end_s = clock() if trace else 0.0
                     keep = tile_start - halo_start
@@ -925,7 +967,8 @@ def _column_worker(
                                 child_s=wave_end_s - wave_start_s,
                             ),
                         ]
-                    conn.send(("ok", (payload, records)))
+                    delta = (stats.cells_advanced, stats.cells_pruned)
+                    conn.send(("ok", (payload, records, delta)))
                 elif command == "attach":
                     _, shm_name, capacity = message
                     old = views
@@ -1036,6 +1079,7 @@ class ColumnShardedBackend(_WorkerPoolBackend):
         self.block_starts = normalize_block_starts(block_starts, self.reference_values.size)
         self._rows_dtype, self._runs_dtype = _state_dtypes(self.config)
         self._capacity = int(capacity)
+        self.stats = AdvanceStats()
 
         # Equal contiguous column tiles (the last one may be narrower).
         edges = np.linspace(0, self.reference_values.size, self.n_workers + 1, dtype=np.int64)
@@ -1145,7 +1189,10 @@ class ColumnShardedBackend(_WorkerPoolBackend):
             views.initialize(lanes)
 
     def advance(
-        self, lanes: np.ndarray, queries: Sequence[np.ndarray]
+        self,
+        lanes: np.ndarray,
+        queries: Sequence[np.ndarray],
+        prune_bounds: Optional[np.ndarray] = None,
     ) -> Tuple[np.ndarray, np.ndarray]:
         if self._closed:
             raise RuntimeError("backend is closed")
@@ -1154,6 +1201,10 @@ class ColumnShardedBackend(_WorkerPoolBackend):
         with tracer.span("backend.advance", backend="colsharded", n_lanes=int(np.size(lanes))):
             lanes = np.asarray(lanes, dtype=np.intp)
             halo_width = max((int(np.asarray(query).size) for query in queries), default=0)
+            # Every tile worker sees the full per-lane bounds (column sharding
+            # replicates lanes), so per-tile stats sum to the whole-row figure
+            # plus the halo recompute — honest about the work actually done.
+            bounds = None if prune_bounds is None else np.asarray(prune_bounds)
             # Snapshot every halo BEFORE dispatching: workers write their tiles
             # concurrently, and a halo must be the pre-advance state.
             requests = []
@@ -1165,7 +1216,7 @@ class ColumnShardedBackend(_WorkerPoolBackend):
                     else:
                         halo_rows = halo_runs = None
                     requests.append(
-                        ("advance", lanes, queries, halo_rows, halo_runs, halo_start, trace)
+                        ("advance", lanes, queries, halo_rows, halo_runs, halo_start, bounds, trace)
                     )
             with tracer.span("backend.dispatch"):
                 for shard, request in enumerate(requests):
@@ -1184,13 +1235,14 @@ class ColumnShardedBackend(_WorkerPoolBackend):
             with tracer.span("backend.collect"):
                 for shard in range(self.n_workers):
                     try:
-                        (tile_costs, tile_ends), records = self._recv(shard)
+                        (tile_costs, tile_ends), records, delta = self._recv(shard)
                     except RuntimeError as error:
                         errors.append(error)
                         continue
                     tracer.merge_worker_records(
                         records, track=f"colsharded-worker-{shard}"
                     )
+                    self.stats.add(*delta)
                     better = tile_costs < costs
                     costs[better] = tile_costs[better]
                     ends[better] = tile_ends[better]
@@ -1283,6 +1335,7 @@ class GpuArrayBackend:
         self._rows = xp.zeros((capacity, self._reference_length), dtype=self._rows_dtype)
         self._runs = xp.ones((capacity, self._reference_length), dtype=xp.int64)
         self._samples = xp.zeros(capacity, dtype=xp.int64)
+        self.stats = AdvanceStats()
         self._closed = False
 
     # ----------------------------------------------------------- bookkeeping
@@ -1343,7 +1396,10 @@ class GpuArrayBackend:
         self._samples[index] = 0
 
     def advance(
-        self, lanes: np.ndarray, queries: Sequence[np.ndarray]
+        self,
+        lanes: np.ndarray,
+        queries: Sequence[np.ndarray],
+        prune_bounds: Optional[np.ndarray] = None,
     ) -> Tuple[np.ndarray, np.ndarray]:
         if self._closed:
             raise RuntimeError("backend is closed")
@@ -1369,6 +1425,8 @@ class GpuArrayBackend:
                     track_runs=False,
                     block_starts=self.block_starts,
                     tile_columns=self.tile_columns,
+                    prune_bounds=prune_bounds,
+                    stats=self.stats,
                     xp=xp,
                 )
                 if trace:
@@ -1411,3 +1469,8 @@ class GpuArrayBackend:
         self._closed = True
         self._rows = self._runs = self._samples = None
         self.reference_values = None
+
+
+# Registers the "native" backend; imported last because the module subclasses
+# NumpyBackend. A plain module import tolerates either import order.
+import repro.batch.native  # noqa: E402,F401

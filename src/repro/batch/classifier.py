@@ -122,12 +122,22 @@ class BatchSquiggleClassifier:
         self.prefix_samples = int(prefix_samples)
         self.run_config = run_config
         self.tracer = tracer
+        # Pruning: the classifier knows the two facts the engine's kill
+        # bounds need — the decision bound is the eject threshold, and no
+        # lane ever consumes more than the decision prefix (on_chunk_batch
+        # trims chunks to it). The bound itself is stamped per round so late
+        # calibration is picked up.
+        prune = bool(run_config.prune) if run_config is not None else False
+        prune_margin = float(run_config.prune_margin) if run_config is not None else 0.0
         self.engine = BatchSDTWEngine(
             self.panel,
             self.config,
             backend=resolved_backend,
             backend_options=resolved_options,
             tracer=tracer,
+            prune=prune,
+            prune_margin=prune_margin,
+            prune_lifetime_samples=self.prefix_samples if prune else None,
         )
         self.name = name if name is not None else f"batch:SquiggleFilter[{self.engine.backend_name}]"
         self.decision_latency_s = (
@@ -177,6 +187,11 @@ class BatchSquiggleClassifier:
             raise ValueError(
                 "no threshold configured; call calibrate() or pass threshold explicitly"
             )
+        # The eject threshold is the decision bound the pruning layer
+        # protects; stamped every round because calibrate() may run after
+        # construction (the engine's kill-bound envelope keeps per-lane
+        # bounds monotone even if it moves).
+        self.engine.prune_bound = float(self.threshold)
         with self.tracer.span("round.prepare", n_chunks=len(chunks)):
             items = []
             for chunk in chunks:

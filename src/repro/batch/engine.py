@@ -118,6 +118,28 @@ class BatchSDTWEngine:
         phases (scatter, wavefront, reduce, gather — and worker-side
         spans for the multi-process backends) land on the same timeline.
         Tracing never changes what the engine computes.
+    prune:
+        Enable the kernel's pruning layer (early abandoning +
+        active-column intervals). Off by default — the brute-force
+        advance is preserved bit for bit. Pruning engages once
+        :attr:`prune_bound` is set (the decision bound, e.g. the eject
+        threshold): costs at or below ``prune_bound + prune_margin``
+        stay bit-identical to brute force, so decisions against the
+        bound never change; costs above it are approximate.
+    prune_margin:
+        Extra slack added to :attr:`prune_bound` before deriving kill
+        bounds. ``0.0`` prunes most aggressively while keeping decisions
+        exact; a positive margin additionally keeps every reported cost
+        within ``margin`` of the bound bit-exact (useful when callers
+        inspect near-threshold costs, at the price of fewer pruned
+        cells).
+    prune_lifetime_samples:
+        Upper bound on the total query samples any lane will ever
+        consume (e.g. the classifier's decision prefix). The match bonus
+        lets future samples *lower* a cost, so with a bonus configured
+        the kill bounds must budget the maximum remaining credit —
+        required when ``prune`` is on and the config uses a bonus.
+        Feeding a lane beyond this bound voids the exactness guarantee.
     """
 
     def __init__(
@@ -128,6 +150,9 @@ class BatchSDTWEngine:
         backend: Union[str, ExecutionBackend] = "numpy",
         backend_options: Optional[Mapping[str, Any]] = None,
         tracer: Tracer = NULL_TRACER,
+        prune: bool = False,
+        prune_margin: float = 0.0,
+        prune_lifetime_samples: Optional[int] = None,
     ) -> None:
         self.tracer = tracer
         self.config = config if config is not None else SDTWConfig()
@@ -138,6 +163,27 @@ class BatchSDTWEngine:
             )
         if initial_capacity <= 0:
             raise ValueError("initial_capacity must be positive")
+        if prune_margin < 0:
+            raise ValueError("prune_margin must be non-negative")
+        if prune_lifetime_samples is not None and prune_lifetime_samples <= 0:
+            raise ValueError("prune_lifetime_samples must be positive")
+        if prune and self.config.uses_bonus and prune_lifetime_samples is None:
+            raise ValueError(
+                "prune requires prune_lifetime_samples when the config uses a "
+                "match bonus: the kill bounds must budget the maximum bonus "
+                "credit the remaining samples could still earn"
+            )
+        self.prune = bool(prune)
+        self.prune_margin = float(prune_margin)
+        self.prune_lifetime_samples = (
+            None if prune_lifetime_samples is None else int(prune_lifetime_samples)
+        )
+        # The decision bound pruning protects (costs at or below it stay
+        # exact). None = prune even if enabled is deferred until a caller —
+        # typically the classifier, once its threshold is calibrated — sets
+        # it; may be updated between rounds (the per-lane kill-bound envelope
+        # keeps dead cells dead regardless).
+        self.prune_bound: Optional[float] = None
         dtype = np.int64 if self.config.quantize else np.float64
         if isinstance(reference, ReferenceSquiggle):
             reference = TargetPanel.single(reference)
@@ -197,6 +243,11 @@ class BatchSDTWEngine:
         self._costs = np.zeros((capacity, n_targets), dtype=np.float64)
         self._ends = np.zeros((capacity, n_targets), dtype=np.intp)
         self._samples = np.zeros(capacity, dtype=np.int64)
+        # Per-lane kill-bound envelope: the minimum bound ever sent for the
+        # lane. Cells are frozen by comparing against the bound of *their*
+        # round, so later rounds must never relax it (a relaxed bound could
+        # resurrect a frozen cell whose value missed sample additions).
+        self._kill_envelope = np.full(capacity, np.inf, dtype=np.float64)
         self.rounds: List[BatchRound] = []
         self._n_polls = 0
 
@@ -243,6 +294,9 @@ class BatchSDTWEngine:
         grown_samples = np.zeros(capacity, dtype=np.int64)
         grown_samples[:old_capacity] = self._samples
         self._samples = grown_samples
+        grown_envelope = np.full(capacity, np.inf, dtype=np.float64)
+        grown_envelope[:old_capacity] = self._kill_envelope
+        self._kill_envelope = grown_envelope
 
     def admit(self, key: Hashable) -> int:
         """Assign ``key`` a fresh lane; returns the lane index."""
@@ -256,6 +310,7 @@ class BatchSDTWEngine:
             self._costs[lane] = 0.0
             self._ends[lane] = 0
             self._samples[lane] = 0
+            self._kill_envelope[lane] = np.inf
             self._lane_of[key] = lane
         return lane
 
@@ -291,6 +346,50 @@ class BatchSDTWEngine:
         """Scalar :class:`SDTWState` view of one lane (tests / interop)."""
         lane = self._lane_of[key]
         return self._backend.gather(np.array([lane], dtype=np.intp)).lane(0)
+
+    # ---------------------------------------------------------------- pruning
+    def _prune_bounds(
+        self, lanes: np.ndarray, lengths: np.ndarray
+    ) -> Optional[np.ndarray]:
+        """Per-lane kill bounds for this round, or ``None`` when not pruning.
+
+        A cell can be frozen only if no alignment continuing through it can
+        ever end at or below the decision bound ``prune_bound + prune_margin``.
+        Over ``r`` remaining query samples a path earns at most
+        ``bonus * (r + cap)`` of match-bonus credit (each diagonal harvests at
+        most ``cap``; ``r`` steps fit at most ``r`` diagonals plus one
+        pre-built run), so the kill bound is the decision bound plus that
+        credit, with ``r`` the lane's remaining lifetime (at least this
+        round's chunk). The per-lane envelope keeps bounds monotonically
+        non-increasing across rounds — dead cells stay dead even if the
+        caller moves :attr:`prune_bound`.
+        """
+        if not self.prune or self.prune_bound is None:
+            return None
+        base = float(self.prune_bound) + self.prune_margin
+        bonus = float(self.config.match_bonus)
+        if bonus and self.config.uses_bonus:
+            remaining = np.maximum(
+                self.prune_lifetime_samples - self._samples[lanes], lengths
+            ).astype(np.float64)
+            kill = base + bonus * (remaining + float(self.config.match_bonus_cap))
+        else:
+            kill = np.full(lanes.size, base, dtype=np.float64)
+        kill = np.minimum(kill, self._kill_envelope[lanes])
+        self._kill_envelope[lanes] = kill
+        return kill
+
+    @property
+    def cells_advanced(self) -> int:
+        """DP cells the backend actually swept (all rounds so far)."""
+        stats = getattr(self._backend, "stats", None)
+        return 0 if stats is None else int(stats.cells_advanced)
+
+    @property
+    def cells_pruned(self) -> int:
+        """DP cells the pruning layer skipped (all rounds so far)."""
+        stats = getattr(self._backend, "stats", None)
+        return 0 if stats is None else int(stats.cells_pruned)
 
     # ------------------------------------------------------------------- step
     def step(
@@ -329,7 +428,26 @@ class BatchSDTWEngine:
                 BatchRound(index=poll, n_lanes=len(keys), n_samples=int(lengths.sum()))
             )
 
-            costs, ends = self._backend.advance(lanes, queries)
+            bounds = self._prune_bounds(lanes, lengths)
+            if bounds is None:
+                # Positional call keeps user-registered backends that predate
+                # the prune_bounds keyword working for unpruned runs.
+                costs, ends = self._backend.advance(lanes, queries)
+            else:
+                stats = getattr(self._backend, "stats", None)
+                before = (
+                    (stats.cells_advanced, stats.cells_pruned)
+                    if stats is not None
+                    else (0, 0)
+                )
+                costs, ends = self._backend.advance(lanes, queries, prune_bounds=bounds)
+                if self.tracer.enabled and stats is not None:
+                    with self.tracer.span(
+                        "backend.prune",
+                        cells_advanced=stats.cells_advanced - before[0],
+                        cells_pruned=stats.cells_pruned - before[1],
+                    ):
+                        pass
             self._costs[lanes] = costs
             self._ends[lanes] = ends
             self._samples[lanes] += lengths

@@ -19,7 +19,9 @@ Six subcommands cover the library's main workflows without writing Python:
   wavefront engine, ``--backend`` (choices generated from
   :func:`repro.batch.available_backends`, with ``--workers N`` for the
   multi-process backends and ``--tile-columns`` for the in-process/device
-  ones) picks the execution backend, and ``--target-panel N`` screens N
+  ones) picks the execution backend, ``--prune`` (with ``--prune-margin``)
+  turns on the early-abandoning sDTW pruning layer (decisions stay
+  bit-identical), and ``--target-panel N`` screens N
   synthesized viral targets at once through one
   :class:`~repro.core.panel.TargetPanel`, reporting per-target accept
   counts. The squigglefilter-family session itself is driven through
@@ -133,6 +135,26 @@ def _add_run_config_arguments(parser: argparse.ArgumentParser) -> None:
         "results either way)",
     )
     parser.add_argument(
+        "--prune",
+        dest="prune",
+        action="store_true",
+        default=None,
+        help="enable the sDTW pruning layer (per-lane early abandoning + "
+        "active-column intervals); accept/eject decisions stay "
+        "bit-identical to brute force on every backend while only "
+        "still-viable column spans advance (implies the batch classifier)",
+    )
+    parser.add_argument(
+        "--prune-margin",
+        dest="prune_margin",
+        type=float,
+        default=None,
+        metavar="COST",
+        help="widen the pruning exactness window: every reported cost "
+        "within this margin of the eject threshold stays bit-exact "
+        "(default: 0, the decisions-only guarantee)",
+    )
+    parser.add_argument(
         "--prefix-samples",
         type=int,
         default=None,
@@ -163,6 +185,8 @@ def _resolve_run_config(args: argparse.Namespace) -> RunConfig:
         "prefix_samples": args.prefix_samples,
         "chunk_samples": args.chunk_samples,
         "trace_path": args.trace_path,
+        "prune": args.prune,
+        "prune_margin": args.prune_margin,
     }
     for key, value in overrides.items():
         if value is not None:
@@ -479,6 +503,8 @@ def _command_read_until(args: argparse.Namespace) -> int:
         ("--target-panel", args.target_panel),
         ("--config", args.config),
         ("--trace", args.trace_path),
+        ("--prune", args.prune),
+        ("--prune-margin", args.prune_margin),
     ):
         if given and args.classifier not in squigglefilter_family:
             print(
@@ -495,6 +521,7 @@ def _command_read_until(args: argparse.Namespace) -> int:
             or args.config is not None
             or panel_genomes is not None
             or run_config.tracing_enabled
+            or run_config.prune
         )
     )
     reads = generator.generate(args.n_reads)

@@ -49,6 +49,7 @@ from repro.core.array_module import ArrayModule, numpy_module
 from repro.core.config import SDTWConfig
 
 __all__ = [
+    "AdvanceStats",
     "BatchSDTWState",
     "SDTWResult",
     "SDTWState",
@@ -61,6 +62,43 @@ __all__ = [
     "sdtw_resume_batch",
     "sdtw_resume_batch_arrays",
 ]
+
+
+class AdvanceStats:
+    """Mutable cell-work accounting a batched advance fills in.
+
+    ``cells_advanced`` counts DP cells the wavefront actually swept (query
+    samples x columns of every executed slice) and ``cells_pruned`` the cells
+    the pruning layer skipped — frozen columns outside the active intervals
+    plus whole rounds of early-abandoned lanes. Their sum is the nominal
+    brute-force work ``sum(chunk lengths) x reference columns``. Execution
+    backends accumulate one instance across rounds; workers ship per-round
+    deltas back over their reply pipes.
+    """
+
+    __slots__ = ("cells_advanced", "cells_pruned")
+
+    def __init__(self, cells_advanced: int = 0, cells_pruned: int = 0) -> None:
+        self.cells_advanced = int(cells_advanced)
+        self.cells_pruned = int(cells_pruned)
+
+    @property
+    def cells_nominal(self) -> int:
+        """Brute-force cell count the advance would have swept unpruned."""
+        return self.cells_advanced + self.cells_pruned
+
+    def add(self, advanced: int, pruned: int) -> None:
+        self.cells_advanced += int(advanced)
+        self.cells_pruned += int(pruned)
+
+    def merge(self, other: "AdvanceStats") -> None:
+        self.add(other.cells_advanced, other.cells_pruned)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"AdvanceStats(cells_advanced={self.cells_advanced}, "
+            f"cells_pruned={self.cells_pruned})"
+        )
 
 
 def _as_kernel_arrays(
@@ -415,6 +453,8 @@ def sdtw_resume_batch(
     track_runs: bool = True,
     block_starts: Optional[np.ndarray] = None,
     tile_columns: Optional[int] = None,
+    prune_bounds: Optional[np.ndarray] = None,
+    stats: Optional[AdvanceStats] = None,
 ) -> BatchSDTWState:
     """Advance many resumable alignments with one vectorized wavefront.
 
@@ -464,6 +504,20 @@ def sdtw_resume_batch(
     recomputed and discarded. Outputs are bit-identical to the untiled
     advance — tiling is purely an execution-locality knob (keep a hot tile in
     cache across all steps of a chunk; stripe tiles across workers).
+
+    ``prune_bounds`` (one kill threshold per lane, ``inf`` = never prune the
+    lane) turns on the pruning layer: columns whose stored cost exceeds the
+    lane's bound are *frozen* at their exact pre-round value and only the
+    per-block ``[lo, hi)`` spans of still-viable columns are advanced; a lane
+    with no viable column anywhere skips the round outright (early
+    abandoning). The bound must already include the maximum remaining
+    ``match_bonus`` credit a path could still earn (see
+    :class:`repro.batch.BatchSDTWEngine`, which derives it from the eject
+    threshold and the lane's current panel winner) — then every output cost
+    at or below the *decision* bound is bit-identical to the brute-force
+    advance, and pruned costs above it only ever over-estimate, so
+    accept/eject decisions and reported winners below the bound never change.
+    ``stats`` accumulates the advanced/pruned cell counts of the call.
     """
     cfg = config if config is not None else SDTWConfig()
     if cfg.allow_reference_deletions:
@@ -500,6 +554,8 @@ def sdtw_resume_batch(
         track_runs=track_runs,
         block_starts=block_starts,
         tile_columns=tile_columns,
+        prune_bounds=prune_bounds,
+        stats=stats,
         xp=xp,
     )
     return BatchSDTWState(rows=rows, runs=runs, samples_processed=processed)
@@ -515,6 +571,8 @@ def sdtw_resume_batch_arrays(
     track_runs: bool = True,
     block_starts: Optional[np.ndarray] = None,
     tile_columns: Optional[int] = None,
+    prune_bounds: Optional[np.ndarray] = None,
+    stats: Optional[AdvanceStats] = None,
     xp: Optional[ArrayModule] = None,
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
     """The batched wavefront on raw, possibly device-resident, arrays.
@@ -545,6 +603,22 @@ def sdtw_resume_batch_arrays(
     processed = samples_processed + xp.asarray(lengths, dtype=xp.int64)
     if n_lanes == 0 or max(lengths, default=0) == 0:
         return xp.copy(rows), xp.copy(runs), processed
+
+    if prune_bounds is not None:
+        bounds_host = np.asarray(prune_bounds, dtype=np.float64).ravel()
+        if bounds_host.shape[0] != n_lanes:
+            raise ValueError(
+                f"prune_bounds has {bounds_host.shape[0]} entries "
+                f"but {n_lanes} lanes were given"
+            )
+        if not np.all(np.isinf(bounds_host)):
+            return _resume_batch_pruned(
+                lanes, reference_values, cfg, rows, runs, samples_processed,
+                track_runs, starts, tile_columns, processed, bounds_host,
+                stats, xp,
+            )
+    if stats is not None:
+        stats.add(sum(lengths) * reference_length, 0)
 
     if tile_columns is not None and 0 < int(tile_columns) < reference_length:
         return _resume_batch_tiled(
@@ -691,6 +765,111 @@ def _resume_batch_tiled(
         keep = tile_start - halo_start
         out_rows[:, tile_start:tile_end] = advanced_rows[:, keep:]
         out_runs[:, tile_start:tile_end] = advanced_runs[:, keep:]
+    return out_rows, out_runs, processed
+
+
+def _resume_batch_pruned(
+    lanes: List[np.ndarray],
+    reference_values: np.ndarray,
+    cfg: SDTWConfig,
+    rows: np.ndarray,
+    runs: np.ndarray,
+    samples_processed: np.ndarray,
+    track_runs: bool,
+    starts: np.ndarray,
+    tile_columns: Optional[int],
+    processed: np.ndarray,
+    bounds_host: np.ndarray,
+    stats: Optional[AdvanceStats],
+    xp: ArrayModule,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Prune-bounded advance: exact below the bound, frozen above it.
+
+    Per lane, a column whose stored cost exceeds the lane's kill bound is
+    *dead*: no alignment continuing through it can end at or below the
+    decision bound the caller derived the kill bound from (the kill bound
+    already includes the maximum remaining ``match_bonus`` credit). Dead
+    columns keep their exact stored value — freezing, not sentinel-poisoning,
+    which keeps the int32 fast path eligible and lets a column whose bound
+    later relaxes resume from bit-exact state. A lane with no live column
+    skips the round entirely (early abandoning); the survivors advance only
+    the per-block ``[lo, last_live + 1 + steps)`` spans of the union live
+    mask — information moves one column rightward per query step and never
+    crosses a block boundary, so everything outside the spans would stay dead
+    all round. The severed diagonal at each span's left edge only ever
+    *raises* values that were already provably above the bound, so every
+    output cost at or below the decision bound is bit-identical to the
+    brute-force advance.
+    """
+    n_lanes = len(lanes)
+    reference_length = int(reference_values.shape[0])
+    lengths = [int(lane.shape[0]) for lane in lanes]
+    nominal = sum(lengths) * reference_length
+    samples_host = xp.to_numpy(samples_processed)
+    rows_host = xp.to_numpy(rows)
+
+    surviving: List[int] = []
+    union = np.zeros(reference_length, dtype=bool)
+    for index in range(n_lanes):
+        if lengths[index] == 0:
+            continue
+        if int(samples_host[index]) == 0:
+            # A fresh lane's first sample initializes every column, so it
+            # joins the wavefront unpruned this round.
+            surviving.append(index)
+            union[:] = True
+            continue
+        alive = rows_host[index] <= bounds_host[index]
+        if alive.any():
+            surviving.append(index)
+            union |= alive
+
+    out_rows = xp.copy(rows)
+    out_runs = xp.copy(runs)
+    if not surviving:
+        if stats is not None:
+            stats.add(0, nominal)
+        return out_rows, out_runs, processed
+
+    max_steps = max(lengths[index] for index in surviving)
+    block_bounds = [int(start) for start in starts] + [reference_length]
+    spans: List[Tuple[int, int]] = []
+    for block in range(len(block_bounds) - 1):
+        start, end = block_bounds[block], block_bounds[block + 1]
+        alive_columns = np.flatnonzero(union[start:end])
+        if alive_columns.size == 0:
+            continue
+        lo = start + int(alive_columns[0])
+        hi = min(start + int(alive_columns[-1]) + 1 + max_steps, end)
+        if spans and spans[-1][1] == lo:
+            spans[-1] = (spans[-1][0], hi)
+        else:
+            spans.append((lo, hi))
+
+    surviving_index = xp.asarray(surviving, dtype=xp.intp)
+    sub_lanes = [lanes[index] for index in surviving]
+    sub_samples = samples_processed[surviving_index]
+    advanced_width = 0
+    for lo, hi in spans:
+        sub_starts = tile_block_starts(starts, lo, hi)
+        advanced_rows, advanced_runs, _ = sdtw_resume_batch_arrays(
+            sub_lanes,
+            reference_values[lo:hi],
+            cfg,
+            rows[surviving_index][:, lo:hi],
+            runs[surviving_index][:, lo:hi],
+            sub_samples,
+            track_runs=track_runs,
+            block_starts=sub_starts,
+            tile_columns=tile_columns,
+            xp=xp,
+        )
+        out_rows[:, lo:hi][surviving_index] = advanced_rows
+        out_runs[:, lo:hi][surviving_index] = advanced_runs
+        advanced_width += hi - lo
+    if stats is not None:
+        advanced = sum(lengths[index] for index in surviving) * advanced_width
+        stats.add(advanced, nominal - advanced)
     return out_rows, out_runs, processed
 
 

@@ -35,7 +35,7 @@ __all__ = ["RunConfig", "load_config_mapping"]
 # Which built-in execution backends consume which sizing option; options for
 # backends outside these sets (user-registered ones) pass through unchecked.
 _WORKER_BACKENDS = ("sharded", "colsharded")
-_TILED_BACKENDS = ("numpy", "gpu")
+_TILED_BACKENDS = ("numpy", "gpu", "native")
 
 
 @dataclass(frozen=True)
@@ -83,6 +83,15 @@ class RunConfig:
         multi-process pools; ``tile_columns`` bounds the column working set
         of the in-process and device backends; ``backend_options`` passes
         anything else straight to the backend factory.
+    prune / prune_margin:
+        Pruning layer of the sDTW wavefront (early abandoning +
+        active-column intervals). Off by default — brute force preserved
+        bit for bit. With ``prune=True`` the classifier derives per-lane
+        kill bounds from its eject threshold; accept/eject decisions stay
+        bit-identical on every backend while only still-viable column
+        spans advance. ``prune_margin`` widens the exactness window:
+        every reported cost within ``margin`` of the threshold also stays
+        bit-exact (at the price of fewer pruned cells).
     """
 
     genome: Optional[str] = None
@@ -102,6 +111,8 @@ class RunConfig:
     workers: Optional[int] = None
     tile_columns: Optional[int] = None
     backend_options: Mapping[str, Any] = field(default_factory=dict)
+    prune: bool = False
+    prune_margin: float = 0.0
 
     def __post_init__(self) -> None:
         from repro.batch.backends import available_backends  # deferred: keeps core importable
@@ -148,6 +159,8 @@ class RunConfig:
                 f"tile_columns: only the in-process/device backends "
                 f"({', '.join(_TILED_BACKENDS)}) tile columns, not {self.backend!r}"
             )
+        if self.prune_margin < 0:
+            raise ValueError(f"prune_margin: must be non-negative, got {self.prune_margin}")
         if self.prefix_samples <= 0:
             raise ValueError(f"prefix_samples: must be positive, got {self.prefix_samples}")
         if self.chunk_samples is not None and self.chunk_samples <= 0:

@@ -347,6 +347,8 @@ class ReadUntilSession:
             summary["mean_batch_lanes"] = engine.mean_occupancy
             summary["n_polls"] = engine.n_polls
             summary["busy_rounds"] = len(engine.rounds)
+            summary["cells_advanced"] = engine.cells_advanced
+            summary["cells_pruned"] = engine.cells_pruned
         if self._tracer.enabled:
             summary["phase_totals"] = {
                 name: stat.as_dict()

@@ -513,6 +513,70 @@ class TestShardedPipeline:
         assert decisions["sharded"] == decisions["numpy"]
         assert len(decisions["numpy"]) == len(backend_flowcell_reads)
 
+    def test_seeded_flowcell_decisions_identical_with_pruning(
+        self, reference_squiggle, target_genome, backend_threshold, backend_flowcell_reads
+    ):
+        """Acceptance: with the pruning layer on, every backend still makes
+        the seeded flowcell's accept/eject decisions bit-identically to the
+        brute-force numpy run (accepted reads keep their exact cost; ejected
+        reads may report a stale above-threshold cost, so only the decision
+        and sample count are compared there)."""
+        from repro.batch.native import numba_available
+        from repro.runtime import RunConfig
+
+        def run_flowcell(classifier):
+            result = ReadUntilPipeline(
+                classifier,
+                target_genome,
+                assemble=False,
+                chunk_samples=400,
+                n_channels=8,
+                batch=True,
+            ).run(backend_flowcell_reads)
+            summary = {}
+            for outcome in result.session.outcomes:
+                decision = outcome.decision
+                accepted = decision is not None and not outcome.ejected
+                summary[outcome.read.read_id] = (
+                    outcome.ejected,
+                    decision.samples_used if decision else None,
+                    decision.cost if accepted else None,
+                )
+            return summary
+
+        with BatchSquiggleClassifier(
+            reference_squiggle, threshold=backend_threshold, prefix_samples=800
+        ) as classifier:
+            brute = run_flowcell(classifier)
+
+        pruned_backends = [
+            ("numpy", {}),
+            ("sharded", {"workers": 2}),
+            ("colsharded", {"workers": 2}),
+            ("gpu", {"backend_options": {"array_module": "numpy"}}),
+        ]
+        if numba_available():
+            # The compiled scalar kernel is CI-only; without Numba the
+            # native backend is covered by the jit=False property harness
+            # in test_sdtw_pruning.py (the pure-Python kernel is too slow
+            # for a full flowcell replay).
+            pruned_backends.append(("native", {}))
+        for backend, fields in pruned_backends:
+            config = RunConfig(
+                reference=reference_squiggle,
+                threshold=backend_threshold,
+                prefix_samples=800,
+                backend=backend,
+                prune=True,
+                **fields,
+            )
+            with BatchSquiggleClassifier(
+                reference_squiggle, run_config=config
+            ) as classifier:
+                pruned = run_flowcell(classifier)
+            assert pruned == brute, backend
+            assert classifier.engine.cells_pruned >= 0
+
     def test_build_pipeline_backend_key(
         self, reference_squiggle, target_genome, backend_threshold, backend_flowcell_reads
     ):
