@@ -32,7 +32,15 @@ Two entry points:
   between the two cost distributions) — the ``<backend>[pruned]`` entries
   carry ``cells_advanced`` / ``cells_pruned`` / ``pruned_fraction`` and
   ``speedup_vs_unpruned``, after asserting accept/eject decisions and every
-  below-threshold cost are bit-identical to brute force — and emits
+  below-threshold cost are bit-identical to brute force; and ``flowcell_lb``:
+  the same mixed construction but in the adaptive-sampling regime the gate
+  targets: a full flowcell of mostly-off-target channels (one lane in 128
+  on target by default), short chunks, and many decision rounds, measured
+  brute-force, pruned, **and** pruned with the
+  lower-bound lane gate on (``lb_cascade=True``) — the ``<backend>[lb]``
+  entries add ``lanes_lb_skipped`` / ``cells_lb_skipped`` and
+  ``speedup_vs_pruned``, the gate's win over column pruning alone, under the
+  same in-bench bit-identity assertions — and emits
   per-backend JSON so throughput
   scaling with ``--workers`` is measurable. Every engine run is traced
   (:mod:`repro.obs`), so each backend entry carries a ``phases`` self-time
@@ -140,7 +148,7 @@ def _measure_scalar(rounds, reference, config):
 
 
 def _measure_engine(rounds, reference, config, backend, backend_options,
-                    prune_threshold=None, prune_lifetime=None):
+                    prune_threshold=None, prune_lifetime=None, lb_cascade=False):
     """One engine step per round across all channels, on the given backend.
 
     Backend construction (worker-pool spawn for the sharded backend) happens
@@ -152,6 +160,8 @@ def _measure_engine(rounds, reference, config, backend, backend_options,
     With ``prune_threshold`` set the engine runs its pruning layer the way
     the streaming classifier drives it: the threshold is the decision bound,
     ``prune_lifetime`` the most samples any lane will ever consume.
+    ``lb_cascade`` additionally turns on the lower-bound lane gate in front
+    of the backend dispatch.
     """
     tracer = Tracer(track="bench")
     prune = prune_threshold is not None
@@ -161,6 +171,7 @@ def _measure_engine(rounds, reference, config, backend, backend_options,
         prune=prune,
         prune_margin=0.0,
         prune_lifetime_samples=prune_lifetime if prune else None,
+        lb_cascade=lb_cascade,
     )
     if prune:
         engine.prune_bound = float(prune_threshold)
@@ -210,6 +221,8 @@ def _backend_entry(backend, options, dp_cells, scalar_s, batch_s, engine, tracer
         "seconds": batch_s,
         "cells_advanced": int(advanced),
         "cells_pruned": int(pruned),
+        "lanes_lb_skipped": int(engine.lanes_lb_skipped),
+        "cells_lb_skipped": int(engine.cells_lb_skipped),
         "pruned_fraction": pruned / (advanced + pruned) if advanced + pruned else 0.0,
         "nominal_cells_per_s": dp_cells / batch_s,
         "effective_cells_per_s": advanced / batch_s,
@@ -223,7 +236,8 @@ def _backend_entry(backend, options, dp_cells, scalar_s, batch_s, engine, tracer
 
 
 def _measure(reference, n_channels, backend_specs=None, rounds=ROUNDS,
-             chunk=CHUNK_SAMPLES, round_chunks=None, prune_on_target=None):
+             chunk=CHUNK_SAMPLES, round_chunks=None, prune_on_target=None,
+             lb_gate=False, threshold_position=0.5):
     """Measure scalar vs engine throughput; returns the per-workload report.
 
     ``backend_specs`` is a list of ``(label, backend_name, options)``; the
@@ -238,7 +252,10 @@ def _measure(reference, n_channels, backend_specs=None, rounds=ROUNDS,
     placed midway between the on- and off-target cost distributions; the
     extra ``<label>[pruned]`` entries carry ``speedup_vs_unpruned`` and the
     pruning counters, after asserting the decisions and every
-    below-threshold cost match brute force bit for bit.
+    below-threshold cost match brute force bit for bit. ``lb_gate=True``
+    adds a third measurement per backend with the lower-bound lane gate on
+    (``<label>[lb]``, carrying ``speedup_vs_pruned`` and the gate counters)
+    under the same bit-identity assertions.
     """
     if backend_specs is None:
         backend_specs = [("numpy", "numpy", None)]
@@ -257,7 +274,11 @@ def _measure(reference, n_channels, backend_specs=None, rounds=ROUNDS,
         costs = np.array([states[ch].cost for ch in range(n_channels)], dtype=np.float64)
         on, off = costs[prune_on_target], costs[~prune_on_target]
         assert on.max() < off.min(), "pruning workload: cost distributions overlap"
-        threshold = float((on.max() + off.min()) / 2.0)
+        # threshold_position slides the threshold across the gap between the
+        # two cost distributions: 0.5 is the midpoint, small values emulate a
+        # tightly calibrated threshold (just above the accepted costs) — the
+        # regime where kill bounds bite early and the lane gate pays.
+        threshold = float(on.max() + (off.min() - on.max()) * threshold_position)
         per_channel = np.zeros(n_channels, dtype=np.int64)
         for chunks in round_chunks:
             for channel, piece in enumerate(chunks):
@@ -312,6 +333,36 @@ def _measure(reference, n_channels, backend_specs=None, rounds=ROUNDS,
         pruned_entry["speedup_vs_unpruned"] = entry["seconds"] / pruned_entry["seconds"]
         backends[f"{label}[pruned]"] = pruned_entry
 
+        if not lb_gate:
+            continue
+        batch_s, snapshots, engine, tracer = _measure_engine(
+            round_chunks, reference, config, backend, options,
+            prune_threshold=threshold, prune_lifetime=lifetime, lb_cascade=True,
+        )
+        try:
+            # The gate shares the pruning exactness contract: identical
+            # decisions, bit-exact accepted costs — lanes it skipped are
+            # provably above the bound, clamped costs included.
+            for channel, state in states.items():
+                snapshot = snapshots[channel]
+                accepted = state.cost <= threshold
+                assert (snapshot.cost <= threshold) == accepted, (label, channel)
+                if accepted:
+                    assert snapshot.cost == state.cost, (label, channel)
+                    assert snapshot.end_position == state.end_position, (label, channel)
+            lb_entry = _backend_entry(
+                backend, options, dp_cells, scalar_s, batch_s, engine, tracer
+            )
+        finally:
+            engine.close()
+        lb_entry["prune_threshold"] = threshold
+        lb_entry["prune_lifetime_samples"] = lifetime
+        lb_entry["speedup_vs_unpruned"] = entry["seconds"] / lb_entry["seconds"]
+        lb_entry["speedup_vs_pruned"] = (
+            pruned_entry["seconds"] / lb_entry["seconds"]
+        )
+        backends[f"{label}[lb]"] = lb_entry
+
     first = backends[backend_specs[0][0]]
     report = {
         "channels": n_channels,
@@ -353,6 +404,7 @@ def _emit(destination=None):
                 "effective_Mcells_s": entry["effective_cells_per_s"] / 1e6,
                 "speedup": entry["speedup_vs_scalar"],
                 "pruned_%": 100.0 * entry["pruned_fraction"],
+                "lb_lanes": entry.get("lanes_lb_skipped", 0),
             }
             for name, report in _REPORTS.items()
             if isinstance(report, dict) and "backends" in report
@@ -476,6 +528,44 @@ def main(argv=None):
         help="fail unless the pruned entries actually pruned cells "
         "(cells_pruned > 0) — the CI smoke gate for the pruning layer",
     )
+    parser.add_argument(
+        "--lb-channels",
+        type=int,
+        default=512,
+        help="channels for the flowcell_lb workload, which measures every "
+        "backend brute-force, pruned, and pruned with the lower-bound lane "
+        "gate on (0 skips it)",
+    )
+    parser.add_argument(
+        "--lb-rounds",
+        type=int,
+        default=40,
+        help="chunk rounds for the flowcell_lb workload (gated lanes skip "
+        "dispatch entirely after the gate fires, so more rounds mean a "
+        "larger skipped fraction)",
+    )
+    parser.add_argument(
+        "--lb-chunk-samples",
+        type=int,
+        default=50,
+        help="chunk size for the flowcell_lb workload; short chunks mean "
+        "frequent decision rounds, the adaptive-sampling regime where "
+        "skipping a dead lane's dispatch beats re-scanning its columns",
+    )
+    parser.add_argument(
+        "--lb-on-target-fraction",
+        type=float,
+        default=0.0078125,
+        help="fraction of flowcell_lb channels streaming reference-derived "
+        "reads (default one in 128: enrichment targets are rare); "
+        "mostly-off-target traffic is the regime the lane gate targets",
+    )
+    parser.add_argument(
+        "--require-lb",
+        action="store_true",
+        help="fail unless the [lb] entries actually skipped lanes "
+        "(lanes_lb_skipped > 0) — the CI smoke gate for the lane gate",
+    )
     parser.add_argument("--seed", type=int, default=3)
     parser.add_argument(
         "--json",
@@ -566,6 +656,34 @@ def main(argv=None):
             round_chunks=pruned_chunks,
             prune_on_target=on_target,
         )
+
+    if args.lb_channels:
+        # The lane-gate workload: mostly off-target traffic, every backend
+        # measured brute-force, column-pruned, and column-pruned with the
+        # lower-bound cascade skipping dead lanes before dispatch.
+        lb_rng = np.random.default_rng(args.seed + 3)
+        lb_chunks, lb_on_target = _pruned_chunk_rounds(
+            lb_rng,
+            reference,
+            args.lb_channels,
+            args.lb_rounds,
+            args.lb_chunk_samples,
+            on_target_fraction=args.lb_on_target_fraction,
+        )
+        _REPORTS["flowcell_lb"] = _measure(
+            reference,
+            args.lb_channels,
+            specs,
+            rounds=args.lb_rounds,
+            chunk=args.lb_chunk_samples,
+            round_chunks=lb_chunks,
+            prune_on_target=lb_on_target,
+            lb_gate=True,
+            # Tightly calibrated threshold (just above the accepted reads):
+            # off-target lanes blow through their kill bounds within a round
+            # or two, which is exactly when skipping their dispatch matters.
+            threshold_position=0.02,
+        )
     _emit(args.json)
 
     if args.require_pruning:
@@ -574,7 +692,9 @@ def main(argv=None):
             for measured in _REPORTS.values()
             if isinstance(measured, dict) and "backends" in measured
             for label, entry in measured["backends"].items()
-            if "prune_threshold" in entry
+            # [lb] entries may legitimately skip whole lanes before the
+            # column-pruning layer sees them; the gate below covers those.
+            if "prune_threshold" in entry and not label.endswith("[lb]")
         }
         if not pruned_entries:
             raise SystemExit(
@@ -586,6 +706,26 @@ def main(argv=None):
                 raise SystemExit(
                     f"--require-pruning: backend {label} advanced every cell "
                     f"(cells_pruned == 0); the pruning layer never engaged"
+                )
+
+    if args.require_lb:
+        lb_entries = {
+            label: entry
+            for measured in _REPORTS.values()
+            if isinstance(measured, dict) and "backends" in measured
+            for label, entry in measured["backends"].items()
+            if label.endswith("[lb]")
+        }
+        if not lb_entries:
+            raise SystemExit(
+                "--require-lb: no lane-gated backend entries were measured "
+                "(is --lb-channels 0?)"
+            )
+        for label, entry in lb_entries.items():
+            if entry["lanes_lb_skipped"] <= 0:
+                raise SystemExit(
+                    f"--require-lb: backend {label} dispatched every lane "
+                    f"(lanes_lb_skipped == 0); the lane gate never fired"
                 )
 
     if args.min_speedup is not None:

@@ -1,0 +1,173 @@
+# cython: language_level=3
+# cython: boundscheck=False
+# cython: wraparound=False
+# cython: cdivision=True
+"""Ahead-of-time compiled twin of the native scalar wavefront kernel.
+
+Same contract as :func:`repro.batch.native.advance_scalar_kernel` (advance
+lane-stacked ``rows``/``runs`` in place, per-block active spans, per-lane
+kill bounds with a real mid-round break, return the DP cells computed) with
+bit-identical results: all arithmetic is exact integer arithmetic in the
+same evaluation order. Built as an optional extension by ``setup.py`` when
+Cython is installed (``pip install -e .[native]``); :class:`NativeBackend`
+selects it automatically when it imports, so deployments without a JIT get
+the compiled path too.
+"""
+
+import numpy as np
+
+from libc.stdint cimport int32_t, int64_t, uint8_t
+from libc.stdlib cimport free, malloc
+
+ctypedef fused work_t:
+    int32_t
+    int64_t
+
+
+def advance_scalar_kernel(
+    rows,
+    runs,
+    query_flat,
+    query_offsets,
+    reference,
+    bonus,
+    cap,
+    kill,
+    fresh,
+    block_lo,
+    block_hi,
+    big,
+):
+    """Dispatch to the typed kernel matching the caller's working dtype.
+
+    ``rows``/``runs``/``query_flat``/``reference`` share one integer dtype
+    (int32 fast path or int64), exactly as :class:`NativeBackend` prepares
+    them; ``fresh`` is a bool array viewed as bytes for the typed loop.
+    """
+    return _advance(
+        rows,
+        runs,
+        query_flat,
+        query_offsets,
+        reference,
+        bonus,
+        cap,
+        kill,
+        np.ascontiguousarray(fresh).view(np.uint8),
+        block_lo,
+        block_hi,
+        big,
+    )
+
+
+def _advance(
+    work_t[:, ::1] rows,
+    work_t[:, ::1] runs,
+    work_t[::1] query_flat,
+    int64_t[::1] query_offsets,
+    work_t[::1] reference,
+    long long bonus,
+    long long cap,
+    double[::1] kill,
+    uint8_t[::1] fresh,
+    int64_t[::1] block_lo,
+    int64_t[::1] block_hi,
+    long long big,
+):
+    cdef Py_ssize_t n_lanes = rows.shape[0]
+    cdef Py_ssize_t n_columns = rows.shape[1]
+    cdef Py_ssize_t n_blocks = block_lo.shape[0]
+    cdef Py_ssize_t cells = 0
+    cdef Py_ssize_t lane, block
+    cdef int64_t begin, end, steps, step, j
+    cdef int64_t first_live, last_live, reach, span_lo, span_hi
+    cdef double bound
+    cdef long long value, first, d, previous, old_run, new_run, new_value
+    cdef long long diagonal, row_min, capped
+    cdef bint alive
+    cdef int64_t* lo = <int64_t*> malloc(n_blocks * sizeof(int64_t))
+    cdef int64_t* hi = <int64_t*> malloc(n_blocks * sizeof(int64_t))
+    if lo == NULL or hi == NULL:
+        free(lo)
+        free(hi)
+        raise MemoryError("could not allocate per-block span scratch")
+    try:
+        for lane in range(n_lanes):
+            begin = query_offsets[lane]
+            end = query_offsets[lane + 1]
+            if end == begin:
+                continue
+            bound = kill[lane]
+            if fresh[lane]:
+                first = query_flat[begin]
+                for j in range(n_columns):
+                    d = first - reference[j]
+                    rows[lane, j] = <work_t> (d if d >= 0 else -d)
+                    runs[lane, j] = 1
+                cells += n_columns
+                begin += 1
+            steps = end - begin
+            if steps == 0:
+                continue
+            # Per-block active spans: [first live, last live + 1 + steps)
+            # clipped to the block — information moves one column rightward
+            # per step and never crosses a block boundary.
+            alive = False
+            for block in range(n_blocks):
+                first_live = -1
+                last_live = -1
+                for j in range(block_lo[block], block_hi[block]):
+                    if rows[lane, j] <= bound:
+                        if first_live < 0:
+                            first_live = j
+                        last_live = j
+                lo[block] = first_live
+                if first_live >= 0:
+                    alive = True
+                    reach = last_live + 1 + steps
+                    hi[block] = reach if reach < block_hi[block] else block_hi[block]
+            if not alive:
+                continue  # early abandon: the whole round's work is skipped
+            for step in range(steps):
+                value = query_flat[begin + step]
+                row_min = big
+                for block in range(n_blocks):
+                    span_lo = lo[block]
+                    if span_lo < 0:
+                        continue
+                    span_hi = hi[block]
+                    diagonal = big
+                    for j in range(span_lo, span_hi):
+                        previous = rows[lane, j]
+                        old_run = runs[lane, j]
+                        d = value - reference[j]
+                        if d < 0:
+                            d = -d
+                        if diagonal < previous:
+                            new_value = d + diagonal
+                            new_run = 1
+                        else:
+                            new_value = d + previous
+                            new_run = old_run + 1
+                            if new_run > cap:
+                                new_run = cap
+                        capped = old_run if old_run < cap else cap
+                        diagonal = previous - bonus * capped
+                        rows[lane, j] = <work_t> new_value
+                        if bonus != 0:
+                            # track_runs=False semantics: capped counters, and
+                            # without a bonus the counters pass through
+                            # untouched.
+                            runs[lane, j] = <work_t> new_run
+                        if new_value < row_min:
+                            row_min = new_value
+                    cells += span_hi - span_lo
+                if row_min > bound:
+                    # The real break: every live value just crossed the kill
+                    # bound, so the remaining steps cannot produce a cost at
+                    # or below the decision bound — freeze the lane mid-round.
+                    break
+    finally:
+        free(lo)
+        free(hi)
+    return cells

@@ -129,6 +129,8 @@ class BatchSquiggleClassifier:
         # calibration is picked up.
         prune = bool(run_config.prune) if run_config is not None else False
         prune_margin = float(run_config.prune_margin) if run_config is not None else 0.0
+        lb_cascade = bool(run_config.lb_cascade) if run_config is not None else False
+        lb_level = int(run_config.lb_level) if run_config is not None else 2
         self.engine = BatchSDTWEngine(
             self.panel,
             self.config,
@@ -138,6 +140,8 @@ class BatchSquiggleClassifier:
             prune=prune,
             prune_margin=prune_margin,
             prune_lifetime_samples=self.prefix_samples if prune else None,
+            lb_cascade=lb_cascade,
+            lb_level=lb_level,
         )
         self.name = name if name is not None else f"batch:SquiggleFilter[{self.engine.backend_name}]"
         self.decision_latency_s = (

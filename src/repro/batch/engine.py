@@ -38,7 +38,7 @@ from repro.batch.backends import ExecutionBackend, create_backend
 from repro.core.config import SDTWConfig
 from repro.core.panel import TargetPanel
 from repro.core.reference import ReferenceSquiggle
-from repro.core.sdtw import SDTWState
+from repro.core.sdtw import SDTWState, lb_envelopes, lb_keogh_bounds, lb_kim_bound
 from repro.obs.trace import NULL_TRACER, Tracer
 
 __all__ = ["BatchRound", "BatchSDTWEngine", "LaneSnapshot"]
@@ -140,6 +140,23 @@ class BatchSDTWEngine:
         the kill bounds must budget the maximum remaining credit —
         required when ``prune`` is on and the config uses a bonus.
         Feeding a lane beyond this bound voids the exactness guarantee.
+    lb_cascade:
+        Enable the lower-bound lane gate (requires ``prune``). Before
+        dispatching a round, each lane's cheapest admissible cost is
+        lower-bounded by a cascade of cheap bounds (LB_Kim-style
+        first/last-sample bound against the reference value extrema,
+        then an LB_Keogh-style per-block envelope bound); a lane whose
+        bound provably exceeds its kill bound skips the wavefront
+        advance entirely that round and is marked stale-dead — it never
+        crosses a worker pipe again. Bounds are conservative, so the
+        same exactness contract as ``prune`` holds: decisions and every
+        cost at or below ``prune_bound + prune_margin`` stay
+        bit-identical to brute force.
+    lb_level:
+        Deepest cascade rung to evaluate: ``1`` stops at the O(1)
+        LB_Kim-style bound, ``2`` (default) additionally runs the
+        O(chunk) per-block envelope bound on lanes the first rung could
+        not kill.
     """
 
     def __init__(
@@ -153,6 +170,8 @@ class BatchSDTWEngine:
         prune: bool = False,
         prune_margin: float = 0.0,
         prune_lifetime_samples: Optional[int] = None,
+        lb_cascade: bool = False,
+        lb_level: int = 2,
     ) -> None:
         self.tracer = tracer
         self.config = config if config is not None else SDTWConfig()
@@ -173,8 +192,22 @@ class BatchSDTWEngine:
                 "match bonus: the kill bounds must budget the maximum bonus "
                 "credit the remaining samples could still earn"
             )
+        if lb_level not in (1, 2):
+            raise ValueError(
+                f"lb_level must be 1 (LB_Kim) or 2 (LB_Kim + LB_Keogh), got {lb_level}"
+            )
+        if lb_cascade and not prune:
+            raise ValueError(
+                "lb_cascade requires prune=True: the lane gate compares lower "
+                "bounds against the pruning layer's kill bounds"
+            )
         self.prune = bool(prune)
         self.prune_margin = float(prune_margin)
+        self.lb_cascade = bool(lb_cascade)
+        self.lb_level = int(lb_level)
+        # Lane-rounds and nominal DP cells the gate skipped before dispatch.
+        self.lanes_lb_skipped = 0
+        self.cells_lb_skipped = 0
         self.prune_lifetime_samples = (
             None if prune_lifetime_samples is None else int(prune_lifetime_samples)
         )
@@ -202,6 +235,17 @@ class BatchSDTWEngine:
         if self.reference_values.ndim != 1 or self.reference_values.size == 0:
             raise ValueError("reference must be a non-empty 1-D array")
         n_targets = len(self.target_names)
+        if self.lb_cascade:
+            if self.panel is not None:
+                self._lb_lows, self._lb_highs = self.panel.lb_envelopes(
+                    self.config.quantize
+                )
+            else:
+                self._lb_lows, self._lb_highs = lb_envelopes(
+                    self.reference_values, self._block_starts
+                )
+            self._lb_low = float(self._lb_lows.min())
+            self._lb_high = float(self._lb_highs.max())
         if isinstance(backend, str):
             options = dict(backend_options or {})
             if self._block_starts is not None:
@@ -379,6 +423,63 @@ class BatchSDTWEngine:
         self._kill_envelope[lanes] = kill
         return kill
 
+    def _lb_gate(
+        self,
+        lanes: np.ndarray,
+        queries: Sequence[np.ndarray],
+        lengths: np.ndarray,
+        bounds: Optional[np.ndarray],
+    ) -> np.ndarray:
+        """Lower-bound lane gate: which lanes must actually be dispatched.
+
+        Runs the cascade per lane against its (min-clamped) kill bound: first
+        the O(1) LB_Kim-style bound on top of the lane's cached row minimum,
+        then — for survivors, at :attr:`lb_level` 2 — the O(chunk) per-block
+        envelope bound on top of the cached per-target minima. A killed lane's
+        cached costs are clamped up to the violated bound (they provably
+        exceed the kill bound forever, so any reported value above it is
+        faithful) and its kill envelope drops to ``-inf``: stale-dead lanes
+        are skipped on sight every later round. Admissibility: every query
+        sample adds at least its envelope gap, block boundaries confine paths
+        to one block, and the kill bound already credits the maximum match
+        bonus the lane's remaining lifetime could harvest.
+        """
+        envelope = self._kill_envelope[lanes]
+        # Zero-length entries stay dispatched: advancing nothing is free and
+        # counting them as skipped lane-rounds would inflate the gate stats.
+        keep = ~(np.isneginf(envelope) & (lengths > 0))
+        if bounds is not None:
+            lane_costs = self._costs[lanes]
+            mu = lane_costs.min(axis=1)
+            for index in np.flatnonzero(keep & (lengths > 0)):
+                bound = float(bounds[index])
+                kim = mu[index] + lb_kim_bound(
+                    queries[index], self._lb_low, self._lb_high, self.config
+                )
+                if kim > bound:
+                    keep[index] = False
+                    lane = lanes[index]
+                    np.maximum(self._costs[lane], kim, out=self._costs[lane])
+                    continue
+                if self.lb_level >= 2:
+                    per_block = lane_costs[index] + lb_keogh_bounds(
+                        queries[index], self._lb_lows, self._lb_highs, self.config
+                    )
+                    if float(per_block.min()) > bound:
+                        keep[index] = False
+                        lane = lanes[index]
+                        np.maximum(
+                            self._costs[lane], per_block, out=self._costs[lane]
+                        )
+        skipped = np.flatnonzero(~keep)
+        if skipped.size:
+            self._kill_envelope[lanes[skipped]] = -np.inf
+            self.lanes_lb_skipped += int(skipped.size)
+            self.cells_lb_skipped += int(lengths[skipped].sum()) * int(
+                self.reference_values.size
+            )
+        return keep
+
     @property
     def cells_advanced(self) -> int:
         """DP cells the backend actually swept (all rounds so far)."""
@@ -429,27 +530,55 @@ class BatchSDTWEngine:
             )
 
             bounds = self._prune_bounds(lanes, lengths)
-            if bounds is None:
-                # Positional call keeps user-registered backends that predate
-                # the prune_bounds keyword working for unpruned runs.
-                costs, ends = self._backend.advance(lanes, queries)
-            else:
-                stats = getattr(self._backend, "stats", None)
-                before = (
-                    (stats.cells_advanced, stats.cells_pruned)
-                    if stats is not None
-                    else (0, 0)
-                )
-                costs, ends = self._backend.advance(lanes, queries, prune_bounds=bounds)
-                if self.tracer.enabled and stats is not None:
+            if self.lb_cascade:
+                lb_before = (self.lanes_lb_skipped, self.cells_lb_skipped)
+                keep = self._lb_gate(lanes, queries, lengths, bounds)
+                if self.tracer.enabled:
                     with self.tracer.span(
-                        "backend.prune",
-                        cells_advanced=stats.cells_advanced - before[0],
-                        cells_pruned=stats.cells_pruned - before[1],
+                        "backend.lb",
+                        lanes_skipped=self.lanes_lb_skipped - lb_before[0],
+                        cells_skipped=self.cells_lb_skipped - lb_before[1],
+                        level=self.lb_level,
                     ):
                         pass
-            self._costs[lanes] = costs
-            self._ends[lanes] = ends
+                if not keep.all():
+                    live = np.flatnonzero(keep)
+                    live_lanes = lanes[live]
+                    live_queries = [queries[int(index)] for index in live]
+                    live_bounds = None if bounds is None else bounds[live]
+                else:
+                    live_lanes, live_queries, live_bounds = lanes, queries, bounds
+            else:
+                live_lanes, live_queries, live_bounds = lanes, queries, bounds
+            if live_lanes.size:
+                if live_bounds is None:
+                    # Positional call keeps user-registered backends that
+                    # predate the prune_bounds keyword working for unpruned
+                    # runs.
+                    costs, ends = self._backend.advance(live_lanes, live_queries)
+                else:
+                    stats = getattr(self._backend, "stats", None)
+                    before = (
+                        (stats.cells_advanced, stats.cells_pruned)
+                        if stats is not None
+                        else (0, 0)
+                    )
+                    costs, ends = self._backend.advance(
+                        live_lanes, live_queries, prune_bounds=live_bounds
+                    )
+                    if self.tracer.enabled and stats is not None:
+                        with self.tracer.span(
+                            "backend.prune",
+                            cells_advanced=stats.cells_advanced - before[0],
+                            cells_pruned=stats.cells_pruned - before[1],
+                        ):
+                            pass
+                self._costs[live_lanes] = costs
+                self._ends[live_lanes] = ends
+            # Skipped lanes still consume their samples logically: decision
+            # timing (remaining-lifetime accounting, prefix trimming) must not
+            # depend on whether the gate fired. Their backend-side state stays
+            # frozen at the kill round, consistent with frozen-column pruning.
             self._samples[lanes] += lengths
 
             return {

@@ -20,11 +20,17 @@ Kernel contract (shared with the vectorized pruned path, see
 * with an infinite kill bound the loop degenerates to the plain recurrence
   and outputs are bit-identical to every other backend, pruned or not.
 
-Like ``"gpu"`` without CuPy, the name is always registered so configs naming
-``"native"`` validate everywhere; *constructing* the backend without Numba
-raises a :class:`RuntimeError` with an install hint. ``jit=False`` runs the
-identical kernel as pure Python — how the test suite covers this backend's
-code path bit-for-bit on machines (and CI runners) without Numba.
+The kernel itself has two compiled builds sharing one contract: the Numba
+``njit`` of :func:`advance_scalar_kernel`, and an ahead-of-time Cython
+extension (``repro.batch._native_kernel``, built from ``_native_kernel.pyx``
+by ``pip install -e .[native]``) for deployments without a JIT. The backend
+prefers the Cython build when it imports, falls back to Numba, and —
+``jit=False`` / ``kernel="python"`` — runs the identical kernel as pure
+Python, which is how the test suite covers this backend's code path
+bit-for-bit on machines (and CI runners) with neither. Like ``"gpu"``
+without CuPy, the name is always registered so configs naming ``"native"``
+validate everywhere; *constructing* the backend with no compiled kernel
+available raises a :class:`RuntimeError` with an install hint.
 
 Configurations outside the integer data path (float kernels, squared
 distance, fractional bonus) fall back to the inherited
@@ -42,7 +48,12 @@ from repro.core.config import SDTWConfig
 from repro.core.sdtw import reduce_block_minima
 from repro.batch.backends import NumpyBackend, register_backend
 
-__all__ = ["NativeBackend", "advance_scalar_kernel", "numba_available"]
+__all__ = [
+    "NativeBackend",
+    "advance_scalar_kernel",
+    "cython_kernel_available",
+    "numba_available",
+]
 
 
 def numba_available() -> bool:
@@ -52,6 +63,31 @@ def numba_available() -> bool:
     except ImportError:
         return False
     return True
+
+
+# The optional ahead-of-time compiled kernel (repro.batch._native_kernel,
+# built from _native_kernel.pyx by `pip install -e .[native]`). Probed once
+# per process; None when the extension was never built.
+_CYTHON_KERNEL = None
+_CYTHON_PROBED = False
+
+
+def _cython_kernel():
+    global _CYTHON_KERNEL, _CYTHON_PROBED
+    if not _CYTHON_PROBED:
+        _CYTHON_PROBED = True
+        try:
+            from repro.batch import _native_kernel
+        except ImportError:
+            _CYTHON_KERNEL = None
+        else:
+            _CYTHON_KERNEL = _native_kernel.advance_scalar_kernel
+    return _CYTHON_KERNEL
+
+
+def cython_kernel_available() -> bool:
+    """Whether the compiled Cython kernel extension is importable."""
+    return _cython_kernel() is not None
 
 
 def advance_scalar_kernel(
@@ -191,6 +227,11 @@ class NativeBackend(NumpyBackend):
     configuration) run the scalar kernel on ``int32`` arrays when the value
     range allows, ``int64`` otherwise; any other configuration falls back to
     the inherited vectorized advance for the round.
+
+    ``kernel`` pins the kernel build: ``"cython"`` (the AOT extension),
+    ``"numba"``, ``"python"``, or ``"auto"`` (default with ``jit=True``:
+    Cython when built, else Numba). ``jit=False`` is the back-compatible
+    spelling of ``kernel="python"``. All builds are bit-identical.
     """
 
     backend_name = "native"
@@ -203,14 +244,44 @@ class NativeBackend(NumpyBackend):
         block_starts: Optional[np.ndarray] = None,
         tile_columns: Optional[int] = None,
         jit: bool = True,
+        kernel: Optional[str] = None,
     ) -> None:
         self.jit = bool(jit)
-        if self.jit and not numba_available():
+        if kernel is None:
+            kernel = "auto" if self.jit else "python"
+        if kernel not in ("auto", "cython", "numba", "python"):
+            raise ValueError(
+                f"kernel must be one of auto, cython, numba, python; got {kernel!r}"
+            )
+        # Compiled-kernel preference: the AOT Cython extension when it was
+        # built (no JIT warm-up, works without Numba), the Numba njit kernel
+        # otherwise; "python" is the uncompiled escape hatch the bit-identity
+        # suite runs everywhere.
+        if kernel == "auto":
+            if cython_kernel_available():
+                kernel = "cython"
+            elif numba_available():
+                kernel = "numba"
+            else:
+                raise RuntimeError(
+                    "the 'native' execution backend needs a compiled scalar "
+                    "kernel: pip install numba, or build the Cython extension "
+                    "with pip install -e .[native] (or pass jit=False to run "
+                    "the identical kernel as pure Python)"
+                )
+        elif kernel == "cython" and not cython_kernel_available():
+            raise RuntimeError(
+                "the compiled Cython kernel (repro.batch._native_kernel) is "
+                "not built; pip install -e .[native] (or python setup.py "
+                "build_ext --inplace) builds it"
+            )
+        elif kernel == "numba" and not numba_available():
             raise RuntimeError(
                 "the 'native' execution backend compiles its scalar kernel with "
                 "Numba, which is not installed; pip install numba (or pass "
                 "jit=False to run the identical kernel as pure Python)"
             )
+        self.kernel_name = kernel
         super().__init__(
             reference,
             config=config,
@@ -231,7 +302,11 @@ class NativeBackend(NumpyBackend):
         )
 
     def _kernel(self):
-        return _compiled_kernel() if self.jit else advance_scalar_kernel
+        if self.kernel_name == "cython":
+            return _cython_kernel()
+        if self.kernel_name == "numba":
+            return _compiled_kernel()
+        return advance_scalar_kernel
 
     def advance(
         self,

@@ -21,7 +21,8 @@ Six subcommands cover the library's main workflows without writing Python:
   multi-process backends and ``--tile-columns`` for the in-process/device
   ones) picks the execution backend, ``--prune`` (with ``--prune-margin``)
   turns on the early-abandoning sDTW pruning layer (decisions stay
-  bit-identical), and ``--target-panel N`` screens N
+  bit-identical), ``--lb-cascade`` (with ``--lb-level``) adds the
+  lower-bound lane gate on top of it, and ``--target-panel N`` screens N
   synthesized viral targets at once through one
   :class:`~repro.core.panel.TargetPanel`, reporting per-target accept
   counts. The squigglefilter-family session itself is driven through
@@ -155,6 +156,26 @@ def _add_run_config_arguments(parser: argparse.ArgumentParser) -> None:
         "(default: 0, the decisions-only guarantee)",
     )
     parser.add_argument(
+        "--lb-cascade",
+        dest="lb_cascade",
+        action="store_true",
+        default=None,
+        help="enable the lower-bound lane gate on top of --prune (requires "
+        "it): cascading LB_Kim/LB_Keogh-style bounds let whole lanes skip "
+        "their wavefront advance before dispatch once no continuation "
+        "could decide differently (decisions stay bit-identical)",
+    )
+    parser.add_argument(
+        "--lb-level",
+        dest="lb_level",
+        type=int,
+        choices=(1, 2),
+        default=None,
+        help="deepest lower-bound cascade rung: 1 = the O(1) extrema bound "
+        "only, 2 = additionally the O(chunk) per-target envelope bound "
+        "(default: 2)",
+    )
+    parser.add_argument(
         "--prefix-samples",
         type=int,
         default=None,
@@ -187,6 +208,8 @@ def _resolve_run_config(args: argparse.Namespace) -> RunConfig:
         "trace_path": args.trace_path,
         "prune": args.prune,
         "prune_margin": args.prune_margin,
+        "lb_cascade": args.lb_cascade,
+        "lb_level": args.lb_level,
     }
     for key, value in overrides.items():
         if value is not None:
@@ -505,6 +528,8 @@ def _command_read_until(args: argparse.Namespace) -> int:
         ("--trace", args.trace_path),
         ("--prune", args.prune),
         ("--prune-margin", args.prune_margin),
+        ("--lb-cascade", args.lb_cascade),
+        ("--lb-level", args.lb_level),
     ):
         if given and args.classifier not in squigglefilter_family:
             print(

@@ -53,6 +53,9 @@ __all__ = [
     "BatchSDTWState",
     "SDTWResult",
     "SDTWState",
+    "lb_envelopes",
+    "lb_keogh_bounds",
+    "lb_kim_bound",
     "normalize_block_starts",
     "reduce_block_minima",
     "sdtw_cost",
@@ -274,6 +277,100 @@ def reduce_block_minima(
         ends[:, block] = block_ends
         costs[:, block] = segment[lane_index, block_ends]
     return costs, ends
+
+
+# --------------------------------------------------------------------------
+# Lower-bound cascade (UCRSuite LB_Kim / LB_Keogh adapted to streaming sDTW)
+#
+# Every alignment path of the no-deletion recurrence consumes every query
+# sample exactly once, each step adding a non-negative local distance against
+# *some* reference column. A lower bound on each sample's cheapest possible
+# local distance therefore sums to a lower bound on the cost any path must add
+# while consuming the chunk — regardless of where in the reference the path
+# sits. Block boundaries sever the diagonal, so a path that ends inside block
+# ``b`` also started inside block ``b`` and the per-block bounds compose with
+# the engine's cached per-target row minima. The match bonus is budgeted by
+# the caller's kill bound (``threshold + margin + bonus*(remaining+cap)``),
+# which already credits every diagonal the lane could still harvest, so these
+# bounds only need to never exceed the true *un-credited* local cost.
+
+
+def _lb_gaps(values: np.ndarray, lows: np.ndarray, highs: np.ndarray) -> np.ndarray:
+    """Distance from each value to the interval ``[low, high]`` (broadcast)."""
+    return np.maximum(0.0, np.maximum(values - highs, lows - values))
+
+
+def lb_envelopes(
+    reference_values: np.ndarray, block_starts=None
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-block ``(mins, maxs)`` value envelopes of a concatenated reference.
+
+    The reference side of the lower-bound cascade: block ``b``'s envelope is
+    the min/max of its column values, so a query sample ``v`` can never incur
+    less than ``max(0, v - max_b, min_b - v)`` of local distance inside the
+    block. Built once per reference (panels cache the result per quantization,
+    see :meth:`repro.core.panel.TargetPanel.lb_envelopes`).
+    """
+    values = np.asarray(reference_values, dtype=np.float64).ravel()
+    if values.size == 0:
+        raise ValueError("reference must be a non-empty 1-D array")
+    starts = normalize_block_starts(block_starts, values.size)
+    bounds = [int(start) for start in starts] + [values.size]
+    mins = np.fromiter(
+        (values[bounds[b] : bounds[b + 1]].min() for b in range(starts.size)),
+        dtype=np.float64,
+        count=starts.size,
+    )
+    maxs = np.fromiter(
+        (values[bounds[b] : bounds[b + 1]].max() for b in range(starts.size)),
+        dtype=np.float64,
+        count=starts.size,
+    )
+    return mins, maxs
+
+
+def lb_kim_bound(
+    chunk: np.ndarray, reference_low: float, reference_high: float, config: SDTWConfig
+) -> float:
+    """O(1) LB_Kim-style bound: cost the chunk's first and last samples must add.
+
+    Uses only the reference's global value extrema — the first and last chunk
+    samples each contribute at least their distance to the nearest value in
+    ``[reference_low, reference_high]`` (squared for the squared-distance
+    kernel), and every other sample contributes at least zero.
+    """
+    chunk = np.asarray(chunk)
+    if chunk.size == 0:
+        return 0.0
+    ends = np.array(
+        [chunk[0], chunk[-1]] if chunk.size > 1 else [chunk[0]], dtype=np.float64
+    )
+    gaps = _lb_gaps(ends, float(reference_low), float(reference_high))
+    if config.distance == "squared":
+        gaps = gaps * gaps
+    return float(gaps.sum())
+
+
+def lb_keogh_bounds(
+    chunk: np.ndarray, block_lows: np.ndarray, block_highs: np.ndarray, config: SDTWConfig
+) -> np.ndarray:
+    """O(chunk x blocks) LB_Keogh-style bound: per-block envelope cost sums.
+
+    ``result[b]`` lower-bounds the cost any path confined to block ``b`` must
+    add while consuming the whole chunk: each sample contributes at least its
+    distance to the block's ``[min, max]`` value envelope. Tighter than
+    :func:`lb_kim_bound` (every sample counts, per-block extrema), at the
+    price of touching the full chunk.
+    """
+    lows = np.asarray(block_lows, dtype=np.float64)
+    highs = np.asarray(block_highs, dtype=np.float64)
+    chunk = np.asarray(chunk, dtype=np.float64)
+    if chunk.size == 0:
+        return np.zeros(lows.size, dtype=np.float64)
+    gaps = _lb_gaps(chunk[:, None], lows[None, :], highs[None, :])
+    if config.distance == "squared":
+        gaps = gaps * gaps
+    return gaps.sum(axis=0)
 
 
 class SDTWState:

@@ -349,6 +349,8 @@ class ReadUntilSession:
             summary["busy_rounds"] = len(engine.rounds)
             summary["cells_advanced"] = engine.cells_advanced
             summary["cells_pruned"] = engine.cells_pruned
+            summary["lanes_lb_skipped"] = int(getattr(engine, "lanes_lb_skipped", 0))
+            summary["cells_lb_skipped"] = int(getattr(engine, "cells_lb_skipped", 0))
         if self._tracer.enabled:
             summary["phase_totals"] = {
                 name: stat.as_dict()

@@ -141,6 +141,9 @@ class _ManagedSession:
         # Cumulative per-phase self time already folded into the metrics
         # registry; _record_round observes the delta each round.
         self.phase_seen: Dict[str, float] = {}
+        # Cumulative engine cell counters already folded into the registry;
+        # _record_round increments the counters by each round's delta.
+        self.cells_seen: Dict[str, int] = {}
 
 
 class SessionManager:
@@ -171,6 +174,18 @@ class SessionManager:
         self.metrics.describe(
             "repro_serve_round_phase_seconds",
             "Per-phase self time spent inside one classification round",
+        )
+        self.metrics.describe(
+            "repro_serve_cells_advanced_total",
+            "sDTW wavefront cells actually computed per session",
+        )
+        self.metrics.describe(
+            "repro_serve_cells_pruned_total",
+            "sDTW wavefront cells skipped by column pruning per session",
+        )
+        self.metrics.describe(
+            "repro_serve_cells_lb_skipped_total",
+            "sDTW wavefront cells skipped by the lower-bound lane gate per session",
         )
 
     # ---------------------------------------------------------------- create
@@ -288,6 +303,16 @@ class SessionManager:
                 )
         engine = managed.session.engine
         if engine is not None:
+            for metric, attribute in (
+                ("repro_serve_cells_advanced_total", "cells_advanced"),
+                ("repro_serve_cells_pruned_total", "cells_pruned"),
+                ("repro_serve_cells_lb_skipped_total", "cells_lb_skipped"),
+            ):
+                total = int(getattr(engine, attribute, 0))
+                delta = total - managed.cells_seen.get(attribute, 0)
+                managed.cells_seen[attribute] = total
+                if delta > 0:
+                    metrics.inc(metric, delta, session=sid)
             metrics.set_gauge(
                 "repro_serve_lane_occupancy", engine.mean_occupancy, session=sid, stat="mean"
             )

@@ -23,7 +23,7 @@ from hypothesis import strategies as st
 
 from repro.batch.backends import available_backends, create_backend
 from repro.batch.engine import BatchSDTWEngine
-from repro.batch.native import NativeBackend, numba_available
+from repro.batch.native import NativeBackend, cython_kernel_available, numba_available
 from repro.core.config import SDTWConfig
 from repro.core.panel import TargetPanel
 from repro.core.sdtw import sdtw_resume
@@ -372,11 +372,14 @@ class TestPruneCounters:
 
 class TestNativeBackend:
     def test_native_registered_even_without_numba(self, rng):
-        """The 'native' name always validates; without Numba construction
-        raises a RuntimeError carrying an install hint, not a KeyError."""
+        """The 'native' name always validates; with no compiled kernel build
+        construction raises a RuntimeError carrying an install hint, not a
+        KeyError."""
         assert "native" in available_backends()
-        if numba_available():
-            pytest.skip("Numba installed; the unavailable-library path cannot fire")
+        if numba_available() or cython_kernel_available():
+            pytest.skip(
+                "a compiled kernel is available; the unavailable-library path cannot fire"
+            )
         with pytest.raises(RuntimeError, match="numba"):
             create_backend("native", rng.integers(-127, 128, 30), SDTWConfig.hardware(), 4)
 

@@ -296,6 +296,48 @@ class TestHttpEndToEnd:
         assert "repro_serve_pool_queue_depth" in metrics
         serve_client.close_session(session_id)
 
+    def test_metrics_expose_engine_cell_counters(self, serve_client):
+        """_record_round folds the engine's cumulative cell counters into
+        per-session serve counters: cells computed, cells cut mid-wavefront
+        by column pruning, and cells never dispatched thanks to the
+        lower-bound lane gate."""
+        pruned = serve_client.create_session(
+            service_config(label="cells", threshold=-1e6, prune=True)
+        )
+        gated = serve_client.create_session(
+            service_config(
+                label="gated", threshold=-1e6, prune=True, lb_cascade=True
+            )
+        )
+        # Streams span several rounds: column pruning needs a post-init round
+        # to engage, and the lane gate must keep stale-dead lanes skipped.
+        for round_index in range(3):
+            last = round_index == 2
+            serve_client.submit_round(
+                pruned, [wire_chunk("r0", seed=round_index, last=last)]
+            )
+            serve_client.submit_round(
+                gated, [wire_chunk("g0", seed=round_index, last=last)]
+            )
+        metrics = serve_client.metrics_text()
+
+        def counter(name, session):
+            prefix = f'{name}{{session="{session}"}} '
+            for line in metrics.splitlines():
+                if line.startswith(prefix):
+                    return float(line[len(prefix):])
+            return 0.0
+
+        # The dead threshold leaves the fresh-lane init as the only computed
+        # cells; the rest of the round is column-pruned.
+        assert counter("repro_serve_cells_advanced_total", pruned) > 0
+        assert counter("repro_serve_cells_pruned_total", pruned) > 0
+        # The gated session's lanes never reach a backend at all.
+        assert counter("repro_serve_cells_lb_skipped_total", gated) > 0
+        assert counter("repro_serve_cells_advanced_total", gated) == 0
+        serve_client.close_session(pruned)
+        serve_client.close_session(gated)
+
     def test_error_statuses_name_the_problem(self, serve_client):
         with pytest.raises(ServeClientError) as excinfo:
             serve_client.create_session({"backend": "tpu"})
