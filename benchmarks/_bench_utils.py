@@ -2,7 +2,27 @@
 
 from __future__ import annotations
 
+import os
+import platform
 from typing import Dict, List, Optional, Sequence
+
+
+def host_block() -> Dict[str, object]:
+    """The host description every benchmark report embeds.
+
+    Committed ``BENCH_*.json`` files are only comparable against runs from
+    the same machine class; this block records enough of the host (core
+    count, platform, interpreter, numpy) to tell apart numbers that must
+    not be compared.
+    """
+    import numpy as np
+
+    return {
+        "cpu_count": int(os.cpu_count() or 1),
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+    }
 
 
 def print_rows(

@@ -75,7 +75,7 @@ import os
 import time
 
 import numpy as np
-from _bench_utils import print_rows
+from _bench_utils import host_block, print_rows
 
 from repro.batch import available_backends
 from repro.batch.engine import BatchSDTWEngine
@@ -384,6 +384,7 @@ def _measure(reference, n_channels, backend_specs=None, rounds=ROUNDS,
 
 
 def _emit(destination=None):
+    _REPORTS.setdefault("host", host_block())
     payload = json.dumps(_REPORTS, indent=2, sort_keys=True)
     if destination is None:
         destination = os.environ.get("BATCH_SDTW_JSON", "-")

@@ -51,7 +51,7 @@ import sys
 import time
 from typing import Any, Dict, List, Optional, Sequence
 
-from _bench_utils import print_rows
+from _bench_utils import host_block, print_rows
 
 from repro.runtime import open_session
 from repro.serve import BackgroundServer
@@ -325,6 +325,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
 
     report: Dict[str, Any] = {
+        "host": host_block(),
         "workload": {
             "reads_per_tenant": reads,
             "n_channels": 4,

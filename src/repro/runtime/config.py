@@ -79,10 +79,22 @@ class RunConfig:
         implies ``trace=True``). Tracing never changes decisions.
     backend / workers / tile_columns / backend_options:
         Execution backend for the batched engine (any name in
-        :func:`repro.batch.available_backends`). ``workers`` sizes the
-        multi-process pools; ``tile_columns`` bounds the column working set
-        of the in-process and device backends; ``backend_options`` passes
-        anything else straight to the backend factory.
+        :func:`repro.batch.available_backends`, or ``"auto"`` to let the
+        tuner pick). ``workers`` sizes the multi-process pools;
+        ``tile_columns`` bounds the column working set of the in-process
+        and device backends; ``backend_options`` passes anything else
+        straight to the backend factory. With ``backend="auto"`` the
+        backend/workers/tile_columns triple is resolved at session spawn by
+        :mod:`repro.tune` (calibration probes on first use, the persistent
+        tuning cache on repeat use) and the unresolved fields are treated
+        as unset.
+    tune / tune_budget_s:
+        Tuner knobs, only consulted when ``backend="auto"``. ``tune`` is a
+        free-form option mapping (``cache_path``, ``ignore_cache``,
+        ``margin``, ``min_probes``, ``rounds``, ``seed`` — see
+        :func:`repro.tune.tune_config`); ``tune_budget_s`` bounds probe
+        wall clock (the first probe always completes so resolution cannot
+        come back empty).
     prune / prune_margin:
         Pruning layer of the sDTW wavefront (early abandoning +
         active-column intervals). Off by default — brute force preserved
@@ -123,6 +135,8 @@ class RunConfig:
     prune_margin: float = 0.0
     lb_cascade: bool = False
     lb_level: int = 2
+    tune: Optional[Mapping[str, Any]] = None
+    tune_budget_s: float = 2.0
 
     def __post_init__(self) -> None:
         from repro.batch.backends import available_backends  # deferred: keeps core importable
@@ -149,12 +163,13 @@ class RunConfig:
         if self.targets is not None and not self.targets:
             raise ValueError("targets: the panel mapping must name at least one target")
         known = available_backends()
-        if self.backend.lower() not in known:
+        backend = self.backend.lower()
+        if backend != "auto" and backend not in known:
             raise ValueError(
                 f"backend: unknown execution backend {self.backend!r}; "
-                f"available backends: {', '.join(known)}"
+                f"available backends: auto, {', '.join(known)}"
             )
-        object.__setattr__(self, "backend", self.backend.lower())
+        object.__setattr__(self, "backend", backend)
         if self.workers is not None and self.workers <= 0:
             raise ValueError(f"workers: must be positive, got {self.workers}")
         if self.workers is not None and self.backend in _TILED_BACKENDS:
@@ -168,6 +183,19 @@ class RunConfig:
             raise ValueError(
                 f"tile_columns: only the in-process/device backends "
                 f"({', '.join(_TILED_BACKENDS)}) tile columns, not {self.backend!r}"
+            )
+        if self.backend == "auto" and (
+            self.workers is not None or self.tile_columns is not None
+        ):
+            raise ValueError(
+                "workers: backend='auto' resolves workers and tile_columns through "
+                "the tuner; pin the backend to set them by hand"
+            )
+        if self.tune is not None:
+            object.__setattr__(self, "tune", dict(self.tune))
+        if self.tune_budget_s <= 0:
+            raise ValueError(
+                f"tune_budget_s: must be positive, got {self.tune_budget_s}"
             )
         if self.prune_margin < 0:
             raise ValueError(f"prune_margin: must be non-negative, got {self.prune_margin}")

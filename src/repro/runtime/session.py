@@ -91,6 +91,10 @@ class ReadUntilSession:
         self.config = config
         self._classifier: Optional["BatchSquiggleClassifier"] = None
         self._panel = None
+        # backend="auto" resolution state: the concrete post-tuning config
+        # and the decision that produced it (None until the backend spawns).
+        self._resolved_config: Optional[RunConfig] = None
+        self._tuned = None
         self._threshold = config.threshold
         self._closed = False
         self._n_rounds = 0
@@ -142,7 +146,23 @@ class ReadUntilSession:
 
     @property
     def backend_name(self) -> str:
+        """The backend this session runs (or will run) on.
+
+        ``"auto"`` until the first submission resolves it through the tuner;
+        the concrete tuned backend afterwards.
+        """
+        if self._resolved_config is not None:
+            return self._resolved_config.backend
         return self.config.backend
+
+    @property
+    def tuned(self):
+        """The :class:`~repro.tune.TunedDecision` behind ``backend="auto"``.
+
+        ``None`` for pinned-backend configs and before the lazy first
+        submission spawns the backend.
+        """
+        return self._tuned
 
     @property
     def threshold(self) -> Optional[float]:
@@ -179,18 +199,41 @@ class ReadUntilSession:
             self._panel = self.config.resolve_panel()
         return self._panel
 
+    def _resolve_config(self) -> RunConfig:
+        """The concrete config the backend spawns from.
+
+        Pinned configs pass through untouched. ``backend="auto"`` resolves
+        here — lazily, at first spawn, with the panel already built so the
+        workload shape is exact — via :func:`repro.tune.resolve_auto`:
+        probes on a cold cache (traced as ``tune.probe`` spans on this
+        session's tracer), a cache lookup on repeat runs. The decision is
+        memoized for the session's lifetime and reported under
+        ``summary()["tuned"]``.
+        """
+        if self._resolved_config is None:
+            if self.config.backend == "auto":
+                from repro.tune import resolve_auto
+
+                self._resolved_config, self._tuned = resolve_auto(
+                    self.config, panel=self._resolve_panel(), tracer=self._tracer
+                )
+            else:
+                self._resolved_config = self.config
+        return self._resolved_config
+
     def _ensure_classifier(self) -> "BatchSquiggleClassifier":
         self._check_open()
         if self._classifier is None:
             from repro.batch.classifier import BatchSquiggleClassifier
 
+            resolved = self._resolve_config()
             self._classifier = BatchSquiggleClassifier(
                 self._resolve_panel(),
-                config=self.config.hardware,
+                config=resolved.hardware,
                 threshold=self._threshold,
-                prefix_samples=self.config.prefix_samples,
+                prefix_samples=resolved.prefix_samples,
                 name=self.name,
-                run_config=self.config,
+                run_config=resolved,
                 tracer=self._tracer,
             )
         return self._classifier
@@ -325,7 +368,7 @@ class ReadUntilSession:
         """
         self._check_open()
         summary: Dict[str, Any] = {
-            "backend": self.config.backend,
+            "backend": self.backend_name,
             "prefix_samples": self.config.prefix_samples,
             "n_channels": self.config.n_channels,
             "threshold": self._threshold,
@@ -337,6 +380,8 @@ class ReadUntilSession:
         }
         if self.config.label is not None:
             summary["label"] = self.config.label
+        if self._tuned is not None:
+            summary["tuned"] = self._tuned.as_dict()
         if self._per_target_accepts:
             summary["per_target_accepts"] = dict(self._per_target_accepts)
         if self._classifier is not None:
@@ -374,7 +419,7 @@ class ReadUntilSession:
                     from repro.obs.export import write_chrome_trace
 
                     metadata = {
-                        "backend": self.config.backend,
+                        "backend": self.backend_name,
                         "rounds": self._n_rounds,
                     }
                     if self.config.label is not None:
